@@ -1,0 +1,70 @@
+// phoenix-bench regenerates Figure 4 of the paper: the overhead of
+// TEE-Perf relative to Linux perf on the Phoenix 2.0 suite inside a
+// simulated SGX enclave.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"teeperf/internal/experiments"
+	"teeperf/internal/tee"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "phoenix-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		platformName = flag.String("platform", "sgx-v1", "TEE platform: "+strings.Join(tee.PlatformNames(), ", "))
+		scale        = flag.Int("scale", 2, "workload input scale")
+		runs         = flag.Int("runs", 10, "measured runs per configuration (geometric mean)")
+		warmups      = flag.Int("warmups", 1, "warmup runs per configuration")
+		period       = flag.Duration("sample-period", 250*time.Microsecond, "perf sampling period")
+		sampleCost   = flag.Duration("sample-cost", 30*time.Microsecond, "per-sample enclave penalty (AEX + kernel)")
+		workloads    = flag.String("workloads", "", "comma-separated subset (default: all)")
+		sweep        = flag.Bool("sweep-platforms", false, "instead of Fig 4, run one workload on every TEE platform (generality check)")
+	)
+	flag.Parse()
+
+	platform, err := tee.ByName(*platformName)
+	if err != nil {
+		return err
+	}
+	if *sweep {
+		workload := "histogram"
+		if *workloads != "" {
+			workload = strings.Split(*workloads, ",")[0]
+		}
+		rows, err := experiments.RunPlatformSweep(workload, *scale, *runs)
+		if err != nil {
+			return err
+		}
+		return experiments.WritePlatformSweep(os.Stdout, workload, rows)
+	}
+	cfg := experiments.Fig4Config{
+		Platform:       platform,
+		Scale:          *scale,
+		Runs:           *runs,
+		Warmups:        *warmups,
+		SamplePeriod:   *period,
+		PerfSampleCost: *sampleCost,
+	}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	fmt.Printf("Fig 4: TEE-Perf overhead vs perf — Phoenix suite, platform %s, scale %d, %d runs\n\n",
+		platform.Name, cfg.Scale, cfg.Runs)
+	res, err := experiments.RunFig4(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.WriteFig4(os.Stdout, res)
+}

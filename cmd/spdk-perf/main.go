@@ -1,0 +1,71 @@
+// spdk-perf regenerates Figure 6 and the §IV-C throughput table of the
+// paper: the SPDK perf benchmark (4 KiB random I/O, 80% reads) run native,
+// naively ported into a simulated SGX enclave, and with the paper's
+// getpid/timestamp caching optimizations — each run profiled by TEE-Perf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"teeperf/internal/experiments"
+	"teeperf/internal/tee"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spdk-perf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		platformName = flag.String("platform", "sgx-v1", "TEE platform: "+strings.Join(tee.PlatformNames(), ", "))
+		ops          = flag.Int("ops", 20000, "I/O operations per configuration")
+		depth        = flag.Int("qd", 32, "queue depth")
+		readPct      = flag.Int("reads", 80, "read percentage")
+		flameDir     = flag.String("flame-dir", "", "write naive/optimized flame graph SVGs into this directory")
+	)
+	flag.Parse()
+
+	platform, err := tee.ByName(*platformName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig 6 + §IV-C: SPDK perf (4 KiB, %d%% reads, QD %d) on platform %s\n\n",
+		*readPct, *depth, platform.Name)
+	res, err := experiments.RunFig6(experiments.Fig6Config{
+		Platform:   platform,
+		Ops:        *ops,
+		QueueDepth: *depth,
+		ReadPct:    *readPct,
+	})
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteFig6(os.Stdout, res); err != nil {
+		return err
+	}
+	if *flameDir != "" {
+		if err := os.MkdirAll(*flameDir, 0o755); err != nil {
+			return err
+		}
+		for _, run := range []experiments.Fig6Run{res.Naive, res.Optimized} {
+			path := *flameDir + "/spdk-" + run.Label + ".svg"
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = experiments.WriteFlameGraph(f, run.Profile, "SPDK perf "+run.Label+" (TEE-Perf)")
+			f.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	return nil
+}

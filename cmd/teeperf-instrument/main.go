@@ -1,0 +1,65 @@
+// teeperf-instrument is the stage-1 compiler pass: it rewrites the Go
+// sources of a package so every function executes a TEE-Perf probe at
+// entry and exit, and registers itself with the teeperf/rt runtime — the
+// analogue of rebuilding a C application with
+// `gcc -finstrument-functions --include=profiler.h ... -lprofiler`.
+//
+// Usage:
+//
+//	teeperf-instrument -in ./myapp -out ./myapp-instrumented [-skip-tests] [-only pattern]
+//
+// Rebuild the output directory with the normal Go toolchain (the module
+// must require teeperf for the rt package), run the binary, and analyze
+// the bundle written by rt.Finish with `teeperf analyze`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"teeperf/internal/instrument"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "teeperf-instrument:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "input package directory")
+		out       = flag.String("out", "", "output directory for instrumented sources")
+		skipTests = flag.Bool("skip-tests", true, "skip *_test.go files")
+		only      = flag.String("only", "", "regexp of qualified function names to instrument (selective profiling)")
+		verbose   = flag.Bool("v", false, "list instrumented functions")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		return fmt.Errorf("both -in and -out are required")
+	}
+	opts := instrument.Options{SkipTests: *skipTests}
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			return fmt.Errorf("bad -only pattern: %w", err)
+		}
+		opts.Only = re.MatchString
+	}
+	report, err := instrument.Dir(*in, *out, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instrumented %d functions in %d files (%d skipped)\n",
+		report.Instrumented, report.Files, report.Skipped)
+	if *verbose {
+		for _, fi := range report.Funcs {
+			fmt.Printf("  %-50s %s:%d\n", fi.Name, fi.File, fi.Line)
+		}
+	}
+	fmt.Println("rebuild the output package against teeperf/rt and run it to record a profile")
+	return nil
+}

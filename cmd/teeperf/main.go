@@ -1,0 +1,323 @@
+// teeperf is the command-line front end: it analyzes persisted profile
+// bundles (written by instrumented applications via teeperf/rt or by the
+// Session API), answers declarative queries, and renders flame graphs.
+//
+// Usage:
+//
+//	teeperf record   -workload phoenix/word_count -platform sgx-v1 -o run.teeperf
+//	teeperf analyze  -i run.teeperf [-top 20]
+//	teeperf query    -i run.teeperf -q 'name =~ "rocksdb" && self > 1000' [-group name] [-sort col] [-n 20]
+//	teeperf flame    -i run.teeperf -o flame.svg [-title T] [-width 1200]
+//	teeperf folded   -i run.teeperf [-o stacks.folded]
+//	teeperf threads  -i run.teeperf
+//	teeperf dump     -i run.teeperf [-n 50] [-thread 2]
+//	teeperf callgraph -i run.teeperf [-top 10]
+//	teeperf paths    -i run.teeperf [-leaf fn]
+//	teeperf diff     -a before.teeperf -b after.teeperf
+//	teeperf whatif   -i run.teeperf -remove getpid,rdtsc
+//	teeperf report   -i run.teeperf -o report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"teeperf"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "teeperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	switch args[0] {
+	case "analyze":
+		return cmdAnalyze(args[1:])
+	case "query":
+		return cmdQuery(args[1:])
+	case "flame":
+		return cmdFlame(args[1:])
+	case "folded":
+		return cmdFolded(args[1:])
+	case "threads":
+		return cmdThreads(args[1:])
+	case "record":
+		return cmdRecord(args[1:])
+	case "dump":
+		return cmdDump(args[1:])
+	case "callgraph":
+		return cmdCallGraph(args[1:])
+	case "paths":
+		return cmdPaths(args[1:])
+	case "diff":
+		return cmdDiff(args[1:])
+	case "whatif":
+		return cmdWhatIf(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "help", "-h", "--help":
+		return usageError()
+	default:
+		return fmt.Errorf("unknown command %q\n%v", args[0], usageError())
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: teeperf <record|analyze|query|flame|folded|threads|dump|callgraph|paths|diff|whatif|report> [options]")
+}
+
+func loadProfile(path string) (*teeperf.Profile, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -i <bundle>")
+	}
+	return teeperf.Load(path)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	input := fs.String("i", "", "profile bundle path")
+	top := fs.Int("top", 20, "number of functions to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProfile(*input)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pid %d, %d ticks total, %d truncated frames, %d unmatched returns, %d dropped entries\n\n",
+		p.PID, p.TotalTicks, p.Truncated, p.Unmatched, p.Dropped)
+	return p.WriteTable(os.Stdout, *top)
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	input := fs.String("i", "", "profile bundle path")
+	expr := fs.String("q", "", "filter expression, e.g. 'thread == 2 && name =~ \"get\"'")
+	group := fs.String("group", "", "comma-separated group-by columns (aggregates calls + self ticks)")
+	sortCol := fs.String("sort", "", "sort column (descending)")
+	limit := fs.Int("n", 30, "row limit")
+	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProfile(*input)
+	if err != nil {
+		return err
+	}
+	frame := teeperf.Query(p)
+	if *expr != "" {
+		frame, err = frame.Filter(*expr)
+		if err != nil {
+			return err
+		}
+	}
+	if *group != "" {
+		keys := strings.Split(*group, ",")
+		frame, err = frame.GroupBy(keys,
+			teeperf.Count("calls"),
+			teeperf.Sum("self", "self_ticks"),
+			teeperf.Sum("incl", "incl_ticks"),
+		)
+		if err != nil {
+			return err
+		}
+	}
+	if *sortCol != "" {
+		frame, err = frame.Sort(*sortCol, teeperf.Desc)
+		if err != nil {
+			return err
+		}
+	}
+	frame = frame.Head(*limit)
+	switch {
+	case *csv:
+		return frame.WriteCSV(os.Stdout)
+	case *asJSON:
+		return frame.WriteJSON(os.Stdout)
+	default:
+		return frame.WriteTable(os.Stdout)
+	}
+}
+
+func cmdFlame(args []string) error {
+	fs := flag.NewFlagSet("flame", flag.ContinueOnError)
+	input := fs.String("i", "", "profile bundle path")
+	output := fs.String("o", "flame.svg", "output SVG path")
+	title := fs.String("title", "TEE-Perf Flame Graph", "graph title")
+	width := fs.Int("width", 1200, "image width in pixels")
+	interactive := fs.Bool("interactive", false, "embed click-to-zoom JavaScript")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProfile(*input)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*output)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := teeperf.WriteFlameGraphSVG(f, p, teeperf.FlameGraphOptions{
+		Title:       *title,
+		Width:       *width,
+		Interactive: *interactive,
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *output)
+	return nil
+}
+
+func cmdFolded(args []string) error {
+	fs := flag.NewFlagSet("folded", flag.ContinueOnError)
+	input := fs.String("i", "", "profile bundle path")
+	output := fs.String("o", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProfile(*input)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return teeperf.WriteFolded(w, p)
+}
+
+func cmdWhatIf(args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ContinueOnError)
+	input := fs.String("i", "", "profile bundle path")
+	remove := fs.String("remove", "", "comma-separated function names to remove from the critical path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remove == "" {
+		return fmt.Errorf("whatif needs -remove <fn,fn,...>")
+	}
+	p, err := loadProfile(*input)
+	if err != nil {
+		return err
+	}
+	return teeperf.WriteWhatIf(os.Stdout, p.WhatIf(strings.Split(*remove, ",")...))
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	input := fs.String("i", "", "profile bundle path")
+	output := fs.String("o", "report.html", "output HTML path")
+	title := fs.String("title", "TEE-Perf report", "report title")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProfile(*input)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*output)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := teeperf.WriteHTMLReport(f, p, teeperf.HTMLReportOptions{Title: *title}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *output)
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	before := fs.String("a", "", "baseline profile bundle")
+	after := fs.String("b", "", "comparison profile bundle")
+	top := fs.Int("top", 20, "rows to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *before == "" || *after == "" {
+		return fmt.Errorf("diff needs -a <bundle> and -b <bundle>")
+	}
+	pa, err := teeperf.Load(*before)
+	if err != nil {
+		return fmt.Errorf("load %s: %w", *before, err)
+	}
+	pb, err := teeperf.Load(*after)
+	if err != nil {
+		return fmt.Errorf("load %s: %w", *after, err)
+	}
+	return teeperf.WriteDiff(os.Stdout, teeperf.DiffProfiles(pa, pb), *top)
+}
+
+func cmdCallGraph(args []string) error {
+	fs := flag.NewFlagSet("callgraph", flag.ContinueOnError)
+	input := fs.String("i", "", "profile bundle path")
+	top := fs.Int("top", 10, "number of functions to expand")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProfile(*input)
+	if err != nil {
+		return err
+	}
+	return p.WriteCallGraph(os.Stdout, *top)
+}
+
+func cmdPaths(args []string) error {
+	fs := flag.NewFlagSet("paths", flag.ContinueOnError)
+	input := fs.String("i", "", "profile bundle path")
+	leaf := fs.String("leaf", "", "only paths ending in this function")
+	limit := fs.Int("n", 20, "row limit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProfile(*input)
+	if err != nil {
+		return err
+	}
+	paths := p.Paths()
+	if *leaf != "" {
+		paths = p.PathsOf(*leaf)
+	}
+	if len(paths) > *limit {
+		paths = paths[:*limit]
+	}
+	fmt.Printf("%-10s %14s %14s  %s\n", "CALLS", "SELF", "INCL", "PATH")
+	for _, ps := range paths {
+		fmt.Printf("%-10d %14d %14d  %s\n", ps.Calls, ps.Self, ps.Incl, ps.Stack)
+	}
+	return nil
+}
+
+func cmdThreads(args []string) error {
+	fs := flag.NewFlagSet("threads", flag.ContinueOnError)
+	input := fs.String("i", "", "profile bundle path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProfile(*input)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %10s %10s %14s %9s\n", "THREAD", "EVENTS", "CALLS", "TICKS", "MAXDEPTH")
+	for _, t := range p.Threads() {
+		fmt.Printf("%-8d %10d %10d %14d %9d\n", t.ID, t.Events, t.Calls, t.Ticks, t.MaxDepth)
+	}
+	return nil
+}

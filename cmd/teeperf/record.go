@@ -1,0 +1,237 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/kvstore"
+	"teeperf/internal/phoenix"
+	"teeperf/internal/probe"
+	"teeperf/internal/recorder"
+	"teeperf/internal/sgxperf"
+	"teeperf/internal/spdknvme"
+	"teeperf/internal/symtab"
+	"teeperf/internal/tee"
+)
+
+// cmdRecord runs a built-in workload inside a simulated TEE under TEE-Perf
+// and persists the profile bundle, so every analysis command has something
+// real to chew on without writing code:
+//
+//	teeperf record -workload phoenix/word_count -platform sgx-v1 -o run.teeperf
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	workload := fs.String("workload", "phoenix/word_count", "one of: "+strings.Join(recordableWorkloads(), ", "))
+	platformName := fs.String("platform", "sgx-v1", "TEE platform: "+strings.Join(tee.PlatformNames(), ", "))
+	output := fs.String("o", "run.teeperf", "output bundle path")
+	scale := fs.Int("scale", 1, "workload scale (phoenix only)")
+	ops := fs.Int("ops", 5000, "operations (dbbench/spdk only)")
+	selective := fs.String("only", "", "substring filter for selective profiling")
+	transitions := fs.Bool("transitions", false, "also print a transition-level (sgx-perf style) report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	platform, err := tee.ByName(*platformName)
+	if err != nil {
+		return err
+	}
+
+	var (
+		tracer   *sgxperf.Tracer
+		enclOpts []tee.EnclaveOption
+	)
+	if *transitions {
+		tracer = sgxperf.New()
+		enclOpts = append(enclOpts, tee.WithTransitionListener(tracer.Listener()))
+	}
+	tab := symtab.New()
+	run, err := prepareWorkload(*workload, tab, platform, *scale, *ops, enclOpts...)
+	if err != nil {
+		return err
+	}
+
+	recOpts := []recorder.Option{recorder.WithCapacity(1 << 22)}
+	// The software counter needs a spare core for its spin thread; on a
+	// single-CPU machine fall back to the TSC source (and say so).
+	if runtime.NumCPU() < 2 {
+		fmt.Fprintln(os.Stderr, "teeperf record: single CPU — using the TSC counter instead of the software counter")
+		recOpts = append(recOpts, recorder.WithCounterMode(recorder.CounterTSC))
+	}
+	if *selective != "" {
+		filter, err := probe.NewFilter(tab, func(s symtab.Symbol) bool {
+			return strings.Contains(s.Name, *selective)
+		})
+		if err != nil {
+			return err
+		}
+		recOpts = append(recOpts, recorder.WithFilter(filter))
+	}
+	rec, err := recorder.New(tab, recOpts...)
+	if err != nil {
+		return err
+	}
+	if err := rec.Start(); err != nil {
+		return err
+	}
+	if err := run(rec); err != nil {
+		_ = rec.Stop()
+		return err
+	}
+	if err := rec.Stop(); err != nil {
+		return err
+	}
+	if err := rec.Persist(*output); err != nil {
+		return err
+	}
+	st := rec.Stats()
+	fmt.Printf("recorded %d events (%d dropped) in %v; wrote %s\n",
+		st.Entries, st.Dropped, st.Duration.Round(1e6), *output)
+	if tracer != nil {
+		fmt.Println()
+		if err := tracer.WriteReport(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFn executes the prepared workload against a live recorder.
+type runFn func(rec *recorder.Recorder) error
+
+func prepareWorkload(name string, tab *symtab.Table, platform tee.Platform, scale, ops int, enclOpts ...tee.EnclaveOption) (runFn, error) {
+	host := tee.NewHost(os.Getpid())
+	encl, err := tee.NewEnclave(platform, host, enclOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	switch {
+	case strings.HasPrefix(name, "phoenix/"):
+		w, err := phoenix.ByName(strings.TrimPrefix(name, "phoenix/"))
+		if err != nil {
+			return nil, err
+		}
+		if err := w.RegisterSymbols(tab); err != nil {
+			return nil, err
+		}
+		return func(rec *recorder.Recorder) error {
+			runner, err := w.New(phoenix.Config{
+				Enclave: encl,
+				Hooks:   rec.Thread(),
+				AddrOf:  rec.AddrOf,
+			}, scale)
+			if err != nil {
+				return err
+			}
+			_, err = runner(encl.Thread())
+			return err
+		}, nil
+
+	case name == "dbbench":
+		if err := kvstore.RegisterBenchSymbols(tab); err != nil {
+			return nil, err
+		}
+		return func(rec *recorder.Recorder) error {
+			th := encl.Thread()
+			db, err := kvstore.Open(host, th, "record-db", nil)
+			if err != nil {
+				return err
+			}
+			_, err = kvstore.RunDBBench(th, &kvstore.BenchConfig{
+				DB:     db,
+				Hooks:  rec.Thread(),
+				AddrOf: rec.AddrOf,
+				Ops:    ops,
+			})
+			return err
+		}, nil
+
+	case name == "spdk-naive" || name == "spdk-optimized":
+		if err := spdknvme.RegisterPerfSymbols(tab); err != nil {
+			return nil, err
+		}
+		mode := spdknvme.ModeNaive
+		if name == "spdk-optimized" {
+			mode = spdknvme.ModeOptimized
+		}
+		return func(rec *recorder.Recorder) error {
+			dev, err := spdknvme.NewDevice(host, spdknvme.DeviceConfig{})
+			if err != nil {
+				return err
+			}
+			_, err = spdknvme.RunPerf(&spdknvme.PerfConfig{
+				Device: dev,
+				Thread: encl.Thread(),
+				Hooks:  rec.Thread(),
+				AddrOf: rec.AddrOf,
+				Mode:   mode,
+				Ops:    ops,
+			})
+			return err
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want one of: %s)",
+			name, strings.Join(recordableWorkloads(), ", "))
+	}
+}
+
+func recordableWorkloads() []string {
+	names := []string{"dbbench", "spdk-naive", "spdk-optimized"}
+	for _, n := range phoenix.Names() {
+		names = append(names, "phoenix/"+n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// cmdDump prints raw log entries, resolved through the symbol table — the
+// lowest-level view of a recording.
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ContinueOnError)
+	input := fs.String("i", "", "profile bundle path")
+	limit := fs.Int("n", 50, "maximum entries to print (0 = all)")
+	thread := fs.Uint64("thread", 0, "only this thread (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" {
+		return fmt.Errorf("missing -i <bundle>")
+	}
+	tab, log, err := recorder.ReadBundleFile(*input)
+	if err != nil {
+		return err
+	}
+	if log.ProfilerAddr() != 0 {
+		tab.SetLoadBias(log.ProfilerAddr())
+	}
+	fmt.Printf("%-8s %-8s %-16s %s\n", "THREAD", "KIND", "COUNTER", "FUNCTION")
+	printed := 0
+	for i := 0; i < log.Len(); i++ {
+		e, err := log.Entry(i)
+		if err != nil {
+			return err
+		}
+		if *thread != 0 && e.ThreadID != *thread {
+			continue
+		}
+		fmt.Printf("%-8d %-8s %-16d %s\n", e.ThreadID, e.Kind, e.Counter, tab.Name(e.Addr))
+		printed++
+		if *limit > 0 && printed >= *limit {
+			fmt.Printf("... (%d more entries)\n", log.Len()-i-1)
+			break
+		}
+	}
+	// A summary line the analyzer would produce.
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d entries, %d threads, %d completed calls\n", log.Len(), len(p.Threads()), len(p.Records()))
+	return nil
+}

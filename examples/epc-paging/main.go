@@ -1,0 +1,114 @@
+// EPC paging walk-through (the paper's introductory motivation: secure
+// paging can slow applications by orders of magnitude — "up to 2000x").
+// This example sweeps a random-access working set across the protected-
+// memory boundary and then uses TEE-Perf to show where a paging-bound
+// application spends its time.
+//
+//	go run ./examples/epc-paging
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"teeperf"
+	"teeperf/internal/experiments"
+	"teeperf/internal/tee"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("part 1: the cliff — random page touches vs working-set size (EPC = 512 pages)")
+	rows, err := experiments.RunEPCSweep(experiments.EPCSweepConfig{})
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteEPCSweep(os.Stdout, rows); err != nil {
+		return err
+	}
+
+	fmt.Println("\npart 2: what the profile of a paging-bound application looks like")
+	// An application with two phases: a resident-set scan (cheap) and a
+	// thrashing random walk (expensive). TEE-Perf attributes the pain.
+	platform := tee.SGXv1()
+	platform.EPCSize = 256 * platform.PageSize
+	encl, err := tee.NewEnclave(platform, tee.NewHost(os.Getpid()))
+	if err != nil {
+		return err
+	}
+	session, err := teeperf.New(teeperf.WithCounter(teeperf.CounterTSC))
+	if err != nil {
+		return err
+	}
+	scanAddr, err := session.RegisterFunc("scan_resident", "epc.go", 10)
+	if err != nil {
+		return err
+	}
+	walkAddr, err := session.RegisterFunc("random_walk_thrash", "epc.go", 20)
+	if err != nil {
+		return err
+	}
+	if err := session.Start(); err != nil {
+		return err
+	}
+	pt, err := session.Thread()
+	if err != nil {
+		return err
+	}
+	th := encl.Thread()
+
+	small, err := encl.Alloc(128 * platform.PageSize)
+	if err != nil {
+		return err
+	}
+	big, err := encl.Alloc(1024 * platform.PageSize) // 4x the EPC
+	if err != nil {
+		return err
+	}
+
+	pt.Enter(scanAddr)
+	for round := 0; round < 40; round++ {
+		for pg := 0; pg < 128; pg++ {
+			if err := small.Touch(th, pg*platform.PageSize); err != nil {
+				return err
+			}
+		}
+	}
+	pt.Exit(scanAddr)
+
+	pt.Enter(walkAddr)
+	state := uint64(1)
+	for i := 0; i < 5000; i++ {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		if err := big.Touch(th, int(z%1024)*platform.PageSize); err != nil {
+			return err
+		}
+	}
+	th.Exit()
+	pt.Exit(walkAddr)
+
+	if err := session.Stop(); err != nil {
+		return err
+	}
+	profile, err := session.Profile()
+	if err != nil {
+		return err
+	}
+	if err := profile.WriteTable(os.Stdout, 5); err != nil {
+		return err
+	}
+	snap := encl.Snapshot()
+	fmt.Printf("\nenclave stats: %d page faults, %v total injected penalty\n",
+		snap.PageFaults, snap.Charged.Round(1e6))
+	fmt.Println("=> the 5000-touch random walk dwarfs the 5120-touch resident scan:")
+	fmt.Println("   every miss beyond the EPC is a secure-paging round trip.")
+	return nil
+}

@@ -1,0 +1,110 @@
+// Multithread + query: profile a multithreaded pipeline through the
+// teeperf/rt global runtime (the same runtime instrumented binaries use)
+// and answer the paper's example question — which thread called which
+// method how often — with the declarative query interface.
+//
+//	go run ./examples/multithread-query
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+
+	"teeperf"
+	"teeperf/rt"
+)
+
+var (
+	fnProduce = rt.Register("main.produce", "examples/multithread-query/main.go", 20)
+	fnConsume = rt.Register("main.consume", "examples/multithread-query/main.go", 30)
+	fnProcess = rt.Register("main.process", "examples/multithread-query/main.go", 40)
+)
+
+func produce(ch chan<- int, n int) {
+	defer rt.Span(fnProduce)()
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+func consume(ch <-chan int, out *uint64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer rt.Span(fnConsume)()
+	var local uint64
+	for v := range ch {
+		local += process(v)
+	}
+	*out = local
+}
+
+func process(v int) uint64 {
+	defer rt.Span(fnProcess)()
+	h := uint64(v) * 0x9e3779b97f4a7c15
+	for i := 0; i < 32; i++ {
+		h = (h ^ (h >> 13)) * 1099511628211
+	}
+	return h
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	if err := rt.Configure(rt.Config{Counter: rt.CounterTSC, LogCapacity: 1 << 20}); err != nil {
+		return err
+	}
+
+	const workers = 3
+	ch := make(chan int)
+	results := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go consume(ch, &results[i], &wg)
+	}
+	produce(ch, 30000)
+	wg.Wait()
+
+	path := "multithread.teeperf"
+	if err := rt.Finish(path); err != nil {
+		return err
+	}
+	profile, err := teeperf.Load(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("threads observed: %d\n\n", len(profile.Threads()))
+
+	// The paper's example query: which thread called which method how
+	// often.
+	frame := teeperf.Query(profile)
+	byThread, err := frame.GroupBy([]string{"thread", "name"}, teeperf.Count("calls"), teeperf.Sum("self", "self_ticks"))
+	if err != nil {
+		return err
+	}
+	if err := byThread.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+
+	// A filter query: slow process() executions.
+	fmt.Println("\nprocess() executions in the slowest 1% (by inclusive ticks):")
+	q, err := frame.Filter(`name == "main.process"`)
+	if err != nil {
+		return err
+	}
+	p99, err := q.GroupBy([]string{"name"}, teeperf.Quantile("incl", 0.99, "p99_incl"), teeperf.Count("n"))
+	if err != nil {
+		return err
+	}
+	if err := p99.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nbundle written to %s\n", path)
+	return nil
+}

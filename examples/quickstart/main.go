@@ -1,0 +1,164 @@
+// Quickstart: profile a small application with the TEE-Perf Session API,
+// print the hot-method table, run a query, and emit a flame graph.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"teeperf"
+)
+
+// The demo application: a parser that tokenizes input and a checksum pass,
+// with an artificial hot spot in hashToken.
+type app struct {
+	th     *teeperf.Thread
+	fnMain uint64
+	fnTok  uint64
+	fnHash uint64
+	fnSum  uint64
+}
+
+func (a *app) run(data []byte) uint64 {
+	a.th.Enter(a.fnMain)
+	defer a.th.Exit(a.fnMain)
+
+	var total uint64
+	for off := 0; off < len(data); off += 64 {
+		end := off + 64
+		if end > len(data) {
+			end = len(data)
+		}
+		total += a.tokenize(data[off:end])
+	}
+	return a.checksum(total)
+}
+
+func (a *app) tokenize(chunk []byte) uint64 {
+	a.th.Enter(a.fnTok)
+	defer a.th.Exit(a.fnTok)
+	var v uint64
+	for _, b := range chunk {
+		v += a.hashToken(b)
+	}
+	return v
+}
+
+func (a *app) hashToken(b byte) uint64 {
+	a.th.Enter(a.fnHash)
+	defer a.th.Exit(a.fnHash)
+	h := uint64(b) * 0x9e3779b97f4a7c15
+	for i := 0; i < 8; i++ { // the hot spot
+		h = (h ^ (h >> 13)) * 1099511628211
+	}
+	return h
+}
+
+func (a *app) checksum(v uint64) uint64 {
+	a.th.Enter(a.fnSum)
+	defer a.th.Exit(a.fnSum)
+	return v ^ (v >> 32)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Stage 1 (compiler): register the application's functions. Real
+	// applications use cmd/teeperf-instrument to generate this.
+	session, err := teeperf.New(teeperf.WithCounter(teeperf.CounterTSC))
+	if err != nil {
+		return err
+	}
+	a := &app{}
+	for _, reg := range []struct {
+		name string
+		dst  *uint64
+		line int
+	}{
+		{"main.run", &a.fnMain, 24},
+		{"main.tokenize", &a.fnTok, 38},
+		{"main.hashToken", &a.fnHash, 48},
+		{"main.checksum", &a.fnSum, 58},
+	} {
+		addr, err := session.RegisterFunc(reg.name, "examples/quickstart/main.go", reg.line)
+		if err != nil {
+			return err
+		}
+		*reg.dst = addr
+	}
+
+	// Stage 2 (recorder): record a run.
+	if err := session.Start(); err != nil {
+		return err
+	}
+	th, err := session.Thread()
+	if err != nil {
+		return err
+	}
+	a.th = th
+
+	data := make([]byte, 256*1024)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	result := a.run(data)
+	if err := session.Stop(); err != nil {
+		return err
+	}
+	fmt.Printf("application result: %#x\n", result)
+	fmt.Printf("recorded %d events\n\n", session.Stats().Entries)
+
+	// Stage 3 (analyzer): hot methods.
+	profile, err := session.Profile()
+	if err != nil {
+		return err
+	}
+	if err := profile.WriteTable(os.Stdout, 10); err != nil {
+		return err
+	}
+
+	// The declarative query interface: call counts per function.
+	fmt.Println("\nquery: calls and mean self ticks per function")
+	frame, err := teeperf.Query(profile).GroupBy(
+		[]string{"name"},
+		teeperf.Count("calls"),
+		teeperf.Mean("self", "mean_self"),
+	)
+	if err != nil {
+		return err
+	}
+	sorted, err := frame.Sort("calls", teeperf.Desc)
+	if err != nil {
+		return err
+	}
+	if err := sorted.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+
+	// Stage 4 (visualizer): flame graph.
+	svg, err := os.Create("quickstart-flame.svg")
+	if err != nil {
+		return err
+	}
+	defer svg.Close()
+	if err := teeperf.WriteFlameGraphSVG(svg, profile, teeperf.FlameGraphOptions{
+		Title: "quickstart",
+	}); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote quickstart-flame.svg")
+
+	// Persist the bundle for the teeperf CLI.
+	if err := session.Persist("quickstart.teeperf"); err != nil {
+		return err
+	}
+	fmt.Println("wrote quickstart.teeperf (inspect with: go run ./cmd/teeperf analyze -i quickstart.teeperf)")
+	return nil
+}

@@ -1,0 +1,3 @@
+module teeperf
+
+go 1.22

@@ -1,0 +1,394 @@
+// Package analyzer implements TEE-Perf's stage 3: the offline component
+// that dissects a recorded log. It groups entries per thread, rebuilds each
+// thread's call stack from the call/return stream, computes inclusive and
+// exclusive (self) tick counts per method, resolves addresses through the
+// symbol table (using the profiler-anchor relocation offset stored in the
+// log header), and produces the folded call stacks the visualizer consumes.
+package analyzer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+// Record is one completed (or force-closed) function execution.
+type Record struct {
+	// Thread is the log thread ID.
+	Thread uint64
+	// Name is the resolved, demangled function name.
+	Name string
+	// Addr is the runtime address recorded by the probe.
+	Addr uint64
+	// Caller is the resolved name of the parent frame ("" for roots).
+	Caller string
+	// Depth is the stack depth (0 for roots).
+	Depth int
+	// Start and End are the counter values at entry and exit.
+	Start, End uint64
+	// Incl is End-Start; Self is Incl minus the inclusive time of
+	// children (never negative).
+	Incl, Self uint64
+	// Truncated marks frames force-closed at the end of the log.
+	Truncated bool
+}
+
+// FuncStat aggregates all executions of one function.
+type FuncStat struct {
+	// Name is the resolved, demangled function name.
+	Name string
+	// Addr is the runtime address recorded by the probes.
+	Addr uint64
+	// Calls is the number of recorded executions.
+	Calls uint64
+	// Incl and Self are total inclusive and exclusive ticks.
+	Incl, Self uint64
+	// Callers and Callees count invocation edges by resolved name.
+	Callers map[string]uint64
+	Callees map[string]uint64
+}
+
+// ThreadStat summarizes one thread.
+type ThreadStat struct {
+	// ID is the log thread ID.
+	ID uint64
+	// Events is the number of log entries attributed to the thread.
+	Events int
+	// Calls is the number of completed executions.
+	Calls uint64
+	// Ticks is the total root-level inclusive time.
+	Ticks uint64
+	// MaxDepth is the deepest reconstructed stack.
+	MaxDepth int
+}
+
+// Profile is the analyzer output.
+type Profile struct {
+	// PID is the process ID recorded in the log header.
+	PID uint64
+	// TotalTicks is the sum of root-frame inclusive ticks over all
+	// threads — the denominator for percentages.
+	TotalTicks uint64
+	// Truncated counts frames force-closed because the log ended (the
+	// paper's analyzer similarly dismisses possibly-wrong records at the
+	// log end).
+	Truncated int
+	// Unmatched counts return entries with no corresponding call
+	// (typically the result of toggling recording mid-run).
+	Unmatched int
+	// Dropped is the number of entries lost to log overflow, as recorded
+	// in the log.
+	Dropped uint64
+
+	funcs     []FuncStat
+	byName    map[string]int
+	threads   []ThreadStat
+	records   []Record
+	folded    map[string]uint64
+	pathStats map[string]*pathAccum
+}
+
+// pathAccum collects per-call-path totals during analysis.
+type pathAccum struct {
+	calls, incl, self uint64
+}
+
+// ErrNilInput is returned when Analyze receives nil arguments.
+var ErrNilInput = errors.New("analyzer: nil log or symbol table")
+
+type frame struct {
+	addr       uint64
+	name       string
+	start      uint64
+	childTicks uint64
+}
+
+type threadState struct {
+	stat   ThreadStat
+	stack  []frame
+	names  []string
+	lastTS uint64
+}
+
+// Analyze reconstructs a profile from a recorded log.
+func Analyze(log *shmlog.Log, tab *symtab.Table) (*Profile, error) {
+	if log == nil || tab == nil {
+		return nil, ErrNilInput
+	}
+	// Recover the relocation offset from the recorded anchor address.
+	if log.ProfilerAddr() != 0 {
+		tab.SetLoadBias(log.ProfilerAddr())
+	}
+
+	p := &Profile{
+		PID:       log.PID(),
+		byName:    make(map[string]int),
+		folded:    make(map[string]uint64),
+		pathStats: make(map[string]*pathAccum),
+		Dropped:   log.Dropped(),
+	}
+	threads := make(map[uint64]*threadState)
+	order := make([]uint64, 0, 8)
+
+	n := log.Len()
+	for i := 0; i < n; i++ {
+		e, err := log.Entry(i)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: entry %d: %w", i, err)
+		}
+		ts, ok := threads[e.ThreadID]
+		if !ok {
+			ts = &threadState{stat: ThreadStat{ID: e.ThreadID}}
+			threads[e.ThreadID] = ts
+			order = append(order, e.ThreadID)
+		}
+		ts.stat.Events++
+		ts.lastTS = e.Counter
+
+		switch e.Kind {
+		case shmlog.KindCall:
+			ts.stack = append(ts.stack, frame{
+				addr:  e.Addr,
+				name:  tab.Name(e.Addr),
+				start: e.Counter,
+			})
+			ts.names = append(ts.names, ts.stack[len(ts.stack)-1].name)
+			if d := len(ts.stack); d > ts.stat.MaxDepth {
+				ts.stat.MaxDepth = d
+			}
+		case shmlog.KindReturn:
+			p.closeUntil(ts, e.Addr, e.Counter)
+		}
+	}
+
+	// Force-close whatever remains on each stack at the thread's last
+	// observed counter value; these durations are approximate.
+	for _, tid := range order {
+		ts := threads[tid]
+		for len(ts.stack) > 0 {
+			p.closeTop(ts, ts.lastTS, true)
+			p.Truncated++
+		}
+		p.TotalTicks += ts.stat.Ticks
+		p.threads = append(p.threads, ts.stat)
+	}
+	sort.Slice(p.threads, func(i, j int) bool { return p.threads[i].ID < p.threads[j].ID })
+	sort.Slice(p.funcs, func(i, j int) bool {
+		if p.funcs[i].Self != p.funcs[j].Self {
+			return p.funcs[i].Self > p.funcs[j].Self
+		}
+		return p.funcs[i].Name < p.funcs[j].Name
+	})
+	p.byName = make(map[string]int, len(p.funcs))
+	for i, f := range p.funcs {
+		p.byName[f.Name] = i
+	}
+	return p, nil
+}
+
+// closeUntil pops frames until it closes the frame matching addr. Frames
+// above the match lost their return entries (recording was toggled or the
+// log overflowed); they are closed at the return's counter value.
+func (p *Profile) closeUntil(ts *threadState, addr, now uint64) {
+	// Find the matching frame.
+	match := -1
+	for i := len(ts.stack) - 1; i >= 0; i-- {
+		if ts.stack[i].addr == addr {
+			match = i
+			break
+		}
+	}
+	if match < 0 {
+		p.Unmatched++
+		return
+	}
+	for len(ts.stack) > match {
+		p.closeTop(ts, now, false)
+	}
+}
+
+// closeTop completes the top frame at counter value now.
+func (p *Profile) closeTop(ts *threadState, now uint64, truncated bool) {
+	f := ts.stack[len(ts.stack)-1]
+	ts.stack = ts.stack[:len(ts.stack)-1]
+
+	incl := uint64(0)
+	if now > f.start {
+		incl = now - f.start
+	}
+	self := uint64(0)
+	if incl > f.childTicks {
+		self = incl - f.childTicks
+	}
+
+	depth := len(ts.stack)
+	caller := ""
+	if depth > 0 {
+		parent := &ts.stack[depth-1]
+		parent.childTicks += incl
+		caller = parent.name
+	} else {
+		ts.stat.Ticks += incl
+	}
+	ts.stat.Calls++
+
+	rec := Record{
+		Thread:    ts.stat.ID,
+		Name:      f.name,
+		Addr:      f.addr,
+		Caller:    caller,
+		Depth:     depth,
+		Start:     f.start,
+		End:       now,
+		Incl:      incl,
+		Self:      self,
+		Truncated: truncated,
+	}
+	p.records = append(p.records, rec)
+
+	// Folded stack and call-path accounting: attributed to the full stack
+	// including the closing frame.
+	stackKey := strings.Join(ts.names, ";")
+	if self > 0 {
+		p.folded[stackKey] += self
+	}
+	pa, ok := p.pathStats[stackKey]
+	if !ok {
+		pa = &pathAccum{}
+		p.pathStats[stackKey] = pa
+	}
+	pa.calls++
+	pa.incl += incl
+	pa.self += self
+	ts.names = ts.names[:len(ts.names)-1]
+
+	p.accumulate(rec)
+}
+
+func (p *Profile) accumulate(rec Record) {
+	i, ok := p.byName[rec.Name]
+	if !ok {
+		i = len(p.funcs)
+		p.byName[rec.Name] = i
+		p.funcs = append(p.funcs, FuncStat{
+			Name:    rec.Name,
+			Addr:    rec.Addr,
+			Callers: make(map[string]uint64),
+			Callees: make(map[string]uint64),
+		})
+	}
+	f := &p.funcs[i]
+	if f.Addr == 0 {
+		f.Addr = rec.Addr
+	}
+	f.Calls++
+	f.Incl += rec.Incl
+	f.Self += rec.Self
+	if rec.Caller != "" {
+		f.Callers[rec.Caller]++
+		// Register the callee edge on the caller as well.
+		j, ok := p.byName[rec.Caller]
+		if !ok {
+			j = len(p.funcs)
+			p.byName[rec.Caller] = j
+			p.funcs = append(p.funcs, FuncStat{
+				Name:    rec.Caller,
+				Callers: make(map[string]uint64),
+				Callees: make(map[string]uint64),
+			})
+			f = &p.funcs[i] // re-take: append may have moved the slice
+		}
+		p.funcs[j].Callees[rec.Name]++
+	}
+}
+
+// Funcs returns per-function statistics sorted by self time (descending).
+func (p *Profile) Funcs() []FuncStat {
+	out := make([]FuncStat, len(p.funcs))
+	copy(out, p.funcs)
+	return out
+}
+
+// Top returns the n hottest functions by self time.
+func (p *Profile) Top(n int) []FuncStat {
+	if n > len(p.funcs) {
+		n = len(p.funcs)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]FuncStat, n)
+	copy(out, p.funcs[:n])
+	return out
+}
+
+// Func returns the statistics for a function by resolved name.
+func (p *Profile) Func(name string) (FuncStat, bool) {
+	i, ok := p.byName[name]
+	if !ok {
+		return FuncStat{}, false
+	}
+	return p.funcs[i], true
+}
+
+// SelfFraction returns a function's share of total self time, in [0,1].
+func (p *Profile) SelfFraction(name string) float64 {
+	f, ok := p.Func(name)
+	if !ok || p.TotalTicks == 0 {
+		return 0
+	}
+	return float64(f.Self) / float64(p.TotalTicks)
+}
+
+// Threads returns per-thread statistics sorted by thread ID.
+func (p *Profile) Threads() []ThreadStat {
+	out := make([]ThreadStat, len(p.threads))
+	copy(out, p.threads)
+	return out
+}
+
+// Records returns every completed execution in completion order.
+func (p *Profile) Records() []Record {
+	out := make([]Record, len(p.records))
+	copy(out, p.records)
+	return out
+}
+
+// Folded returns the folded-stack map: "root;child;leaf" -> self ticks.
+func (p *Profile) Folded() map[string]uint64 {
+	out := make(map[string]uint64, len(p.folded))
+	for k, v := range p.folded {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteTable renders the top-n functions as an aligned text table, the
+// analyzer's default sorted report.
+func (p *Profile) WriteTable(w io.Writer, n int) error {
+	top := p.Top(n)
+	if _, err := fmt.Fprintf(w, "%-44s %12s %14s %14s %7s\n",
+		"FUNCTION", "CALLS", "SELF", "INCL", "SELF%"); err != nil {
+		return err
+	}
+	for _, f := range top {
+		pct := 0.0
+		if p.TotalTicks > 0 {
+			pct = 100 * float64(f.Self) / float64(p.TotalTicks)
+		}
+		name := f.Name
+		if len(name) > 44 {
+			name = name[:41] + "..."
+		}
+		if _, err := fmt.Fprintf(w, "%-44s %12d %14d %14d %6.2f%%\n",
+			name, f.Calls, f.Self, f.Incl, pct); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,458 @@
+package analyzer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+// fixture builds a log + table with a small registered program.
+type fixture struct {
+	log *shmlog.Log
+	tab *symtab.Table
+	fns map[string]uint64
+	now uint64
+}
+
+func newFixture(t *testing.T, capacity int, names ...string) *fixture {
+	t.Helper()
+	log, err := shmlog.New(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := symtab.New()
+	fns := make(map[string]uint64, len(names))
+	for i, n := range names {
+		fns[n] = tab.MustRegister(n, 16, "test.go", i+1)
+	}
+	return &fixture{log: log, tab: tab, fns: fns}
+}
+
+func (f *fixture) call(t *testing.T, tid uint64, name string, at uint64) {
+	t.Helper()
+	f.emit(t, shmlog.KindCall, tid, name, at)
+}
+
+func (f *fixture) ret(t *testing.T, tid uint64, name string, at uint64) {
+	t.Helper()
+	f.emit(t, shmlog.KindReturn, tid, name, at)
+}
+
+func (f *fixture) emit(t *testing.T, kind shmlog.Kind, tid uint64, name string, at uint64) {
+	t.Helper()
+	addr, ok := f.fns[name]
+	if !ok {
+		t.Fatalf("unregistered function %q", name)
+	}
+	if err := f.log.Append(shmlog.Entry{Kind: kind, Counter: at, Addr: addr, ThreadID: tid}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (f *fixture) analyze(t *testing.T) *Profile {
+	t.Helper()
+	p, err := Analyze(f.log, f.tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, nil); err == nil {
+		t.Error("nil inputs should fail")
+	}
+}
+
+func TestSimpleNestedCalls(t *testing.T) {
+	// main [0..100] calls work [10..60]: main self=50, work self=50.
+	f := newFixture(t, 16, "main", "work")
+	f.call(t, 1, "main", 0)
+	f.call(t, 1, "work", 10)
+	f.ret(t, 1, "work", 60)
+	f.ret(t, 1, "main", 100)
+
+	p := f.analyze(t)
+	if p.TotalTicks != 100 {
+		t.Errorf("TotalTicks = %d, want 100", p.TotalTicks)
+	}
+	mainStat, ok := p.Func("main")
+	if !ok {
+		t.Fatal("main missing")
+	}
+	if mainStat.Incl != 100 || mainStat.Self != 50 || mainStat.Calls != 1 {
+		t.Errorf("main = %+v, want incl=100 self=50 calls=1", mainStat)
+	}
+	workStat, ok := p.Func("work")
+	if !ok {
+		t.Fatal("work missing")
+	}
+	if workStat.Incl != 50 || workStat.Self != 50 {
+		t.Errorf("work = %+v, want incl=50 self=50", workStat)
+	}
+	if got := workStat.Callers["main"]; got != 1 {
+		t.Errorf("work callers[main] = %d, want 1", got)
+	}
+	if got := mainStat.Callees["work"]; got != 1 {
+		t.Errorf("main callees[work] = %d, want 1", got)
+	}
+	if got := p.SelfFraction("work"); got != 0.5 {
+		t.Errorf("SelfFraction(work) = %f, want 0.5", got)
+	}
+}
+
+func TestRepeatedCallsAggregate(t *testing.T) {
+	f := newFixture(t, 64, "main", "leaf")
+	f.call(t, 1, "main", 0)
+	now := uint64(10)
+	for i := 0; i < 5; i++ {
+		f.call(t, 1, "leaf", now)
+		f.ret(t, 1, "leaf", now+7)
+		now += 10
+	}
+	f.ret(t, 1, "main", 100)
+	p := f.analyze(t)
+
+	leaf, _ := p.Func("leaf")
+	if leaf.Calls != 5 {
+		t.Errorf("leaf calls = %d, want 5", leaf.Calls)
+	}
+	if leaf.Self != 35 {
+		t.Errorf("leaf self = %d, want 35", leaf.Self)
+	}
+	mainStat, _ := p.Func("main")
+	if mainStat.Self != 65 {
+		t.Errorf("main self = %d, want 65", mainStat.Self)
+	}
+	if got := mainStat.Callees["leaf"]; got != 5 {
+		t.Errorf("main callees[leaf] = %d, want 5", got)
+	}
+}
+
+func TestMultiThreadIndependence(t *testing.T) {
+	// Interleave two threads; per-thread reconstruction must untangle.
+	f := newFixture(t, 64, "a", "b")
+	f.call(t, 1, "a", 0)
+	f.call(t, 2, "b", 5)
+	f.ret(t, 2, "b", 25)
+	f.ret(t, 1, "a", 50)
+
+	p := f.analyze(t)
+	if p.TotalTicks != 70 {
+		t.Errorf("TotalTicks = %d, want 70", p.TotalTicks)
+	}
+	threads := p.Threads()
+	if len(threads) != 2 {
+		t.Fatalf("threads = %d, want 2", len(threads))
+	}
+	if threads[0].ID != 1 || threads[0].Ticks != 50 || threads[0].Events != 2 {
+		t.Errorf("thread 1 = %+v", threads[0])
+	}
+	if threads[1].ID != 2 || threads[1].Ticks != 20 {
+		t.Errorf("thread 2 = %+v", threads[1])
+	}
+}
+
+func TestTruncatedLogForceCloses(t *testing.T) {
+	// Returns missing: log ended mid-run.
+	f := newFixture(t, 16, "main", "work")
+	f.call(t, 1, "main", 0)
+	f.call(t, 1, "work", 10)
+	// no returns at all; last counter seen is 10
+	p := f.analyze(t)
+
+	if p.Truncated != 2 {
+		t.Errorf("Truncated = %d, want 2", p.Truncated)
+	}
+	mainStat, _ := p.Func("main")
+	if mainStat.Incl != 10 {
+		t.Errorf("main incl = %d, want 10 (closed at last counter)", mainStat.Incl)
+	}
+	recs := p.Records()
+	for _, r := range recs {
+		if !r.Truncated {
+			t.Errorf("record %s not marked truncated", r.Name)
+		}
+	}
+}
+
+func TestMissingReturnUnwinds(t *testing.T) {
+	// c's return is lost; b's return must close both.
+	f := newFixture(t, 16, "a", "b", "c")
+	f.call(t, 1, "a", 0)
+	f.call(t, 1, "b", 10)
+	f.call(t, 1, "c", 20)
+	f.ret(t, 1, "b", 50) // closes c (at 50) then b
+	f.ret(t, 1, "a", 100)
+
+	p := f.analyze(t)
+	if p.Unmatched != 0 {
+		t.Errorf("Unmatched = %d, want 0", p.Unmatched)
+	}
+	cStat, ok := p.Func("c")
+	if !ok {
+		t.Fatal("c missing")
+	}
+	if cStat.Incl != 30 {
+		t.Errorf("c incl = %d, want 30", cStat.Incl)
+	}
+	bStat, _ := p.Func("b")
+	if bStat.Incl != 40 || bStat.Self != 10 {
+		t.Errorf("b = incl %d self %d, want incl=40 self=10", bStat.Incl, bStat.Self)
+	}
+}
+
+func TestUnmatchedReturnSkipped(t *testing.T) {
+	// A return with no call at all (recording enabled mid-function).
+	f := newFixture(t, 16, "a", "b")
+	f.ret(t, 1, "b", 5)
+	f.call(t, 1, "a", 10)
+	f.ret(t, 1, "a", 20)
+
+	p := f.analyze(t)
+	if p.Unmatched != 1 {
+		t.Errorf("Unmatched = %d, want 1", p.Unmatched)
+	}
+	aStat, _ := p.Func("a")
+	if aStat.Incl != 10 {
+		t.Errorf("a incl = %d, want 10", aStat.Incl)
+	}
+	if _, ok := p.Func("b"); ok {
+		t.Error("b should have no completed records")
+	}
+}
+
+func TestRecursionDepth(t *testing.T) {
+	// fib-like self recursion: matching must close the innermost frame.
+	f := newFixture(t, 32, "rec")
+	f.call(t, 1, "rec", 0)
+	f.call(t, 1, "rec", 10)
+	f.call(t, 1, "rec", 20)
+	f.ret(t, 1, "rec", 30)
+	f.ret(t, 1, "rec", 40)
+	f.ret(t, 1, "rec", 50)
+
+	p := f.analyze(t)
+	rec, _ := p.Func("rec")
+	if rec.Calls != 3 {
+		t.Errorf("rec calls = %d, want 3", rec.Calls)
+	}
+	// inner incl: 10, middle: 30, outer: 50 => incl sum 90
+	if rec.Incl != 90 {
+		t.Errorf("rec incl = %d, want 90", rec.Incl)
+	}
+	// self: inner 10, middle 30-10=20, outer 50-30=20 => 50 == TotalTicks
+	if rec.Self != 50 || p.TotalTicks != 50 {
+		t.Errorf("rec self = %d total = %d, want 50/50", rec.Self, p.TotalTicks)
+	}
+	if got := p.Threads()[0].MaxDepth; got != 3 {
+		t.Errorf("MaxDepth = %d, want 3", got)
+	}
+}
+
+func TestFoldedStacks(t *testing.T) {
+	f := newFixture(t, 32, "main", "work", "leaf")
+	f.call(t, 1, "main", 0)
+	f.call(t, 1, "work", 10)
+	f.call(t, 1, "leaf", 20)
+	f.ret(t, 1, "leaf", 40)
+	f.ret(t, 1, "work", 50)
+	f.ret(t, 1, "main", 100)
+
+	p := f.analyze(t)
+	folded := p.Folded()
+	want := map[string]uint64{
+		"main":           60, // 100 - 40 child
+		"main;work":      20, // 40 - 20 child
+		"main;work;leaf": 20,
+	}
+	if len(folded) != len(want) {
+		t.Fatalf("folded = %v, want %v", folded, want)
+	}
+	for k, v := range want {
+		if folded[k] != v {
+			t.Errorf("folded[%q] = %d, want %d", k, folded[k], v)
+		}
+	}
+	// Sum of folded values equals total ticks.
+	var sum uint64
+	for _, v := range folded {
+		sum += v
+	}
+	if sum != p.TotalTicks {
+		t.Errorf("folded sum = %d, want TotalTicks %d", sum, p.TotalTicks)
+	}
+}
+
+func TestLoadBiasRecovery(t *testing.T) {
+	// Addresses in the log are relocated by +0x5000; the header's anchor
+	// lets the analyzer resolve them anyway.
+	const bias = 0x5000
+	tab := symtab.New()
+	fn := tab.MustRegister("fn", 16, "t.go", 1)
+	log, err := shmlog.New(8, shmlog.WithProfilerAddr(tab.AnchorAddr()+bias))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend := func(kind shmlog.Kind, at uint64) {
+		t.Helper()
+		if err := log.Append(shmlog.Entry{Kind: kind, Counter: at, Addr: fn + bias, ThreadID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(shmlog.KindCall, 0)
+	mustAppend(shmlog.KindReturn, 10)
+
+	p, err := Analyze(log, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Func("fn"); !ok {
+		t.Errorf("fn not resolved under load bias; funcs: %+v", p.Funcs())
+	}
+}
+
+func TestUnresolvedAddressesFallBackToHex(t *testing.T) {
+	f := newFixture(t, 8, "known")
+	if err := f.log.Append(shmlog.Entry{Kind: shmlog.KindCall, Counter: 0, Addr: 0x99, ThreadID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.log.Append(shmlog.Entry{Kind: shmlog.KindReturn, Counter: 5, Addr: 0x99, ThreadID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := f.analyze(t)
+	if _, ok := p.Func("0x99"); !ok {
+		t.Errorf("unresolved address not reported as hex; funcs: %+v", p.Funcs())
+	}
+}
+
+func TestTopAndTable(t *testing.T) {
+	f := newFixture(t, 32, "hot", "cold")
+	f.call(t, 1, "hot", 0)
+	f.ret(t, 1, "hot", 90)
+	f.call(t, 1, "cold", 90)
+	f.ret(t, 1, "cold", 100)
+
+	p := f.analyze(t)
+	top := p.Top(1)
+	if len(top) != 1 || top[0].Name != "hot" {
+		t.Errorf("Top(1) = %+v, want hot", top)
+	}
+	if got := p.Top(0); got != nil {
+		t.Errorf("Top(0) = %v, want nil", got)
+	}
+	if got := len(p.Top(10)); got != 2 {
+		t.Errorf("Top(10) returned %d, want 2", got)
+	}
+
+	var sb strings.Builder
+	if err := p.WriteTable(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "hot") || !strings.Contains(out, "90.00%") {
+		t.Errorf("table missing expected content:\n%s", out)
+	}
+}
+
+func TestRecordsOrderAndFields(t *testing.T) {
+	f := newFixture(t, 16, "main", "work")
+	f.call(t, 1, "main", 0)
+	f.call(t, 1, "work", 10)
+	f.ret(t, 1, "work", 30)
+	f.ret(t, 1, "main", 50)
+
+	p := f.analyze(t)
+	recs := p.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	// Completion order: work closes first.
+	if recs[0].Name != "work" || recs[0].Depth != 1 || recs[0].Caller != "main" {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Name != "main" || recs[1].Depth != 0 || recs[1].Caller != "" {
+		t.Errorf("record 1 = %+v", recs[1])
+	}
+	if recs[0].Incl != 20 || recs[1].Self != 30 {
+		t.Errorf("records have wrong ticks: %+v", recs)
+	}
+}
+
+// TestConservationProperty checks the core invariant on random well-nested
+// traces: for every thread, the sum of self ticks equals the sum of
+// root-frame inclusive ticks, and per-function call counts match what was
+// generated.
+func TestConservationProperty(t *testing.T) {
+	type genParams struct {
+		Seed  int64
+		Funcs uint8
+		Ops   uint16
+	}
+	f := func(gp genParams) bool {
+		nf := int(gp.Funcs%8) + 2
+		ops := int(gp.Ops%300) + 10
+		rng := rand.New(rand.NewSource(gp.Seed))
+
+		names := make([]string, nf)
+		tab := symtab.New()
+		addrs := make([]uint64, nf)
+		for i := range names {
+			names[i] = string(rune('a'+i%26)) + "fn"
+			addrs[i] = tab.MustRegister(names[i]+string(rune('0'+i/26)), 16, "g.go", i)
+		}
+		log, err := shmlog.New(ops*2 + 4)
+		if err != nil {
+			return false
+		}
+
+		now := uint64(0)
+		var stack []int
+		calls := 0
+		for i := 0; i < ops; i++ {
+			now += uint64(rng.Intn(5) + 1)
+			if len(stack) == 0 || (rng.Intn(2) == 0 && len(stack) < 30) {
+				fi := rng.Intn(nf)
+				stack = append(stack, fi)
+				if log.Append(shmlog.Entry{Kind: shmlog.KindCall, Counter: now, Addr: addrs[fi], ThreadID: 1}) != nil {
+					return false
+				}
+				calls++
+			} else {
+				fi := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if log.Append(shmlog.Entry{Kind: shmlog.KindReturn, Counter: now, Addr: addrs[fi], ThreadID: 1}) != nil {
+					return false
+				}
+			}
+		}
+		p, err := Analyze(log, tab)
+		if err != nil {
+			return false
+		}
+		var selfSum, callSum uint64
+		for _, fs := range p.Funcs() {
+			selfSum += fs.Self
+			callSum += fs.Calls
+		}
+		if selfSum != p.TotalTicks {
+			return false
+		}
+		if callSum != uint64(calls) {
+			return false
+		}
+		// Folded stacks conserve ticks too.
+		var foldedSum uint64
+		for _, v := range p.Folded() {
+			foldedSum += v
+		}
+		return foldedSum == p.TotalTicks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PathStat aggregates executions sharing one full call path — the basis of
+// the paper's call-history queries ("performance depending on the call
+// history of a method", §II-C) and of the flame graph.
+type PathStat struct {
+	// Stack is the full call path, frames joined by ";".
+	Stack string
+	// Leaf is the executing function (last frame).
+	Leaf string
+	// Calls counts executions of the leaf under exactly this path.
+	Calls uint64
+	// Incl and Self are total inclusive and exclusive ticks.
+	Incl, Self uint64
+}
+
+// Paths returns per-call-path statistics sorted by self time (descending).
+func (p *Profile) Paths() []PathStat {
+	byStack := make(map[string]*PathStat)
+	// Reconstruct path stats from the records: each record carries its
+	// caller chain implicitly through completion order, so we rebuild the
+	// stack per thread the same way the analyzer's folded accounting did.
+	// The folded map already has self ticks; calls and incl need the
+	// records, so recompute from pathCalls collected during analysis.
+	for stack, pc := range p.pathStats {
+		byStack[stack] = &PathStat{
+			Stack: stack,
+			Leaf:  lastFrame(stack),
+			Calls: pc.calls,
+			Incl:  pc.incl,
+			Self:  pc.self,
+		}
+	}
+	out := make([]PathStat, 0, len(byStack))
+	for _, ps := range byStack {
+		out = append(out, *ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Stack < out[j].Stack
+	})
+	return out
+}
+
+// PathsOf returns the call paths whose leaf is the given function, hottest
+// first — "how does this method perform depending on who called it".
+func (p *Profile) PathsOf(leaf string) []PathStat {
+	var out []PathStat
+	for _, ps := range p.Paths() {
+		if ps.Leaf == leaf {
+			out = append(out, ps)
+		}
+	}
+	return out
+}
+
+func lastFrame(stack string) string {
+	if i := strings.LastIndexByte(stack, ';'); i >= 0 {
+		return stack[i+1:]
+	}
+	return stack
+}
+
+// WriteCallGraph renders a gprof-style call-graph report for the top-n
+// functions by self time: each block lists the function's callers above it
+// and its callees below it, with call counts.
+func (p *Profile) WriteCallGraph(w io.Writer, n int) error {
+	top := p.Top(n)
+	if _, err := fmt.Fprintf(w, "call graph (top %d by self time; <- callers, -> callees)\n\n", len(top)); err != nil {
+		return err
+	}
+	for i, f := range top {
+		pct := 0.0
+		if p.TotalTicks > 0 {
+			pct = 100 * float64(f.Self) / float64(p.TotalTicks)
+		}
+		if _, err := fmt.Fprintf(w, "[%d] %s  self=%d (%.1f%%)  incl=%d  calls=%d\n",
+			i+1, f.Name, f.Self, pct, f.Incl, f.Calls); err != nil {
+			return err
+		}
+		for _, edge := range sortedEdges(f.Callers) {
+			if _, err := fmt.Fprintf(w, "      <- %-40s %d calls\n", edge.name, edge.count); err != nil {
+				return err
+			}
+		}
+		for _, edge := range sortedEdges(f.Callees) {
+			if _, err := fmt.Fprintf(w, "      -> %-40s %d calls\n", edge.name, edge.count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type graphEdge struct {
+	name  string
+	count uint64
+}
+
+func sortedEdges(edges map[string]uint64) []graphEdge {
+	out := make([]graphEdge, 0, len(edges))
+	for name, count := range edges {
+		out = append(out, graphEdge{name: name, count: count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count > out[j].count
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

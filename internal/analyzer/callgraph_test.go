@@ -1,0 +1,124 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+)
+
+// pathFixture: main calls work twice (once directly, once via helper).
+//
+//	main[0..100]
+//	  work[10..30]            (direct)
+//	  helper[40..90]
+//	    work[50..80]          (via helper)
+func pathFixture(t *testing.T) *Profile {
+	t.Helper()
+	f := newFixture(t, 32, "main", "helper", "work")
+	f.call(t, 1, "main", 0)
+	f.call(t, 1, "work", 10)
+	f.ret(t, 1, "work", 30)
+	f.call(t, 1, "helper", 40)
+	f.call(t, 1, "work", 50)
+	f.ret(t, 1, "work", 80)
+	f.ret(t, 1, "helper", 90)
+	f.ret(t, 1, "main", 100)
+	return f.analyze(t)
+}
+
+func TestPaths(t *testing.T) {
+	p := pathFixture(t)
+	paths := p.Paths()
+	want := map[string]PathStat{
+		"main":             {Leaf: "main", Calls: 1, Incl: 100, Self: 30},
+		"main;work":        {Leaf: "work", Calls: 1, Incl: 20, Self: 20},
+		"main;helper":      {Leaf: "helper", Calls: 1, Incl: 50, Self: 20},
+		"main;helper;work": {Leaf: "work", Calls: 1, Incl: 30, Self: 30},
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %d, want %d: %+v", len(paths), len(want), paths)
+	}
+	for _, ps := range paths {
+		w, ok := want[ps.Stack]
+		if !ok {
+			t.Errorf("unexpected path %q", ps.Stack)
+			continue
+		}
+		if ps.Leaf != w.Leaf || ps.Calls != w.Calls || ps.Incl != w.Incl || ps.Self != w.Self {
+			t.Errorf("path %q = %+v, want %+v", ps.Stack, ps, w)
+		}
+	}
+	// Sorted by self descending.
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Self > paths[i-1].Self {
+			t.Errorf("paths not sorted: %d after %d", paths[i].Self, paths[i-1].Self)
+		}
+	}
+}
+
+func TestPathsOf(t *testing.T) {
+	p := pathFixture(t)
+	workPaths := p.PathsOf("work")
+	if len(workPaths) != 2 {
+		t.Fatalf("work paths = %d, want 2", len(workPaths))
+	}
+	// The call-history question: work is slower when called via helper.
+	var direct, viaHelper PathStat
+	for _, ps := range workPaths {
+		if strings.Contains(ps.Stack, "helper") {
+			viaHelper = ps
+		} else {
+			direct = ps
+		}
+	}
+	if viaHelper.Incl <= direct.Incl {
+		t.Errorf("via-helper incl %d should exceed direct %d in this fixture",
+			viaHelper.Incl, direct.Incl)
+	}
+	if got := p.PathsOf("nothing"); got != nil {
+		t.Errorf("PathsOf(unknown) = %v, want nil", got)
+	}
+}
+
+func TestPathCallsAggregate(t *testing.T) {
+	// The same path executed repeatedly accumulates calls.
+	f := newFixture(t, 64, "main", "leaf")
+	f.call(t, 1, "main", 0)
+	for i := uint64(0); i < 4; i++ {
+		f.call(t, 1, "leaf", 10+i*10)
+		f.ret(t, 1, "leaf", 15+i*10)
+	}
+	f.ret(t, 1, "main", 100)
+	p := f.analyze(t)
+	leafPaths := p.PathsOf("leaf")
+	if len(leafPaths) != 1 {
+		t.Fatalf("leaf paths = %d, want 1", len(leafPaths))
+	}
+	if leafPaths[0].Calls != 4 || leafPaths[0].Self != 20 {
+		t.Errorf("leaf path = %+v, want calls=4 self=20", leafPaths[0])
+	}
+}
+
+func TestWriteCallGraph(t *testing.T) {
+	p := pathFixture(t)
+	var sb strings.Builder
+	if err := p.WriteCallGraph(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"call graph",
+		"work",
+		"<- main",
+		"<- helper",
+		"-> work",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("call graph missing %q:\n%s", want, out)
+		}
+	}
+	// work has two callers with one call each.
+	workStat, _ := p.Func("work")
+	if workStat.Callers["main"] != 1 || workStat.Callers["helper"] != 1 {
+		t.Errorf("work callers = %v", workStat.Callers)
+	}
+}

@@ -1,0 +1,86 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DiffRow compares one function between two profiles. Shares are
+// self-time fractions of each profile's total, so profiles of different
+// lengths compare meaningfully.
+type DiffRow struct {
+	// Name is the function name.
+	Name string
+	// BeforeShare and AfterShare are self-time fractions in [0,1].
+	BeforeShare, AfterShare float64
+	// DeltaShare is AfterShare - BeforeShare (negative = improved).
+	DeltaShare float64
+	// BeforeCalls and AfterCalls are execution counts.
+	BeforeCalls, AfterCalls uint64
+}
+
+// Diff compares two profiles function by function, sorted by the absolute
+// share change (largest first) — the before/after view of an optimization,
+// e.g. the naive versus optimized SPDK ports of §IV-C.
+func Diff(before, after *Profile) []DiffRow {
+	names := make(map[string]struct{})
+	for _, f := range before.Funcs() {
+		names[f.Name] = struct{}{}
+	}
+	for _, f := range after.Funcs() {
+		names[f.Name] = struct{}{}
+	}
+	rows := make([]DiffRow, 0, len(names))
+	for name := range names {
+		row := DiffRow{Name: name}
+		if f, ok := before.Func(name); ok {
+			row.BeforeCalls = f.Calls
+			row.BeforeShare = before.SelfFraction(name)
+		}
+		if f, ok := after.Func(name); ok {
+			row.AfterCalls = f.Calls
+			row.AfterShare = after.SelfFraction(name)
+		}
+		row.DeltaShare = row.AfterShare - row.BeforeShare
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ai, aj := abs64(rows[i].DeltaShare), abs64(rows[j].DeltaShare)
+		if ai != aj {
+			return ai > aj
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// WriteDiff renders a diff as an aligned table, top-n rows.
+func WriteDiff(w io.Writer, rows []DiffRow, n int) error {
+	if n > len(rows) {
+		n = len(rows)
+	}
+	if _, err := fmt.Fprintf(w, "%-44s %9s %9s %9s %10s %10s\n",
+		"FUNCTION", "BEFORE%", "AFTER%", "DELTA", "CALLS-B", "CALLS-A"); err != nil {
+		return err
+	}
+	for _, r := range rows[:n] {
+		name := r.Name
+		if len(name) > 44 {
+			name = name[:41] + "..."
+		}
+		if _, err := fmt.Fprintf(w, "%-44s %8.2f%% %8.2f%% %+8.2f%% %10d %10d\n",
+			name, 100*r.BeforeShare, 100*r.AfterShare, 100*r.DeltaShare,
+			r.BeforeCalls, r.AfterCalls); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package analyzer
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// diffProfiles builds before/after profiles: "getpid" shrinks from 75% to
+// ~0, "work" absorbs the time.
+func diffProfiles(t *testing.T) (*Profile, *Profile) {
+	t.Helper()
+	before := newFixture(t, 16, "work", "getpid")
+	before.call(t, 1, "work", 0)
+	before.call(t, 1, "getpid", 10)
+	before.ret(t, 1, "getpid", 85)
+	before.ret(t, 1, "work", 100)
+
+	after := newFixture(t, 16, "work", "getpid")
+	after.call(t, 1, "work", 0)
+	after.call(t, 1, "getpid", 10)
+	after.ret(t, 1, "getpid", 11)
+	after.ret(t, 1, "work", 100)
+	return before.analyze(t), after.analyze(t)
+}
+
+func TestDiff(t *testing.T) {
+	bp, ap := diffProfiles(t)
+	rows := Diff(bp, ap)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	// getpid: 75% -> 1%; the largest mover sorts first.
+	if rows[0].Name != "getpid" {
+		t.Fatalf("top mover = %s, want getpid", rows[0].Name)
+	}
+	if math.Abs(rows[0].BeforeShare-0.75) > 1e-9 {
+		t.Errorf("getpid before = %f, want 0.75", rows[0].BeforeShare)
+	}
+	if math.Abs(rows[0].AfterShare-0.01) > 1e-9 {
+		t.Errorf("getpid after = %f, want 0.01", rows[0].AfterShare)
+	}
+	if rows[0].DeltaShare >= 0 {
+		t.Errorf("getpid delta = %f, want negative (improvement)", rows[0].DeltaShare)
+	}
+	if rows[1].Name != "work" || rows[1].DeltaShare <= 0 {
+		t.Errorf("work row = %+v, want positive delta", rows[1])
+	}
+}
+
+func TestDiffDisjointFunctions(t *testing.T) {
+	a := newFixture(t, 8, "only_a")
+	a.call(t, 1, "only_a", 0)
+	a.ret(t, 1, "only_a", 10)
+	b := newFixture(t, 8, "only_b")
+	b.call(t, 1, "only_b", 0)
+	b.ret(t, 1, "only_b", 10)
+
+	rows := Diff(a.analyze(t), b.analyze(t))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Name {
+		case "only_a":
+			if r.BeforeShare != 1 || r.AfterShare != 0 || r.AfterCalls != 0 {
+				t.Errorf("only_a = %+v", r)
+			}
+		case "only_b":
+			if r.BeforeShare != 0 || r.AfterShare != 1 || r.BeforeCalls != 0 {
+				t.Errorf("only_b = %+v", r)
+			}
+		default:
+			t.Errorf("unexpected row %s", r.Name)
+		}
+	}
+}
+
+func TestWriteDiff(t *testing.T) {
+	bp, ap := diffProfiles(t)
+	var sb strings.Builder
+	if err := WriteDiff(&sb, Diff(bp, ap), 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FUNCTION", "DELTA", "getpid", "-74.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WhatIfResult projects the effect of eliminating functions from the
+// critical path — the quantified version of the paper's §IV-C reasoning
+// ("these two functions either have to be removed from the critical path,
+// or have to be replaced").
+type WhatIfResult struct {
+	// Removed lists the (existing) functions considered, with their
+	// self-time shares.
+	Removed []WhatIfEntry
+	// RemovedShare is the summed self-time share in [0,1).
+	RemovedShare float64
+	// ProjectedSpeedup is the Amdahl projection 1/(1-RemovedShare).
+	ProjectedSpeedup float64
+	// Unknown lists requested functions absent from the profile.
+	Unknown []string
+}
+
+// WhatIfEntry is one removed function.
+type WhatIfEntry struct {
+	Name  string
+	Share float64
+}
+
+// WhatIf projects the speedup from removing the named functions' self time
+// (assuming their callers no longer pay it — caching, batching or deleting
+// the calls).
+func (p *Profile) WhatIf(names ...string) WhatIfResult {
+	var res WhatIfResult
+	seen := make(map[string]struct{}, len(names))
+	for _, name := range names {
+		if _, dup := seen[name]; dup {
+			continue
+		}
+		seen[name] = struct{}{}
+		if _, ok := p.Func(name); !ok {
+			res.Unknown = append(res.Unknown, name)
+			continue
+		}
+		share := p.SelfFraction(name)
+		res.Removed = append(res.Removed, WhatIfEntry{Name: name, Share: share})
+		res.RemovedShare += share
+	}
+	sort.Slice(res.Removed, func(i, j int) bool {
+		if res.Removed[i].Share != res.Removed[j].Share {
+			return res.Removed[i].Share > res.Removed[j].Share
+		}
+		return res.Removed[i].Name < res.Removed[j].Name
+	})
+	sort.Strings(res.Unknown)
+	if res.RemovedShare >= 1 {
+		res.RemovedShare = 0.999999 // numerical guard; shares sum to <= 1
+	}
+	res.ProjectedSpeedup = 1 / (1 - res.RemovedShare)
+	return res
+}
+
+// WriteWhatIf renders the projection.
+func WriteWhatIf(w io.Writer, r WhatIfResult) error {
+	for _, e := range r.Removed {
+		if _, err := fmt.Fprintf(w, "remove %-44s %6.2f%% of self time\n", e.Name, 100*e.Share); err != nil {
+			return err
+		}
+	}
+	for _, u := range r.Unknown {
+		if _, err := fmt.Fprintf(w, "remove %-44s (not in profile)\n", u); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "projected speedup: %.2fx (removing %.1f%% of execution)\n",
+		r.ProjectedSpeedup, 100*r.RemovedShare)
+	return err
+}
+
+// Merge aggregates profiles from multiple runs (the PID field in each log
+// header is what tells runs apart, §II-B): per-function statistics, folded
+// stacks and call paths are summed. The merged profile is an aggregate
+// view: per-run records and thread lists are not carried over.
+func Merge(profiles ...*Profile) (*Profile, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("analyzer: nothing to merge")
+	}
+	out := &Profile{
+		byName:    make(map[string]int),
+		folded:    make(map[string]uint64),
+		pathStats: make(map[string]*pathAccum),
+	}
+	for _, p := range profiles {
+		if p == nil {
+			return nil, fmt.Errorf("analyzer: nil profile in merge")
+		}
+		out.TotalTicks += p.TotalTicks
+		out.Truncated += p.Truncated
+		out.Unmatched += p.Unmatched
+		out.Dropped += p.Dropped
+		for _, f := range p.funcs {
+			i, ok := out.byName[f.Name]
+			if !ok {
+				i = len(out.funcs)
+				out.byName[f.Name] = i
+				out.funcs = append(out.funcs, FuncStat{
+					Name:    f.Name,
+					Addr:    f.Addr,
+					Callers: make(map[string]uint64),
+					Callees: make(map[string]uint64),
+				})
+			}
+			dst := &out.funcs[i]
+			dst.Calls += f.Calls
+			dst.Incl += f.Incl
+			dst.Self += f.Self
+			for caller, n := range f.Callers {
+				dst.Callers[caller] += n
+			}
+			for callee, n := range f.Callees {
+				dst.Callees[callee] += n
+			}
+		}
+		for stack, v := range p.folded {
+			out.folded[stack] += v
+		}
+		for stack, pa := range p.pathStats {
+			dst, ok := out.pathStats[stack]
+			if !ok {
+				dst = &pathAccum{}
+				out.pathStats[stack] = dst
+			}
+			dst.calls += pa.calls
+			dst.incl += pa.incl
+			dst.self += pa.self
+		}
+	}
+	sort.Slice(out.funcs, func(i, j int) bool {
+		if out.funcs[i].Self != out.funcs[j].Self {
+			return out.funcs[i].Self > out.funcs[j].Self
+		}
+		return out.funcs[i].Name < out.funcs[j].Name
+	})
+	out.byName = make(map[string]int, len(out.funcs))
+	for i, f := range out.funcs {
+		out.byName[f.Name] = i
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package analyzer
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func whatIfFixture(t *testing.T) *Profile {
+	t.Helper()
+	// work [0..100]: getpid self 70, rdtsc self 20, work self 10.
+	f := newFixture(t, 16, "work", "getpid", "rdtsc")
+	f.call(t, 1, "work", 0)
+	f.call(t, 1, "getpid", 5)
+	f.ret(t, 1, "getpid", 75)
+	f.call(t, 1, "rdtsc", 75)
+	f.ret(t, 1, "rdtsc", 95)
+	f.ret(t, 1, "work", 100)
+	return f.analyze(t)
+}
+
+func TestWhatIf(t *testing.T) {
+	p := whatIfFixture(t)
+	res := p.WhatIf("getpid", "rdtsc")
+	if len(res.Removed) != 2 {
+		t.Fatalf("removed = %d, want 2", len(res.Removed))
+	}
+	if math.Abs(res.RemovedShare-0.9) > 1e-9 {
+		t.Errorf("removed share = %f, want 0.9", res.RemovedShare)
+	}
+	// Removing 90% of the run projects a 10x speedup — the §IV-C shape:
+	// TEE-Perf saw getpid+rdtsc at ~92% and the measured fix was 14.7x.
+	if math.Abs(res.ProjectedSpeedup-10) > 1e-6 {
+		t.Errorf("projected speedup = %f, want 10", res.ProjectedSpeedup)
+	}
+	// Sorted by share, getpid first.
+	if res.Removed[0].Name != "getpid" {
+		t.Errorf("top removed = %s, want getpid", res.Removed[0].Name)
+	}
+}
+
+func TestWhatIfUnknownAndDuplicates(t *testing.T) {
+	p := whatIfFixture(t)
+	res := p.WhatIf("getpid", "getpid", "bogus")
+	if len(res.Removed) != 1 {
+		t.Errorf("removed = %v, want just getpid once", res.Removed)
+	}
+	if len(res.Unknown) != 1 || res.Unknown[0] != "bogus" {
+		t.Errorf("unknown = %v, want [bogus]", res.Unknown)
+	}
+	if math.Abs(res.RemovedShare-0.7) > 1e-9 {
+		t.Errorf("share = %f, want 0.7", res.RemovedShare)
+	}
+}
+
+func TestWhatIfNothingRemoved(t *testing.T) {
+	p := whatIfFixture(t)
+	res := p.WhatIf()
+	if res.ProjectedSpeedup != 1 {
+		t.Errorf("speedup = %f, want 1", res.ProjectedSpeedup)
+	}
+}
+
+func TestWriteWhatIf(t *testing.T) {
+	p := whatIfFixture(t)
+	var sb strings.Builder
+	if err := WriteWhatIf(&sb, p.WhatIf("getpid", "nope")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"getpid", "70.00%", "not in profile", "projected speedup: 3.33x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("what-if output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := whatIfFixture(t)
+	b := whatIfFixture(t)
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.TotalTicks != a.TotalTicks+b.TotalTicks {
+		t.Errorf("total = %d, want %d", merged.TotalTicks, a.TotalTicks*2)
+	}
+	gp, ok := merged.Func("getpid")
+	if !ok {
+		t.Fatal("getpid missing from merge")
+	}
+	if gp.Calls != 2 || gp.Self != 140 {
+		t.Errorf("merged getpid = %+v, want calls=2 self=140", gp)
+	}
+	// Shares are preserved under merging identical runs.
+	if math.Abs(merged.SelfFraction("getpid")-a.SelfFraction("getpid")) > 1e-9 {
+		t.Errorf("merged share %f != single-run share %f",
+			merged.SelfFraction("getpid"), a.SelfFraction("getpid"))
+	}
+	// Folded stacks summed.
+	if got := merged.Folded()["work;getpid"]; got != 140 {
+		t.Errorf("merged folded[work;getpid] = %d, want 140", got)
+	}
+	// Caller edges summed.
+	if got := gp.Callers["work"]; got != 2 {
+		t.Errorf("merged callers[work] = %d, want 2", got)
+	}
+	// Paths summed.
+	paths := merged.PathsOf("getpid")
+	if len(paths) != 1 || paths[0].Calls != 2 {
+		t.Errorf("merged paths = %+v", paths)
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge should fail")
+	}
+	if _, err := Merge(whatIfFixture(t), nil); err == nil {
+		t.Error("nil profile should fail")
+	}
+}

@@ -1,0 +1,246 @@
+package counter
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeWord is an in-test counter word (the role shmlog.Log plays in the
+// real pipeline).
+type fakeWord struct {
+	v atomic.Uint64
+}
+
+func (w *fakeWord) AddCounter(d uint64) uint64 { return w.v.Add(d) }
+func (w *fakeWord) LoadCounter() uint64        { return w.v.Load() }
+
+func TestSoftwareStartStop(t *testing.T) {
+	var w fakeWord
+	s := NewSoftware(&w)
+	if s.Running() {
+		t.Fatal("counter running before Start")
+	}
+	s.Start()
+	if !s.Running() {
+		t.Fatal("counter not running after Start")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Now() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Now() == 0 {
+		t.Fatal("software counter did not advance")
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if s.Running() {
+		t.Fatal("counter still running after Stop")
+	}
+	after := s.Now()
+	time.Sleep(10 * time.Millisecond)
+	if got := s.Now(); got != after {
+		t.Errorf("counter advanced after Stop: %d -> %d", after, got)
+	}
+}
+
+func TestSoftwareStopWithoutStart(t *testing.T) {
+	s := NewSoftware(&fakeWord{})
+	if err := s.Stop(); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("err = %v, want ErrNotRunning", err)
+	}
+}
+
+func TestSoftwareDoubleStart(t *testing.T) {
+	var w fakeWord
+	s := NewSoftware(&w)
+	s.Start()
+	s.Start() // must be a harmless no-op
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop after double Start: %v", err)
+	}
+	if err := s.Stop(); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("second Stop: err = %v, want ErrNotRunning", err)
+	}
+}
+
+func TestSoftwareRestart(t *testing.T) {
+	var w fakeWord
+	s := NewSoftware(&w)
+	s.Start()
+	time.Sleep(2 * time.Millisecond)
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Now()
+	s.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Now() == first && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() <= first {
+		t.Errorf("counter did not advance after restart: %d -> %d", first, s.Now())
+	}
+}
+
+func TestTSCMonotonic(t *testing.T) {
+	src := NewTSC()
+	prev := src.Now()
+	for i := 0; i < 1000; i++ {
+		now := src.Now()
+		if now < prev {
+			t.Fatalf("TSC went backwards: %d -> %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestTSCAdvancesWithWallClock(t *testing.T) {
+	src := NewTSC()
+	a := src.Now()
+	time.Sleep(5 * time.Millisecond)
+	b := src.Now()
+	if d := time.Duration(b - a); d < 4*time.Millisecond {
+		t.Errorf("TSC advanced only %v over a 5ms sleep", d)
+	}
+}
+
+func TestVirtualStep(t *testing.T) {
+	v := NewVirtual(10)
+	if got := v.Now(); got != 10 {
+		t.Fatalf("first Now() = %d, want 10", got)
+	}
+	if got := v.Now(); got != 20 {
+		t.Fatalf("second Now() = %d, want 20", got)
+	}
+	v.Advance(5)
+	if got := v.Now(); got != 35 {
+		t.Fatalf("Now() after Advance(5) = %d, want 35", got)
+	}
+	v.Set(100)
+	if got := v.Now(); got != 110 {
+		t.Fatalf("Now() after Set(100) = %d, want 110", got)
+	}
+}
+
+func TestVirtualZeroStep(t *testing.T) {
+	v := NewVirtual(0)
+	if got := v.Now(); got != 0 {
+		t.Fatalf("Now() = %d, want 0", got)
+	}
+	v.Advance(7)
+	if got := v.Now(); got != 7 {
+		t.Fatalf("Now() = %d, want 7", got)
+	}
+	if got := v.Now(); got != 7 {
+		t.Fatalf("zero-step clock moved on its own: %d", got)
+	}
+}
+
+func TestVirtualMonotonicProperty(t *testing.T) {
+	// Property: for any step and any sequence of Advance deltas, Now never
+	// decreases.
+	f := func(step uint16, deltas []uint16) bool {
+		v := NewVirtual(uint64(step))
+		prev := v.Now()
+		for _, d := range deltas {
+			v.Advance(uint64(d))
+			now := v.Now()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolutionValidation(t *testing.T) {
+	if _, err := Resolution(NewVirtual(1), 0); err == nil {
+		t.Fatal("Resolution with zero window should fail")
+	}
+	if _, err := Resolution(NewVirtual(1), -time.Second); err == nil {
+		t.Fatal("Resolution with negative window should fail")
+	}
+}
+
+func TestResolutionMeasuresSoftwareCounter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	var w fakeWord
+	s := NewSoftware(&w)
+	s.Start()
+	defer func() {
+		if err := s.Stop(); err != nil {
+			t.Error(err)
+		}
+	}()
+	res, err := Resolution(s, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even on a loaded machine the spin loop should deliver well over a
+	// thousand ticks per millisecond.
+	if res < 1000 {
+		t.Errorf("software counter resolution %f ticks/ms, want >= 1000", res)
+	}
+}
+
+func TestSoftwareRetarget(t *testing.T) {
+	var a, b fakeWord
+	s := NewSoftware(&a)
+	s.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Now() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	before := s.Now()
+	if before == 0 {
+		t.Skip("counter got no CPU time")
+	}
+	s.Retarget(&b)
+	if got := s.Now(); got < before {
+		t.Errorf("Now() after retarget = %d, want >= %d (monotonic across swap)", got, before)
+	}
+	if b.LoadCounter() < before {
+		t.Errorf("new word seeded with %d, want >= %d", b.LoadCounter(), before)
+	}
+	// The loop now increments the new word, not the old.
+	oldVal := a.LoadCounter()
+	deadline = time.Now().Add(2 * time.Second)
+	for b.LoadCounter() == before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.LoadCounter() != oldVal {
+		t.Errorf("old word still advancing after retarget: %d -> %d", oldVal, a.LoadCounter())
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftwareRetargetWhileStopped(t *testing.T) {
+	var a, b fakeWord
+	a.AddCounter(500)
+	s := NewSoftware(&a)
+	s.Retarget(&b)
+	if s.Running() {
+		t.Error("retarget of a stopped counter must not start it")
+	}
+	if b.LoadCounter() != 500 {
+		t.Errorf("seed = %d, want 500", b.LoadCounter())
+	}
+	if s.Now() != 500 {
+		t.Errorf("Now() = %d, want 500", s.Now())
+	}
+}

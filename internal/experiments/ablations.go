@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/counter"
+	"teeperf/internal/perfbase"
+	"teeperf/internal/probe"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+	"teeperf/internal/tee"
+)
+
+// --- EPC paging sweep (the intro's secure-paging cliff) ---
+
+// EPCSweepConfig parameterizes the paging experiment: random page touches
+// over a working set swept across the EPC boundary. Beyond the boundary,
+// secure paging makes each access orders of magnitude slower — the paper's
+// motivation quotes up to 2000x for EPC-thrashing applications.
+type EPCSweepConfig struct {
+	// EPCPages is the protected-memory budget in pages (default 512).
+	EPCPages int
+	// WorkingSets are the working-set sizes to test, as multiples of the
+	// EPC size (default 0.5, 0.9, 1.1, 2, 4).
+	WorkingSets []float64
+	// Touches is the number of random page touches per measurement
+	// (default 20000).
+	Touches int
+}
+
+func (c EPCSweepConfig) withDefaults() EPCSweepConfig {
+	if c.EPCPages <= 0 {
+		c.EPCPages = 512
+	}
+	if len(c.WorkingSets) == 0 {
+		c.WorkingSets = []float64{0.5, 0.9, 1.1, 2, 4}
+	}
+	if c.Touches <= 0 {
+		c.Touches = 20000
+	}
+	return c
+}
+
+// EPCSweepRow is one working-set measurement.
+type EPCSweepRow struct {
+	// WorkingSetRatio is the working set over the EPC size.
+	WorkingSetRatio float64
+	// PageFaults is the number of secure-paging events.
+	PageFaults uint64
+	// NanosPerTouch is the average charged cost per access.
+	NanosPerTouch float64
+	// Slowdown is NanosPerTouch relative to the smallest working set.
+	Slowdown float64
+}
+
+// RunEPCSweep measures the access-cost cliff at the EPC boundary.
+func RunEPCSweep(cfg EPCSweepConfig) ([]EPCSweepRow, error) {
+	c := cfg.withDefaults()
+	platform := tee.SGXv1()
+	platform.EPCSize = c.EPCPages * platform.PageSize
+
+	var rows []EPCSweepRow
+	for _, ratio := range c.WorkingSets {
+		encl, err := tee.NewEnclave(platform, tee.NewHost(1), tee.WithoutSpin())
+		if err != nil {
+			return nil, err
+		}
+		th := encl.Thread()
+		pages := int(float64(c.EPCPages) * ratio)
+		if pages < 1 {
+			pages = 1
+		}
+		buf, err := encl.Alloc(pages * platform.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		// Warm every page once so the measurement reflects steady state,
+		// not cold demand-paging.
+		for pg := 0; pg < pages; pg++ {
+			if err := buf.Touch(th, pg*platform.PageSize); err != nil {
+				return nil, err
+			}
+		}
+		// Deterministic random page touches.
+		state := uint64(0x45504353) // "EPCS"
+		before := encl.Snapshot()
+		for i := 0; i < c.Touches; i++ {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			page := int(z % uint64(pages))
+			if err := buf.Touch(th, page*platform.PageSize); err != nil {
+				return nil, err
+			}
+		}
+		after := encl.Snapshot()
+		charged := after.Charged - before.Charged
+		rows = append(rows, EPCSweepRow{
+			WorkingSetRatio: ratio,
+			PageFaults:      after.PageFaults - before.PageFaults,
+			NanosPerTouch:   float64(charged) / float64(c.Touches),
+		})
+	}
+	base := rows[0].NanosPerTouch
+	for i := range rows {
+		if base > 0 {
+			rows[i].Slowdown = rows[i].NanosPerTouch / base
+		}
+	}
+	return rows, nil
+}
+
+// WriteEPCSweep renders the sweep table.
+func WriteEPCSweep(w io.Writer, rows []EPCSweepRow) error {
+	if _, err := fmt.Fprintf(w, "%-12s %12s %14s %10s\n",
+		"WS/EPC", "PAGEFAULTS", "NS/TOUCH", "SLOWDOWN"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-12.2f %12d %14.1f %9.1fx\n",
+			r.WorkingSetRatio, r.PageFaults, r.NanosPerTouch, r.Slowdown); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Platform generality sweep ---
+
+// PlatformSweepRow is one platform's result for the generality claim: the
+// identical instrumented binary profiles correctly on every TEE model.
+type PlatformSweepRow struct {
+	// Platform is the TEE model name.
+	Platform string
+	// Runtime is the measured geometric-mean runtime under TEE-Perf.
+	Runtime time.Duration
+	// Hottest is the top self-time function the profile reports.
+	Hottest string
+	// Events is the recorded event count.
+	Events int
+}
+
+// RunPlatformSweep profiles one Phoenix workload on every platform preset
+// with the identical pipeline — TEE-Perf's generality claim (§II-A: the
+// tool must work across instruction sets and TEE versions).
+func RunPlatformSweep(workload string, scale, runs int) ([]PlatformSweepRow, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	var rows []PlatformSweepRow
+	for _, name := range tee.PlatformNames() {
+		platform, err := tee.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := Fig4Config{
+			Platform:  platform,
+			Scale:     scale,
+			Runs:      runs,
+			Warmups:   1,
+			Workloads: []string{workload},
+		}
+		res, err := RunFig4(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: %w", name, err)
+		}
+		row := PlatformSweepRow{Platform: platform.Name}
+		if len(res.Rows) == 1 {
+			row.Runtime = res.Rows[0].TEEPerf
+			row.Events = res.Rows[0].Events
+			row.Hottest = res.Rows[0].Hottest
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WritePlatformSweep renders the generality table.
+func WritePlatformSweep(w io.Writer, workload string, rows []PlatformSweepRow) error {
+	if _, err := fmt.Fprintf(w, "generality: %s profiled with the identical pipeline on every platform\n\n", workload); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %14s %10s  %s\n", "PLATFORM", "RUNTIME", "EVENTS", "HOTTEST"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-12s %14s %10d  %s\n",
+			r.Platform, r.Runtime.Round(time.Microsecond), r.Events, r.Hottest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Accuracy comparison ---
+
+// AccuracyResult compares attribution accuracy of TEE-Perf against the
+// sampling baseline on a workload with a known ground-truth split.
+type AccuracyResult struct {
+	// TruthShare is function A's true share of execution time.
+	TruthShare float64
+	// TEEPerfShare and PerfShare are each profiler's estimates.
+	TEEPerfShare float64
+	PerfShare    float64
+	// AlignedPerfShare is the sampling estimate when the workload phase
+	// aligns with the sampling period (the bias failure mode).
+	AlignedPerfShare float64
+}
+
+// RunAccuracy builds a two-function workload where function A performs
+// truthShare of the work, measures it with both profilers, and additionally
+// demonstrates sampling-frequency alignment. TEE-Perf's estimate comes from
+// full tracing; perf's from samples.
+func RunAccuracy(truthShare float64, rounds int) (AccuracyResult, error) {
+	if truthShare <= 0 || truthShare >= 1 {
+		return AccuracyResult{}, fmt.Errorf("experiments: truth share %f out of (0,1)", truthShare)
+	}
+	if rounds <= 0 {
+		rounds = 3000
+	}
+	const (
+		fnA = 0x400100
+		fnB = 0x400200
+	)
+	workUnitsA := int(truthShare * 100)
+	workUnitsB := 100 - workUnitsA
+
+	// TEE-Perf: full tracing with a virtual counter advanced by the
+	// simulated work, giving the analyzer exact durations.
+	tab := symtab.New()
+	log, err := shmlog.New(4*rounds + 8)
+	if err != nil {
+		return AccuracyResult{}, err
+	}
+	vclock := counter.NewVirtual(0)
+	rt, err := probe.New(log, vclock)
+	if err != nil {
+		return AccuracyResult{}, err
+	}
+	aAddr := tab.MustRegister("accuracy_a", 16, "acc.go", 1)
+	bAddr := tab.MustRegister("accuracy_b", 16, "acc.go", 2)
+	th := rt.Thread()
+	for r := 0; r < rounds; r++ {
+		th.Enter(aAddr)
+		vclock.Advance(uint64(workUnitsA))
+		th.Exit(aAddr)
+		th.Enter(bAddr)
+		vclock.Advance(uint64(workUnitsB))
+		th.Exit(bAddr)
+	}
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		return AccuracyResult{}, err
+	}
+	res := AccuracyResult{
+		TruthShare:   truthShare,
+		TEEPerfShare: p.SelfFraction("accuracy_a"),
+	}
+
+	// perf, unaligned: samples land uniformly across the work — model by
+	// sampling proportionally to work units.
+	prof := perfbase.New()
+	pth := prof.Thread(nil)
+	for r := 0; r < rounds; r++ {
+		pth.Enter(fnA)
+		for u := 0; u < workUnitsA; u++ {
+			if (r*100+u)%97 == 0 { // incommensurate period: unbiased
+				prof.SampleNow()
+			}
+		}
+		pth.Exit(fnA)
+		pth.Enter(fnB)
+		for u := 0; u < workUnitsB; u++ {
+			if (r*100+workUnitsA+u)%97 == 0 {
+				prof.SampleNow()
+			}
+		}
+		pth.Exit(fnB)
+	}
+	res.PerfShare = prof.Fraction(fnA)
+
+	// perf, aligned: the sampling tick always lands while A runs.
+	aligned := perfbase.New()
+	ath := aligned.Thread(nil)
+	for r := 0; r < rounds; r++ {
+		ath.Enter(fnA)
+		aligned.SampleNow()
+		ath.Exit(fnA)
+		ath.Enter(fnB)
+		ath.Exit(fnB)
+	}
+	res.AlignedPerfShare = aligned.Fraction(fnA)
+	return res, nil
+}
+
+// WriteAccuracy renders the comparison.
+func WriteAccuracy(w io.Writer, r AccuracyResult) error {
+	_, err := fmt.Fprintf(w,
+		"ground truth: function A = %.0f%% of execution\n"+
+			"  TEE-Perf (full tracing):      %.1f%%\n"+
+			"  perf (unaligned sampling):    %.1f%%\n"+
+			"  perf (phase-aligned):         %.1f%%  <- sampling-frequency bias\n",
+		100*r.TruthShare, 100*r.TEEPerfShare, 100*r.PerfShare, 100*r.AlignedPerfShare)
+	return err
+}

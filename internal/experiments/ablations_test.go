@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunEPCSweepShowsPagingCliff(t *testing.T) {
+	rows, err := RunEPCSweep(EPCSweepConfig{EPCPages: 128, Touches: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	// Within EPC: everything resident after warmup — no faults at all.
+	within := rows[0] // 0.5x
+	if within.PageFaults != 0 {
+		t.Errorf("working set within EPC faulted %d times in steady state, want 0", within.PageFaults)
+	}
+	// Beyond EPC: thrashing, orders of magnitude more faults and cost.
+	beyond := rows[len(rows)-1] // 4x
+	if beyond.PageFaults < 1000 {
+		t.Errorf("thrashing produced only %d faults", beyond.PageFaults)
+	}
+	if beyond.Slowdown < 100 {
+		t.Errorf("slowdown = %.1fx, want a dramatic cliff (paper motivation: up to 2000x)",
+			beyond.Slowdown)
+	}
+	// Monotone non-decreasing cost across the sweep.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].NanosPerTouch < rows[i-1].NanosPerTouch {
+			t.Errorf("cost not monotone at %v: %.1f < %.1f",
+				rows[i].WorkingSetRatio, rows[i].NanosPerTouch, rows[i-1].NanosPerTouch)
+		}
+	}
+
+	var sb strings.Builder
+	if err := WriteEPCSweep(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "SLOWDOWN") {
+		t.Errorf("sweep table incomplete:\n%s", sb.String())
+	}
+}
+
+func TestRunPlatformSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real workloads")
+	}
+	rows, err := RunPlatformSweep("histogram", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 platforms", len(rows))
+	}
+	// The generality claim: the identical pipeline yields the same event
+	// count and the same hottest function on every platform.
+	for _, r := range rows[1:] {
+		if r.Events != rows[0].Events {
+			t.Errorf("platform %s recorded %d events, %s recorded %d — instrumentation must be platform-independent",
+				r.Platform, r.Events, rows[0].Platform, rows[0].Events)
+		}
+		if r.Hottest == "" {
+			t.Errorf("platform %s has no hottest function", r.Platform)
+		}
+	}
+	var sb strings.Builder
+	if err := WritePlatformSweep(&sb, "histogram", rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"native", "sgx-v1", "trustzone", "sev", "keystone"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("sweep missing platform %s:\n%s", name, sb.String())
+		}
+	}
+}
+
+func TestRunAccuracy(t *testing.T) {
+	res, err := RunAccuracy(0.7, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TEE-Perf tracks the truth exactly (virtual time, full tracing).
+	if math.Abs(res.TEEPerfShare-0.7) > 0.02 {
+		t.Errorf("TEE-Perf share = %.3f, want ~0.70", res.TEEPerfShare)
+	}
+	// Unaligned sampling is close but noisier.
+	if math.Abs(res.PerfShare-0.7) > 0.1 {
+		t.Errorf("perf unaligned share = %.3f, want ~0.70", res.PerfShare)
+	}
+	// Aligned sampling is catastrophically wrong: 100% attribution to A.
+	if res.AlignedPerfShare != 1.0 {
+		t.Errorf("perf aligned share = %.3f, want 1.0 (total bias)", res.AlignedPerfShare)
+	}
+
+	var sb strings.Builder
+	if err := WriteAccuracy(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sampling-frequency bias") {
+		t.Errorf("accuracy report incomplete:\n%s", sb.String())
+	}
+}
+
+func TestRunAccuracyValidation(t *testing.T) {
+	if _, err := RunAccuracy(0, 10); err == nil {
+		t.Error("share 0 should fail")
+	}
+	if _, err := RunAccuracy(1.5, 10); err == nil {
+		t.Error("share > 1 should fail")
+	}
+}
+
+func TestEPCSweepDefaults(t *testing.T) {
+	c := EPCSweepConfig{}.withDefaults()
+	if c.EPCPages <= 0 || c.Touches <= 0 || len(c.WorkingSets) == 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"teeperf/internal/raceinfo"
+	"teeperf/internal/spdknvme"
+)
+
+func TestRunFig4SmallSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real workloads")
+	}
+	cfg := Fig4Config{
+		Scale:     1,
+		Runs:      2,
+		Warmups:   1,
+		Workloads: []string{"string_match", "linear_regression"},
+	}
+	res, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.TEEPerf <= 0 || row.Perf <= 0 {
+			t.Errorf("%s: non-positive time %v/%v", row.Benchmark, row.TEEPerf, row.Perf)
+		}
+		if row.Ratio <= 0 {
+			t.Errorf("%s: ratio %f", row.Benchmark, row.Ratio)
+		}
+	}
+	if res.Rows[0].Events <= res.Rows[1].Events {
+		t.Errorf("string_match events (%d) should exceed linear_regression (%d)",
+			res.Rows[0].Events, res.Rows[1].Events)
+	}
+	if !raceinfo.Enabled {
+		// The Fig 4 shape: call-dense string_match costs far more under
+		// TEE-Perf than call-light linear_regression.
+		if res.Rows[0].Ratio <= res.Rows[1].Ratio {
+			t.Errorf("ratio(string_match)=%.2f should exceed ratio(linear_regression)=%.2f",
+				res.Rows[0].Ratio, res.Rows[1].Ratio)
+		}
+	}
+
+	var sb strings.Builder
+	if err := WriteFig4(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "string_match") || !strings.Contains(sb.String(), "mean overhead") {
+		t.Errorf("fig4 table incomplete:\n%s", sb.String())
+	}
+}
+
+func TestRunFig4UnknownWorkload(t *testing.T) {
+	if _, err := RunFig4(Fig4Config{Workloads: []string{"nope"}, Runs: 1}); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestRunFig5Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real workloads")
+	}
+	res, err := RunFig5(Fig5Config{Ops: 1500, RandomDataSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bench.Ops != 1500 {
+		t.Errorf("ops = %d", res.Bench.Ops)
+	}
+	if _, ok := res.Profile.Func("rocksdb::Stats::Now()"); !ok {
+		t.Error("Stats::Now missing from profile")
+	}
+	if !raceinfo.Enabled {
+		if f := res.Profile.SelfFraction("rocksdb::Stats::Now()"); f < 0.2 {
+			t.Errorf("Stats::Now self share = %.2f, want dominant", f)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteFig5(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Stats::Now") {
+		t.Errorf("fig5 report incomplete:\n%s", sb.String())
+	}
+	var svg strings.Builder
+	if err := WriteFlameGraph(&svg, res.Profile, "fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Error("flame graph not rendered")
+	}
+}
+
+func TestRunFig6Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real workloads")
+	}
+	res, err := RunFig6(Fig6Config{
+		Ops: 1200,
+		Device: spdknvme.DeviceConfig{
+			Blocks:  4096,
+			Latency: 20 * time.Microsecond,
+			MaxIOPS: 240000,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []Fig6Run{res.Native, res.Naive, res.Optimized} {
+		if run.Perf.Ops != 1200 {
+			t.Errorf("%s ops = %d, want 1200", run.Label, run.Perf.Ops)
+		}
+		if run.Profile == nil {
+			t.Errorf("%s has no profile", run.Label)
+		}
+	}
+	if res.Naive.Perf.OCalls < 1000 {
+		t.Errorf("naive OCalls = %d, want thousands", res.Naive.Perf.OCalls)
+	}
+	if res.Optimized.Perf.OCalls > 100 {
+		t.Errorf("optimized OCalls = %d, want near zero", res.Optimized.Perf.OCalls)
+	}
+	if !raceinfo.Enabled {
+		if res.Speedup < 2 {
+			t.Errorf("speedup = %.1fx, want substantial", res.Speedup)
+		}
+		gp := res.Naive.Profile.SelfFraction("getpid")
+		if gp < 0.3 {
+			t.Errorf("naive getpid share = %.2f, want dominant", gp)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteFig6(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"native", "sgx-naive", "sgx-optimized", "speedup", "getpid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package experiments implements the paper's evaluation harnesses: one
+// entry point per figure/table, shared by the cmd/ tools and the
+// bench_test.go benchmarks. Each harness builds the full pipeline
+// (workload + TEE + profiler or baseline), runs it with the Fex
+// methodology (warmup + repeated runs, geometric means) and returns the
+// same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/counter"
+	"teeperf/internal/fex"
+	"teeperf/internal/perfbase"
+	"teeperf/internal/phoenix"
+	"teeperf/internal/probe"
+	"teeperf/internal/recorder"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+	"teeperf/internal/tee"
+)
+
+// Fig4Config parameterizes the Phoenix overhead comparison (Fig 4).
+type Fig4Config struct {
+	// Platform is the TEE model (default SGXv1, the paper's testbed).
+	Platform tee.Platform
+	// Scale is the workload input scale (default 2).
+	Scale int
+	// Runs and Warmups follow the Fex methodology (defaults 10 and 1; the
+	// paper reports geometric means over 10 runs).
+	Runs    int
+	Warmups int
+	// SamplePeriod is perf's sampling period (default 250µs = 4 kHz).
+	SamplePeriod time.Duration
+	// PerfSampleCost is the per-sample penalty charged to the sampled
+	// enclave thread: AEX + kernel sampling path + TLB/cache refill on
+	// re-entry (default 30µs).
+	PerfSampleCost time.Duration
+	// Workloads restricts the suite (default: all seven).
+	Workloads []string
+	// Counter overrides the TEE-Perf time source. The default picks the
+	// paper's software counter when a spare core exists to host its spin
+	// thread, falling back to the TSC source on single-core machines
+	// (where a dedicated counter core is impossible by construction).
+	Counter recorder.CounterMode
+}
+
+func (c Fig4Config) withDefaults() Fig4Config {
+	if c.Platform.Name == "" {
+		c.Platform = tee.SGXv1()
+	}
+	if c.Scale <= 0 {
+		c.Scale = 2
+	}
+	if c.Runs <= 0 {
+		c.Runs = fex.DefaultRuns
+	}
+	if c.Warmups < 0 {
+		c.Warmups = 0
+	}
+	if c.SamplePeriod <= 0 {
+		c.SamplePeriod = 250 * time.Microsecond
+	}
+	if c.PerfSampleCost <= 0 {
+		c.PerfSampleCost = 30 * time.Microsecond
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = phoenix.Names()
+	}
+	if c.Counter == 0 {
+		c.Counter = recorder.CounterSoftware
+		if runtime.NumCPU() < 2 {
+			c.Counter = recorder.CounterTSC
+		}
+	}
+	return c
+}
+
+// Fig4Row is one benchmark's result.
+type Fig4Row struct {
+	// Benchmark is the workload name.
+	Benchmark string
+	// TEEPerf and Perf are the geometric mean runtimes under each
+	// profiler.
+	TEEPerf time.Duration
+	Perf    time.Duration
+	// Ratio is TEEPerf/Perf — the Fig 4 y-axis.
+	Ratio float64
+	// Events is the number of log entries one TEE-Perf run produced.
+	Events int
+	// Hottest is the top self-time function in the TEE-Perf profile.
+	Hottest string
+}
+
+// Fig4Result is the regenerated figure.
+type Fig4Result struct {
+	Rows []Fig4Row
+	// Mean is the geometric mean ratio across benchmarks (the paper
+	// reports 1.9x).
+	Mean float64
+}
+
+// RunFig4 measures TEE-Perf's overhead relative to the perf baseline on
+// the Phoenix suite inside the simulated TEE.
+func RunFig4(cfg Fig4Config) (Fig4Result, error) {
+	c := cfg.withDefaults()
+	var result Fig4Result
+	ratios := make([]float64, 0, len(c.Workloads))
+
+	for _, name := range c.Workloads {
+		w, err := phoenix.ByName(name)
+		if err != nil {
+			return Fig4Result{}, err
+		}
+		teeTime, events, hottest, err := measureTEEPerf(c, w)
+		if err != nil {
+			return Fig4Result{}, fmt.Errorf("fig4 %s under tee-perf: %w", name, err)
+		}
+		perfTime, err := measurePerf(c, w)
+		if err != nil {
+			return Fig4Result{}, fmt.Errorf("fig4 %s under perf: %w", name, err)
+		}
+		ratio := float64(teeTime) / float64(perfTime)
+		result.Rows = append(result.Rows, Fig4Row{
+			Benchmark: name,
+			TEEPerf:   teeTime,
+			Perf:      perfTime,
+			Ratio:     ratio,
+			Events:    events,
+			Hottest:   hottest,
+		})
+		ratios = append(ratios, ratio)
+	}
+	result.Mean = fex.GeoMeanFloats(ratios)
+	return result, nil
+}
+
+// measureTEEPerf times the workload with full TEE-Perf instrumentation
+// (software counter, shared-memory log) and reports the hottest function
+// of the final run's profile.
+func measureTEEPerf(c Fig4Config, w phoenix.Workload) (time.Duration, int, string, error) {
+	tab := symtab.New()
+	if err := w.RegisterSymbols(tab); err != nil {
+		return 0, 0, "", err
+	}
+	rec, err := recorder.New(tab, recorder.WithCapacity(1<<23), recorder.WithCounterMode(c.Counter))
+	if err != nil {
+		return 0, 0, "", err
+	}
+	encl, err := tee.NewEnclave(c.Platform, tee.NewHost(1))
+	if err != nil {
+		return 0, 0, "", err
+	}
+	runner, err := w.New(phoenix.Config{
+		Enclave: encl,
+		Hooks:   rec.Thread(),
+		AddrOf:  rec.AddrOf,
+	}, c.Scale)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	if err := rec.Start(); err != nil {
+		return 0, 0, "", err
+	}
+	defer func() { _ = rec.Stop() }()
+
+	th := encl.Thread()
+	res, err := fex.Run(w.Name+"/teeperf", c.Warmups, c.Runs, func() error {
+		rec.Log().Reset() // fresh log per run, fixed capacity per the paper
+		_, err := runner(th)
+		return err
+	})
+	if err != nil {
+		return 0, 0, "", err
+	}
+	hottest := ""
+	if p, err := analyzer.Analyze(rec.Log(), tab); err == nil {
+		if top := p.Top(1); len(top) == 1 {
+			hottest = top[0].Name
+		}
+	}
+	return res.GeoMean(), rec.Log().Len(), hottest, nil
+}
+
+// measurePerf times the workload under the sampling baseline.
+func measurePerf(c Fig4Config, w phoenix.Workload) (time.Duration, error) {
+	tab := symtab.New()
+	if err := w.RegisterSymbols(tab); err != nil {
+		return 0, err
+	}
+	encl, err := tee.NewEnclave(c.Platform, tee.NewHost(1))
+	if err != nil {
+		return 0, err
+	}
+	th := encl.Thread()
+	prof := perfbase.New(
+		perfbase.WithPeriod(c.SamplePeriod),
+		perfbase.WithAEXCost(c.PerfSampleCost),
+	)
+	hooks := prof.Thread(th)
+	runner, err := w.New(phoenix.Config{
+		Enclave: encl,
+		Hooks:   hooks,
+		AddrOf:  tab.Addr,
+	}, c.Scale)
+	if err != nil {
+		return 0, err
+	}
+	prof.Start()
+	defer func() { _ = prof.Stop() }()
+
+	res, err := fex.Run(w.Name+"/perf", c.Warmups, c.Runs, func() error {
+		_, err := runner(th)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.GeoMean(), nil
+}
+
+// WriteFig4 renders the figure as a text table plus the mean line, in the
+// layout of the paper's bar chart.
+func WriteFig4(w io.Writer, r Fig4Result) error {
+	rows := make([]fex.Row, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, fex.Row{
+			Name: row.Benchmark,
+			Values: map[string]float64{
+				"teeperf_ms": float64(row.TEEPerf) / 1e6,
+				"perf_ms":    float64(row.Perf) / 1e6,
+				"ratio":      row.Ratio,
+			},
+		})
+	}
+	if err := fex.WriteTable(w, rows, []string{"teeperf_ms", "perf_ms", "ratio"}, "%.3f"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nmean overhead of TEE-Perf relative to perf: %.2fx (paper: 1.9x)\n", r.Mean)
+	return err
+}
+
+// buildProbePipeline is shared by the Fig 5/6 harnesses.
+func buildProbePipeline(capacity int) (*symtab.Table, *shmlog.Log, *probe.Runtime, error) {
+	tab := symtab.New()
+	log, err := shmlog.New(capacity)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rt, err := probe.New(log, counter.NewTSC())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return tab, log, rt, nil
+}

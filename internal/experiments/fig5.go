@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/flamegraph"
+	"teeperf/internal/kvstore"
+	"teeperf/internal/tee"
+)
+
+// Fig5Config parameterizes the RocksDB db_bench profile (Fig 5).
+type Fig5Config struct {
+	// Platform is the TEE model (default SGXv1).
+	Platform tee.Platform
+	// Ops is the operation count (default 20000).
+	Ops int
+	// ReadPct is the read share (default 80, the paper's mix).
+	ReadPct int
+	// RandomDataSize is the RandomGenerator buffer (default 4 MiB).
+	RandomDataSize int
+}
+
+func (c Fig5Config) withDefaults() Fig5Config {
+	if c.Platform.Name == "" {
+		c.Platform = tee.SGXv1()
+	}
+	if c.Ops <= 0 {
+		c.Ops = 20000
+	}
+	if c.ReadPct == 0 {
+		c.ReadPct = 80
+	}
+	if c.RandomDataSize <= 0 {
+		c.RandomDataSize = 4 << 20
+	}
+	return c
+}
+
+// Fig5Result carries the profile behind the flame graph.
+type Fig5Result struct {
+	// Profile is the analyzed TEE-Perf recording.
+	Profile *analyzer.Profile
+	// Bench is the db_bench outcome.
+	Bench kvstore.BenchResult
+}
+
+// RunFig5 profiles the ReadRandomWriteRandom db_bench workload inside the
+// TEE with TEE-Perf and returns the profile whose flame graph reproduces
+// Fig 5 (hot: rocksdb::Stats::Now and rocksdb::RandomGenerator's
+// constructor).
+func RunFig5(cfg Fig5Config) (Fig5Result, error) {
+	c := cfg.withDefaults()
+	host := tee.NewHost(4321)
+	encl, err := tee.NewEnclave(c.Platform, host)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	th := encl.Thread()
+	db, err := kvstore.Open(host, th, "fig5", nil)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	tab, log, rt, err := buildProbePipeline(1 << 22)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	if err := kvstore.RegisterBenchSymbols(tab); err != nil {
+		return Fig5Result{}, err
+	}
+	res, err := kvstore.RunDBBench(th, &kvstore.BenchConfig{
+		DB:             db,
+		Hooks:          rt.Thread(),
+		AddrOf:         tab.Addr,
+		Ops:            c.Ops,
+		ReadPct:        c.ReadPct,
+		RandomDataSize: c.RandomDataSize,
+	})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	return Fig5Result{Profile: p, Bench: res}, nil
+}
+
+// WriteFig5 prints the hot-method table and notes the paper's expectation.
+func WriteFig5(w io.Writer, r Fig5Result) error {
+	if _, err := fmt.Fprintf(w, "db_bench readrandomwriterandom: %d ops (%d reads / %d writes, %d not found)\n\n",
+		r.Bench.Ops, r.Bench.Reads, r.Bench.Writes, r.Bench.NotFound); err != nil {
+		return err
+	}
+	if err := r.Profile.WriteTable(w, 10); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\npaper (Fig 5): hottest methods are rocksdb::Stats::Now() and rocksdb::RandomGenerator::RandomGenerator()\n"+
+		"measured: Stats::Now self share = %.1f%%, RandomGenerator ctor (incl CompressibleString) = %.1f%%\n",
+		100*r.Profile.SelfFraction("rocksdb::Stats::Now()"),
+		100*(r.Profile.SelfFraction("rocksdb::RandomGenerator::RandomGenerator()")+
+			r.Profile.SelfFraction("rocksdb::test::CompressibleString()")))
+	return err
+}
+
+// WriteFlameGraph renders any harness profile as an SVG flame graph.
+func WriteFlameGraph(w io.Writer, p *analyzer.Profile, title string) error {
+	return flamegraph.RenderSVG(w, p.Folded(), flamegraph.SVGOptions{Title: title, Unit: "ticks"})
+}

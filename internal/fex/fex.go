@@ -1,0 +1,187 @@
+// Package fex is the evaluation-methodology substrate, standing in for the
+// Fex framework the paper uses to run its experiments: warmup handling,
+// repeated runs, geometric means over benchmarks, relative ratios and
+// report tables. (The paper reports the geometric mean over 10 runs.)
+package fex
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DefaultRuns matches the paper's methodology (10 measured runs).
+const DefaultRuns = 10
+
+// Result holds the measured durations of one experiment configuration.
+type Result struct {
+	// Name identifies the configuration.
+	Name string
+	// Runs are the measured durations, in run order.
+	Runs []time.Duration
+}
+
+// Run executes f warmup+runs times and records the duration of the
+// measured runs. It stops at the first error.
+func Run(name string, warmups, runs int, f func() error) (Result, error) {
+	if runs <= 0 {
+		return Result{}, fmt.Errorf("fex: runs must be positive, got %d", runs)
+	}
+	if warmups < 0 {
+		return Result{}, fmt.Errorf("fex: warmups must be non-negative, got %d", warmups)
+	}
+	if f == nil {
+		return Result{}, errors.New("fex: nil experiment function")
+	}
+	for i := 0; i < warmups; i++ {
+		if err := f(); err != nil {
+			return Result{}, fmt.Errorf("fex: %s warmup %d: %w", name, i, err)
+		}
+	}
+	res := Result{Name: name, Runs: make([]time.Duration, 0, runs)}
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return Result{}, fmt.Errorf("fex: %s run %d: %w", name, i, err)
+		}
+		res.Runs = append(res.Runs, time.Since(t0))
+	}
+	return res, nil
+}
+
+// GeoMean returns the geometric mean duration.
+func (r Result) GeoMean() time.Duration {
+	if len(r.Runs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, d := range r.Runs {
+		v := float64(d)
+		if v < 1 {
+			v = 1
+		}
+		logSum += math.Log(v)
+	}
+	return time.Duration(math.Round(math.Exp(logSum / float64(len(r.Runs)))))
+}
+
+// Mean returns the arithmetic mean duration.
+func (r Result) Mean() time.Duration {
+	if len(r.Runs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.Runs {
+		sum += d
+	}
+	return sum / time.Duration(len(r.Runs))
+}
+
+// Min returns the fastest run.
+func (r Result) Min() time.Duration {
+	if len(r.Runs) == 0 {
+		return 0
+	}
+	m := r.Runs[0]
+	for _, d := range r.Runs[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Median returns the median duration.
+func (r Result) Median() time.Duration {
+	if len(r.Runs) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.Runs))
+	copy(sorted, r.Runs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Stddev returns the sample standard deviation.
+func (r Result) Stddev() time.Duration {
+	if len(r.Runs) < 2 {
+		return 0
+	}
+	mean := float64(r.Mean())
+	var ss float64
+	for _, d := range r.Runs {
+		diff := float64(d) - mean
+		ss += diff * diff
+	}
+	return time.Duration(math.Sqrt(ss / float64(len(r.Runs)-1)))
+}
+
+// Ratio returns GeoMean(num)/GeoMean(den) — the relative-overhead metric of
+// Fig 4 (e.g. TEE-Perf time over perf time).
+func Ratio(num, den Result) float64 {
+	d := den.GeoMean()
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return float64(num.GeoMean()) / float64(d)
+}
+
+// GeoMeanFloats returns the geometric mean of positive values (zeros and
+// negatives are clamped to a tiny positive epsilon).
+func GeoMeanFloats(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-12
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Row is one line of a comparison table.
+type Row struct {
+	// Name is the benchmark name.
+	Name string
+	// Values are the cells, keyed by column name.
+	Values map[string]float64
+}
+
+// WriteTable renders rows with the given value columns, formatting every
+// value with format (e.g. "%8.3f").
+func WriteTable(w io.Writer, rows []Row, cols []string, format string) error {
+	nameWidth := len("BENCHMARK")
+	for _, r := range rows {
+		if len(r.Name) > nameWidth {
+			nameWidth = len(r.Name)
+		}
+	}
+	header := fmt.Sprintf("%-*s", nameWidth, "BENCHMARK")
+	for _, c := range cols {
+		header += fmt.Sprintf("  %12s", strings.ToUpper(c))
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		line := fmt.Sprintf("%-*s", nameWidth, r.Name)
+		for _, c := range cols {
+			line += "  " + fmt.Sprintf("%12s", fmt.Sprintf(format, r.Values[c]))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

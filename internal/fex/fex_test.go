@@ -1,0 +1,164 @@
+package fex
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunValidation(t *testing.T) {
+	noop := func() error { return nil }
+	if _, err := Run("x", 0, 0, noop); err == nil {
+		t.Error("zero runs should fail")
+	}
+	if _, err := Run("x", -1, 1, noop); err == nil {
+		t.Error("negative warmups should fail")
+	}
+	if _, err := Run("x", 0, 1, nil); err == nil {
+		t.Error("nil func should fail")
+	}
+}
+
+func TestRunCountsAndErrors(t *testing.T) {
+	calls := 0
+	res, err := Run("bench", 2, 5, func() error { calls++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Errorf("f called %d times, want 7 (2 warmup + 5 runs)", calls)
+	}
+	if len(res.Runs) != 5 {
+		t.Errorf("recorded %d runs, want 5", len(res.Runs))
+	}
+	if res.Name != "bench" {
+		t.Errorf("name = %q", res.Name)
+	}
+
+	boom := errors.New("boom")
+	calls = 0
+	if _, err := Run("bad", 1, 3, func() error {
+		calls++
+		if calls == 1 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Errorf("warmup error not propagated: %v", err)
+	}
+	calls = 0
+	if _, err := Run("bad2", 0, 3, func() error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Errorf("run error not propagated: %v", err)
+	}
+}
+
+func mkResult(ds ...time.Duration) Result { return Result{Name: "r", Runs: ds} }
+
+func TestStatistics(t *testing.T) {
+	r := mkResult(10, 20, 40)
+	if got := r.Mean(); got != 23 {
+		t.Errorf("Mean = %v, want 23", got)
+	}
+	// geomean(10,20,40) = 20
+	if got := r.GeoMean(); got != 20 {
+		t.Errorf("GeoMean = %v, want 20", got)
+	}
+	if got := r.Min(); got != 10 {
+		t.Errorf("Min = %v, want 10", got)
+	}
+	if got := r.Median(); got != 20 {
+		t.Errorf("Median = %v, want 20", got)
+	}
+	even := mkResult(10, 20, 30, 40)
+	if got := even.Median(); got != 25 {
+		t.Errorf("even Median = %v, want 25", got)
+	}
+	if got := mkResult().GeoMean(); got != 0 {
+		t.Errorf("empty GeoMean = %v, want 0", got)
+	}
+	if got := mkResult().Mean(); got != 0 {
+		t.Errorf("empty Mean = %v", got)
+	}
+	if got := mkResult().Min(); got != 0 {
+		t.Errorf("empty Min = %v", got)
+	}
+	if got := mkResult().Median(); got != 0 {
+		t.Errorf("empty Median = %v", got)
+	}
+	if got := mkResult(5).Stddev(); got != 0 {
+		t.Errorf("single-run Stddev = %v, want 0", got)
+	}
+	sd := mkResult(10, 20, 30).Stddev()
+	if sd != 10 {
+		t.Errorf("Stddev = %v, want 10", sd)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	a := mkResult(200, 200)
+	b := mkResult(100, 100)
+	if got := Ratio(a, b); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("Ratio = %f, want 2.0", got)
+	}
+	if got := Ratio(a, mkResult()); !math.IsInf(got, 1) {
+		t.Errorf("Ratio with zero denominator = %f, want +Inf", got)
+	}
+}
+
+func TestGeoMeanFloats(t *testing.T) {
+	if got := GeoMeanFloats(nil); got != 0 {
+		t.Errorf("empty = %f, want 0", got)
+	}
+	if got := GeoMeanFloats([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %f, want 4", got)
+	}
+	// Non-positive values are clamped, not fatal.
+	if got := GeoMeanFloats([]float64{0, 4}); got <= 0 {
+		t.Errorf("geomean with zero = %f, want > 0", got)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	rows := []Row{
+		{Name: "string_match", Values: map[string]float64{"ratio": 5.7}},
+		{Name: "linear_regression", Values: map[string]float64{"ratio": 0.92}},
+	}
+	var sb strings.Builder
+	if err := WriteTable(&sb, rows, []string{"ratio"}, "%.2f"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"BENCHMARK", "RATIO", "string_match", "5.70", "0.92"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("table has %d lines, want 3", len(lines))
+	}
+}
+
+func TestRunMeasuresTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	res, err := Run("sleep", 0, 2, func() error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min() < time.Millisecond {
+		t.Errorf("Min = %v, want >= 1ms", res.Min())
+	}
+}

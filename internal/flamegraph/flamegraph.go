@@ -1,0 +1,141 @@
+// Package flamegraph implements TEE-Perf's stage 4: visualization of the
+// analyzer output as Flame Graphs. It supports the standard folded-stack
+// text format (interoperable with Brendan Gregg's tooling, which the paper
+// integrates) and renders self-contained SVG flame graphs.
+package flamegraph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Node is one frame in the merged flame graph tree.
+type Node struct {
+	// Name is the frame's function name.
+	Name string
+	// Total is the inclusive value (self + descendants).
+	Total uint64
+	// Self is the value attributed directly to this frame.
+	Self uint64
+	// Children are sorted by name for deterministic layout.
+	Children []*Node
+}
+
+// ErrBadFolded is returned when parsing malformed folded-stack input.
+var ErrBadFolded = errors.New("flamegraph: bad folded line")
+
+// RootName is the synthetic root frame of every tree.
+const RootName = "all"
+
+// Build merges folded stacks ("a;b;c" -> value) into a tree rooted at a
+// synthetic "all" frame.
+func Build(folded map[string]uint64) *Node {
+	root := &Node{Name: RootName}
+	keys := make([]string, 0, len(folded))
+	for k := range folded {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, stack := range keys {
+		v := folded[stack]
+		if v == 0 || stack == "" {
+			continue
+		}
+		node := root
+		root.Total += v
+		for _, name := range strings.Split(stack, ";") {
+			child := node.child(name)
+			child.Total += v
+			node = child
+		}
+		node.Self += v
+	}
+	return root
+}
+
+func (n *Node) child(name string) *Node {
+	i := sort.Search(len(n.Children), func(i int) bool { return n.Children[i].Name >= name })
+	if i < len(n.Children) && n.Children[i].Name == name {
+		return n.Children[i]
+	}
+	c := &Node{Name: name}
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+	return c
+}
+
+// Depth returns the maximum frame depth below (and including) n.
+func (n *Node) Depth() int {
+	max := 1
+	for _, c := range n.Children {
+		if d := c.Depth() + 1; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Find returns the descendant (or n itself) with the given name, walking
+// depth-first.
+func (n *Node) Find(name string) *Node {
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if found := c.Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// WriteFolded emits folded stacks in the canonical text format, sorted for
+// deterministic output.
+func WriteFolded(w io.Writer, folded map[string]uint64) error {
+	keys := make([]string, 0, len(folded))
+	for k := range folded {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bw := bufio.NewWriter(w)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", k, folded[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFolded parses folded-stack text: "frame;frame;frame value" per line.
+func ReadFolded(r io.Reader) (map[string]uint64, error) {
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("%w %d: %q", ErrBadFolded, lineNo, line)
+		}
+		v, err := strconv.ParseUint(line[sp+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w %d: value: %v", ErrBadFolded, lineNo, err)
+		}
+		out[line[:sp]] += v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flamegraph: read folded: %w", err)
+	}
+	return out, nil
+}

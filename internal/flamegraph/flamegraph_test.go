@@ -1,0 +1,249 @@
+package flamegraph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFolded() map[string]uint64 {
+	return map[string]uint64{
+		"main":             10,
+		"main;work":        20,
+		"main;work;getpid": 70,
+		"main;init":        5,
+		"main;work;rdtsc":  15,
+	}
+}
+
+func TestBuildTree(t *testing.T) {
+	root := Build(sampleFolded())
+	if root.Name != RootName {
+		t.Errorf("root name = %q", root.Name)
+	}
+	if root.Total != 120 {
+		t.Errorf("root total = %d, want 120", root.Total)
+	}
+	main := root.Find("main")
+	if main == nil {
+		t.Fatal("main not found")
+	}
+	if main.Total != 120 || main.Self != 10 {
+		t.Errorf("main total/self = %d/%d, want 120/10", main.Total, main.Self)
+	}
+	work := root.Find("work")
+	if work == nil || work.Total != 105 || work.Self != 20 {
+		t.Fatalf("work = %+v, want total=105 self=20", work)
+	}
+	gp := root.Find("getpid")
+	if gp == nil || gp.Total != 70 || gp.Self != 70 {
+		t.Fatalf("getpid = %+v", gp)
+	}
+	if root.Depth() != 4 { // all -> main -> work -> getpid
+		t.Errorf("depth = %d, want 4", root.Depth())
+	}
+	// Children sorted by name.
+	if main.Children[0].Name != "init" || main.Children[1].Name != "work" {
+		t.Errorf("children unsorted: %v, %v", main.Children[0].Name, main.Children[1].Name)
+	}
+	if root.Find("nope") != nil {
+		t.Error("Find(nope) should be nil")
+	}
+}
+
+func TestBuildSkipsZeroAndEmpty(t *testing.T) {
+	root := Build(map[string]uint64{"": 10, "a": 0, "b": 3})
+	if root.Total != 3 {
+		t.Errorf("total = %d, want 3", root.Total)
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "b" {
+		t.Errorf("children = %+v", root.Children)
+	}
+}
+
+func TestFoldedRoundTrip(t *testing.T) {
+	in := sampleFolded()
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: sorted lines.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(in) {
+		t.Fatalf("wrote %d lines, want %d", len(lines), len(in))
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Errorf("lines unsorted: %q after %q", lines[i], lines[i-1])
+		}
+	}
+	got, err := ReadFolded(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("decoded %d stacks, want %d", len(got), len(in))
+	}
+	for k, v := range in {
+		if got[k] != v {
+			t.Errorf("stack %q = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestReadFoldedMergesDuplicates(t *testing.T) {
+	got, err := ReadFolded(strings.NewReader("a;b 5\na;b 7\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a;b"] != 12 {
+		t.Errorf("a;b = %d, want 12", got["a;b"])
+	}
+}
+
+func TestReadFoldedErrors(t *testing.T) {
+	for _, input := range []string{"noval", " 5", "a;b x"} {
+		t.Run(input, func(t *testing.T) {
+			if _, err := ReadFolded(strings.NewReader(input)); !errors.Is(err, ErrBadFolded) {
+				t.Fatalf("err = %v, want ErrBadFolded", err)
+			}
+		})
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderSVG(&buf, sampleFolded(), SVGOptions{Title: "Test <Graph>", Unit: "ns"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	checks := []string{
+		"<svg",
+		"</svg>",
+		"Test &lt;Graph&gt;", // escaped title
+		"getpid",
+		"ns,", // unit in tooltip
+		"<title>",
+	}
+	for _, c := range checks {
+		if !strings.Contains(out, c) {
+			t.Errorf("SVG missing %q", c)
+		}
+	}
+	// getpid is 70/120 ≈ 58.33% of total.
+	if !strings.Contains(out, "58.33%") {
+		t.Errorf("SVG missing getpid percentage; want 58.33%%")
+	}
+}
+
+func TestRenderSVGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderSVG(&buf, nil, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no samples") {
+		t.Error("empty SVG should say 'no samples'")
+	}
+}
+
+func TestRenderSVGTinyFramesDropped(t *testing.T) {
+	folded := map[string]uint64{"big": 1_000_000, "big;tiny": 1}
+	var buf bytes.Buffer
+	if err := RenderSVG(&buf, folded, SVGOptions{Width: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), ">tiny<") {
+		t.Error("sub-pixel frame should be dropped")
+	}
+}
+
+func TestFitLabel(t *testing.T) {
+	tests := []struct {
+		name  string
+		width float64
+		want  string
+	}{
+		{name: "short", width: 200, want: "short"},
+		{name: "this_is_a_rather_long_function_name", width: 80, want: "this_is_a.."},
+		{name: "x", width: 5, want: ""},
+	}
+	for _, tt := range tests {
+		if got := fitLabel(tt.name, tt.width); got != tt.want {
+			t.Errorf("fitLabel(%q, %v) = %q, want %q", tt.name, tt.width, got, tt.want)
+		}
+	}
+}
+
+func TestColorDeterministic(t *testing.T) {
+	if colorFor("abc") != colorFor("abc") {
+		t.Error("color not deterministic")
+	}
+	if colorFor("abc") == colorFor("abd") {
+		t.Error("distinct names should (almost always) differ in color")
+	}
+}
+
+func TestTreeConservationProperty(t *testing.T) {
+	// Property: for any folded map, every node's Total equals its Self
+	// plus the sum of its children's Totals.
+	f := func(paths []string, vals []uint16) bool {
+		folded := make(map[string]uint64)
+		for i, p := range paths {
+			if i >= len(vals) {
+				break
+			}
+			clean := strings.Trim(strings.ReplaceAll(p, " ", ""), ";")
+			if clean == "" {
+				continue
+			}
+			folded[clean] += uint64(vals[i])
+		}
+		root := Build(folded)
+		return checkConservation(root)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkConservation(n *Node) bool {
+	var childSum uint64
+	for _, c := range n.Children {
+		if !checkConservation(c) {
+			return false
+		}
+		childSum += c.Total
+	}
+	return n.Total == n.Self+childSum
+}
+
+func TestRenderSVGInteractive(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderSVG(&buf, sampleFolded(), SVGOptions{Interactive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<script><![CDATA[",
+		`class="fg"`,
+		`data-x=`,
+		`data-n="getpid"`,
+		"function zoom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("interactive SVG missing %q", want)
+		}
+	}
+	// Non-interactive output stays script-free.
+	var plain bytes.Buffer
+	if err := RenderSVG(&plain, sampleFolded(), SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "<script") {
+		t.Error("plain SVG contains a script")
+	}
+}

@@ -1,0 +1,40 @@
+package flamegraph
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFolded: the folded-stack parser must never panic; accepted input
+// must build a conserving tree and render to SVG without error.
+func FuzzReadFolded(f *testing.F) {
+	f.Add("main;work 100\nmain 5\n")
+	f.Add("a 1")
+	f.Add(" 5")
+	f.Add("a;;b 3")
+	f.Fuzz(func(t *testing.T, input string) {
+		folded, err := ReadFolded(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		root := Build(folded)
+		if !fuzzCheckConservation(root) {
+			t.Fatal("tree does not conserve totals")
+		}
+		if err := RenderSVG(io.Discard, folded, SVGOptions{}); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+	})
+}
+
+func fuzzCheckConservation(n *Node) bool {
+	var sum uint64
+	for _, c := range n.Children {
+		if !fuzzCheckConservation(c) {
+			return false
+		}
+		sum += c.Total
+	}
+	return n.Total == n.Self+sum
+}

@@ -1,0 +1,219 @@
+package flamegraph
+
+import (
+	"bufio"
+	"fmt"
+	"html"
+	"io"
+)
+
+// SVGOptions configures RenderSVG.
+type SVGOptions struct {
+	// Title is the heading rendered at the top.
+	Title string
+	// Width is the image width in pixels (default 1200).
+	Width int
+	// Unit names the value unit in tooltips (default "ticks").
+	Unit string
+	// MinFrameWidth drops frames narrower than this many pixels
+	// (default 0.25).
+	MinFrameWidth float64
+	// Interactive embeds click-to-zoom JavaScript (like the original
+	// flamegraph.pl SVGs). The file stays self-contained.
+	Interactive bool
+}
+
+const (
+	frameHeight = 16
+	headerSpace = 40
+	footerSpace = 10
+	fontSize    = 11
+	// Approximate character width at fontSize, used to truncate labels.
+	charWidth = 6.6
+)
+
+// RenderSVG renders folded stacks as a static, self-contained SVG flame
+// graph with hover tooltips (<title> elements).
+func RenderSVG(w io.Writer, folded map[string]uint64, opts SVGOptions) error {
+	if opts.Width <= 0 {
+		opts.Width = 1200
+	}
+	if opts.Unit == "" {
+		opts.Unit = "ticks"
+	}
+	if opts.MinFrameWidth <= 0 {
+		opts.MinFrameWidth = 0.25
+	}
+	if opts.Title == "" {
+		opts.Title = "TEE-Perf Flame Graph"
+	}
+	root := Build(folded)
+	depth := root.Depth()
+	height := headerSpace + depth*frameHeight + footerSpace
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<?xml version="1.0" standalone="no"?>
+<svg version="1.1" width="%d" height="%d" xmlns="http://www.w3.org/2000/svg" font-family="Verdana, sans-serif">
+<rect x="0" y="0" width="%d" height="%d" fill="#f8f8f8"/>
+<text x="%d" y="24" font-size="15" text-anchor="middle" fill="#333">%s</text>
+`, opts.Width, height, opts.Width, height, opts.Width/2, html.EscapeString(opts.Title))
+
+	if root.Total > 0 {
+		r := &svgRenderer{
+			bw:    bw,
+			total: root.Total,
+			scale: float64(opts.Width-20) / float64(root.Total),
+			opts:  opts,
+			// Frames grow upward from the bottom, root at the bottom row.
+			baseY: height - footerSpace - frameHeight,
+		}
+		r.frame(root, 10, 0)
+		if opts.Interactive {
+			writeZoomScript(bw, opts.Width)
+		}
+	} else {
+		fmt.Fprintf(bw, `<text x="%d" y="%d" font-size="12" text-anchor="middle" fill="#777">no samples</text>`+"\n",
+			opts.Width/2, height/2)
+	}
+
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.Flush()
+}
+
+type svgRenderer struct {
+	bw    *bufio.Writer
+	total uint64
+	scale float64
+	opts  SVGOptions
+	baseY int
+}
+
+// frame draws node at horizontal offset x (pixels) and the given depth,
+// then recurses into children left to right.
+func (r *svgRenderer) frame(n *Node, x float64, depth int) {
+	w := float64(n.Total) * r.scale
+	if w < r.opts.MinFrameWidth {
+		return
+	}
+	y := r.baseY - depth*frameHeight
+	pct := 100 * float64(n.Total) / float64(r.total)
+	fill := colorFor(n.Name)
+	tooltip := fmt.Sprintf("%s (%d %s, %.2f%%)", n.Name, n.Total, r.opts.Unit, pct)
+
+	attrs := ""
+	if r.opts.Interactive {
+		// Data attributes carry the tick-domain geometry the zoom script
+		// rescales from.
+		attrs = fmt.Sprintf(` class="fg" data-x="%.2f" data-w="%.2f" data-d="%d" data-n="%s"`,
+			x, w, depth, html.EscapeString(n.Name))
+	}
+	fmt.Fprintf(r.bw,
+		`<g%s><title>%s</title><rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" rx="1"/>`,
+		attrs, html.EscapeString(tooltip), x, y, w, frameHeight-1, fill)
+	if label := fitLabel(n.Name, w); label != "" {
+		fmt.Fprintf(r.bw,
+			`<text x="%.2f" y="%d" font-size="%d" fill="#222">%s</text>`,
+			x+3, y+frameHeight-5, fontSize, html.EscapeString(label))
+	}
+	fmt.Fprint(r.bw, "</g>\n")
+
+	cx := x
+	for _, c := range n.Children {
+		r.frame(c, cx, depth+1)
+		cx += float64(c.Total) * r.scale
+	}
+}
+
+// fitLabel truncates a name to fit a frame of pixel width w.
+func fitLabel(name string, w float64) string {
+	maxChars := int((w - 6) / charWidth)
+	if maxChars < 3 {
+		return ""
+	}
+	if len(name) <= maxChars {
+		return name
+	}
+	return name[:maxChars-2] + ".."
+}
+
+// colorFor picks a deterministic warm color per function name, in the
+// traditional flame palette.
+func colorFor(name string) string {
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	red := 205 + int(h%50)
+	green := 50 + int((h>>8)%150)
+	blue := int((h >> 16) % 40)
+	return fmt.Sprintf("rgb(%d,%d,%d)", red, green, blue)
+}
+
+// writeZoomScript embeds the click-to-zoom behaviour: clicking a frame
+// rescales every frame relative to it (descendants expand, unrelated
+// frames collapse), clicking the background resets. Text labels are
+// refitted after each zoom.
+func writeZoomScript(bw *bufio.Writer, width int) {
+	fmt.Fprintf(bw, `<script><![CDATA[
+(function() {
+  var W = %d - 20, PAD = 10, CW = %.2f;
+  var frames = [];
+  var gs = document.querySelectorAll("g.fg");
+  for (var i = 0; i < gs.length; i++) {
+    var g = gs[i];
+    frames.push({
+      g: g,
+      rect: g.querySelector("rect"),
+      text: g.querySelector("text"),
+      x: parseFloat(g.getAttribute("data-x")),
+      w: parseFloat(g.getAttribute("data-w")),
+      d: parseInt(g.getAttribute("data-d"), 10),
+      n: g.getAttribute("data-n")
+    });
+    g.style.cursor = "pointer";
+    g.addEventListener("click", (function(f) {
+      return function(ev) { zoom(f); ev.stopPropagation(); };
+    })(frames[i]));
+  }
+  function fit(f, w) {
+    if (!f.text) return;
+    var max = Math.floor((w - 6) / CW);
+    if (max < 3) { f.text.textContent = ""; return; }
+    f.text.textContent = f.n.length <= max ? f.n : f.n.slice(0, max - 2) + "..";
+  }
+  function zoom(target) {
+    var scale = W / target.w;
+    for (var i = 0; i < frames.length; i++) {
+      var f = frames[i];
+      var inside = f.x >= target.x - 0.01 && f.x + f.w <= target.x + target.w + 0.01;
+      var isAncestor = f.d <= target.d && f.x <= target.x + 0.01 && f.x + f.w >= target.x + target.w - 0.01;
+      var nx, nw;
+      if (inside || isAncestor) {
+        nx = isAncestor ? PAD : PAD + (f.x - target.x) * scale;
+        nw = isAncestor ? W : f.w * scale;
+        f.g.style.display = "";
+        f.rect.setAttribute("x", nx.toFixed(2));
+        f.rect.setAttribute("width", Math.max(nw, 0.5).toFixed(2));
+        if (f.text) f.text.setAttribute("x", (nx + 3).toFixed(2));
+        fit(f, nw);
+      } else {
+        f.g.style.display = "none";
+      }
+    }
+  }
+  function reset() {
+    for (var i = 0; i < frames.length; i++) {
+      var f = frames[i];
+      f.g.style.display = "";
+      f.rect.setAttribute("x", f.x.toFixed(2));
+      f.rect.setAttribute("width", f.w.toFixed(2));
+      if (f.text) f.text.setAttribute("x", (f.x + 3).toFixed(2));
+      fit(f, f.w);
+    }
+  }
+  document.documentElement.addEventListener("click", reset);
+})();
+]]></script>
+`, width, charWidth)
+}

@@ -1,0 +1,250 @@
+// Package instrument is TEE-Perf's stage-1 compiler pass for Go sources:
+// the analogue of gcc's -finstrument-functions plus --include=profiler.h.
+// It rewrites every function of a package to execute an entry/exit probe
+// (`defer __teeperf_rt.Span(addr)()` as the first statement) and emits the
+// per-file registration table that maps probe addresses back to function
+// names and source locations. The application source is otherwise
+// unmodified; rebuild with the rewritten files and link against teeperf/rt.
+package instrument
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+const (
+	// RuntimeImport is the package instrumented code links against.
+	RuntimeImport = "teeperf/rt"
+	// runtimeAlias is the collision-proof import alias used in generated
+	// code.
+	runtimeAlias = "__teeperf_rt"
+	// noInstrumentMarker in a function's doc comment excludes it — the
+	// __attribute__((no_instrument_function)) analogue.
+	noInstrumentMarker = "teeperf:noinstrument"
+)
+
+// FuncInfo describes one instrumented function.
+type FuncInfo struct {
+	// Name is the qualified function name (pkg.Func or pkg.(Recv).Method).
+	Name string
+	// File and Line locate the declaration.
+	File string
+	Line int
+}
+
+// Options tunes the pass.
+type Options struct {
+	// Only, when non-nil, selects which functions to instrument
+	// (selective code profiling at compile time).
+	Only func(name string) bool
+	// SkipTests skips *_test.go files in directory mode.
+	SkipTests bool
+}
+
+// Result is the outcome for one file.
+type Result struct {
+	// Source is the rewritten file content.
+	Source []byte
+	// Funcs lists the instrumented functions.
+	Funcs []FuncInfo
+	// Skipped counts functions excluded by markers or Only.
+	Skipped int
+}
+
+// File instruments one Go source file. filename is used for positions and
+// the registration table.
+func File(src []byte, filename string, opts Options) (Result, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return Result{}, fmt.Errorf("instrument: parse %s: %w", filename, err)
+	}
+	pkgName := f.Name.Name
+
+	var (
+		funcs   []FuncInfo
+		decls   []*ast.FuncDecl
+		skipped int
+	)
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		name := qualifiedName(pkgName, fn)
+		if strings.HasPrefix(fn.Name.Name, "__teeperf") || fn.Name.Name == "init" {
+			skipped++
+			continue
+		}
+		if hasMarker(fn) {
+			skipped++
+			continue
+		}
+		if opts.Only != nil && !opts.Only(name) {
+			skipped++
+			continue
+		}
+		line := fset.Position(fn.Pos()).Line
+		funcs = append(funcs, FuncInfo{Name: name, File: filename, Line: line})
+		decls = append(decls, fn)
+	}
+
+	if len(funcs) > 0 {
+		// Inject `defer __teeperf_rt.Span(__teeperf_addr_i)()`.
+		for i, fn := range decls {
+			fn.Body.List = append([]ast.Stmt{deferStmt(i)}, fn.Body.List...)
+		}
+		f.Decls = append(f.Decls, registrationDecl(funcs))
+		addImport(f)
+	}
+
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, fset, f); err != nil {
+		return Result{}, fmt.Errorf("instrument: print %s: %w", filename, err)
+	}
+	return Result{Source: buf.Bytes(), Funcs: funcs, Skipped: skipped}, nil
+}
+
+// DirReport summarizes a directory run.
+type DirReport struct {
+	Files        int
+	Instrumented int
+	Skipped      int
+	Funcs        []FuncInfo
+}
+
+// Dir instruments every .go file in inDir, writing results to outDir.
+func Dir(inDir, outDir string, opts Options) (DirReport, error) {
+	entries, err := os.ReadDir(inDir)
+	if err != nil {
+		return DirReport{}, fmt.Errorf("instrument: read dir: %w", err)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return DirReport{}, fmt.Errorf("instrument: create out dir: %w", err)
+	}
+	var report DirReport
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if opts.SkipTests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(inDir, e.Name()))
+		if err != nil {
+			return report, fmt.Errorf("instrument: read %s: %w", e.Name(), err)
+		}
+		res, err := File(src, e.Name(), opts)
+		if err != nil {
+			return report, err
+		}
+		if err := os.WriteFile(filepath.Join(outDir, e.Name()), res.Source, 0o644); err != nil {
+			return report, fmt.Errorf("instrument: write %s: %w", e.Name(), err)
+		}
+		report.Files++
+		report.Instrumented += len(res.Funcs)
+		report.Skipped += res.Skipped
+		report.Funcs = append(report.Funcs, res.Funcs...)
+	}
+	return report, nil
+}
+
+func qualifiedName(pkg string, fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return pkg + "." + fn.Name.Name
+	}
+	recv := typeName(fn.Recv.List[0].Type)
+	return pkg + ".(" + recv + ")." + fn.Name.Name
+}
+
+func typeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeName(t.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		return typeName(t.X)
+	case *ast.IndexListExpr:
+		return typeName(t.X)
+	default:
+		return "?"
+	}
+}
+
+func hasMarker(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.Contains(c.Text, noInstrumentMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func addrVar(i int) string { return fmt.Sprintf("__teeperf_addr_%d", i) }
+
+// deferStmt builds `defer __teeperf_rt.Span(__teeperf_addr_i)()`.
+func deferStmt(i int) ast.Stmt {
+	return &ast.DeferStmt{
+		Call: &ast.CallExpr{
+			Fun: &ast.CallExpr{
+				Fun: &ast.SelectorExpr{
+					X:   ast.NewIdent(runtimeAlias),
+					Sel: ast.NewIdent("Span"),
+				},
+				Args: []ast.Expr{ast.NewIdent(addrVar(i))},
+			},
+		},
+	}
+}
+
+// registrationDecl builds the per-file table:
+//
+//	var (
+//	    __teeperf_addr_0 = __teeperf_rt.Register("pkg.F", "file.go", 10)
+//	    ...
+//	)
+func registrationDecl(funcs []FuncInfo) ast.Decl {
+	specs := make([]ast.Spec, len(funcs))
+	for i, fi := range funcs {
+		specs[i] = &ast.ValueSpec{
+			Names: []*ast.Ident{ast.NewIdent(addrVar(i))},
+			Values: []ast.Expr{&ast.CallExpr{
+				Fun: &ast.SelectorExpr{
+					X:   ast.NewIdent(runtimeAlias),
+					Sel: ast.NewIdent("Register"),
+				},
+				Args: []ast.Expr{
+					&ast.BasicLit{Kind: token.STRING, Value: strconv.Quote(fi.Name)},
+					&ast.BasicLit{Kind: token.STRING, Value: strconv.Quote(fi.File)},
+					&ast.BasicLit{Kind: token.INT, Value: strconv.Itoa(fi.Line)},
+				},
+			}},
+		}
+	}
+	return &ast.GenDecl{Tok: token.VAR, Lparen: 1, Rparen: 2, Specs: specs}
+}
+
+// addImport appends `import __teeperf_rt "teeperf/rt"`.
+func addImport(f *ast.File) {
+	imp := &ast.GenDecl{
+		Tok: token.IMPORT,
+		Specs: []ast.Spec{&ast.ImportSpec{
+			Name: ast.NewIdent(runtimeAlias),
+			Path: &ast.BasicLit{Kind: token.STRING, Value: strconv.Quote(RuntimeImport)},
+		}},
+	}
+	f.Decls = append([]ast.Decl{imp}, f.Decls...)
+}

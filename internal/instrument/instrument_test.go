@@ -1,0 +1,250 @@
+package instrument
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/recorder"
+)
+
+const sampleSrc = `package main
+
+import "fmt"
+
+func helper(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n * helper(n-1)
+}
+
+// teeperf:noinstrument
+func secret() int { return 42 }
+
+func __teeperf_internal() {}
+
+type Calc struct{ bias int }
+
+func (c *Calc) Add(a, b int) int { return a + b + c.bias }
+
+func main() {
+	fmt.Println(helper(5), secret())
+}
+`
+
+func TestFileInjectsProbes(t *testing.T) {
+	res, err := File([]byte(sampleSrc), "main.go", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(res.Source)
+
+	// Instrumented functions: helper, (*Calc).Add, main — not secret
+	// (marker), not __teeperf_internal (prefix).
+	wantFuncs := []string{"main.helper", "main.(*Calc).Add", "main.main"}
+	if len(res.Funcs) != len(wantFuncs) {
+		t.Fatalf("instrumented %d funcs (%v), want %d", len(res.Funcs), res.Funcs, len(wantFuncs))
+	}
+	for i, want := range wantFuncs {
+		if res.Funcs[i].Name != want {
+			t.Errorf("func %d = %q, want %q", i, res.Funcs[i].Name, want)
+		}
+	}
+	if res.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2", res.Skipped)
+	}
+
+	for _, want := range []string{
+		`__teeperf_rt "teeperf/rt"`,
+		"defer __teeperf_rt.Span(__teeperf_addr_0)()",
+		`__teeperf_rt.Register("main.helper", "main.go", 5)`,
+		`__teeperf_rt.Register("main.(*Calc).Add", "main.go", 19)`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `Register("main.secret"`) {
+		t.Error("marked function was instrumented")
+	}
+
+	// The rewritten source must still parse.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "main.go", res.Source, 0); err != nil {
+		t.Fatalf("rewritten source does not parse: %v", err)
+	}
+}
+
+func TestFileSelective(t *testing.T) {
+	res, err := File([]byte(sampleSrc), "main.go", Options{
+		Only: func(name string) bool { return name == "main.helper" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Funcs) != 1 || res.Funcs[0].Name != "main.helper" {
+		t.Fatalf("selective instrumented %v, want only main.helper", res.Funcs)
+	}
+}
+
+func TestFileNoFunctionsUnchangedShape(t *testing.T) {
+	src := "package empty\n\nconst X = 1\n"
+	res, err := File([]byte(src), "e.go", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Funcs) != 0 {
+		t.Errorf("instrumented %v in a file with no functions", res.Funcs)
+	}
+	if strings.Contains(string(res.Source), "teeperf") {
+		t.Error("runtime import added to a file with nothing instrumented")
+	}
+}
+
+func TestFileParseError(t *testing.T) {
+	if _, err := File([]byte("not go"), "x.go", Options{}); err == nil {
+		t.Error("bad source should fail")
+	}
+}
+
+func TestDir(t *testing.T) {
+	in := t.TempDir()
+	out := t.TempDir()
+	files := map[string]string{
+		"a.go":      "package p\n\nfunc A() {}\n",
+		"b.go":      "package p\n\nfunc B() int { return 2 }\n",
+		"b_test.go": "package p\n\nfunc testHelper() {}\n",
+		"notes.txt": "ignore me",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(in, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := Dir(in, out, Options{SkipTests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Files != 2 {
+		t.Errorf("files = %d, want 2", report.Files)
+	}
+	if report.Instrumented != 2 {
+		t.Errorf("instrumented = %d, want 2", report.Instrumented)
+	}
+	if _, err := os.Stat(filepath.Join(out, "a.go")); err != nil {
+		t.Errorf("output a.go missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "b_test.go")); err == nil {
+		t.Error("test file should have been skipped")
+	}
+	if _, err := Dir(filepath.Join(in, "missing"), out, Options{}); err == nil {
+		t.Error("missing input dir should fail")
+	}
+}
+
+// TestEndToEndCompileAndProfile is the full stage-1 pipeline: instrument an
+// unmodified program, build it with the real Go toolchain against this
+// module's rt package, run it, and analyze the bundle it wrote.
+func TestEndToEndCompileAndProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles with the go toolchain")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const app = `package main
+
+import (
+	"os"
+
+	"teeperf/rt"
+)
+
+func fib(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fib(n-1) + fib(n-2)
+}
+
+func work() int {
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += fib(12)
+	}
+	return total
+}
+
+// teeperf:noinstrument
+func main() {
+	if err := rt.Configure(rt.Config{Counter: rt.CounterTSC}); err != nil {
+		panic(err)
+	}
+	_ = work()
+	if err := rt.Finish(os.Args[1]); err != nil {
+		panic(err)
+	}
+}
+`
+	res, err := File([]byte(app), "main.go", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	gomod := "module probeapp\n\ngo 1.22\n\nrequire teeperf v0.0.0\n\nreplace teeperf => " + repoRoot + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), res.Source, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outBundle := filepath.Join(dir, "run.teeperf")
+
+	cmd := exec.Command(goBin, "run", ".", outBundle)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go run failed: %v\n%s", err, out)
+	}
+
+	tab, log, err := recorder.ReadBundleFile(outBundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, ok := p.Func("main.fib")
+	if !ok {
+		t.Fatal("main.fib missing from end-to-end profile")
+	}
+	// 10 iterations of fib(12): fib called 10 * (2*fib(13)... ) — at
+	// least hundreds of calls.
+	if fib.Calls < 1000 {
+		t.Errorf("fib calls = %d, want >= 1000", fib.Calls)
+	}
+	workStat, ok := p.Func("main.work")
+	if !ok {
+		t.Fatal("main.work missing")
+	}
+	if got := fib.Callers["main.work"]; got != 10 {
+		t.Errorf("fib callers[work] = %d, want 10", got)
+	}
+	if workStat.Incl < fib.Self {
+		t.Errorf("work incl %d below fib self %d", workStat.Incl, fib.Self)
+	}
+}

@@ -1,0 +1,100 @@
+package kvstore
+
+import "encoding/binary"
+
+// bloomFilter is a split-hash Bloom filter, 10 bits per key by default
+// (RocksDB's default), giving ~1% false positives.
+type bloomFilter struct {
+	bits  []byte
+	k     int
+	nbits uint32
+}
+
+// newBloomFilter sizes a filter for n keys at bitsPerKey.
+func newBloomFilter(n, bitsPerKey int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 10
+	}
+	nbits := n * bitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	k := bitsPerKey * 69 / 100 // ln2 * bitsPerKey
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &bloomFilter{
+		bits:  make([]byte, (nbits+7)/8),
+		k:     k,
+		nbits: uint32((nbits + 7) / 8 * 8),
+	}
+}
+
+// bloomFromBytes reconstructs a filter serialized by encode.
+func bloomFromBytes(data []byte) *bloomFilter {
+	if len(data) < 5 {
+		return nil
+	}
+	k := int(data[0])
+	bits := data[1:]
+	return &bloomFilter{bits: bits, k: k, nbits: uint32(len(bits) * 8)}
+}
+
+// encode serializes the filter (k byte + bit array).
+func (b *bloomFilter) encode() []byte {
+	out := make([]byte, 1+len(b.bits))
+	out[0] = byte(b.k)
+	copy(out[1:], b.bits)
+	return out
+}
+
+func bloomHash(key []byte) uint32 {
+	// FNV-1a 32-bit seeded variant, mixed for double hashing.
+	var h uint32 = 2166136261
+	for _, c := range key {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// add inserts key.
+func (b *bloomFilter) add(key []byte) {
+	h := bloomHash(key)
+	delta := h>>17 | h<<15
+	for i := 0; i < b.k; i++ {
+		pos := h % b.nbits
+		b.bits[pos/8] |= 1 << (pos % 8)
+		h += delta
+	}
+}
+
+// mayContain reports whether key may be present (false => definitely not).
+func (b *bloomFilter) mayContain(key []byte) bool {
+	h := bloomHash(key)
+	delta := h>>17 | h<<15
+	for i := 0; i < b.k; i++ {
+		pos := h % b.nbits
+		if b.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}
+
+// putUvarint32 appends v little-endian (fixed 4 bytes) — tiny helper shared
+// by the table encoders.
+func putU32(dst []byte, v uint32) { binary.LittleEndian.PutUint32(dst, v) }
+
+func getU32(src []byte) uint32 { return binary.LittleEndian.Uint32(src) }
+
+func putU64(dst []byte, v uint64) { binary.LittleEndian.PutUint64(dst, v) }
+
+func getU64(src []byte) uint64 { return binary.LittleEndian.Uint64(src) }

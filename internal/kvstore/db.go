@@ -1,0 +1,466 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"teeperf/internal/tee"
+)
+
+// Options tunes the store. The zero value selects defaults.
+type Options struct {
+	// MemtableFlushSize triggers a flush to L0 once the memtable exceeds
+	// this many bytes (default 1 MiB).
+	MemtableFlushSize int
+	// BlockSize is the SSTable data-block target size (default 4 KiB).
+	BlockSize int
+	// BloomBitsPerKey sizes the per-table bloom filters (default 10).
+	BloomBitsPerKey int
+	// MaxL0Tables triggers compaction of L0 into L1 (default 4).
+	MaxL0Tables int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{
+		MemtableFlushSize: 1 << 20,
+		BlockSize:         4096,
+		BloomBitsPerKey:   10,
+		MaxL0Tables:       4,
+	}
+	if o == nil {
+		return out
+	}
+	if o.MemtableFlushSize > 0 {
+		out.MemtableFlushSize = o.MemtableFlushSize
+	}
+	if o.BlockSize > 0 {
+		out.BlockSize = o.BlockSize
+	}
+	if o.BloomBitsPerKey > 0 {
+		out.BloomBitsPerKey = o.BloomBitsPerKey
+	}
+	if o.MaxL0Tables > 0 {
+		out.MaxL0Tables = o.MaxL0Tables
+	}
+	return out
+}
+
+// ErrNotFound is returned by Get for missing or deleted keys.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// DB is the LSM store. All methods are safe for concurrent use; I/O flows
+// through the calling thread's OCALL path so enclave costs land on the
+// requesting thread (as they do in the real system).
+type DB struct {
+	name string
+	host *tee.Host
+	opts Options
+
+	mu   sync.RWMutex
+	mem  *memTable
+	l0   []*ssTable // newest first
+	l1   []*ssTable // sorted by first key, non-overlapping
+	wal  *wal
+	seq  uint64
+	nsst int
+
+	statsMu sync.Mutex
+	stats   DBStats
+}
+
+// DBStats counts store activity.
+type DBStats struct {
+	Puts        uint64
+	Gets        uint64
+	Deletes     uint64
+	Flushes     uint64
+	Compactions uint64
+	BloomSkips  uint64
+}
+
+// Open creates or reopens a store named name on host. Reopening replays
+// the manifest (table list) and the write-ahead log.
+func Open(host *tee.Host, th *tee.Thread, name string, opts *Options) (*DB, error) {
+	if host == nil || th == nil {
+		return nil, errors.New("kvstore: nil host or thread")
+	}
+	if name == "" {
+		return nil, errors.New("kvstore: empty db name")
+	}
+	db := &DB{
+		name: name,
+		host: host,
+		opts: opts.withDefaults(),
+		mem:  newMemTable(),
+	}
+	w, err := openWAL(host, name+"/wal")
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+
+	if err := db.loadManifest(th); err != nil {
+		return nil, err
+	}
+	recs, err := w.replay(th)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: recover: %w", err)
+	}
+	for _, r := range recs {
+		db.mem.put(r.key, r.value, r.seq, r.op == walOpDelete)
+		if r.seq > db.seq {
+			db.seq = r.seq
+		}
+	}
+	return db, nil
+}
+
+// Put stores key -> value.
+func (db *DB) Put(th *tee.Thread, key, value []byte) error {
+	return db.write(th, key, value, false)
+}
+
+// Delete removes key (writes a tombstone).
+func (db *DB) Delete(th *tee.Thread, key []byte) error {
+	return db.write(th, key, nil, true)
+}
+
+func (db *DB) write(th *tee.Thread, key, value []byte, del bool) error {
+	if len(key) == 0 {
+		return errors.New("kvstore: empty key")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.seq++
+	op := byte(walOpPut)
+	if del {
+		op = walOpDelete
+	}
+	if err := db.wal.append(th, db.seq, op, key, value); err != nil {
+		return err
+	}
+	db.mem.put(key, value, db.seq, del)
+	db.statsMu.Lock()
+	if del {
+		db.stats.Deletes++
+	} else {
+		db.stats.Puts++
+	}
+	db.statsMu.Unlock()
+	if db.mem.approximateSize() >= db.opts.MemtableFlushSize {
+		if err := db.flushLocked(th); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (db *DB) Get(th *tee.Thread, key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.statsMu.Lock()
+	db.stats.Gets++
+	db.statsMu.Unlock()
+
+	if v, found, deleted := db.mem.get(key); found {
+		if deleted {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), v...), nil
+	}
+	for _, t := range db.l0 {
+		v, found, deleted, err := t.get(th, key)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	// L1 is non-overlapping: binary search for the table covering key.
+	i := sort.Search(len(db.l1), func(i int) bool {
+		return bytes.Compare(db.l1[i].last, key) >= 0
+	})
+	if i < len(db.l1) {
+		v, found, deleted, err := db.l1[i].get(th, key)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Flush forces the memtable to an L0 table.
+func (db *DB) Flush(th *tee.Thread) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.flushLocked(th)
+}
+
+func (db *DB) flushLocked(th *tee.Thread) error {
+	if db.mem.len() == 0 {
+		return nil
+	}
+	entries := db.mem.entries()
+	recs := make([]tableEntry, len(entries))
+	for i, e := range entries {
+		recs[i] = tableEntry{key: e.key, value: e.value, seq: e.seq, del: e.del}
+	}
+	db.nsst++
+	name := fmt.Sprintf("%s/sst-%06d.tbl", db.name, db.nsst)
+	t, err := buildSSTable(db.host, th, name, recs, db.opts.BlockSize, db.opts.BloomBitsPerKey)
+	if err != nil {
+		return err
+	}
+	db.l0 = append([]*ssTable{t}, db.l0...)
+	db.mem = newMemTable()
+	if err := db.wal.reset(db.host); err != nil {
+		return err
+	}
+	db.statsMu.Lock()
+	db.stats.Flushes++
+	db.statsMu.Unlock()
+	if err := db.writeManifestLocked(th); err != nil {
+		return err
+	}
+	if len(db.l0) > db.opts.MaxL0Tables {
+		return db.compactLocked(th)
+	}
+	return nil
+}
+
+// Compact merges all L0 tables with L1 into a fresh non-overlapping L1.
+func (db *DB) Compact(th *tee.Thread) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.compactLocked(th)
+}
+
+func (db *DB) compactLocked(th *tee.Thread) error {
+	if len(db.l0) == 0 {
+		return nil
+	}
+	// Merge priority: L0 newest first, then L1.
+	sources := make([][]tableEntry, 0, len(db.l0)+len(db.l1))
+	for _, t := range db.l0 {
+		recs, err := t.all(th)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, recs)
+	}
+	for _, t := range db.l1 {
+		recs, err := t.all(th)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, recs)
+	}
+	merged := mergeEntries(sources, true /* dropTombstones */)
+	db.l0 = nil
+	db.l1 = nil
+	if len(merged) > 0 {
+		// Split into ~2 MiB tables.
+		const targetBytes = 2 << 20
+		var (
+			cur        []tableEntry
+			bytesInCur int
+		)
+		emit := func() error {
+			if len(cur) == 0 {
+				return nil
+			}
+			db.nsst++
+			name := fmt.Sprintf("%s/sst-%06d.tbl", db.name, db.nsst)
+			t, err := buildSSTable(db.host, th, name, cur, db.opts.BlockSize, db.opts.BloomBitsPerKey)
+			if err != nil {
+				return err
+			}
+			db.l1 = append(db.l1, t)
+			cur = nil
+			bytesInCur = 0
+			return nil
+		}
+		for _, r := range merged {
+			cur = append(cur, r)
+			bytesInCur += len(r.key) + len(r.value) + recHeaderSize
+			if bytesInCur >= targetBytes {
+				if err := emit(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := emit(); err != nil {
+			return err
+		}
+	}
+	db.statsMu.Lock()
+	db.stats.Compactions++
+	db.statsMu.Unlock()
+	return db.writeManifestLocked(th)
+}
+
+// mergeEntries merges sorted runs; earlier sources win on key collisions.
+// Tombstones are dropped when dropTombstones is set (full compaction).
+func mergeEntries(sources [][]tableEntry, dropTombstones bool) []tableEntry {
+	var all []tableEntry
+	for _, src := range sources {
+		all = append(all, src...)
+	}
+	// Records were appended in source-priority order (newest source
+	// first), so a stable sort by key keeps the winning record first in
+	// each equal-key run.
+	sort.SliceStable(all, func(i, j int) bool {
+		return bytes.Compare(all[i].key, all[j].key) < 0
+	})
+	var out []tableEntry
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && bytes.Equal(all[j].key, all[i].key) {
+			j++
+		}
+		winner := all[i] // first occurrence = highest priority
+		if !(winner.del && dropTombstones) {
+			out = append(out, winner)
+		}
+		i = j
+	}
+	return out
+}
+
+// Stats returns a snapshot of the activity counters.
+func (db *DB) Stats() DBStats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.stats
+}
+
+// Levels reports (#L0 tables, #L1 tables).
+func (db *DB) Levels() (int, int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.l0), len(db.l1)
+}
+
+// --- manifest ---
+
+// The manifest lists live tables per level so the store can reopen:
+//
+//	KVMANIFEST1
+//	<level> <file name>
+func (db *DB) writeManifestLocked(th *tee.Thread) error {
+	var sb strings.Builder
+	sb.WriteString("KVMANIFEST1\n")
+	fmt.Fprintf(&sb, "nsst %d\n", db.nsst)
+	for _, t := range db.l0 {
+		fmt.Fprintf(&sb, "0 %s\n", t.Name())
+	}
+	for _, t := range db.l1 {
+		fmt.Fprintf(&sb, "1 %s\n", t.Name())
+	}
+	f, err := db.host.CreateFile(db.name+"/MANIFEST", 0)
+	if err != nil {
+		return fmt.Errorf("kvstore: manifest: %w", err)
+	}
+	if _, err := th.Pwrite(f, []byte(sb.String()), 0); err != nil {
+		return fmt.Errorf("kvstore: manifest write: %w", err)
+	}
+	return nil
+}
+
+func (db *DB) loadManifest(th *tee.Thread) error {
+	f, err := db.host.OpenFile(db.name + "/MANIFEST")
+	if err != nil {
+		return nil // fresh store
+	}
+	buf := make([]byte, f.Size())
+	if len(buf) == 0 {
+		return nil
+	}
+	if _, err := th.Pread(f, buf, 0); err != nil {
+		return fmt.Errorf("kvstore: manifest read: %w", err)
+	}
+	lines := strings.Split(string(buf), "\n")
+	if len(lines) == 0 || lines[0] != "KVMANIFEST1" {
+		return fmt.Errorf("kvstore: bad manifest header")
+	}
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var (
+			level int
+			name  string
+		)
+		if _, err := fmt.Sscanf(line, "nsst %d", &db.nsst); err == nil {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %s", &level, &name); err != nil {
+			return fmt.Errorf("kvstore: bad manifest line %q", line)
+		}
+		t, err := openSSTable(db.host, th, name)
+		if err != nil {
+			return fmt.Errorf("kvstore: reopen table %s: %w", name, err)
+		}
+		switch level {
+		case 0:
+			db.l0 = append(db.l0, t)
+		case 1:
+			db.l1 = append(db.l1, t)
+		default:
+			return fmt.Errorf("kvstore: bad manifest level %d", level)
+		}
+	}
+	sort.Slice(db.l1, func(i, j int) bool {
+		return bytes.Compare(db.l1[i].first, db.l1[j].first) < 0
+	})
+	return nil
+}
+
+// Scan returns all live key/value pairs in key order (merged view across
+// memtable and levels, tombstones resolved).
+func (db *DB) Scan(th *tee.Thread) ([][2][]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	sources := make([][]tableEntry, 0, 1+len(db.l0)+len(db.l1))
+	var memRecs []tableEntry
+	for _, e := range db.mem.entries() {
+		memRecs = append(memRecs, tableEntry{key: e.key, value: e.value, seq: e.seq, del: e.del})
+	}
+	sources = append(sources, memRecs)
+	for _, t := range db.l0 {
+		recs, err := t.all(th)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, recs)
+	}
+	for _, t := range db.l1 {
+		recs, err := t.all(th)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, recs)
+	}
+	merged := mergeEntries(sources, true)
+	out := make([][2][]byte, 0, len(merged))
+	for _, r := range merged {
+		out = append(out, [2][]byte{r.key, r.value})
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"teeperf/internal/probe"
+	"teeperf/internal/symtab"
+	"teeperf/internal/tee"
+)
+
+// db_bench symbol names, mangled like the RocksDB binary's so the analyzer
+// demangles them into the names seen in the paper's Fig 5 flame graph.
+const (
+	symBenchmark   = "_ZN7rocksdb9Benchmark21ReadRandomWriteRandomEv"
+	symThreadBody  = "_ZN7rocksdb9Benchmark10ThreadBodyEv"
+	symStatsStart  = "_ZN7rocksdb5Stats5StartEv"
+	symStatsNow    = "_ZN7rocksdb5Stats3NowEv"
+	symRandGenCtor = "_ZN7rocksdb15RandomGeneratorC1Ev"
+	symCompressStr = "_ZN7rocksdb4test18CompressibleStringEv"
+	symDBGet       = "_ZN7rocksdb6DBImpl3GetEv"
+	symDBPut       = "_ZN7rocksdb6DBImpl3PutEv"
+)
+
+// BenchSymbols lists every function the db_bench driver instruments.
+func BenchSymbols() []string {
+	return []string{
+		symThreadBody, symBenchmark, symStatsStart, symStatsNow,
+		symRandGenCtor, symCompressStr, symDBGet, symDBPut,
+	}
+}
+
+// RegisterBenchSymbols adds the db_bench functions to the symbol table
+// (idempotent).
+func RegisterBenchSymbols(tab *symtab.Table) error {
+	for i, name := range BenchSymbols() {
+		if _, ok := tab.Lookup(name); ok {
+			continue
+		}
+		if _, err := tab.Register(name, 64, "db/db_bench.cc", 100+10*i); err != nil {
+			return fmt.Errorf("kvstore: register %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// BenchConfig configures one db_bench thread.
+type BenchConfig struct {
+	// DB is the store under test.
+	DB *DB
+	// Hooks receives instrumentation events.
+	Hooks probe.Hooks
+	// AddrOf resolves the registered bench symbols.
+	AddrOf func(string) uint64
+	// Ops is the operation count (default 10000).
+	Ops int
+	// ReadPct is the read percentage (default 80, the paper's mix).
+	ReadPct int
+	// KeySpace bounds the random key range (default 10000).
+	KeySpace int
+	// ValueSize is bytes per written value (default 100, db_bench default).
+	ValueSize int
+	// RandomDataSize is the RandomGenerator's compressible buffer size
+	// (default 1 MiB, mirroring db_bench's generator).
+	RandomDataSize int
+	// Seed makes runs deterministic.
+	Seed uint64
+}
+
+func (c *BenchConfig) withDefaults() (BenchConfig, error) {
+	if c == nil || c.DB == nil {
+		return BenchConfig{}, errors.New("kvstore: bench needs a DB")
+	}
+	out := *c
+	if out.Hooks == nil {
+		return BenchConfig{}, errors.New("kvstore: bench needs hooks")
+	}
+	if out.AddrOf == nil {
+		return BenchConfig{}, errors.New("kvstore: bench needs AddrOf")
+	}
+	if out.Ops <= 0 {
+		out.Ops = 10000
+	}
+	if out.ReadPct < 0 || out.ReadPct > 100 {
+		return BenchConfig{}, fmt.Errorf("kvstore: read pct %d out of range", out.ReadPct)
+	}
+	if out.ReadPct == 0 {
+		out.ReadPct = 80
+	}
+	if out.KeySpace <= 0 {
+		out.KeySpace = 10000
+	}
+	if out.ValueSize <= 0 {
+		out.ValueSize = 100
+	}
+	if out.RandomDataSize <= 0 {
+		out.RandomDataSize = 1 << 20
+	}
+	if out.Seed == 0 {
+		out.Seed = 0x9e3779b9
+	}
+	return out, nil
+}
+
+// BenchResult summarizes one db_bench run.
+type BenchResult struct {
+	Ops      int
+	Reads    int
+	Writes   int
+	NotFound int
+	// Checksum validates determinism across instrumentation modes.
+	Checksum uint64
+}
+
+// randomGenerator mirrors db_bench's RandomGenerator: its constructor
+// builds a large compressible random buffer (byte-at-a-time, which is why
+// it shows up hot in Fig 5); Generate then just slices it.
+type randomGenerator struct {
+	data []byte
+	pos  int
+}
+
+func newRandomGenerator(h probe.Hooks, ctorAddr, comprAddr uint64, size int, seed uint64) *randomGenerator {
+	h.Enter(ctorAddr)
+	g := &randomGenerator{data: make([]byte, size)}
+	h.Enter(comprAddr)
+	state := seed
+	// Compressible: long runs seeded from a random byte, like
+	// test::CompressibleString.
+	i := 0
+	for i < size {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		b := byte(z)
+		run := int(z>>56)%17 + 3
+		for r := 0; r < run && i < size; r++ {
+			g.data[i] = b ^ byte(r*31)
+			i++
+		}
+	}
+	h.Exit(comprAddr)
+	h.Exit(ctorAddr)
+	return g
+}
+
+func (g *randomGenerator) generate(n int) []byte {
+	if g.pos+n > len(g.data) {
+		g.pos = 0
+	}
+	out := g.data[g.pos : g.pos+n]
+	g.pos += n
+	return out
+}
+
+// RunDBBench executes the ReadRandomWriteRandom workload (80% reads in the
+// paper) on the calling thread.
+func RunDBBench(th *tee.Thread, cfg *BenchConfig) (BenchResult, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	addrs := make(map[string]uint64, len(BenchSymbols()))
+	for _, s := range BenchSymbols() {
+		a := c.AddrOf(s)
+		if a == 0 {
+			return BenchResult{}, fmt.Errorf("kvstore: bench symbol %q not registered", s)
+		}
+		addrs[s] = a
+	}
+	h := c.Hooks
+
+	h.Enter(addrs[symThreadBody])
+	h.Enter(addrs[symBenchmark])
+
+	gen := newRandomGenerator(h, addrs[symRandGenCtor], addrs[symCompressStr], c.RandomDataSize, c.Seed)
+
+	var res BenchResult
+	state := c.Seed
+	key := make([]byte, 16)
+	for op := 0; op < c.Ops; op++ {
+		// Stats::Start -> Stats::Now at op begin (clock read = OCALL in
+		// the TEE; the paper's first hotspot).
+		h.Enter(addrs[symStatsStart])
+		h.Enter(addrs[symStatsNow])
+		t0 := th.ClockNow()
+		h.Exit(addrs[symStatsNow])
+		h.Exit(addrs[symStatsStart])
+
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		k := z % uint64(c.KeySpace)
+		binary.BigEndian.PutUint64(key, k)
+		binary.BigEndian.PutUint64(key[8:], k*2654435761)
+
+		if int(z>>32%100) < c.ReadPct {
+			h.Enter(addrs[symDBGet])
+			v, err := c.DB.Get(th, key)
+			h.Exit(addrs[symDBGet])
+			if err != nil {
+				if !errors.Is(err, ErrNotFound) {
+					h.Exit(addrs[symBenchmark])
+					h.Exit(addrs[symThreadBody])
+					return BenchResult{}, err
+				}
+				res.NotFound++
+			} else {
+				res.Checksum += uint64(len(v)) + uint64(v[0])
+			}
+			res.Reads++
+		} else {
+			value := gen.generate(c.ValueSize)
+			h.Enter(addrs[symDBPut])
+			err := c.DB.Put(th, key, value)
+			h.Exit(addrs[symDBPut])
+			if err != nil {
+				h.Exit(addrs[symBenchmark])
+				h.Exit(addrs[symThreadBody])
+				return BenchResult{}, err
+			}
+			res.Writes++
+		}
+
+		// Stats::Now again at op end.
+		h.Enter(addrs[symStatsNow])
+		t1 := th.ClockNow()
+		h.Exit(addrs[symStatsNow])
+		res.Checksum += (t1 - t0) >> 63 // keep usage without timing noise
+		res.Ops++
+		th.Safepoint()
+	}
+
+	h.Exit(addrs[symBenchmark])
+	h.Exit(addrs[symThreadBody])
+	return res, nil
+}

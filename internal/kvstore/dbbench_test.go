@@ -1,0 +1,194 @@
+package kvstore
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/counter"
+	"teeperf/internal/probe"
+	"teeperf/internal/raceinfo"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+	"teeperf/internal/tee"
+)
+
+func benchPipeline(t *testing.T, platform tee.Platform, spin bool, ops int) (*BenchConfig, *tee.Thread, *shmlog.Log, *symtab.Table) {
+	t.Helper()
+	host := tee.NewHost(7)
+	var enclOpts []tee.EnclaveOption
+	if !spin {
+		enclOpts = append(enclOpts, tee.WithoutSpin())
+	}
+	encl, err := tee.NewEnclave(platform, host, enclOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := encl.Thread()
+	db, err := Open(host, th, "benchdb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := symtab.New()
+	if err := RegisterBenchSymbols(tab); err != nil {
+		t.Fatal(err)
+	}
+	log, err := shmlog.New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src counter.Source = counter.NewVirtual(1)
+	if spin {
+		src = counter.NewTSC()
+	}
+	rt, err := probe.New(log, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &BenchConfig{
+		DB:     db,
+		Hooks:  rt.Thread(),
+		AddrOf: tab.Addr,
+		Ops:    ops,
+	}
+	return cfg, th, log, tab
+}
+
+func TestBenchConfigValidation(t *testing.T) {
+	if _, err := RunDBBench(nil, nil); err == nil {
+		t.Error("nil config should fail")
+	}
+	if _, err := RunDBBench(nil, &BenchConfig{}); err == nil {
+		t.Error("missing DB should fail")
+	}
+	cfg, th, _, _ := benchPipeline(t, tee.SGXv1(), false, 10)
+	bad := *cfg
+	bad.ReadPct = 150
+	if _, err := RunDBBench(th, &bad); err == nil {
+		t.Error("bad read pct should fail")
+	}
+	missing := *cfg
+	missing.AddrOf = symtab.New().Addr
+	if _, err := RunDBBench(th, &missing); err == nil {
+		t.Error("unregistered symbols should fail")
+	}
+}
+
+func TestBenchRunsAndIsDeterministic(t *testing.T) {
+	cfg, th, log, tab := benchPipeline(t, tee.SGXv1(), false, 2000)
+	res, err := RunDBBench(th, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 {
+		t.Errorf("Ops = %d, want 2000", res.Ops)
+	}
+	if res.Reads == 0 || res.Writes == 0 {
+		t.Errorf("mix degenerate: reads=%d writes=%d", res.Reads, res.Writes)
+	}
+	// ~80/20 split.
+	readFrac := float64(res.Reads) / float64(res.Ops)
+	if readFrac < 0.74 || readFrac > 0.86 {
+		t.Errorf("read fraction = %.2f, want ~0.80", readFrac)
+	}
+
+	// A second identical run over a fresh pipeline must match.
+	cfg2, th2, _, _ := benchPipeline(t, tee.SGXv1(), false, 2000)
+	res2, err := RunDBBench(th2, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res {
+		t.Errorf("bench not deterministic:\n  %+v\n  %+v", res, res2)
+	}
+
+	// The profile must be balanced and contain the demangled names.
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Truncated != 0 || p.Unmatched != 0 {
+		t.Errorf("profile unbalanced: truncated=%d unmatched=%d", p.Truncated, p.Unmatched)
+	}
+	if _, ok := p.Func("rocksdb::Stats::Now()"); !ok {
+		t.Error("rocksdb::Stats::Now() missing from profile")
+	}
+	now, _ := p.Func("rocksdb::Stats::Now()")
+	if want := uint64(2 * 2000); now.Calls != want {
+		t.Errorf("Stats::Now calls = %d, want %d (2 per op)", now.Calls, want)
+	}
+	if _, ok := p.Func("rocksdb::RandomGenerator::RandomGenerator()"); !ok {
+		t.Error("RandomGenerator ctor missing from profile")
+	}
+}
+
+// TestFig5Hotspots reproduces the paper's Fig 5 finding with real injected
+// penalties: profiled under SGX, the hottest self-time functions of
+// db_bench are rocksdb::Stats::Now() (clock OCALL per op boundary) and
+// rocksdb::RandomGenerator::RandomGenerator() (expensive compressible data
+// generation).
+func TestFig5Hotspots(t *testing.T) {
+	if testing.Short() || raceinfo.Enabled {
+		t.Skip("timing-sensitive; skipped under -race and -short")
+	}
+	// Scale OCALLs up a little so the clock reads dominate clearly over
+	// scheduling noise, as EPC-resident RocksDB behaves under SCONE.
+	platform := tee.SGXv1().Scale(2)
+	host := tee.NewHost(7)
+	encl, err := tee.NewEnclave(platform, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := encl.Thread()
+	db, err := Open(host, th, "fig5db", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := symtab.New()
+	if err := RegisterBenchSymbols(tab); err != nil {
+		t.Fatal(err)
+	}
+	log, err := shmlog.New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := probe.New(log, counter.NewTSC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &BenchConfig{
+		DB:             db,
+		Hooks:          rt.Thread(),
+		AddrOf:         tab.Addr,
+		Ops:            3000,
+		RandomDataSize: 4 << 20,
+	}
+	t0 := time.Now()
+	if _, err := RunDBBench(th, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(t0) > 30*time.Second {
+		t.Logf("warning: bench unexpectedly slow")
+	}
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := p.Top(3)
+	names := make([]string, len(top))
+	for i, f := range top {
+		names[i] = f.Name
+	}
+	joined := strings.Join(names, " | ")
+	if !strings.Contains(joined, "rocksdb::Stats::Now()") {
+		t.Errorf("Stats::Now not in top-3 self time: %s", joined)
+	}
+	if !strings.Contains(joined+" "+p.Top(4)[len(p.Top(4))-1].Name, "RandomGenerator") &&
+		!strings.Contains(joined, "CompressibleString") {
+		t.Errorf("RandomGenerator/CompressibleString not near the top: %s", joined)
+	}
+	if f := p.SelfFraction("rocksdb::Stats::Now()"); f < 0.15 {
+		t.Errorf("Stats::Now self fraction = %.2f, want a dominant share (>= 0.15)", f)
+	}
+}

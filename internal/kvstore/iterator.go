@@ -1,0 +1,201 @@
+package kvstore
+
+import (
+	"bytes"
+	"container/heap"
+
+	"teeperf/internal/tee"
+)
+
+// Iterator walks the merged, live view of the store in key order:
+// memtable over L0 (newest first) over L1, tombstones resolved. It holds a
+// consistent snapshot of the table list taken at creation; concurrent
+// writes to the memtable after creation are not reflected.
+type Iterator struct {
+	h       mergeHeap
+	current *iterItem
+	err     error
+}
+
+// iterSource is one sorted input run with a priority (lower wins ties).
+type iterSource struct {
+	entries []tableEntry
+	pos     int
+	prio    int
+}
+
+type iterItem struct {
+	entry tableEntry
+	prio  int
+	src   *iterSource
+}
+
+type mergeHeap []*iterItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if c := bytes.Compare(h[i].entry.key, h[j].entry.key); c != 0 {
+		return c < 0
+	}
+	return h[i].prio < h[j].prio
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *mergeHeap) Push(x any) { *h = append(*h, x.(*iterItem)) }
+
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// NewIterator creates an iterator positioned before the first key. I/O for
+// table blocks is performed through th at creation time (matching the
+// paper's enclave I/O model where reads are OCALLs on the caller).
+func (db *DB) NewIterator(th *tee.Thread) (*Iterator, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	var sources []*iterSource
+	prio := 0
+	var memRecs []tableEntry
+	for _, e := range db.mem.entries() {
+		memRecs = append(memRecs, tableEntry{key: e.key, value: e.value, seq: e.seq, del: e.del})
+	}
+	sources = append(sources, &iterSource{entries: memRecs, prio: prio})
+	prio++
+	for _, t := range db.l0 {
+		recs, err := t.all(th)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, &iterSource{entries: recs, prio: prio})
+		prio++
+	}
+	for _, t := range db.l1 {
+		recs, err := t.all(th)
+		if err != nil {
+			return nil, err
+		}
+		// All L1 tables share one priority level: they are
+		// non-overlapping.
+		sources = append(sources, &iterSource{entries: recs, prio: prio})
+	}
+
+	it := &Iterator{}
+	for _, src := range sources {
+		if len(src.entries) > 0 {
+			it.h = append(it.h, &iterItem{entry: src.entries[0], prio: src.prio, src: src})
+			src.pos = 1
+		}
+	}
+	heap.Init(&it.h)
+	return it, nil
+}
+
+// Next advances to the next live key. It returns false when exhausted.
+func (it *Iterator) Next() bool {
+	for {
+		item := it.popMin()
+		if item == nil {
+			it.current = nil
+			return false
+		}
+		// Drop shadowed versions of the same key (higher priority value
+		// already popped wins; here item IS the winner, so discard the
+		// rest of the equal-key run).
+		for {
+			peek := it.peekMin()
+			if peek == nil || !bytes.Equal(peek.entry.key, item.entry.key) {
+				break
+			}
+			it.popMin()
+		}
+		if item.entry.del {
+			continue // tombstone: key is dead
+		}
+		it.current = item
+		return true
+	}
+}
+
+// Seek positions the iterator at the first live key >= target, returning
+// false if none exists.
+func (it *Iterator) Seek(target []byte) bool {
+	for it.Next() {
+		if bytes.Compare(it.Key(), target) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (it *Iterator) popMin() *iterItem {
+	if it.h.Len() == 0 {
+		return nil
+	}
+	item, ok := heap.Pop(&it.h).(*iterItem)
+	if !ok {
+		return nil
+	}
+	// Refill from the item's source.
+	src := item.src
+	if src.pos < len(src.entries) {
+		heap.Push(&it.h, &iterItem{entry: src.entries[src.pos], prio: src.prio, src: src})
+		src.pos++
+	}
+	return item
+}
+
+func (it *Iterator) peekMin() *iterItem {
+	if it.h.Len() == 0 {
+		return nil
+	}
+	return it.h[0]
+}
+
+// Key returns the current key. Valid only after Next/Seek returned true.
+func (it *Iterator) Key() []byte {
+	if it.current == nil {
+		return nil
+	}
+	return it.current.entry.key
+}
+
+// Value returns the current value. Valid only after Next/Seek returned
+// true.
+func (it *Iterator) Value() []byte {
+	if it.current == nil {
+		return nil
+	}
+	return it.current.entry.value
+}
+
+// RangeScan collects all live pairs in [start, end) in key order. A nil
+// end means "to the last key".
+func (db *DB) RangeScan(th *tee.Thread, start, end []byte) ([][2][]byte, error) {
+	it, err := db.NewIterator(th)
+	if err != nil {
+		return nil, err
+	}
+	var out [][2][]byte
+	ok := it.Next()
+	if len(start) > 0 {
+		// Advance to the first key >= start.
+		for ok && bytes.Compare(it.Key(), start) < 0 {
+			ok = it.Next()
+		}
+	}
+	for ; ok; ok = it.Next() {
+		if end != nil && bytes.Compare(it.Key(), end) >= 0 {
+			break
+		}
+		out = append(out, [2][]byte{
+			append([]byte(nil), it.Key()...),
+			append([]byte(nil), it.Value()...),
+		})
+	}
+	return out, nil
+}

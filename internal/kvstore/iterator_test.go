@@ -1,0 +1,227 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"teeperf/internal/tee"
+)
+
+func TestIteratorMergedOrder(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, &Options{MaxL0Tables: 8})
+
+	// Spread keys across memtable, L0 and L1 with shadowing and deletes.
+	for i := 0; i < 60; i++ {
+		if err := db.Put(th, []byte(fmt.Sprintf("k%03d", i)), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(th); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(th); err != nil { // -> L1
+		t.Fatal(err)
+	}
+	for i := 20; i < 40; i++ {
+		if err := db.Put(th, []byte(fmt.Sprintf("k%03d", i)), []byte("mid")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(th); err != nil { // -> L0
+		t.Fatal(err)
+	}
+	for i := 30; i < 50; i++ {
+		if err := db.Put(th, []byte(fmt.Sprintf("k%03d", i)), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete(th, []byte("k000")); err != nil {
+		t.Fatal(err)
+	}
+
+	it, err := db.NewIterator(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for it.Next() {
+		k, v := string(it.Key()), string(it.Value())
+		keys = append(keys, k)
+		var want string
+		n := 0
+		fmt.Sscanf(k, "k%03d", &n)
+		switch {
+		case n >= 30 && n < 50:
+			want = "new"
+		case n >= 20 && n < 30:
+			want = "mid"
+		default:
+			want = "old"
+		}
+		if v != want {
+			t.Errorf("%s = %q, want %q", k, v, want)
+		}
+	}
+	if len(keys) != 59 { // 60 minus the deleted k000
+		t.Fatalf("iterated %d keys, want 59", len(keys))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Error("iterator output not sorted")
+	}
+	if keys[0] != "k001" {
+		t.Errorf("first key = %s, want k001 (k000 deleted)", keys[0])
+	}
+	// Exhausted iterator stays exhausted and accessors return nil.
+	if it.Next() {
+		t.Error("Next after exhaustion returned true")
+	}
+	if it.Key() != nil || it.Value() != nil {
+		t.Error("accessors non-nil after exhaustion")
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, nil)
+	for _, k := range []string{"apple", "banana", "cherry", "damson"} {
+		if err := db.Put(th, []byte(k), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := db.NewIterator(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.Seek([]byte("b")) {
+		t.Fatal("Seek(b) found nothing")
+	}
+	if string(it.Key()) != "banana" {
+		t.Errorf("Seek(b) = %s, want banana", it.Key())
+	}
+	if !it.Next() || string(it.Key()) != "cherry" {
+		t.Errorf("Next after seek = %s, want cherry", it.Key())
+	}
+
+	it2, err := db.NewIterator(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it2.Seek([]byte("zzz")) {
+		t.Error("Seek past the end should return false")
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, nil)
+	for i := 0; i < 20; i++ {
+		if err := db.Put(th, []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.RangeScan(th, []byte("k05"), []byte("k10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("range [k05,k10) = %d pairs, want 5", len(got))
+	}
+	if string(got[0][0]) != "k05" || string(got[4][0]) != "k09" {
+		t.Errorf("range bounds wrong: %s..%s", got[0][0], got[4][0])
+	}
+	// Open-ended scan.
+	all, err := db.RangeScan(th, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 20 {
+		t.Errorf("full scan = %d pairs, want 20", len(all))
+	}
+	// Empty range.
+	none, err := db.RangeScan(th, []byte("x"), []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("empty range returned %d pairs", len(none))
+	}
+}
+
+func TestIteratorEmptyDB(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, nil)
+	it, err := db.NewIterator(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Next() {
+		t.Error("empty db iterator returned a key")
+	}
+}
+
+func TestIteratorAgainstReferenceProperty(t *testing.T) {
+	// Property: after random puts/deletes/flushes, the iterator yields
+	// exactly the reference map's live pairs in sorted order.
+	f := func(seed int64) bool {
+		host := tee.NewHost(1)
+		encl, err := tee.NewEnclave(tee.Native(), host, tee.WithoutSpin())
+		if err != nil {
+			return false
+		}
+		th := encl.Thread()
+		db, err := Open(host, th, "iterprop", &Options{MemtableFlushSize: 1024, MaxL0Tables: 2, BlockSize: 256})
+		if err != nil {
+			return false
+		}
+		ref := make(map[string]string)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			key := fmt.Sprintf("key-%02d", rng.Intn(60))
+			switch rng.Intn(8) {
+			case 0:
+				if db.Delete(th, []byte(key)) != nil {
+					return false
+				}
+				delete(ref, key)
+			case 1:
+				if db.Flush(th) != nil {
+					return false
+				}
+			default:
+				val := fmt.Sprintf("v%d", rng.Int31())
+				if db.Put(th, []byte(key), []byte(val)) != nil {
+					return false
+				}
+				ref[key] = val
+			}
+		}
+		var wantKeys []string
+		for k := range ref {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+
+		it, err := db.NewIterator(th)
+		if err != nil {
+			return false
+		}
+		i := 0
+		for it.Next() {
+			if i >= len(wantKeys) {
+				return false
+			}
+			if string(it.Key()) != wantKeys[i] || string(it.Value()) != ref[wantKeys[i]] {
+				return false
+			}
+			i++
+		}
+		return i == len(wantKeys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

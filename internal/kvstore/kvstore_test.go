@@ -1,0 +1,414 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"teeperf/internal/tee"
+)
+
+func testEnv(t *testing.T) (*tee.Host, *tee.Thread) {
+	t.Helper()
+	host := tee.NewHost(42)
+	encl, err := tee.NewEnclave(tee.SGXv1(), host, tee.WithoutSpin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return host, encl.Thread()
+}
+
+func openTestDB(t *testing.T, host *tee.Host, th *tee.Thread, opts *Options) *DB {
+	t.Helper()
+	db, err := Open(host, th, "testdb", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenValidation(t *testing.T) {
+	host, th := testEnv(t)
+	if _, err := Open(nil, th, "x", nil); err == nil {
+		t.Error("nil host should fail")
+	}
+	if _, err := Open(host, nil, "x", nil); err == nil {
+		t.Error("nil thread should fail")
+	}
+	if _, err := Open(host, th, "", nil); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, nil)
+
+	if err := db.Put(th, []byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get(th, []byte("k1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v1" {
+		t.Errorf("Get = %q, want v1", v)
+	}
+	// Overwrite.
+	if err := db.Put(th, []byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err = db.Get(th, []byte("k1"))
+	if err != nil || string(v) != "v2" {
+		t.Errorf("Get after overwrite = %q, %v", v, err)
+	}
+	// Missing.
+	if _, err := db.Get(th, []byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	// Delete.
+	if err := db.Delete(th, []byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get(th, []byte("k1")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(deleted) = %v, want ErrNotFound", err)
+	}
+	// Empty key rejected.
+	if err := db.Put(th, nil, []byte("v")); err == nil {
+		t.Error("empty key should fail")
+	}
+	st := db.Stats()
+	if st.Puts != 2 || st.Deletes != 1 || st.Gets != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFlushAndReadFromSSTable(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, &Options{BlockSize: 512})
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		val := []byte(fmt.Sprintf("val-%05d", i))
+		if err := db.Put(th, key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(th); err != nil {
+		t.Fatal(err)
+	}
+	l0, _ := db.Levels()
+	if l0 == 0 {
+		t.Fatal("flush produced no L0 table")
+	}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		v, err := db.Get(th, key)
+		if err != nil {
+			t.Fatalf("Get(%s) after flush: %v", key, err)
+		}
+		if want := fmt.Sprintf("val-%05d", i); string(v) != want {
+			t.Errorf("Get(%s) = %q, want %q", key, v, want)
+		}
+	}
+	if _, err := db.Get(th, []byte("key-99999")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(out of range) = %v", err)
+	}
+}
+
+func TestAutomaticFlushOnMemtableSize(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, &Options{MemtableFlushSize: 4 * 1024})
+	val := bytes.Repeat([]byte("x"), 128)
+	for i := 0; i < 200; i++ {
+		if err := db.Put(th, []byte(fmt.Sprintf("k%04d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Stats().Flushes == 0 {
+		t.Error("no automatic flush despite exceeding memtable size")
+	}
+}
+
+func TestCompactionMergesLevels(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, &Options{MaxL0Tables: 2, BlockSize: 512})
+
+	// Three flush rounds with overlapping keys; newest wins.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			key := []byte(fmt.Sprintf("key-%03d", i))
+			val := []byte(fmt.Sprintf("round-%d", round))
+			if err := db.Put(th, key, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l0, l1 := db.Levels()
+	if l0 != 0 {
+		t.Errorf("L0 tables = %d after compaction, want 0", l0)
+	}
+	if l1 == 0 {
+		t.Error("L1 empty after compaction")
+	}
+	if db.Stats().Compactions == 0 {
+		t.Error("no compaction recorded")
+	}
+	for i := 0; i < 100; i++ {
+		v, err := db.Get(th, []byte(fmt.Sprintf("key-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != "round-2" {
+			t.Errorf("key-%03d = %q, want round-2 (newest)", i, v)
+		}
+	}
+}
+
+func TestTombstonesSurviveFlushAndCompaction(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, nil)
+	if err := db.Put(th, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(th); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(th, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(th); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get(th, []byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted key visible after flush: %v", err)
+	}
+	if err := db.Compact(th); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get(th, []byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted key resurrected by compaction: %v", err)
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, nil)
+	for i := 0; i < 50; i++ {
+		if err := db.Put(th, []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete(th, []byte("k10")); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen without flushing: everything must come back from the WAL.
+	db2, err := Open(host, th, "testdb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db2.Get(th, []byte("k05"))
+	if err != nil || string(v) != "v05" {
+		t.Errorf("recovered Get(k05) = %q, %v", v, err)
+	}
+	if _, err := db2.Get(th, []byte("k10")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("recovered deleted key: %v", err)
+	}
+}
+
+func TestManifestRecoveryAfterFlush(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, &Options{MaxL0Tables: 2})
+	for i := 0; i < 300; i++ {
+		if err := db.Put(th, []byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 99 {
+			if err := db.Flush(th); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Post-flush writes stay in the WAL.
+	if err := db.Put(th, []byte("fresh"), []byte("wal-only")); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(host, th, "testdb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		v, err := db2.Get(th, []byte(key))
+		if err != nil {
+			t.Fatalf("recovered Get(%s): %v", key, err)
+		}
+		if want := fmt.Sprintf("v%04d", i); string(v) != want {
+			t.Errorf("recovered %s = %q, want %q", key, v, want)
+		}
+	}
+	if v, err := db2.Get(th, []byte("fresh")); err != nil || string(v) != "wal-only" {
+		t.Errorf("WAL-only key = %q, %v", v, err)
+	}
+}
+
+func TestScanMergedOrder(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, nil)
+	keys := []string{"delta", "alpha", "charlie", "bravo"}
+	for _, k := range keys {
+		if err := db.Put(th, []byte(k), []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(th); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(th, []byte("alpha"), []byte("v-new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(th, []byte("delta")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Scan(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]string{{"alpha", "v-new"}, {"bravo", "v-bravo"}, {"charlie", "v-charlie"}}
+	if len(got) != len(want) {
+		t.Fatalf("Scan = %d entries, want %d", len(got), len(want))
+	}
+	for i, kv := range want {
+		if string(got[i][0]) != kv[0] || string(got[i][1]) != kv[1] {
+			t.Errorf("Scan[%d] = %s=%s, want %s=%s", i, got[i][0], got[i][1], kv[0], kv[1])
+		}
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	host, th := testEnv(t)
+	db := openTestDB(t, host, th, &Options{MemtableFlushSize: 16 * 1024})
+	encl, err := tee.NewEnclave(tee.Native(), host, tee.WithoutSpin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			myTh := encl.Thread()
+			for i := 0; i < 300; i++ {
+				key := []byte(fmt.Sprintf("g%d-k%04d", g, i))
+				if err := db.Put(myTh, key, []byte("val")); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, err := db.Get(myTh, key); err != nil {
+					t.Errorf("Get just-written %s: %v", key, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRandomOpsAgainstReference(t *testing.T) {
+	// Property: the LSM store agrees with a plain map under random
+	// put/delete/get sequences crossing flush and compaction boundaries.
+	f := func(seed int64) bool {
+		host, thr := tee.NewHost(1), (*tee.Thread)(nil)
+		encl, err := tee.NewEnclave(tee.Native(), host, tee.WithoutSpin())
+		if err != nil {
+			return false
+		}
+		thr = encl.Thread()
+		db, err := Open(host, thr, "propdb", &Options{
+			MemtableFlushSize: 2 * 1024,
+			MaxL0Tables:       2,
+			BlockSize:         512,
+		})
+		if err != nil {
+			return false
+		}
+		ref := make(map[string]string)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 600; i++ {
+			key := fmt.Sprintf("key-%03d", rng.Intn(120))
+			switch rng.Intn(10) {
+			case 0, 1: // delete
+				if err := db.Delete(thr, []byte(key)); err != nil {
+					return false
+				}
+				delete(ref, key)
+			case 2: // flush
+				if err := db.Flush(thr); err != nil {
+					return false
+				}
+			default: // put
+				val := fmt.Sprintf("val-%d", rng.Int63())
+				if err := db.Put(thr, []byte(key), []byte(val)); err != nil {
+					return false
+				}
+				ref[key] = val
+			}
+			if i%7 == 0 {
+				v, err := db.Get(thr, []byte(key))
+				want, ok := ref[key]
+				if ok {
+					if err != nil || string(v) != want {
+						return false
+					}
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			}
+		}
+		// Full verification at the end.
+		for k, want := range ref {
+			v, err := db.Get(thr, []byte(k))
+			if err != nil || string(v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetUsesOCallsForTableReads(t *testing.T) {
+	host := tee.NewHost(1)
+	encl, err := tee.NewEnclave(tee.SGXv1(), host, tee.WithoutSpin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := encl.Thread()
+	db, err := Open(host, th, "iodb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(th, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(th); err != nil {
+		t.Fatal(err)
+	}
+	before := encl.Snapshot().OCalls
+	if _, err := db.Get(th, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if after := encl.Snapshot().OCalls; after <= before {
+		t.Error("SSTable read issued no OCALL — enclave I/O must cross the boundary")
+	}
+}

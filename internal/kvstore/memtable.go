@@ -1,0 +1,137 @@
+// Package kvstore is the RocksDB stand-in for the paper's Fig 5
+// experiment: a log-structured merge-tree key-value store with a skiplist
+// memtable, a write-ahead log, block-based sorted tables with bloom
+// filters, and leveled compaction — plus a db_bench-style driver whose hot
+// path reproduces the two bottlenecks the paper's flame graph exposes
+// (per-operation timestamping and random value generation).
+package kvstore
+
+import (
+	"bytes"
+)
+
+const (
+	skiplistMaxLevel = 12
+	skiplistBranch   = 4
+)
+
+// memEntry is one memtable record; nil value encodes a tombstone.
+type memEntry struct {
+	key   []byte
+	value []byte
+	seq   uint64
+	del   bool
+}
+
+type skipNode struct {
+	entry memEntry
+	next  []*skipNode
+}
+
+// memTable is a sorted in-memory table. Later writes of the same key
+// shadow earlier ones (seq is informational). Not safe for concurrent use;
+// the DB serializes writers.
+type memTable struct {
+	head     *skipNode
+	level    int
+	size     int
+	count    int
+	rngState uint64
+}
+
+func newMemTable() *memTable {
+	return &memTable{
+		head:     &skipNode{next: make([]*skipNode, skiplistMaxLevel)},
+		level:    1,
+		rngState: 0x736b6970, // "skip"
+	}
+}
+
+func (m *memTable) randomLevel() int {
+	lvl := 1
+	for lvl < skiplistMaxLevel {
+		m.rngState += 0x9e3779b97f4a7c15
+		z := m.rngState
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		if z%skiplistBranch != 0 {
+			break
+		}
+		lvl++
+	}
+	return lvl
+}
+
+// put inserts or overwrites key. del marks a tombstone.
+func (m *memTable) put(key, value []byte, seq uint64, del bool) {
+	update := make([]*skipNode, skiplistMaxLevel)
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].entry.key, key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.entry.key, key) {
+		m.size += len(value) - len(n.entry.value)
+		n.entry.value = append([]byte(nil), value...)
+		n.entry.seq = seq
+		n.entry.del = del
+		return
+	}
+	lvl := m.randomLevel()
+	if lvl > m.level {
+		for i := m.level; i < lvl; i++ {
+			update[i] = m.head
+		}
+		m.level = lvl
+	}
+	node := &skipNode{
+		entry: memEntry{
+			key:   append([]byte(nil), key...),
+			value: append([]byte(nil), value...),
+			seq:   seq,
+			del:   del,
+		},
+		next: make([]*skipNode, lvl),
+	}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	m.size += len(key) + len(value) + 16
+	m.count++
+}
+
+// get returns the value for key. found reports presence (including
+// tombstones); deleted reports a tombstone.
+func (m *memTable) get(key []byte) (value []byte, found, deleted bool) {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].entry.key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	n := x.next[0]
+	if n == nil || !bytes.Equal(n.entry.key, key) {
+		return nil, false, false
+	}
+	if n.entry.del {
+		return nil, true, true
+	}
+	return n.entry.value, true, false
+}
+
+// entries returns all records in key order.
+func (m *memTable) entries() []memEntry {
+	out := make([]memEntry, 0, m.count)
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.entry)
+	}
+	return out
+}
+
+// approximateSize returns the memtable's memory footprint estimate.
+func (m *memTable) approximateSize() int { return m.size }
+
+// len returns the number of distinct keys (including tombstones).
+func (m *memTable) len() int { return m.count }

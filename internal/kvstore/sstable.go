@@ -1,0 +1,318 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"teeperf/internal/tee"
+)
+
+// SSTable layout:
+//
+//	data blocks   (records: klen u32, vlen u32, del u8, seq u64, key, value)
+//	index block   (entries: klen u32, firstKey, blockOff u64, blockLen u32)
+//	bloom block
+//	footer (last 32 bytes):
+//	  indexOff u64, indexLen u32, bloomOff u64, bloomLen u32,
+//	  crc u32 (over footer prefix), magic u32
+const (
+	sstFooterSize = 32
+	sstMagic      = 0x53535431 // "SST1"
+	recHeaderSize = 4 + 4 + 1 + 8
+)
+
+// ErrCorruptTable is returned when decoding a malformed table.
+var ErrCorruptTable = errors.New("kvstore: corrupt sstable")
+
+// tableEntry is one decoded record.
+type tableEntry struct {
+	key   []byte
+	value []byte
+	seq   uint64
+	del   bool
+}
+
+type indexEntry struct {
+	firstKey []byte
+	off      uint64
+	length   uint32
+}
+
+// ssTable is an open, immutable sorted table. The index and bloom filter
+// stay cached in enclave memory; data blocks are read per lookup through
+// OCALLs (the table-cache behaviour of the original).
+type ssTable struct {
+	file    *tee.HostFile
+	index   []indexEntry
+	bloom   *bloomFilter
+	first   []byte
+	last    []byte
+	entries int
+}
+
+// buildSSTable writes the sorted records into a new host file and returns
+// the opened table. Records must be in strictly increasing key order.
+func buildSSTable(host *tee.Host, th *tee.Thread, name string, recs []tableEntry, blockSize, bloomBits int) (*ssTable, error) {
+	if len(recs) == 0 {
+		return nil, errors.New("kvstore: cannot build empty sstable")
+	}
+	if blockSize < 256 {
+		blockSize = 256
+	}
+	bloom := newBloomFilter(len(recs), bloomBits)
+
+	var (
+		data  bytes.Buffer
+		index []indexEntry
+	)
+	blockStart := 0
+	var blockFirst []byte
+	for i, r := range recs {
+		if i > 0 && bytes.Compare(recs[i-1].key, r.key) >= 0 {
+			return nil, fmt.Errorf("kvstore: sstable records out of order at %d", i)
+		}
+		if blockFirst == nil {
+			blockFirst = r.key
+			blockStart = data.Len()
+		}
+		bloom.add(r.key)
+		rec := make([]byte, recHeaderSize)
+		putU32(rec[0:], uint32(len(r.key)))
+		putU32(rec[4:], uint32(len(r.value)))
+		if r.del {
+			rec[8] = 1
+		}
+		putU64(rec[9:], r.seq)
+		data.Write(rec)
+		data.Write(r.key)
+		data.Write(r.value)
+
+		if data.Len()-blockStart >= blockSize || i == len(recs)-1 {
+			index = append(index, indexEntry{
+				firstKey: append([]byte(nil), blockFirst...),
+				off:      uint64(blockStart),
+				length:   uint32(data.Len() - blockStart),
+			})
+			blockFirst = nil
+		}
+	}
+
+	// Index block.
+	indexOff := uint64(data.Len())
+	for _, ie := range index {
+		hdr := make([]byte, 4)
+		putU32(hdr, uint32(len(ie.firstKey)))
+		data.Write(hdr)
+		data.Write(ie.firstKey)
+		tail := make([]byte, 12)
+		putU64(tail[0:], ie.off)
+		putU32(tail[8:], ie.length)
+		data.Write(tail)
+	}
+	indexLen := uint64(data.Len()) - indexOff
+
+	// Bloom block.
+	bloomOff := uint64(data.Len())
+	bloomBytes := bloom.encode()
+	data.Write(bloomBytes)
+
+	// Footer.
+	footer := make([]byte, sstFooterSize)
+	putU64(footer[0:], indexOff)
+	putU32(footer[8:], uint32(indexLen))
+	putU64(footer[12:], bloomOff)
+	putU32(footer[20:], uint32(len(bloomBytes)))
+	putU32(footer[24:], crc32.ChecksumIEEE(footer[:24]))
+	putU32(footer[28:], sstMagic)
+	data.Write(footer)
+
+	f, err := host.CreateFile(name, 0)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: create sstable: %w", err)
+	}
+	if _, err := th.Pwrite(f, data.Bytes(), 0); err != nil {
+		return nil, fmt.Errorf("kvstore: write sstable: %w", err)
+	}
+	return &ssTable{
+		file:    f,
+		index:   index,
+		bloom:   bloom,
+		first:   append([]byte(nil), recs[0].key...),
+		last:    append([]byte(nil), recs[len(recs)-1].key...),
+		entries: len(recs),
+	}, nil
+}
+
+// openSSTable loads the footer, index and bloom filter of an existing
+// table file.
+func openSSTable(host *tee.Host, th *tee.Thread, name string) (*ssTable, error) {
+	f, err := host.OpenFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open sstable: %w", err)
+	}
+	size := int64(f.Size())
+	if size < sstFooterSize {
+		return nil, fmt.Errorf("%w: too small", ErrCorruptTable)
+	}
+	footer := make([]byte, sstFooterSize)
+	if _, err := th.Pread(f, footer, size-sstFooterSize); err != nil {
+		return nil, fmt.Errorf("kvstore: read footer: %w", err)
+	}
+	if getU32(footer[28:]) != sstMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptTable)
+	}
+	if crc32.ChecksumIEEE(footer[:24]) != getU32(footer[24:]) {
+		return nil, fmt.Errorf("%w: bad footer checksum", ErrCorruptTable)
+	}
+	indexOff := getU64(footer[0:])
+	indexLen := getU32(footer[8:])
+	bloomOff := getU64(footer[12:])
+	bloomLen := getU32(footer[20:])
+	if int64(indexOff)+int64(indexLen) > size || int64(bloomOff)+int64(bloomLen) > size {
+		return nil, fmt.Errorf("%w: sections out of range", ErrCorruptTable)
+	}
+
+	indexBytes := make([]byte, indexLen)
+	if _, err := th.Pread(f, indexBytes, int64(indexOff)); err != nil {
+		return nil, fmt.Errorf("kvstore: read index: %w", err)
+	}
+	var index []indexEntry
+	for off := 0; off < len(indexBytes); {
+		if off+4 > len(indexBytes) {
+			return nil, fmt.Errorf("%w: truncated index", ErrCorruptTable)
+		}
+		klen := int(getU32(indexBytes[off:]))
+		off += 4
+		if off+klen+12 > len(indexBytes) {
+			return nil, fmt.Errorf("%w: truncated index entry", ErrCorruptTable)
+		}
+		key := append([]byte(nil), indexBytes[off:off+klen]...)
+		off += klen
+		index = append(index, indexEntry{
+			firstKey: key,
+			off:      getU64(indexBytes[off:]),
+			length:   getU32(indexBytes[off+8:]),
+		})
+		off += 12
+	}
+	if len(index) == 0 {
+		return nil, fmt.Errorf("%w: empty index", ErrCorruptTable)
+	}
+
+	bloomBytes := make([]byte, bloomLen)
+	if _, err := th.Pread(f, bloomBytes, int64(bloomOff)); err != nil {
+		return nil, fmt.Errorf("kvstore: read bloom: %w", err)
+	}
+	bloom := bloomFromBytes(bloomBytes)
+	if bloom == nil {
+		return nil, fmt.Errorf("%w: bad bloom filter", ErrCorruptTable)
+	}
+
+	t := &ssTable{file: f, index: index, bloom: bloom}
+	// Recover first/last keys and entry count from the blocks.
+	firstBlock, err := t.readBlock(th, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.first = firstBlock[0].key
+	lastBlock, err := t.readBlock(th, len(index)-1)
+	if err != nil {
+		return nil, err
+	}
+	t.last = lastBlock[len(lastBlock)-1].key
+	for i := range index {
+		blk, err := t.readBlock(th, i)
+		if err != nil {
+			return nil, err
+		}
+		t.entries += len(blk)
+	}
+	return t, nil
+}
+
+// readBlock decodes data block i through one OCALL read.
+func (t *ssTable) readBlock(th *tee.Thread, i int) ([]tableEntry, error) {
+	if i < 0 || i >= len(t.index) {
+		return nil, fmt.Errorf("kvstore: block %d out of range", i)
+	}
+	ie := t.index[i]
+	buf := make([]byte, ie.length)
+	if _, err := th.Pread(t.file, buf, int64(ie.off)); err != nil {
+		return nil, fmt.Errorf("kvstore: read block: %w", err)
+	}
+	var out []tableEntry
+	for off := 0; off < len(buf); {
+		if off+recHeaderSize > len(buf) {
+			return nil, fmt.Errorf("%w: truncated record", ErrCorruptTable)
+		}
+		klen := int(getU32(buf[off:]))
+		vlen := int(getU32(buf[off+4:]))
+		del := buf[off+8] == 1
+		seq := getU64(buf[off+9:])
+		off += recHeaderSize
+		if off+klen+vlen > len(buf) {
+			return nil, fmt.Errorf("%w: truncated record body", ErrCorruptTable)
+		}
+		out = append(out, tableEntry{
+			key:   append([]byte(nil), buf[off:off+klen]...),
+			value: append([]byte(nil), buf[off+klen:off+klen+vlen]...),
+			seq:   seq,
+			del:   del,
+		})
+		off += klen + vlen
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty block", ErrCorruptTable)
+	}
+	return out, nil
+}
+
+// get looks up key: bloom check, index binary search, one block read.
+func (t *ssTable) get(th *tee.Thread, key []byte) (value []byte, found, deleted bool, err error) {
+	if bytes.Compare(key, t.first) < 0 || bytes.Compare(key, t.last) > 0 {
+		return nil, false, false, nil
+	}
+	if !t.bloom.mayContain(key) {
+		return nil, false, false, nil
+	}
+	// Find the last block whose firstKey <= key.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].firstKey, key) > 0
+	}) - 1
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	blk, err := t.readBlock(th, i)
+	if err != nil {
+		return nil, false, false, err
+	}
+	j := sort.Search(len(blk), func(j int) bool {
+		return bytes.Compare(blk[j].key, key) >= 0
+	})
+	if j >= len(blk) || !bytes.Equal(blk[j].key, key) {
+		return nil, false, false, nil
+	}
+	if blk[j].del {
+		return nil, true, true, nil
+	}
+	return blk[j].value, true, false, nil
+}
+
+// all returns every record in key order (used by compaction and iterators).
+func (t *ssTable) all(th *tee.Thread) ([]tableEntry, error) {
+	var out []tableEntry
+	for i := range t.index {
+		blk, err := t.readBlock(th, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// Name returns the backing file name.
+func (t *ssTable) Name() string { return t.file.Name() }

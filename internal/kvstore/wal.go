@@ -1,0 +1,121 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"teeperf/internal/tee"
+)
+
+// Write-ahead-log record layout:
+//
+//	crc   u32  (over everything after the crc field)
+//	seq   u64
+//	op    u8   (1 = put, 2 = delete)
+//	klen  u32
+//	vlen  u32
+//	key   klen bytes
+//	value vlen bytes
+const (
+	walOpPut    = 1
+	walOpDelete = 2
+	walHeaderSz = 4 + 8 + 1 + 4 + 4
+)
+
+// ErrCorruptWAL is returned when replay hits a bad record.
+var ErrCorruptWAL = errors.New("kvstore: corrupt WAL record")
+
+// wal is the write-ahead log, stored on a host file and written through
+// enclave OCALLs (direct I/O is impossible inside the TEE).
+type wal struct {
+	file *tee.HostFile
+	off  int64
+}
+
+func openWAL(host *tee.Host, name string) (*wal, error) {
+	f, err := host.OpenFile(name)
+	if err != nil {
+		f, err = host.CreateFile(name, 0)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: create wal: %w", err)
+		}
+	}
+	return &wal{file: f, off: int64(f.Size())}, nil
+}
+
+// append writes one record through the thread's OCALL path.
+func (w *wal) append(th *tee.Thread, seq uint64, op byte, key, value []byte) error {
+	rec := make([]byte, walHeaderSz+len(key)+len(value))
+	putU64(rec[4:], seq)
+	rec[12] = op
+	putU32(rec[13:], uint32(len(key)))
+	putU32(rec[17:], uint32(len(value)))
+	copy(rec[walHeaderSz:], key)
+	copy(rec[walHeaderSz+len(key):], value)
+	putU32(rec[0:], crc32.ChecksumIEEE(rec[4:]))
+	if _, err := th.Pwrite(w.file, rec, w.off); err != nil {
+		return fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	w.off += int64(len(rec))
+	return nil
+}
+
+// walRecord is one replayed record.
+type walRecord struct {
+	seq   uint64
+	op    byte
+	key   []byte
+	value []byte
+}
+
+// replay decodes every record currently in the log.
+func (w *wal) replay(th *tee.Thread) ([]walRecord, error) {
+	size := int64(w.file.Size())
+	if size == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, size)
+	if _, err := th.Pread(w.file, buf, 0); err != nil {
+		return nil, fmt.Errorf("kvstore: wal read: %w", err)
+	}
+	var out []walRecord
+	off := int64(0)
+	for off < size {
+		if size-off < walHeaderSz {
+			return nil, fmt.Errorf("%w: truncated header at %d", ErrCorruptWAL, off)
+		}
+		h := buf[off:]
+		crc := getU32(h)
+		seq := getU64(h[4:])
+		op := h[12]
+		klen := int64(getU32(h[13:]))
+		vlen := int64(getU32(h[17:]))
+		total := walHeaderSz + klen + vlen
+		if off+total > size {
+			return nil, fmt.Errorf("%w: truncated body at %d", ErrCorruptWAL, off)
+		}
+		if crc32.ChecksumIEEE(buf[off+4:off+total]) != crc {
+			return nil, fmt.Errorf("%w: bad checksum at %d", ErrCorruptWAL, off)
+		}
+		if op != walOpPut && op != walOpDelete {
+			return nil, fmt.Errorf("%w: bad op %d at %d", ErrCorruptWAL, op, off)
+		}
+		key := append([]byte(nil), buf[off+walHeaderSz:off+walHeaderSz+klen]...)
+		value := append([]byte(nil), buf[off+walHeaderSz+klen:off+total]...)
+		out = append(out, walRecord{seq: seq, op: op, key: key, value: value})
+		off += total
+	}
+	return out, nil
+}
+
+// reset truncates the log after a successful memtable flush.
+func (w *wal) reset(host *tee.Host) error {
+	f, err := host.CreateFile(w.file.Name(), 0)
+	if err != nil {
+		return fmt.Errorf("kvstore: wal reset: %w", err)
+	}
+	w.file = f
+	w.off = 0
+	return nil
+}

@@ -1,0 +1,73 @@
+package perfbase
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"teeperf/internal/symtab"
+)
+
+// ReportRow is one line of the perf-report-style output.
+type ReportRow struct {
+	// Name is the resolved symbol (hex fallback for unknown addresses).
+	Name string
+	// Addr is the sampled leaf address.
+	Addr uint64
+	// Samples is the total sample count across threads.
+	Samples uint64
+	// Share is Samples over the total (perf report's Overhead column).
+	Share float64
+}
+
+// Report aggregates the collected samples across threads and resolves
+// symbols — the `perf report` view of the baseline.
+func (p *Profiler) Report(tab *symtab.Table) []ReportRow {
+	totals := make(map[uint64]uint64)
+	var grand uint64
+	p.samplesMu.Lock()
+	for _, m := range p.samples {
+		for addr, c := range m {
+			totals[addr] += c
+			grand += c
+		}
+	}
+	p.samplesMu.Unlock()
+
+	rows := make([]ReportRow, 0, len(totals))
+	for addr, c := range totals {
+		name := fmt.Sprintf("0x%x", addr)
+		if tab != nil {
+			name = tab.Name(addr)
+		}
+		share := 0.0
+		if grand > 0 {
+			share = float64(c) / float64(grand)
+		}
+		rows = append(rows, ReportRow{Name: name, Addr: addr, Samples: c, Share: share})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Samples != rows[j].Samples {
+			return rows[i].Samples > rows[j].Samples
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// WriteReport renders the sample report like `perf report --stdio`.
+func (p *Profiler) WriteReport(w io.Writer, tab *symtab.Table, top int) error {
+	rows := p.Report(tab)
+	if top > 0 && top < len(rows) {
+		rows = rows[:top]
+	}
+	if _, err := fmt.Fprintf(w, "%9s  %10s  %s\n", "OVERHEAD", "SAMPLES", "SYMBOL"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%8.2f%%  %10d  %s\n", 100*r.Share, r.Samples, r.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

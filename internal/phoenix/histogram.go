@@ -1,0 +1,79 @@
+package phoenix
+
+import (
+	"fmt"
+
+	"teeperf/internal/tee"
+)
+
+// Histogram returns the histogram workload: per-channel 256-bin histograms
+// of a synthetic RGB bitmap, processed in page-sized chunks with one
+// probe-visible call per chunk — low-to-medium call density.
+func Histogram() Workload {
+	return Workload{
+		Name:    "histogram",
+		Symbols: []string{"histogram", "hist_chunk", "hist_merge"},
+		New:     newHistogram,
+	}
+}
+
+func newHistogram(cfg Config, scale int) (Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("phoenix: scale must be >= 1, got %d", scale)
+	}
+	addrs, err := cfg.resolve("histogram", "hist_chunk", "hist_merge")
+	if err != nil {
+		return nil, err
+	}
+	nBytes := 3 * 1024 * 1024 * scale // RGB triples
+	buf, err := cfg.Enclave.Alloc(nBytes)
+	if err != nil {
+		return nil, err
+	}
+	fillBytes(buf.Data(), 0x68697374) // "hist"
+
+	var (
+		fnMain  = addrs["histogram"]
+		fnChunk = addrs["hist_chunk"]
+		fnMerge = addrs["hist_merge"]
+	)
+	// Small chunks mirror the per-pixel-block helper structure of the C
+	// original, giving the benchmark its mid-range call density.
+	const chunkSize = 768 // divisible by 3
+	return func(th *tee.Thread) (uint64, error) {
+		h := cfg.Hooks
+		data := buf.Data()
+		h.Enter(fnMain)
+		var r, g, b [256]uint32
+		for off := 0; off < len(data); off += chunkSize {
+			end := off + chunkSize
+			if end > len(data) {
+				end = len(data)
+			}
+			h.Enter(fnChunk)
+			if err := buf.TouchRange(th, off, end-off); err != nil {
+				h.Exit(fnChunk)
+				h.Exit(fnMain)
+				return 0, err
+			}
+			for i := off; i+2 < end; i += 3 {
+				r[data[i]]++
+				g[data[i+1]]++
+				b[data[i+2]]++
+			}
+			h.Exit(fnChunk)
+			th.Safepoint()
+		}
+		h.Enter(fnMerge)
+		var checksum uint64
+		for i := 0; i < 256; i++ {
+			checksum += uint64(i+1) * (uint64(r[i]) + 2*uint64(g[i]) + 3*uint64(b[i]))
+		}
+		h.Exit(fnMerge)
+		h.Exit(fnMain)
+		return checksum, nil
+	}, nil
+}

@@ -1,0 +1,129 @@
+package phoenix
+
+import (
+	"fmt"
+
+	"teeperf/internal/tee"
+)
+
+// KMeans returns the kmeans workload: Lloyd's algorithm on 3-dimensional
+// integer points (k=8, fixed iteration count), with per-iteration
+// assignment and update functions and chunk-granular assignment calls.
+func KMeans() Workload {
+	return Workload{
+		Name:    "kmeans",
+		Symbols: []string{"kmeans", "km_assign", "km_assign_chunk", "km_update"},
+		New:     newKMeans,
+	}
+}
+
+const (
+	kmK          = 8
+	kmDim        = 3
+	kmIterations = 5
+	kmChunk      = 1024 // points per assignment call
+)
+
+func newKMeans(cfg Config, scale int) (Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("phoenix: scale must be >= 1, got %d", scale)
+	}
+	addrs, err := cfg.resolve("kmeans", "km_assign", "km_assign_chunk", "km_update")
+	if err != nil {
+		return nil, err
+	}
+	nPoints := 40000 * scale
+	buf, err := cfg.Enclave.Alloc(nPoints * kmDim * 4)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]int32, nPoints*kmDim)
+	state := uint64(0x6b6d6e73) // "kmns"
+	for i := range points {
+		points[i] = int32(splitmix64(&state) % 4096)
+	}
+
+	var (
+		fnMain   = addrs["kmeans"]
+		fnAssign = addrs["km_assign"]
+		fnChunk  = addrs["km_assign_chunk"]
+		fnUpdate = addrs["km_update"]
+	)
+	return func(th *tee.Thread) (uint64, error) {
+		h := cfg.Hooks
+		h.Enter(fnMain)
+		var centroids [kmK][kmDim]int64
+		for c := 0; c < kmK; c++ {
+			for d := 0; d < kmDim; d++ {
+				centroids[c][d] = int64(points[(c*997+d)%len(points)])
+			}
+		}
+		assign := make([]uint8, nPoints)
+
+		for iter := 0; iter < kmIterations; iter++ {
+			h.Enter(fnAssign)
+			for start := 0; start < nPoints; start += kmChunk {
+				end := start + kmChunk
+				if end > nPoints {
+					end = nPoints
+				}
+				h.Enter(fnChunk)
+				if err := buf.TouchRange(th, start*kmDim*4, (end-start)*kmDim*4); err != nil {
+					h.Exit(fnChunk)
+					h.Exit(fnAssign)
+					h.Exit(fnMain)
+					return 0, err
+				}
+				for p := start; p < end; p++ {
+					best, bestDist := 0, int64(1)<<62
+					for c := 0; c < kmK; c++ {
+						var dist int64
+						for d := 0; d < kmDim; d++ {
+							diff := int64(points[p*kmDim+d]) - centroids[c][d]
+							dist += diff * diff
+						}
+						if dist < bestDist {
+							best, bestDist = c, dist
+						}
+					}
+					assign[p] = uint8(best)
+				}
+				h.Exit(fnChunk)
+				th.Safepoint()
+			}
+			h.Exit(fnAssign)
+
+			h.Enter(fnUpdate)
+			var sums [kmK][kmDim]int64
+			var counts [kmK]int64
+			for p := 0; p < nPoints; p++ {
+				c := assign[p]
+				counts[c]++
+				for d := 0; d < kmDim; d++ {
+					sums[c][d] += int64(points[p*kmDim+d])
+				}
+			}
+			for c := 0; c < kmK; c++ {
+				if counts[c] == 0 {
+					continue
+				}
+				for d := 0; d < kmDim; d++ {
+					centroids[c][d] = sums[c][d] / counts[c]
+				}
+			}
+			h.Exit(fnUpdate)
+		}
+
+		var checksum uint64
+		for c := 0; c < kmK; c++ {
+			for d := 0; d < kmDim; d++ {
+				checksum = checksum*31 + uint64(centroids[c][d])
+			}
+		}
+		h.Exit(fnMain)
+		return checksum, nil
+	}, nil
+}

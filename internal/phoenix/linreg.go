@@ -1,0 +1,90 @@
+package phoenix
+
+import (
+	"fmt"
+
+	"teeperf/internal/tee"
+)
+
+// LinearRegression returns the linear_regression workload: one pass over a
+// large point array accumulating the five regression sums inside a single
+// function with no inner calls — the call-lightest member of the suite.
+// This is the paper's crossover case where TEE-Perf is ~8% *faster* than
+// perf: the injected code almost never runs, while perf keeps paying its
+// periodic sampling interrupts.
+func LinearRegression() Workload {
+	return Workload{
+		Name:    "linear_regression",
+		Symbols: []string{"linear_regression", "lr_scan", "lr_finalize"},
+		New:     newLinearRegression,
+	}
+}
+
+func newLinearRegression(cfg Config, scale int) (Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("phoenix: scale must be >= 1, got %d", scale)
+	}
+	addrs, err := cfg.resolve("linear_regression", "lr_scan", "lr_finalize")
+	if err != nil {
+		return nil, err
+	}
+	// Points are (x,y) byte pairs, as in the Phoenix original.
+	nBytes := 2 * 1024 * 1024 * scale
+	buf, err := cfg.Enclave.Alloc(nBytes)
+	if err != nil {
+		return nil, err
+	}
+	fillBytes(buf.Data(), 0x6c696e72) // "linr"
+
+	var (
+		fnMain     = addrs["linear_regression"]
+		fnScan     = addrs["lr_scan"]
+		fnFinalize = addrs["lr_finalize"]
+	)
+	const pageSpan = 64 * 1024
+	return func(th *tee.Thread) (uint64, error) {
+		h := cfg.Hooks
+		data := buf.Data()
+		h.Enter(fnMain)
+		h.Enter(fnScan)
+		var sx, sy, sxx, syy, sxy uint64
+		for off := 0; off < len(data); off += pageSpan {
+			end := off + pageSpan
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := buf.TouchRange(th, off, end-off); err != nil {
+				h.Exit(fnScan)
+				h.Exit(fnMain)
+				return 0, err
+			}
+			for i := off; i+1 < end; i += 2 {
+				x := uint64(data[i])
+				y := uint64(data[i+1])
+				sx += x
+				sy += y
+				sxx += x * x
+				syy += y * y
+				sxy += x * y
+			}
+			th.Safepoint()
+		}
+		h.Exit(fnScan)
+
+		h.Enter(fnFinalize)
+		n := uint64(len(data) / 2)
+		// Slope/intercept in fixed point; only the checksum matters.
+		denom := n*sxx - sx*sx
+		var slopeQ uint64
+		if denom != 0 {
+			slopeQ = ((n*sxy - sx*sy) << 16) / denom
+		}
+		checksum := slopeQ ^ sx ^ sy ^ sxx ^ syy ^ sxy
+		h.Exit(fnFinalize)
+		h.Exit(fnMain)
+		return checksum, nil
+	}, nil
+}

@@ -1,0 +1,86 @@
+package phoenix
+
+import (
+	"fmt"
+
+	"teeperf/internal/tee"
+)
+
+// MatrixMultiply returns the matrix_multiply workload: dense int32 matrix
+// multiplication with a per-row driver function and a per-cell dot-product
+// function, the mid-range call density of the suite.
+func MatrixMultiply() Workload {
+	return Workload{
+		Name:    "matrix_mult",
+		Symbols: []string{"matrix_mult", "mm_calc_row", "mm_dot"},
+		New:     newMatrixMultiply,
+	}
+}
+
+func newMatrixMultiply(cfg Config, scale int) (Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("phoenix: scale must be >= 1, got %d", scale)
+	}
+	addrs, err := cfg.resolve("matrix_mult", "mm_calc_row", "mm_dot")
+	if err != nil {
+		return nil, err
+	}
+	n := 48 + 16*scale
+	bufA, err := cfg.Enclave.Alloc(n * n * 4)
+	if err != nil {
+		return nil, err
+	}
+	bufB, err := cfg.Enclave.Alloc(n * n * 4)
+	if err != nil {
+		return nil, err
+	}
+	a := make([]int32, n*n)
+	b := make([]int32, n*n)
+	state := uint64(0x6d617472) // "matr"
+	for i := range a {
+		a[i] = int32(splitmix64(&state) % 1000)
+		b[i] = int32(splitmix64(&state) % 1000)
+	}
+
+	var (
+		fnMain = addrs["matrix_mult"]
+		fnRow  = addrs["mm_calc_row"]
+		fnDot  = addrs["mm_dot"]
+	)
+	return func(th *tee.Thread) (uint64, error) {
+		h := cfg.Hooks
+		h.Enter(fnMain)
+		var checksum uint64
+		rowBytes := n * 4
+		for i := 0; i < n; i++ {
+			h.Enter(fnRow)
+			if err := bufA.TouchRange(th, i*rowBytes, rowBytes); err != nil {
+				h.Exit(fnRow)
+				h.Exit(fnMain)
+				return 0, err
+			}
+			for j := 0; j < n; j++ {
+				h.Enter(fnDot)
+				var sum int64
+				ai := i * n
+				for k := 0; k < n; k++ {
+					sum += int64(a[ai+k]) * int64(b[k*n+j])
+				}
+				checksum += uint64(sum)
+				h.Exit(fnDot)
+			}
+			if err := bufB.TouchRange(th, 0, n*n*4); err != nil {
+				h.Exit(fnRow)
+				h.Exit(fnMain)
+				return 0, err
+			}
+			h.Exit(fnRow)
+			th.Safepoint()
+		}
+		h.Exit(fnMain)
+		return checksum, nil
+	}, nil
+}

@@ -1,0 +1,92 @@
+package phoenix
+
+import (
+	"fmt"
+	"sync"
+
+	"teeperf/internal/probe"
+	"teeperf/internal/tee"
+)
+
+// ParallelConfig drives a multithreaded suite run: the Phoenix benchmarks
+// are map-reduce style, so each thread processes its own shard of the
+// input with an identical call structure — which is exactly the case
+// TEE-Perf's per-thread log reconstruction exists for.
+type ParallelConfig struct {
+	// Enclave hosts all worker threads.
+	Enclave *tee.Enclave
+	// NewHooks returns the per-thread instrumentation handle (one probe
+	// thread per worker).
+	NewHooks func() probe.Hooks
+	// AddrOf resolves registered symbols.
+	AddrOf func(string) uint64
+	// Threads is the worker count (default 2).
+	Threads int
+	// ShardScale is the input scale per worker (default 1).
+	ShardScale int
+}
+
+// ParallelResult reports one multithreaded run.
+type ParallelResult struct {
+	// Checksums holds each worker's result, in worker order.
+	Checksums []uint64
+}
+
+// RunParallel executes Threads instances of w concurrently, each over its
+// own shard, each on its own enclave thread with its own hooks.
+func RunParallel(w Workload, cfg ParallelConfig) (ParallelResult, error) {
+	if cfg.Enclave == nil || cfg.NewHooks == nil || cfg.AddrOf == nil {
+		return ParallelResult{}, fmt.Errorf("phoenix: parallel config needs Enclave, NewHooks and AddrOf")
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 2
+	}
+	scale := cfg.ShardScale
+	if scale <= 0 {
+		scale = 1
+	}
+
+	// Bind all runners before starting: allocation errors surface here,
+	// not mid-flight.
+	runners := make([]Runner, threads)
+	for i := range runners {
+		r, err := w.New(Config{
+			Enclave: cfg.Enclave,
+			Hooks:   cfg.NewHooks(),
+			AddrOf:  cfg.AddrOf,
+		}, scale)
+		if err != nil {
+			return ParallelResult{}, fmt.Errorf("phoenix: bind shard %d: %w", i, err)
+		}
+		runners[i] = r
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		checksums = make([]uint64, threads)
+	)
+	for i, r := range runners {
+		wg.Add(1)
+		go func(i int, r Runner) {
+			defer wg.Done()
+			th := cfg.Enclave.Thread()
+			defer th.Exit()
+			sum, err := r(th)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("phoenix: shard %d: %w", i, err)
+				return
+			}
+			checksums[i] = sum
+		}(i, r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return ParallelResult{}, firstErr
+	}
+	return ParallelResult{Checksums: checksums}, nil
+}

@@ -1,0 +1,86 @@
+package phoenix
+
+import (
+	"fmt"
+
+	"teeperf/internal/tee"
+)
+
+// PCA returns the pca workload: column means and the covariance matrix of
+// a tall integer matrix, with one probe-visible call per column mean and
+// per covariance cell — each call doing a full column scan (low call
+// density, heavy work per call).
+func PCA() Workload {
+	return Workload{
+		Name:    "pca",
+		Symbols: []string{"pca", "pca_mean_col", "pca_cov_cell"},
+		New:     newPCA,
+	}
+}
+
+const pcaCols = 24
+
+func newPCA(cfg Config, scale int) (Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("phoenix: scale must be >= 1, got %d", scale)
+	}
+	addrs, err := cfg.resolve("pca", "pca_mean_col", "pca_cov_cell")
+	if err != nil {
+		return nil, err
+	}
+	rows := 2000 * scale
+	buf, err := cfg.Enclave.Alloc(rows * pcaCols * 4)
+	if err != nil {
+		return nil, err
+	}
+	m := make([]int32, rows*pcaCols)
+	state := uint64(0x70636131) // "pca1"
+	for i := range m {
+		m[i] = int32(splitmix64(&state) % 1000)
+	}
+
+	var (
+		fnMain = addrs["pca"]
+		fnMean = addrs["pca_mean_col"]
+		fnCov  = addrs["pca_cov_cell"]
+	)
+	return func(th *tee.Thread) (uint64, error) {
+		h := cfg.Hooks
+		h.Enter(fnMain)
+		if err := buf.TouchRange(th, 0, rows*pcaCols*4); err != nil {
+			h.Exit(fnMain)
+			return 0, err
+		}
+
+		var means [pcaCols]int64
+		for c := 0; c < pcaCols; c++ {
+			h.Enter(fnMean)
+			var sum int64
+			for r := 0; r < rows; r++ {
+				sum += int64(m[r*pcaCols+c])
+			}
+			means[c] = sum / int64(rows)
+			h.Exit(fnMean)
+		}
+		th.Safepoint()
+
+		var checksum uint64
+		for i := 0; i < pcaCols; i++ {
+			for j := 0; j <= i; j++ {
+				h.Enter(fnCov)
+				var cov int64
+				for r := 0; r < rows; r++ {
+					cov += (int64(m[r*pcaCols+i]) - means[i]) * (int64(m[r*pcaCols+j]) - means[j])
+				}
+				checksum = checksum*131 + uint64(cov/int64(rows-1))
+				h.Exit(fnCov)
+			}
+			th.Safepoint()
+		}
+		h.Exit(fnMain)
+		return checksum, nil
+	}, nil
+}

@@ -1,0 +1,151 @@
+// Package phoenix reimplements the Phoenix 2.0 multithreaded benchmark
+// suite used in the paper's Fig 4 evaluation: histogram, kmeans,
+// linear_regression, matrix_multiply, pca, string_match and word_count.
+//
+// The workloads are written against the TEE substrate (enclave memory,
+// safepoints) and are decomposed into the same kind of call graphs as the
+// C originals, because the Fig 4 shape is driven by call frequency:
+// string_match issues a probe-visible call per candidate word (the paper's
+// 5.7x worst case), while linear_regression is one tight loop in a single
+// function (the case where TEE-Perf beats perf). Inputs are generated
+// deterministically; every run returns a checksum so results can be
+// validated across instrumentation modes.
+package phoenix
+
+import (
+	"errors"
+	"fmt"
+
+	"teeperf/internal/probe"
+	"teeperf/internal/symtab"
+	"teeperf/internal/tee"
+)
+
+// Config wires a workload instance to its environment.
+type Config struct {
+	// Enclave provides memory and the platform cost model.
+	Enclave *tee.Enclave
+	// Hooks receives function entry/exit events (TEE-Perf probe, perf
+	// publisher, or probe.Nop for native runs).
+	Hooks probe.Hooks
+	// AddrOf resolves a registered symbol name to its runtime address.
+	AddrOf func(name string) uint64
+}
+
+func (c Config) validate() error {
+	if c.Enclave == nil {
+		return errors.New("phoenix: nil enclave")
+	}
+	if c.Hooks == nil {
+		return errors.New("phoenix: nil hooks")
+	}
+	if c.AddrOf == nil {
+		return errors.New("phoenix: nil AddrOf")
+	}
+	return nil
+}
+
+// resolve maps each name through AddrOf, failing on unregistered symbols.
+func (c Config) resolve(names ...string) (map[string]uint64, error) {
+	out := make(map[string]uint64, len(names))
+	for _, n := range names {
+		a := c.AddrOf(n)
+		if a == 0 {
+			return nil, fmt.Errorf("phoenix: symbol %q not registered", n)
+		}
+		out[n] = a
+	}
+	return out, nil
+}
+
+// Runner executes one measured run on the given enclave thread and returns
+// a workload checksum. A Runner is bound to one goroutine at a time.
+type Runner func(th *tee.Thread) (uint64, error)
+
+// Workload describes one Phoenix benchmark.
+type Workload struct {
+	// Name is the benchmark name as it appears in Fig 4.
+	Name string
+	// Symbols are the function names the workload's probes reference.
+	Symbols []string
+	// New allocates input data scaled by scale (>= 1) and binds a Runner.
+	New func(cfg Config, scale int) (Runner, error)
+}
+
+// RegisterSymbols adds the workload's functions to the symbol table.
+// Already-registered symbols are left untouched, so multiple instances of
+// the same workload share one registration.
+func (w Workload) RegisterSymbols(tab *symtab.Table) error {
+	for i, name := range w.Symbols {
+		if _, ok := tab.Lookup(name); ok {
+			continue
+		}
+		if _, err := tab.Register(name, 64, "phoenix/"+w.Name+".c", (i+1)*10); err != nil {
+			return fmt.Errorf("phoenix: register %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// All returns the full suite in the paper's Fig 4 order (the five plotted
+// benchmarks first, then the remaining suite members).
+func All() []Workload {
+	return []Workload{
+		MatrixMultiply(),
+		StringMatch(),
+		WordCount(),
+		LinearRegression(),
+		Histogram(),
+		KMeans(),
+		PCA(),
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("phoenix: unknown workload %q", name)
+}
+
+// Names lists the suite's workload names in Fig 4 order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, w := range all {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// splitmix64 is the deterministic generator used for all workload inputs.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fillBytes deterministically fills buf from seed.
+func fillBytes(buf []byte, seed uint64) {
+	state := seed
+	i := 0
+	for ; i+8 <= len(buf); i += 8 {
+		v := splitmix64(&state)
+		buf[i] = byte(v)
+		buf[i+1] = byte(v >> 8)
+		buf[i+2] = byte(v >> 16)
+		buf[i+3] = byte(v >> 24)
+		buf[i+4] = byte(v >> 32)
+		buf[i+5] = byte(v >> 40)
+		buf[i+6] = byte(v >> 48)
+		buf[i+7] = byte(v >> 56)
+	}
+	for ; i < len(buf); i++ {
+		buf[i] = byte(splitmix64(&state))
+	}
+}

@@ -1,0 +1,398 @@
+package phoenix
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/counter"
+	"teeperf/internal/probe"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+	"teeperf/internal/tee"
+)
+
+func testEnclave(t *testing.T) *tee.Enclave {
+	t.Helper()
+	e, err := tee.NewEnclave(tee.SGXv1(), tee.NewHost(1), tee.WithoutSpin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// instrumented builds a full probe pipeline for one workload.
+func instrumented(t *testing.T, w Workload, capacity int) (Config, *shmlog.Log, *symtab.Table, *tee.Enclave) {
+	t.Helper()
+	tab := symtab.New()
+	if err := w.RegisterSymbols(tab); err != nil {
+		t.Fatal(err)
+	}
+	log, err := shmlog.New(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := probe.New(log, counter.NewVirtual(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl := testEnclave(t)
+	cfg := Config{
+		Enclave: encl,
+		Hooks:   rt.Thread(),
+		AddrOf:  tab.Addr,
+	}
+	return cfg, log, tab, encl
+}
+
+func TestSuiteRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("suite has %d workloads, want 7", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+		if len(w.Symbols) == 0 {
+			t.Errorf("%s has no symbols", w.Name)
+		}
+		if w.New == nil {
+			t.Errorf("%s has nil constructor", w.Name)
+		}
+	}
+	for _, name := range []string{"matrix_mult", "string_match", "word_count", "linear_regression", "histogram", "kmeans", "pca"} {
+		if !seen[name] {
+			t.Errorf("missing workload %s", name)
+		}
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+	if got := len(Names()); got != 7 {
+		t.Errorf("Names() has %d entries", got)
+	}
+}
+
+func TestRegisterSymbolsIdempotent(t *testing.T) {
+	tab := symtab.New()
+	w := Histogram()
+	if err := w.RegisterSymbols(tab); err != nil {
+		t.Fatal(err)
+	}
+	before := tab.Len()
+	if err := w.RegisterSymbols(tab); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != before {
+		t.Errorf("double registration grew table: %d -> %d", before, tab.Len())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	encl := testEnclave(t)
+	tab := symtab.New()
+	w := Histogram()
+	if err := w.RegisterSymbols(tab); err != nil {
+		t.Fatal(err)
+	}
+	valid := Config{Enclave: encl, Hooks: probe.Nop{}, AddrOf: tab.Addr}
+
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "nil enclave", cfg: Config{Hooks: probe.Nop{}, AddrOf: tab.Addr}},
+		{name: "nil hooks", cfg: Config{Enclave: encl, AddrOf: tab.Addr}},
+		{name: "nil addrof", cfg: Config{Enclave: encl, Hooks: probe.Nop{}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := w.New(tt.cfg, 1); err == nil {
+				t.Error("invalid config should fail")
+			}
+		})
+	}
+	if _, err := w.New(valid, 0); err == nil {
+		t.Error("scale 0 should fail")
+	}
+	// Unregistered symbols fail at bind time.
+	empty := symtab.New()
+	if _, err := w.New(Config{Enclave: encl, Hooks: probe.Nop{}, AddrOf: empty.Addr}, 1); err == nil {
+		t.Error("unregistered symbols should fail")
+	}
+}
+
+func TestWorkloadsDeterministicAcrossModes(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			// Native (no hooks) run.
+			tab := symtab.New()
+			if err := w.RegisterSymbols(tab); err != nil {
+				t.Fatal(err)
+			}
+			encl := testEnclave(t)
+			nativeCfg := Config{Enclave: encl, Hooks: probe.Nop{}, AddrOf: tab.Addr}
+			run, err := w.New(nativeCfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := encl.Thread()
+			sum1, err := run(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum2, err := run(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum1 != sum2 {
+				t.Fatalf("native checksums differ: %#x vs %#x", sum1, sum2)
+			}
+
+			// Instrumented run must compute the same result.
+			cfg, log, _, encl2 := instrumented(t, w, 1<<22)
+			run2, err := w.New(cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum3, err := run2(encl2.Thread())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum3 != sum1 {
+				t.Fatalf("instrumented checksum %#x != native %#x", sum3, sum1)
+			}
+			if log.Len() == 0 {
+				t.Fatal("instrumented run recorded no events")
+			}
+			if log.Dropped() != 0 {
+				t.Fatalf("log overflowed: %d dropped", log.Dropped())
+			}
+		})
+	}
+}
+
+func TestWorkloadEventsAreBalanced(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg, log, tab, encl := instrumented(t, w, 1<<22)
+			run, err := w.New(cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := run(encl.Thread()); err != nil {
+				t.Fatal(err)
+			}
+			p, err := analyzer.Analyze(log, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Truncated != 0 || p.Unmatched != 0 {
+				t.Errorf("unbalanced events: truncated=%d unmatched=%d", p.Truncated, p.Unmatched)
+			}
+			// The workload's entry function must be the root of the
+			// profile with 100%% inclusive time.
+			rootStat, ok := p.Func(w.Name)
+			if !ok {
+				t.Fatalf("root function %s missing from profile", w.Name)
+			}
+			if rootStat.Incl != p.TotalTicks {
+				t.Errorf("root incl = %d, total = %d", rootStat.Incl, p.TotalTicks)
+			}
+			// Every registered symbol should appear.
+			for _, s := range w.Symbols {
+				if _, ok := p.Func(s); !ok {
+					t.Errorf("symbol %s never recorded", s)
+				}
+			}
+		})
+	}
+}
+
+func TestCallDensityOrdering(t *testing.T) {
+	// The Fig 4 driver: string_match must be far more call-dense than
+	// linear_regression on identical scale.
+	events := func(w Workload) int {
+		cfg, log, _, encl := instrumented(t, w, 1<<22)
+		run, err := w.New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := run(encl.Thread()); err != nil {
+			t.Fatal(err)
+		}
+		return log.Len()
+	}
+	sm := events(StringMatch())
+	lr := events(LinearRegression())
+	if sm < 100*lr {
+		t.Errorf("string_match events (%d) should dwarf linear_regression (%d)", sm, lr)
+	}
+	if lr > 100 {
+		t.Errorf("linear_regression recorded %d events, want very few", lr)
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	w := Histogram()
+	cfg, log, _, encl := instrumented(t, w, 1<<22)
+	run1, err := w.New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run1(encl.Thread()); err != nil {
+		t.Fatal(err)
+	}
+	small := log.Len()
+	log.Reset()
+	run3, err := w.New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run3(encl.Thread()); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() <= small {
+		t.Errorf("scale 3 events (%d) not above scale 1 (%d)", log.Len(), small)
+	}
+}
+
+func TestParallelShardsMultithreaded(t *testing.T) {
+	// Phoenix is a multithreaded suite: run 4 shards of word_count on 4
+	// probe threads and check the analyzer untangles them.
+	const threads = 4
+	w := WordCount()
+	tab := symtab.New()
+	if err := w.RegisterSymbols(tab); err != nil {
+		t.Fatal(err)
+	}
+	log, err := shmlog.New(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := probe.New(log, counter.NewVirtual(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl := testEnclave(t)
+
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	for i := 0; i < threads; i++ {
+		cfg := Config{Enclave: encl, Hooks: rt.Thread(), AddrOf: tab.Addr}
+		run, err := w.New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = run(encl.Thread())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Threads()); got != threads {
+		t.Fatalf("profile has %d threads, want %d", got, threads)
+	}
+	if p.Truncated != 0 || p.Unmatched != 0 {
+		t.Errorf("multithreaded reconstruction: truncated=%d unmatched=%d", p.Truncated, p.Unmatched)
+	}
+	wc, ok := p.Func("word_count")
+	if !ok || wc.Calls != threads {
+		t.Errorf("word_count calls = %d, want %d", wc.Calls, threads)
+	}
+}
+
+func TestWorkloadNamesMatchFigure4(t *testing.T) {
+	// The five benchmarks plotted in Fig 4 must exist under the paper's
+	// axis labels.
+	fig4 := []string{"matrix_mult", "string_match", "word_count", "linear_regression", "histogram"}
+	names := strings.Join(Names(), ",")
+	for _, n := range fig4 {
+		if !strings.Contains(names, n) {
+			t.Errorf("Fig 4 benchmark %s missing from suite (%s)", n, names)
+		}
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	if _, err := RunParallel(Histogram(), ParallelConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+}
+
+func TestRunParallelAllWorkloads(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tab := symtab.New()
+			if err := w.RegisterSymbols(tab); err != nil {
+				t.Fatal(err)
+			}
+			log, err := shmlog.New(1 << 23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := probe.New(log, counter.NewVirtual(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			encl := testEnclave(t)
+			res, err := RunParallel(w, ParallelConfig{
+				Enclave:  encl,
+				NewHooks: func() probe.Hooks { return rt.Thread() },
+				AddrOf:   tab.Addr,
+				Threads:  3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Checksums) != 3 {
+				t.Fatalf("checksums = %d, want 3", len(res.Checksums))
+			}
+			// Identical shards (same seed) compute identical results.
+			for i := 1; i < len(res.Checksums); i++ {
+				if res.Checksums[i] != res.Checksums[0] {
+					t.Errorf("shard %d checksum %#x != shard 0 %#x",
+						i, res.Checksums[i], res.Checksums[0])
+				}
+			}
+			p, err := analyzer.Analyze(log, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(p.Threads()); got != 3 {
+				t.Errorf("profile threads = %d, want 3", got)
+			}
+			if p.Truncated != 0 || p.Unmatched != 0 {
+				t.Errorf("parallel reconstruction broken: truncated=%d unmatched=%d",
+					p.Truncated, p.Unmatched)
+			}
+			root, ok := p.Func(w.Name)
+			if !ok || root.Calls != 3 {
+				t.Errorf("root %s calls = %d, want 3", w.Name, root.Calls)
+			}
+		})
+	}
+}

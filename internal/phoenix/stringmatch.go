@@ -1,0 +1,109 @@
+package phoenix
+
+import (
+	"fmt"
+
+	"teeperf/internal/tee"
+)
+
+// StringMatch returns the string_match workload: every candidate word in
+// the input stream is hashed and compared against four target keys, with a
+// probe-visible function per word and per comparison. This is the
+// call-densest member of the suite — the paper's 5.7x worst case for
+// TEE-Perf — because the injected code runs on each of the millions of
+// tiny calls.
+func StringMatch() Workload {
+	return Workload{
+		Name:    "string_match",
+		Symbols: []string{"string_match", "sm_process_word", "sm_hash", "sm_compare"},
+		New:     newStringMatch,
+	}
+}
+
+func newStringMatch(cfg Config, scale int) (Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("phoenix: scale must be >= 1, got %d", scale)
+	}
+	addrs, err := cfg.resolve("string_match", "sm_process_word", "sm_hash", "sm_compare")
+	if err != nil {
+		return nil, err
+	}
+	// Word stream: fixed 12-byte pseudo-words.
+	const wordLen = 12
+	words := 20000 * scale
+	buf, err := cfg.Enclave.Alloc(words * wordLen)
+	if err != nil {
+		return nil, err
+	}
+	data := buf.Data()
+	fillBytes(data, 0x73747269) // "stri"
+	// Plant the four target keys at deterministic positions so matches
+	// exist (as in the original, which searches for specific keys).
+	keys := [4]uint64{}
+	state := uint64(0x6b657973)
+	for i := range keys {
+		keys[i] = splitmix64(&state)
+	}
+	for i := 0; i < 4; i++ {
+		pos := (i*words/5 + 7) * wordLen
+		k := keys[i]
+		for b := 0; b < 8; b++ {
+			data[pos+b] = byte(k >> (8 * b))
+		}
+	}
+
+	var (
+		fnMain    = addrs["string_match"]
+		fnProcess = addrs["sm_process_word"]
+		fnHash    = addrs["sm_hash"]
+		fnCompare = addrs["sm_compare"]
+	)
+	return func(th *tee.Thread) (uint64, error) {
+		h := cfg.Hooks
+		h.Enter(fnMain)
+		var matches, checksum uint64
+		for w := 0; w < words; w++ {
+			off := w * wordLen
+			if off%(4096*4) == 0 {
+				span := 4096 * 4
+				if rest := len(data) - off; rest < span {
+					span = rest
+				}
+				if err := buf.TouchRange(th, off, span); err != nil {
+					h.Exit(fnMain)
+					return 0, err
+				}
+				th.Safepoint()
+			}
+			h.Enter(fnProcess)
+
+			h.Enter(fnHash)
+			// Raw 8-byte key for comparison, plus an FNV mix over the
+			// whole word (the "encrypt the word" work of the original).
+			var hash uint64
+			for b := 0; b < 8; b++ {
+				hash |= uint64(data[off+b]) << (8 * b)
+			}
+			mix := uint64(1469598103934665603)
+			for b := 0; b < wordLen; b++ {
+				mix = (mix ^ uint64(data[off+b])) * 1099511628211
+			}
+			h.Exit(fnHash)
+
+			for k := 0; k < 4; k++ {
+				h.Enter(fnCompare)
+				if hash == keys[k] {
+					matches++
+				}
+				h.Exit(fnCompare)
+			}
+			checksum += hash ^ (mix >> 32)
+			h.Exit(fnProcess)
+		}
+		h.Exit(fnMain)
+		return checksum + matches<<32, nil
+	}, nil
+}

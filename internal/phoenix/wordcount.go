@@ -1,0 +1,110 @@
+package phoenix
+
+import (
+	"fmt"
+
+	"teeperf/internal/tee"
+)
+
+// WordCount returns the word_count workload: tokenize a synthetic text and
+// count word frequencies in a hash table, with a probe-visible call per
+// inserted word — call-dense, but with more work per call than
+// string_match.
+func WordCount() Workload {
+	return Workload{
+		Name:    "word_count",
+		Symbols: []string{"word_count", "wc_tokenize_chunk", "wc_insert"},
+		New:     newWordCount,
+	}
+}
+
+func newWordCount(cfg Config, scale int) (Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("phoenix: scale must be >= 1, got %d", scale)
+	}
+	addrs, err := cfg.resolve("word_count", "wc_tokenize_chunk", "wc_insert")
+	if err != nil {
+		return nil, err
+	}
+	// Synthetic text: lowercase letters with spaces roughly every 3-10
+	// characters, deterministic.
+	textLen := 128 * 1024 * scale
+	buf, err := cfg.Enclave.Alloc(textLen)
+	if err != nil {
+		return nil, err
+	}
+	text := buf.Data()
+	state := uint64(0x776f7264) // "word"
+	pos := 0
+	for pos < textLen {
+		wl := int(splitmix64(&state)%8) + 3
+		for i := 0; i < wl && pos < textLen; i++ {
+			text[pos] = byte('a' + splitmix64(&state)%26)
+			pos++
+		}
+		if pos < textLen {
+			text[pos] = ' '
+			pos++
+		}
+	}
+
+	var (
+		fnMain   = addrs["word_count"]
+		fnChunk  = addrs["wc_tokenize_chunk"]
+		fnInsert = addrs["wc_insert"]
+	)
+	const chunkSize = 16 * 1024
+	return func(th *tee.Thread) (uint64, error) {
+		h := cfg.Hooks
+		h.Enter(fnMain)
+		counts := make(map[uint64]uint32, 4096)
+		var words uint64
+		for off := 0; off < textLen; off += chunkSize {
+			end := off + chunkSize
+			if end > textLen {
+				end = textLen
+			}
+			h.Enter(fnChunk)
+			if err := buf.TouchRange(th, off, end-off); err != nil {
+				h.Exit(fnChunk)
+				h.Exit(fnMain)
+				return 0, err
+			}
+			var wordHash uint64 = 1469598103934665603
+			inWord := false
+			for i := off; i < end; i++ {
+				c := text[i]
+				if c == ' ' {
+					if inWord {
+						h.Enter(fnInsert)
+						counts[wordHash]++
+						words++
+						h.Exit(fnInsert)
+						wordHash = 1469598103934665603
+						inWord = false
+					}
+					continue
+				}
+				wordHash = (wordHash ^ uint64(c)) * 1099511628211
+				inWord = true
+			}
+			if inWord {
+				h.Enter(fnInsert)
+				counts[wordHash]++
+				words++
+				h.Exit(fnInsert)
+			}
+			h.Exit(fnChunk)
+			th.Safepoint()
+		}
+		var checksum uint64
+		for k, v := range counts {
+			checksum += k * uint64(v)
+		}
+		h.Exit(fnMain)
+		return checksum ^ words, nil
+	}, nil
+}

@@ -1,0 +1,213 @@
+// Package probe is the run-time half of TEE-Perf's compiler stage: the code
+// the compiler pass injects at every function entry and exit. A probe reads
+// the counter, and appends a call/return entry to the shared-memory log
+// under the reserving thread's ID. Probes guard against instrumenting
+// themselves (the __attribute__((no_instrument_function)) analogue) and
+// honor the dynamic activation flags and the selective-profiling filter.
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"teeperf/internal/counter"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+// Hooks is the instrumentation contract workloads are compiled against.
+// The TEE-Perf probe, the perf-baseline publisher and the no-op native
+// hooks all implement it, so one workload binary serves all three
+// measurement modes.
+type Hooks interface {
+	// Enter fires at function entry with the function's address.
+	Enter(addr uint64)
+	// Exit fires at function exit with the function's address.
+	Exit(addr uint64)
+}
+
+// Nop is the zero-cost Hooks used for uninstrumented (native baseline)
+// runs.
+type Nop struct{}
+
+var _ Hooks = Nop{}
+
+// Enter does nothing.
+func (Nop) Enter(uint64) {}
+
+// Exit does nothing.
+func (Nop) Exit(uint64) {}
+
+// Runtime owns the probe state shared by all threads of one profiled
+// process: the log, the counter source and the selective filter. The log
+// is held behind an atomic pointer so the recorder can rotate a full log
+// out from under running probes without stopping the application.
+type Runtime struct {
+	log    atomic.Pointer[shmlog.Log]
+	src    counter.Source
+	filter *Filter
+
+	nextTID atomic.Uint64
+	drops   atomic.Uint64
+}
+
+// Option configures New.
+type Option interface {
+	apply(*runtimeOptions)
+}
+
+type runtimeOptions struct {
+	filter *Filter
+}
+
+type filterOption struct{ f *Filter }
+
+func (o filterOption) apply(opts *runtimeOptions) { opts.filter = o.f }
+
+// WithFilter restricts recording to the functions selected by f
+// (selective code profiling). A nil filter records everything.
+func WithFilter(f *Filter) Option { return filterOption{f: f} }
+
+// New creates a probe runtime writing to log with timestamps from src.
+func New(log *shmlog.Log, src counter.Source, opts ...Option) (*Runtime, error) {
+	if log == nil {
+		return nil, errors.New("probe: nil log")
+	}
+	if src == nil {
+		return nil, errors.New("probe: nil counter source")
+	}
+	var o runtimeOptions
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	rt := &Runtime{src: src, filter: o.filter}
+	rt.log.Store(log)
+	return rt, nil
+}
+
+// Log returns the current shared-memory log.
+func (rt *Runtime) Log() *shmlog.Log { return rt.log.Load() }
+
+// SwapLog atomically installs next as the active log and returns the
+// previous one (log rotation). Probes racing with the swap land in one of
+// the two logs; per-thread ordering within each log is preserved.
+func (rt *Runtime) SwapLog(next *shmlog.Log) (*shmlog.Log, error) {
+	if next == nil {
+		return nil, errors.New("probe: nil log")
+	}
+	return rt.log.Swap(next), nil
+}
+
+// Dropped returns how many probe events could not be recorded (log full).
+func (rt *Runtime) Dropped() uint64 { return rt.drops.Load() }
+
+// Thread registers a new application thread and returns its probe handle.
+// The second registered thread switches the log into multithread mode.
+func (rt *Runtime) Thread() *Thread {
+	id := rt.nextTID.Add(1)
+	if id == 2 {
+		rt.Log().SetFlag(shmlog.FlagMultithread)
+	}
+	return &Thread{rt: rt, id: id}
+}
+
+// Thread is the per-application-thread probe handle. It is not safe for
+// concurrent use by multiple goroutines (it models a thread-local).
+type Thread struct {
+	rt      *Runtime
+	id      uint64
+	inProbe bool
+}
+
+var _ Hooks = (*Thread)(nil)
+
+// ID returns the thread's log-visible identifier.
+func (t *Thread) ID() uint64 { return t.id }
+
+// Enter records a function-entry event.
+func (t *Thread) Enter(addr uint64) { t.record(shmlog.KindCall, addr) }
+
+// Exit records a function-exit event.
+func (t *Thread) Exit(addr uint64) { t.record(shmlog.KindReturn, addr) }
+
+// Span records the entry event and returns a function that records the
+// matching exit, for use as `defer th.Span(addr)()` — the Go shape of the
+// injected enter/exit pair.
+func (t *Thread) Span(addr uint64) func() {
+	t.Enter(addr)
+	return func() { t.Exit(addr) }
+}
+
+func (t *Thread) record(kind shmlog.Kind, addr uint64) {
+	// Reentrancy guard: injected code must never measure itself, or the
+	// probe would recurse (the paper's no_instrument_function rule).
+	if t.inProbe {
+		return
+	}
+	t.inProbe = true
+	if t.rt.filter != nil && !t.rt.filter.Allow(addr) {
+		t.inProbe = false
+		return
+	}
+	err := t.rt.Log().Append(shmlog.Entry{
+		Kind:     kind,
+		Counter:  t.rt.src.Now(),
+		Addr:     addr,
+		ThreadID: t.id,
+	})
+	if errors.Is(err, shmlog.ErrFull) {
+		t.rt.drops.Add(1)
+	}
+	t.inProbe = false
+}
+
+// Filter implements selective code profiling: only functions whose
+// addresses were selected are recorded.
+type Filter struct {
+	allow map[uint64]struct{}
+}
+
+// NewFilter selects every symbol in tab for which pred returns true. The
+// profiler anchor is never instrumented and is excluded automatically.
+func NewFilter(tab *symtab.Table, pred func(symtab.Symbol) bool) (*Filter, error) {
+	if tab == nil {
+		return nil, errors.New("probe: nil symbol table")
+	}
+	if pred == nil {
+		return nil, errors.New("probe: nil predicate")
+	}
+	f := &Filter{allow: make(map[uint64]struct{})}
+	for _, s := range tab.Symbols() {
+		if s.Name == symtab.ProfilerAnchorName {
+			continue
+		}
+		if pred(s) {
+			f.allow[s.Addr] = struct{}{}
+		}
+	}
+	return f, nil
+}
+
+// NewFilterAddrs selects an explicit address set.
+func NewFilterAddrs(addrs []uint64) *Filter {
+	f := &Filter{allow: make(map[uint64]struct{}, len(addrs))}
+	for _, a := range addrs {
+		f.allow[a] = struct{}{}
+	}
+	return f
+}
+
+// Allow reports whether addr is selected for recording.
+func (f *Filter) Allow(addr uint64) bool {
+	_, ok := f.allow[addr]
+	return ok
+}
+
+// Size returns how many functions are selected.
+func (f *Filter) Size() int { return len(f.allow) }
+
+// String describes the filter for logs.
+func (f *Filter) String() string {
+	return fmt.Sprintf("filter(%d funcs)", len(f.allow))
+}

@@ -1,0 +1,406 @@
+package query
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Predicate is a compiled filter expression evaluated per row.
+type Predicate struct {
+	root node
+}
+
+// Lookup resolves a column name to its value in the current row.
+type Lookup func(col string) (Value, bool)
+
+// Compile parses a filter expression. The grammar:
+//
+//	expr   := or
+//	or     := and ("||" and)*
+//	and    := unary ("&&" unary)*
+//	unary  := "!" unary | "(" expr ")" | cmp
+//	cmp    := operand (op operand)
+//	op     := "==" | "!=" | "<" | "<=" | ">" | ">=" | "=~" | "!~"
+//	operand:= ident | int | float | string
+//
+// "=~" and "!~" match the left side against a regular expression literal.
+func Compile(expr string) (*Predicate, error) {
+	toks, err := lex(expr)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("query: unexpected token %q", p.peek().text)
+	}
+	return &Predicate{root: root}, nil
+}
+
+// Eval evaluates the predicate against one row.
+func (p *Predicate) Eval(lookup Lookup) (bool, error) {
+	return p.root.eval(lookup)
+}
+
+// --- lexer ---
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokInt
+	tokFloat
+	tokString
+	tokOp
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(s) && s[j] != quote {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("query: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String()})
+			i = j + 1
+		case strings.ContainsRune("=!<>&|~", rune(c)):
+			j := i
+			for j < len(s) && strings.ContainsRune("=!<>&|~", rune(s[j])) {
+				j++
+			}
+			op := s[i:j]
+			switch op {
+			case "==", "!=", "<", "<=", ">", ">=", "=~", "!~", "&&", "||", "!":
+				toks = append(toks, token{tokOp, op})
+			default:
+				return nil, fmt.Errorf("query: bad operator %q", op)
+			}
+			i = j
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9':
+			j := i + 1
+			isFloat := false
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' || s[j] == 'e' || s[j] == 'E' ||
+				(s[j] == '-' || s[j] == '+') && (s[j-1] == 'e' || s[j-1] == 'E')) {
+				if s[j] == '.' || s[j] == 'e' || s[j] == 'E' {
+					isFloat = true
+				}
+				j++
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, s[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_' || s[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("query: empty expression")
+	}
+	return toks, nil
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.eof() {
+		return false
+	}
+	t := p.toks[p.pos]
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOp, "||") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binNode{op: "||", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOp, "&&") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &binNode{op: "&&", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.accept(tokOp, "!") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{inner: inner}, nil
+	}
+	if p.accept(tokLParen, "") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokRParen, "") {
+			return nil, fmt.Errorf("query: missing )")
+		}
+		return inner, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (node, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.eof() || p.peek().kind != tokOp {
+		return nil, fmt.Errorf("query: expected comparison operator after operand")
+	}
+	op := p.peek().text
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=", "=~", "!~":
+		p.pos++
+	default:
+		return nil, fmt.Errorf("query: expected comparison, got %q", op)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if op == "=~" || op == "!~" {
+		lit, ok := right.(*litNode)
+		if !ok || lit.v.Kind() != KindString {
+			return nil, fmt.Errorf("query: right side of %s must be a string literal", op)
+		}
+		re, err := regexp.Compile(lit.v.AsString())
+		if err != nil {
+			return nil, fmt.Errorf("query: bad regexp: %w", err)
+		}
+		return &matchNode{l: left, re: re, negate: op == "!~"}, nil
+	}
+	return &cmpNode{op: op, l: left, r: right}, nil
+}
+
+func (p *parser) parseOperand() (node, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("query: unexpected end of expression")
+	}
+	t := p.toks[p.pos]
+	switch t.kind {
+	case tokIdent:
+		p.pos++
+		return &colNode{name: t.text}, nil
+	case tokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad integer %q", t.text)
+		}
+		return &litNode{v: Int(v)}, nil
+	case tokFloat:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad float %q", t.text)
+		}
+		return &litNode{v: Float(v)}, nil
+	case tokString:
+		p.pos++
+		return &litNode{v: Str(t.text)}, nil
+	default:
+		return nil, fmt.Errorf("query: unexpected token %q", t.text)
+	}
+}
+
+// --- evaluation nodes ---
+
+type node interface {
+	eval(Lookup) (bool, error)
+}
+
+type valueNode interface {
+	value(Lookup) (Value, error)
+}
+
+type colNode struct{ name string }
+
+func (n *colNode) value(lk Lookup) (Value, error) {
+	v, ok := lk(n.name)
+	if !ok {
+		return Value{}, fmt.Errorf("query: unknown column %q", n.name)
+	}
+	return v, nil
+}
+
+func (n *colNode) eval(Lookup) (bool, error) {
+	return false, fmt.Errorf("query: column %q used as boolean", n.name)
+}
+
+type litNode struct{ v Value }
+
+func (n *litNode) value(Lookup) (Value, error) { return n.v, nil }
+func (n *litNode) eval(Lookup) (bool, error) {
+	return false, fmt.Errorf("query: literal used as boolean")
+}
+
+type cmpNode struct {
+	op   string
+	l, r node
+}
+
+func (n *cmpNode) eval(lk Lookup) (bool, error) {
+	lv, err := operandValue(n.l, lk)
+	if err != nil {
+		return false, err
+	}
+	rv, err := operandValue(n.r, lk)
+	if err != nil {
+		return false, err
+	}
+	c := compare(lv, rv)
+	switch n.op {
+	case "==":
+		return c == 0, nil
+	case "!=":
+		return c != 0, nil
+	case "<":
+		return c < 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">":
+		return c > 0, nil
+	case ">=":
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("query: bad comparison %q", n.op)
+	}
+}
+
+type matchNode struct {
+	l      node
+	re     *regexp.Regexp
+	negate bool
+}
+
+func (n *matchNode) eval(lk Lookup) (bool, error) {
+	lv, err := operandValue(n.l, lk)
+	if err != nil {
+		return false, err
+	}
+	m := n.re.MatchString(lv.AsString())
+	if n.negate {
+		return !m, nil
+	}
+	return m, nil
+}
+
+type binNode struct {
+	op   string
+	l, r node
+}
+
+func (n *binNode) eval(lk Lookup) (bool, error) {
+	lv, err := n.l.eval(lk)
+	if err != nil {
+		return false, err
+	}
+	if n.op == "&&" && !lv {
+		return false, nil
+	}
+	if n.op == "||" && lv {
+		return true, nil
+	}
+	return n.r.eval(lk)
+}
+
+type notNode struct{ inner node }
+
+func (n *notNode) eval(lk Lookup) (bool, error) {
+	v, err := n.inner.eval(lk)
+	if err != nil {
+		return false, err
+	}
+	return !v, nil
+}
+
+func operandValue(n node, lk Lookup) (Value, error) {
+	vn, ok := n.(valueNode)
+	if !ok {
+		return Value{}, fmt.Errorf("query: boolean expression used as operand")
+	}
+	return vn.value(lk)
+}

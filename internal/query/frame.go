@@ -1,0 +1,395 @@
+// Package query is TEE-Perf's declarative query interface (the role pandas
+// plays for the original analyzer). Profile records become a column-typed
+// frame that supports a filter expression language, group-by aggregation,
+// sorting and pretty-printing — enough to ask the paper's questions, e.g.
+// "which thread called which method how often".
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"teeperf/internal/analyzer"
+)
+
+// Kind is a column value type.
+type Kind int
+
+// Column kinds.
+const (
+	KindInt Kind = iota + 1
+	KindFloat
+	KindString
+)
+
+// Value is one cell.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Kind reports the value's type.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsInt converts to int64 (floats truncate, strings are 0).
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindFloat:
+		return int64(v.f)
+	case KindString:
+		return 0
+	default:
+		return v.i
+	}
+}
+
+// AsFloat converts to float64 (strings are 0).
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindString:
+		return 0
+	default:
+		return v.f
+	}
+}
+
+// AsString renders the value.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', 6, 64)
+	default:
+		return v.s
+	}
+}
+
+// compare orders two values; strings compare lexically, numbers
+// numerically (mixed numeric kinds compare as floats).
+func compare(a, b Value) int {
+	if a.kind == KindString || b.kind == KindString {
+		return strings.Compare(a.AsString(), b.AsString())
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Frame is an immutable table: named, typed columns over rows.
+type Frame struct {
+	cols []string
+	idx  map[string]int
+	rows [][]Value
+}
+
+// NewFrame creates a frame with the given column names.
+func NewFrame(cols ...string) (*Frame, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("query: frame needs at least one column")
+	}
+	idx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		if c == "" {
+			return nil, fmt.Errorf("query: empty column name")
+		}
+		if _, dup := idx[c]; dup {
+			return nil, fmt.Errorf("query: duplicate column %q", c)
+		}
+		idx[c] = i
+	}
+	return &Frame{cols: cols, idx: idx}, nil
+}
+
+// AppendRow adds a row; the value count must match the column count.
+func (f *Frame) AppendRow(vals ...Value) error {
+	if len(vals) != len(f.cols) {
+		return fmt.Errorf("query: row has %d values, frame has %d columns", len(vals), len(f.cols))
+	}
+	row := make([]Value, len(vals))
+	copy(row, vals)
+	f.rows = append(f.rows, row)
+	return nil
+}
+
+// Columns returns the column names.
+func (f *Frame) Columns() []string {
+	out := make([]string, len(f.cols))
+	copy(out, f.cols)
+	return out
+}
+
+// Len returns the number of rows.
+func (f *Frame) Len() int { return len(f.rows) }
+
+// At returns the cell at row r, column name col.
+func (f *Frame) At(r int, col string) (Value, error) {
+	ci, ok := f.idx[col]
+	if !ok {
+		return Value{}, fmt.Errorf("query: unknown column %q", col)
+	}
+	if r < 0 || r >= len(f.rows) {
+		return Value{}, fmt.Errorf("query: row %d out of range [0,%d)", r, len(f.rows))
+	}
+	return f.rows[r][ci], nil
+}
+
+// FromProfile builds the canonical record frame with columns:
+// thread, name, caller, depth, start, end, incl, self, truncated.
+func FromProfile(p *analyzer.Profile) *Frame {
+	f, err := NewFrame("thread", "name", "caller", "depth", "start", "end", "incl", "self", "truncated")
+	if err != nil {
+		// Static column list; cannot fail.
+		panic(err)
+	}
+	for _, r := range p.Records() {
+		trunc := int64(0)
+		if r.Truncated {
+			trunc = 1
+		}
+		// Static arity; AppendRow cannot fail.
+		_ = f.AppendRow(
+			Int(int64(r.Thread)),
+			Str(r.Name),
+			Str(r.Caller),
+			Int(int64(r.Depth)),
+			Int(int64(r.Start)),
+			Int(int64(r.End)),
+			Int(int64(r.Incl)),
+			Int(int64(r.Self)),
+			Int(trunc),
+		)
+	}
+	return f
+}
+
+// Filter returns the rows matching the expression, e.g.
+//
+//	thread == 3 && name =~ "rocksdb" && self > 1000
+func (f *Frame) Filter(expr string) (*Frame, error) {
+	pred, err := Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	out := &Frame{cols: f.cols, idx: f.idx}
+	for _, row := range f.rows {
+		ok, err := pred.Eval(func(col string) (Value, bool) {
+			ci, exists := f.idx[col]
+			if !exists {
+				return Value{}, false
+			}
+			return row[ci], true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// SortOrder selects ascending or descending order.
+type SortOrder int
+
+// Sort orders.
+const (
+	Asc SortOrder = iota + 1
+	Desc
+)
+
+// Sort returns a copy sorted by the given column.
+func (f *Frame) Sort(col string, order SortOrder) (*Frame, error) {
+	ci, ok := f.idx[col]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown column %q", col)
+	}
+	out := &Frame{cols: f.cols, idx: f.idx, rows: make([][]Value, len(f.rows))}
+	copy(out.rows, f.rows)
+	sort.SliceStable(out.rows, func(i, j int) bool {
+		c := compare(out.rows[i][ci], out.rows[j][ci])
+		if order == Desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	return out, nil
+}
+
+// Head returns the first n rows.
+func (f *Frame) Head(n int) *Frame {
+	if n > len(f.rows) {
+		n = len(f.rows)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := &Frame{cols: f.cols, idx: f.idx, rows: make([][]Value, n)}
+	copy(out.rows, f.rows[:n])
+	return out
+}
+
+// String renders the frame as an aligned text table.
+func (f *Frame) String() string {
+	var sb strings.Builder
+	// Errors are impossible when writing to a strings.Builder.
+	_ = f.WriteTable(&sb)
+	return sb.String()
+}
+
+// WriteTable renders the frame as an aligned text table to w.
+func (f *Frame) WriteTable(w io.Writer) error {
+	widths := make([]int, len(f.cols))
+	for i, c := range f.cols {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(f.rows))
+	for r, row := range f.rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.AsString()
+			if len(cells[i]) > widths[i] {
+				widths[i] = len(cells[i])
+			}
+		}
+		rendered[r] = cells
+	}
+	writeRow := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := writeRow(f.cols); err != nil {
+		return err
+	}
+	for _, cells := range rendered {
+		if err := writeRow(cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the frame as CSV to w.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(f.cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range f.rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = esc(v.AsString())
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Select returns a frame with only the named columns, in the given order.
+func (f *Frame) Select(cols ...string) (*Frame, error) {
+	out, err := NewFrame(cols...)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		ci, ok := f.idx[c]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown column %q", c)
+		}
+		idx[i] = ci
+	}
+	for _, row := range f.rows {
+		cells := make([]Value, len(idx))
+		for i, ci := range idx {
+			cells[i] = row[ci]
+		}
+		out.rows = append(out.rows, cells)
+	}
+	return out, nil
+}
+
+// Distinct returns a frame with duplicate rows removed, keeping first
+// occurrences in order.
+func (f *Frame) Distinct() *Frame {
+	out := &Frame{cols: f.cols, idx: f.idx}
+	seen := make(map[string]struct{}, len(f.rows))
+	for _, row := range f.rows {
+		var sb strings.Builder
+		for _, v := range row {
+			sb.WriteString(v.AsString())
+			sb.WriteByte('\x00')
+		}
+		key := sb.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out.rows = append(out.rows, row)
+	}
+	return out
+}
+
+// WriteJSON renders the frame as a JSON array of objects keyed by column
+// name (integers and floats as numbers, strings as strings).
+func (f *Frame) WriteJSON(w io.Writer) error {
+	rows := make([]map[string]any, 0, len(f.rows))
+	for _, row := range f.rows {
+		m := make(map[string]any, len(f.cols))
+		for i, c := range f.cols {
+			switch row[i].Kind() {
+			case KindInt:
+				m[c] = row[i].AsInt()
+			case KindFloat:
+				m[c] = row[i].AsFloat()
+			default:
+				m[c] = row[i].AsString()
+			}
+		}
+		rows = append(rows, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

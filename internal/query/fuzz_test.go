@@ -1,0 +1,24 @@
+package query
+
+import "testing"
+
+// FuzzCompile: the expression parser must never panic; compiled
+// expressions must evaluate without panicking on any row.
+func FuzzCompile(f *testing.F) {
+	f.Add(`thread == 1 && name =~ "rocksdb"`)
+	f.Add(`self > 100 || (depth < 3 && !(caller == "main"))`)
+	f.Add(`x != 'y'`)
+	f.Add(`((((`)
+	f.Add(`a =~ "("`)
+	f.Add(`1 == 1`)
+	f.Fuzz(func(t *testing.T, expr string) {
+		pred, err := Compile(expr)
+		if err != nil {
+			return
+		}
+		// Evaluate against a row where every column resolves, and one
+		// where none does: both must be panic-free.
+		_, _ = pred.Eval(func(string) (Value, bool) { return Int(1), true })
+		_, _ = pred.Eval(func(string) (Value, bool) { return Value{}, false })
+	})
+}

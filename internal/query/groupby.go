@@ -1,0 +1,203 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Agg is one aggregation applied to each group.
+type Agg struct {
+	// Out is the output column name.
+	Out string
+	// Col is the input column ("" for Count).
+	Col string
+	fn  aggKind
+	q   float64
+}
+
+type aggKind int
+
+const (
+	aggCount aggKind = iota + 1
+	aggSum
+	aggMean
+	aggMin
+	aggMax
+	aggQuantile
+)
+
+// Count counts group rows.
+func Count(out string) Agg { return Agg{Out: out, fn: aggCount} }
+
+// Sum totals a numeric column.
+func Sum(col, out string) Agg { return Agg{Out: out, Col: col, fn: aggSum} }
+
+// Mean averages a numeric column.
+func Mean(col, out string) Agg { return Agg{Out: out, Col: col, fn: aggMean} }
+
+// Min takes the minimum of a numeric column.
+func Min(col, out string) Agg { return Agg{Out: out, Col: col, fn: aggMin} }
+
+// Max takes the maximum of a numeric column.
+func Max(col, out string) Agg { return Agg{Out: out, Col: col, fn: aggMax} }
+
+// Quantile computes the q-quantile (0 < q <= 1) of a numeric column using
+// the nearest-rank method.
+func Quantile(col string, q float64, out string) Agg {
+	return Agg{Out: out, Col: col, fn: aggQuantile, q: q}
+}
+
+// GroupBy aggregates rows sharing the same values in the key columns.
+// The result has the key columns followed by one column per aggregation,
+// sorted by the key columns ascending.
+func (f *Frame) GroupBy(keys []string, aggs ...Agg) (*Frame, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("query: GroupBy needs at least one key column")
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("query: GroupBy needs at least one aggregation")
+	}
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		ci, ok := f.idx[k]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown key column %q", k)
+		}
+		keyIdx[i] = ci
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.fn == 0 {
+			return nil, fmt.Errorf("query: aggregation %d is zero-valued", i)
+		}
+		if a.fn == aggCount {
+			aggIdx[i] = -1
+			continue
+		}
+		ci, ok := f.idx[a.Col]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown aggregation column %q", a.Col)
+		}
+		aggIdx[i] = ci
+		if a.fn == aggQuantile && (a.q <= 0 || a.q > 1) {
+			return nil, fmt.Errorf("query: quantile %f out of (0,1]", a.q)
+		}
+	}
+
+	type group struct {
+		keyVals []Value
+		vals    [][]float64 // per aggregation, collected inputs
+		count   int64
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range f.rows {
+		var kb strings.Builder
+		for _, ki := range keyIdx {
+			kb.WriteString(row[ki].AsString())
+			kb.WriteByte('\x00')
+		}
+		key := kb.String()
+		g, ok := groups[key]
+		if !ok {
+			keyVals := make([]Value, len(keyIdx))
+			for i, ki := range keyIdx {
+				keyVals[i] = row[ki]
+			}
+			g = &group{keyVals: keyVals, vals: make([][]float64, len(aggs))}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.count++
+		for i, ci := range aggIdx {
+			if ci >= 0 {
+				g.vals[i] = append(g.vals[i], row[ci].AsFloat())
+			}
+		}
+	}
+
+	outCols := make([]string, 0, len(keys)+len(aggs))
+	outCols = append(outCols, keys...)
+	for _, a := range aggs {
+		outCols = append(outCols, a.Out)
+	}
+	out, err := NewFrame(outCols...)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		g := groups[key]
+		row := make([]Value, 0, len(outCols))
+		row = append(row, g.keyVals...)
+		for i, a := range aggs {
+			row = append(row, aggregate(a, g.vals[i], g.count))
+		}
+		if err := out.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func aggregate(a Agg, vals []float64, count int64) Value {
+	switch a.fn {
+	case aggCount:
+		return Int(count)
+	case aggSum:
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return Float(s)
+	case aggMean:
+		if len(vals) == 0 {
+			return Float(0)
+		}
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return Float(s / float64(len(vals)))
+	case aggMin:
+		if len(vals) == 0 {
+			return Float(0)
+		}
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return Float(m)
+	case aggMax:
+		if len(vals) == 0 {
+			return Float(0)
+		}
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return Float(m)
+	case aggQuantile:
+		if len(vals) == 0 {
+			return Float(0)
+		}
+		sorted := make([]float64, len(vals))
+		copy(sorted, vals)
+		sort.Float64s(sorted)
+		rank := int(a.q*float64(len(sorted))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		return Float(sorted[rank])
+	default:
+		return Float(0)
+	}
+}

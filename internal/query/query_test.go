@@ -1,0 +1,480 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+func sampleFrame(t *testing.T) *Frame {
+	t.Helper()
+	f, err := NewFrame("thread", "name", "self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		thread int64
+		name   string
+		self   int64
+	}{
+		{1, "rocksdb::Stats::Now", 100},
+		{1, "main", 10},
+		{2, "rocksdb::Stats::Now", 80},
+		{2, "rocksdb::Get", 40},
+		{3, "main", 5},
+	}
+	for _, r := range rows {
+		if err := f.AppendRow(Int(r.thread), Str(r.name), Int(r.self)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestNewFrameValidation(t *testing.T) {
+	if _, err := NewFrame(); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := NewFrame(""); err == nil {
+		t.Error("empty column name should fail")
+	}
+	if _, err := NewFrame("a", "a"); err == nil {
+		t.Error("duplicate column should fail")
+	}
+}
+
+func TestAppendRowArity(t *testing.T) {
+	f, err := NewFrame("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AppendRow(Int(1)); err == nil {
+		t.Error("wrong arity should fail")
+	}
+}
+
+func TestAt(t *testing.T) {
+	f := sampleFrame(t)
+	v, err := f.At(0, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsString() != "rocksdb::Stats::Now" {
+		t.Errorf("At(0,name) = %q", v.AsString())
+	}
+	if _, err := f.At(0, "nope"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := f.At(99, "name"); err == nil {
+		t.Error("row out of range should fail")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	tests := []struct {
+		give       Value
+		wantInt    int64
+		wantFloat  float64
+		wantString string
+	}{
+		{Int(7), 7, 7, "7"},
+		{Float(2.5), 2, 2.5, "2.5"},
+		{Str("x"), 0, 0, "x"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.AsInt(); got != tt.wantInt {
+			t.Errorf("AsInt(%v) = %d, want %d", tt.give, got, tt.wantInt)
+		}
+		if got := tt.give.AsFloat(); got != tt.wantFloat {
+			t.Errorf("AsFloat(%v) = %f, want %f", tt.give, got, tt.wantFloat)
+		}
+		if got := tt.give.AsString(); got != tt.wantString {
+			t.Errorf("AsString(%v) = %q, want %q", tt.give, got, tt.wantString)
+		}
+	}
+}
+
+func TestFilterExpressions(t *testing.T) {
+	f := sampleFrame(t)
+	tests := []struct {
+		expr string
+		want int
+	}{
+		{expr: "thread == 1", want: 2},
+		{expr: "thread != 1", want: 3},
+		{expr: "self > 50", want: 2},
+		{expr: "self >= 80", want: 2},
+		{expr: "self < 10", want: 1},
+		{expr: "self <= 10", want: 2},
+		{expr: `name == "main"`, want: 2},
+		{expr: `name =~ "rocksdb"`, want: 3},
+		{expr: `name !~ "rocksdb"`, want: 2},
+		{expr: `thread == 1 && name =~ "Stats"`, want: 1},
+		{expr: `thread == 1 || thread == 3`, want: 3},
+		{expr: `!(thread == 1)`, want: 3},
+		{expr: `(thread == 1 || thread == 2) && self > 50`, want: 2},
+		{expr: `name == 'main'`, want: 2}, // single quotes
+		{expr: "self > 1000", want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			got, err := f.Filter(tt.expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len() != tt.want {
+				t.Errorf("Filter(%q) kept %d rows, want %d", tt.expr, got.Len(), tt.want)
+			}
+		})
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	f := sampleFrame(t)
+	exprs := []string{
+		"",
+		"thread ==",
+		"== 3",
+		"thread = 3",
+		"(thread == 1",
+		"thread == 1 &&",
+		`name =~ "("`,  // bad regexp
+		"name =~ 42",   // regexp needs string literal
+		"unknown == 1", // unknown column
+		"thread",       // bare column
+		"3 ~ 4",
+		"thread == 1 extra",
+		`name == "unterminated`,
+		"thread @ 3",
+	}
+	for _, expr := range exprs {
+		t.Run(expr, func(t *testing.T) {
+			if _, err := f.Filter(expr); err == nil {
+				t.Errorf("Filter(%q) should fail", expr)
+			}
+		})
+	}
+}
+
+func TestFilterNumericLiterals(t *testing.T) {
+	f, err := NewFrame("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-2.5, 0, 1.5, 3} {
+		if err := f.AppendRow(Float(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.Filter("x >= -2.5 && x < 1.5e0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("kept %d rows, want 2", got.Len())
+	}
+}
+
+func TestSort(t *testing.T) {
+	f := sampleFrame(t)
+	desc, err := f.Sort("self", Desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := desc.At(0, "self")
+	if v.AsInt() != 100 {
+		t.Errorf("Sort desc first self = %d, want 100", v.AsInt())
+	}
+	asc, err := f.Sort("name", Asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ = asc.At(0, "name")
+	if v.AsString() != "main" {
+		t.Errorf("Sort asc first name = %q, want main", v.AsString())
+	}
+	if _, err := f.Sort("nope", Asc); err == nil {
+		t.Error("unknown column should fail")
+	}
+	// Original unchanged.
+	v, _ = f.At(0, "self")
+	if v.AsInt() != 100 {
+		t.Error("Sort mutated the source frame")
+	}
+}
+
+func TestHead(t *testing.T) {
+	f := sampleFrame(t)
+	if got := f.Head(2).Len(); got != 2 {
+		t.Errorf("Head(2).Len() = %d", got)
+	}
+	if got := f.Head(100).Len(); got != 5 {
+		t.Errorf("Head(100).Len() = %d", got)
+	}
+	if got := f.Head(-1).Len(); got != 0 {
+		t.Errorf("Head(-1).Len() = %d", got)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	f := sampleFrame(t)
+	g, err := f.GroupBy([]string{"name"},
+		Count("calls"),
+		Sum("self", "total_self"),
+		Mean("self", "mean_self"),
+		Min("self", "min_self"),
+		Max("self", "max_self"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("groups = %d, want 3", g.Len())
+	}
+	// Groups are key-sorted: main, rocksdb::Get, rocksdb::Stats::Now.
+	name, _ := g.At(0, "name")
+	if name.AsString() != "main" {
+		t.Errorf("group 0 = %q, want main", name.AsString())
+	}
+	calls, _ := g.At(0, "calls")
+	if calls.AsInt() != 2 {
+		t.Errorf("main calls = %d, want 2", calls.AsInt())
+	}
+	total, _ := g.At(2, "total_self")
+	if total.AsFloat() != 180 {
+		t.Errorf("Stats::Now total_self = %f, want 180", total.AsFloat())
+	}
+	mn, _ := g.At(0, "mean_self")
+	if mn.AsFloat() != 7.5 {
+		t.Errorf("main mean_self = %f, want 7.5", mn.AsFloat())
+	}
+	lo, _ := g.At(0, "min_self")
+	hi, _ := g.At(0, "max_self")
+	if lo.AsFloat() != 5 || hi.AsFloat() != 10 {
+		t.Errorf("main min/max = %f/%f, want 5/10", lo.AsFloat(), hi.AsFloat())
+	}
+}
+
+func TestGroupByMultiKeyAndQuantile(t *testing.T) {
+	f := sampleFrame(t)
+	g, err := f.GroupBy([]string{"thread", "name"}, Count("n"), Quantile("self", 0.5, "p50"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 {
+		t.Errorf("groups = %d, want 5 (all rows distinct)", g.Len())
+	}
+	p50, _ := g.At(0, "p50")
+	if p50.AsFloat() <= 0 {
+		t.Errorf("p50 = %f, want > 0", p50.AsFloat())
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	f := sampleFrame(t)
+	if _, err := f.GroupBy(nil, Count("n")); err == nil {
+		t.Error("no keys should fail")
+	}
+	if _, err := f.GroupBy([]string{"name"}); err == nil {
+		t.Error("no aggs should fail")
+	}
+	if _, err := f.GroupBy([]string{"nope"}, Count("n")); err == nil {
+		t.Error("unknown key should fail")
+	}
+	if _, err := f.GroupBy([]string{"name"}, Sum("nope", "s")); err == nil {
+		t.Error("unknown agg column should fail")
+	}
+	if _, err := f.GroupBy([]string{"name"}, Quantile("self", 1.5, "q")); err == nil {
+		t.Error("bad quantile should fail")
+	}
+	if _, err := f.GroupBy([]string{"name"}, Agg{Out: "x"}); err == nil {
+		t.Error("zero agg should fail")
+	}
+}
+
+func TestRenderTableAndCSV(t *testing.T) {
+	f := sampleFrame(t)
+	out := f.String()
+	if !strings.Contains(out, "thread") || !strings.Contains(out, "rocksdb::Stats::Now") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("table has %d lines, want 6", len(lines))
+	}
+
+	var csv bytes.Buffer
+	if err := f.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "thread,name,self\n") {
+		t.Errorf("csv header wrong:\n%s", csv.String())
+	}
+	// Quoting.
+	fq, err := NewFrame("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fq.AppendRow(Str(`has,comma "and quote"`)); err != nil {
+		t.Fatal(err)
+	}
+	csv.Reset()
+	if err := fq.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), `"has,comma ""and quote"""`) {
+		t.Errorf("csv quoting wrong: %s", csv.String())
+	}
+}
+
+func TestFromProfile(t *testing.T) {
+	log, err := shmlog.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := symtab.New()
+	m := tab.MustRegister("main", 16, "m.go", 1)
+	w := tab.MustRegister("work", 16, "m.go", 5)
+	for _, e := range []shmlog.Entry{
+		{Kind: shmlog.KindCall, Counter: 0, Addr: m, ThreadID: 1},
+		{Kind: shmlog.KindCall, Counter: 10, Addr: w, ThreadID: 1},
+		{Kind: shmlog.KindReturn, Counter: 30, Addr: w, ThreadID: 1},
+		{Kind: shmlog.KindReturn, Counter: 50, Addr: m, ThreadID: 1},
+	} {
+		if err := log.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FromProfile(p)
+	if f.Len() != 2 {
+		t.Fatalf("frame rows = %d, want 2", f.Len())
+	}
+	// The paper's example query: which thread called which method how often.
+	g, err := f.GroupBy([]string{"thread", "name"}, Count("calls"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Errorf("thread-method groups = %d, want 2", g.Len())
+	}
+	only, err := f.Filter(`name == "work" && incl == 20`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if only.Len() != 1 {
+		t.Errorf("work rows = %d, want 1", only.Len())
+	}
+}
+
+func TestCompileDeterministicProperty(t *testing.T) {
+	// Property: filtering twice gives identical results, and filter output
+	// row count never exceeds input.
+	f := sampleFrame(t)
+	prop := func(threshold uint8) bool {
+		expr := "self > " + Int(int64(threshold)).AsString()
+		a, err := f.Filter(expr)
+		if err != nil {
+			return false
+		}
+		b, err := f.Filter(expr)
+		if err != nil {
+			return false
+		}
+		return a.Len() == b.Len() && a.Len() <= f.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	f := sampleFrame(t)
+	sel, err := f.Select("name", "self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Columns(); len(got) != 2 || got[0] != "name" || got[1] != "self" {
+		t.Fatalf("columns = %v", got)
+	}
+	if sel.Len() != f.Len() {
+		t.Errorf("Select changed row count: %d vs %d", sel.Len(), f.Len())
+	}
+	v, err := sel.At(0, "name")
+	if err != nil || v.AsString() != "rocksdb::Stats::Now" {
+		t.Errorf("At(0,name) = %v, %v", v, err)
+	}
+	if _, err := sel.At(0, "thread"); err == nil {
+		t.Error("dropped column still accessible")
+	}
+	if _, err := f.Select("nope"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := f.Select(); err == nil {
+		t.Error("empty selection should fail")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	f, err := NewFrame("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][2]int64{{1, 2}, {1, 2}, {1, 3}, {2, 2}, {1, 2}}
+	for _, r := range rows {
+		if err := f.AppendRow(Int(r[0]), Int(r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := f.Distinct()
+	if d.Len() != 3 {
+		t.Fatalf("distinct rows = %d, want 3", d.Len())
+	}
+	// First occurrence order preserved.
+	v, _ := d.At(0, "b")
+	if v.AsInt() != 2 {
+		t.Errorf("first distinct row b = %d, want 2", v.AsInt())
+	}
+}
+
+func TestSelectThenDistinctPipeline(t *testing.T) {
+	f := sampleFrame(t)
+	names, err := f.Select("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := names.Distinct()
+	if distinct.Len() != 3 {
+		t.Errorf("distinct names = %d, want 3", distinct.Len())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	f := sampleFrame(t)
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("json rows = %d, want 5", len(rows))
+	}
+	if rows[0]["name"] != "rocksdb::Stats::Now" {
+		t.Errorf("rows[0].name = %v", rows[0]["name"])
+	}
+	if rows[0]["self"].(float64) != 100 {
+		t.Errorf("rows[0].self = %v", rows[0]["self"])
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceinfo reports whether the race detector is active, so
+// timing-shape tests (which assert wall-clock proportions the detector's
+// instrumentation distorts) can skip themselves under -race while still
+// running their logic paths elsewhere.
+package raceinfo
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

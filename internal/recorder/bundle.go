@@ -1,0 +1,133 @@
+package recorder
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+// A profile bundle packages the two artifacts a measurement produces — the
+// symbol side file (stage 1 output) and the binary log (stage 2 output) —
+// into one stream the analyzer consumes. Format:
+//
+//	TEEPERF-BUNDLE 1\n
+//	section syms <byte length>\n
+//	<symbol side file bytes>
+//	section log <byte length>\n
+//	<binary log bytes>
+const bundleHeader = "TEEPERF-BUNDLE 1"
+
+// ErrBadBundle is returned when decoding a malformed bundle.
+var ErrBadBundle = errors.New("recorder: bad bundle")
+
+// WriteBundle serializes the symbol table and log to w.
+func WriteBundle(w io.Writer, tab *symtab.Table, log *shmlog.Log) error {
+	if tab == nil || log == nil {
+		return errors.New("recorder: nil table or log")
+	}
+	var syms, logBuf bytes.Buffer
+	if _, err := tab.WriteTo(&syms); err != nil {
+		return fmt.Errorf("recorder: encode symbols: %w", err)
+	}
+	if _, err := log.WriteTo(&logBuf); err != nil {
+		return fmt.Errorf("recorder: encode log: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\n", bundleHeader); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "section syms %d\n", syms.Len()); err != nil {
+		return err
+	}
+	if _, err := bw.Write(syms.Bytes()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "section log %d\n", logBuf.Len()); err != nil {
+		return err
+	}
+	if _, err := bw.Write(logBuf.Bytes()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBundle decodes a bundle written by WriteBundle.
+func ReadBundle(r io.Reader) (*symtab.Table, *shmlog.Log, error) {
+	br := bufio.NewReader(r)
+	header, err := readLine(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: header: %v", ErrBadBundle, err)
+	}
+	if header != bundleHeader {
+		return nil, nil, fmt.Errorf("%w: header %q", ErrBadBundle, header)
+	}
+
+	symBytes, err := readSection(br, "syms")
+	if err != nil {
+		return nil, nil, err
+	}
+	tab, err := symtab.Read(bytes.NewReader(symBytes))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: symbols: %v", ErrBadBundle, err)
+	}
+
+	logBytes, err := readSection(br, "log")
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := shmlog.Read(bytes.NewReader(logBytes))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: log: %v", ErrBadBundle, err)
+	}
+	return tab, log, nil
+}
+
+// ReadBundleFile decodes a bundle from a file path.
+func ReadBundleFile(path string) (*symtab.Table, *shmlog.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recorder: open bundle: %w", err)
+	}
+	defer f.Close()
+	return ReadBundle(f)
+}
+
+func readSection(br *bufio.Reader, want string) ([]byte, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: section header: %v", ErrBadBundle, err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "section" || fields[1] != want {
+		return nil, fmt.Errorf("%w: want section %q, got %q", ErrBadBundle, want, line)
+	}
+	n, err := strconv.Atoi(fields[2])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: section length %q", ErrBadBundle, fields[2])
+	}
+	const maxSection = 1 << 31
+	if n > maxSection {
+		return nil, fmt.Errorf("%w: section length %d too large", ErrBadBundle, n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, fmt.Errorf("%w: section body: %v", ErrBadBundle, err)
+	}
+	return data, nil
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(line, "\n"), nil
+}

@@ -1,0 +1,277 @@
+// Package recorder implements TEE-Perf's stage 2: the native wrapper
+// process that runs alongside the application in the TEE. It sets up the
+// shared-memory log, maps the software counter into it, hands probe handles
+// to application threads, allows recording to be toggled while the
+// application runs, and persists the log (plus the symbol side file) after
+// the measurement.
+package recorder
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"teeperf/internal/counter"
+	"teeperf/internal/probe"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+// CounterMode selects the probe time source.
+type CounterMode int
+
+// Counter modes. CounterSoftware is the paper's default: a dedicated
+// spinning thread, usable on any platform. CounterTSC uses the host
+// monotonic clock and models platforms where a hardware counter is
+// readable from inside the TEE. CounterVirtual is a deterministic source
+// for tests.
+const (
+	CounterSoftware CounterMode = iota + 1
+	CounterTSC
+	CounterVirtual
+)
+
+// Errors returned by the recorder lifecycle.
+var (
+	ErrAlreadyStarted = errors.New("recorder: already started")
+	ErrNotStarted     = errors.New("recorder: not started")
+)
+
+// Recorder owns one profiling run.
+type Recorder struct {
+	tab  *symtab.Table
+	rt   *probe.Runtime
+	soft *counter.Software
+	src  counter.Source
+	bias int64
+	cfg  config
+
+	started   bool
+	stopped   bool
+	startTime time.Time
+	duration  time.Duration
+
+	rotateMu sync.Mutex
+	segments int
+
+	rotStop chan struct{}
+	rotDone chan struct{}
+}
+
+// Option configures New.
+type Option interface {
+	apply(*config)
+}
+
+type config struct {
+	capacity int
+	pid      uint64
+	mode     CounterMode
+	source   counter.Source
+	filter   *probe.Filter
+	bias     int64
+	sync     shmlog.Sync
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithCapacity sets the log capacity in entries (default 1<<20).
+func WithCapacity(entries int) Option {
+	return optionFunc(func(c *config) { c.capacity = entries })
+}
+
+// WithPID records the profiled process ID in the log header.
+func WithPID(pid uint64) Option {
+	return optionFunc(func(c *config) { c.pid = pid })
+}
+
+// WithCounterMode selects the time source (default CounterSoftware).
+func WithCounterMode(m CounterMode) Option {
+	return optionFunc(func(c *config) { c.mode = m })
+}
+
+// WithCounterSource installs a custom counter source, overriding the mode.
+func WithCounterSource(src counter.Source) Option {
+	return optionFunc(func(c *config) { c.source = src })
+}
+
+// WithFilter enables selective code profiling.
+func WithFilter(f *probe.Filter) Option {
+	return optionFunc(func(c *config) { c.filter = f })
+}
+
+// WithLoadBias simulates the binary being relocated by delta bytes: probe
+// addresses and the recorded profiler anchor are shifted, and the analyzer
+// must recover the offset from the anchor (the paper's relocation
+// handling).
+func WithLoadBias(delta int64) Option {
+	return optionFunc(func(c *config) { c.bias = delta })
+}
+
+// WithSync selects the log synchronization mode (ablation A1).
+func WithSync(s shmlog.Sync) Option {
+	return optionFunc(func(c *config) { c.sync = s })
+}
+
+// New prepares a recorder over the given symbol table. The log is created
+// inactive; Start activates it.
+func New(tab *symtab.Table, opts ...Option) (*Recorder, error) {
+	if tab == nil {
+		return nil, errors.New("recorder: nil symbol table")
+	}
+	cfg := config{
+		capacity: 1 << 20,
+		mode:     CounterSoftware,
+		sync:     shmlog.SyncAtomic,
+	}
+	for _, opt := range opts {
+		opt.apply(&cfg)
+	}
+
+	anchorRuntime := uint64(int64(tab.AnchorAddr()) + cfg.bias)
+	log, err := shmlog.New(cfg.capacity,
+		shmlog.WithPID(cfg.pid),
+		shmlog.WithProfilerAddr(anchorRuntime),
+		shmlog.WithSync(cfg.sync),
+		shmlog.WithFlags(shmlog.EventCall|shmlog.EventReturn), // inactive until Start
+	)
+	if err != nil {
+		return nil, fmt.Errorf("recorder: create log: %w", err)
+	}
+
+	r := &Recorder{tab: tab, bias: cfg.bias, cfg: cfg}
+	switch {
+	case cfg.source != nil:
+		r.src = cfg.source
+	case cfg.mode == CounterSoftware:
+		r.soft = counter.NewSoftware(log)
+		r.src = r.soft
+	case cfg.mode == CounterTSC:
+		r.src = counter.NewTSC()
+	case cfg.mode == CounterVirtual:
+		r.src = counter.NewVirtual(1)
+	default:
+		return nil, fmt.Errorf("recorder: unknown counter mode %d", cfg.mode)
+	}
+
+	var probeOpts []probe.Option
+	if cfg.filter != nil {
+		probeOpts = append(probeOpts, probe.WithFilter(cfg.filter))
+	}
+	rt, err := probe.New(log, r.src, probeOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("recorder: create probe runtime: %w", err)
+	}
+	r.rt = rt
+	return r, nil
+}
+
+// Log exposes the currently active shared-memory log segment.
+func (r *Recorder) Log() *shmlog.Log { return r.rt.Log() }
+
+// Table exposes the symbol table.
+func (r *Recorder) Table() *symtab.Table { return r.tab }
+
+// Source exposes the counter source used by probes.
+func (r *Recorder) Source() counter.Source { return r.src }
+
+// AddrOf returns the runtime (relocated) address of a registered function;
+// workload setup uses it to wire probe call sites.
+func (r *Recorder) AddrOf(name string) uint64 {
+	static := r.tab.Addr(name)
+	if static == 0 {
+		return 0
+	}
+	return uint64(int64(static) + r.bias)
+}
+
+// Thread registers an application thread and returns its probe handle.
+func (r *Recorder) Thread() *probe.Thread { return r.rt.Thread() }
+
+// Start launches the counter (software mode) and activates recording.
+func (r *Recorder) Start() error {
+	if r.started {
+		return ErrAlreadyStarted
+	}
+	r.started = true
+	if r.soft != nil {
+		r.soft.Start()
+	}
+	r.startTime = time.Now()
+	r.Log().SetActive(true)
+	return nil
+}
+
+// Stop deactivates recording and stops the counter. It is idempotent after
+// the first successful call.
+func (r *Recorder) Stop() error {
+	if !r.started {
+		return ErrNotStarted
+	}
+	if r.stopped {
+		return nil
+	}
+	r.stopped = true
+	r.StopAutoRotate()
+	r.duration = time.Since(r.startTime)
+	r.Log().SetActive(false)
+	if r.soft != nil {
+		if err := r.soft.Stop(); err != nil {
+			return fmt.Errorf("recorder: stop counter: %w", err)
+		}
+	}
+	return nil
+}
+
+// Enable resumes recording mid-run (dynamic activation, paper §II-B).
+func (r *Recorder) Enable() { r.Log().SetActive(true) }
+
+// Disable pauses recording mid-run without stopping the counter.
+func (r *Recorder) Disable() { r.Log().SetActive(false) }
+
+// Stats summarizes the run.
+type Stats struct {
+	// Entries is the number of committed log entries.
+	Entries int
+	// Dropped counts events lost to log overflow.
+	Dropped uint64
+	// CounterTicks is the final counter value.
+	CounterTicks uint64
+	// Duration is the wall-clock time between Start and Stop.
+	Duration time.Duration
+}
+
+// Stats returns the run summary.
+func (r *Recorder) Stats() Stats {
+	return Stats{
+		Entries: r.Log().Len(),
+		// All recorder writes flow through the probe runtime, whose drop
+		// counter spans every rotated segment.
+		Dropped:      r.rt.Dropped(),
+		CounterTicks: r.Log().LoadCounter(),
+		Duration:     r.duration,
+	}
+}
+
+// Persist writes the profile bundle (symbols + log) to path.
+func (r *Recorder) Persist(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("recorder: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := WriteBundle(f, r.tab, r.Log()); err != nil {
+		return fmt.Errorf("recorder: persist %s: %w", path, err)
+	}
+	return f.Sync()
+}
+
+// PersistTo writes the profile bundle to w.
+func (r *Recorder) PersistTo(w io.Writer) error {
+	return WriteBundle(w, r.tab, r.Log())
+}

@@ -1,0 +1,97 @@
+package recorder
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+// TestDecodersNeverPanicOnGarbage feeds arbitrary bytes to every decoder
+// in the persistence pipeline: they must return errors, never panic, for
+// any input (a corrupted or hostile bundle must not take the analyzer
+// down).
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		// Each decoder either succeeds or errors; panics fail the test
+		// via the harness.
+		_, _, _ = ReadBundle(bytes.NewReader(data))
+		_, _ = shmlog.Read(bytes.NewReader(data))
+		_, _ = symtab.Read(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodersNeverPanicOnBitFlips corrupts valid bundles with random bit
+// flips and truncations: decoding must stay panic-free, and when it
+// succeeds the result must still be internally consistent.
+func TestDecodersNeverPanicOnBitFlips(t *testing.T) {
+	// Build one valid bundle.
+	tab := symtab.New()
+	fn := tab.MustRegister("victim", 16, "v.go", 1)
+	log, err := shmlog.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		kind := shmlog.KindCall
+		if i%2 == 1 {
+			kind = shmlog.KindReturn
+		}
+		if err := log.Append(shmlog.Entry{Kind: kind, Counter: uint64(i), Addr: fn, ThreadID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var valid bytes.Buffer
+	if err := WriteBundle(&valid, tab, log); err != nil {
+		t.Fatal(err)
+	}
+	base := valid.Bytes()
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		corrupted := make([]byte, len(base))
+		copy(corrupted, base)
+		// Random corruption: flips, truncation, or both.
+		switch trial % 3 {
+		case 0:
+			for f := 0; f < 1+rng.Intn(8); f++ {
+				pos := rng.Intn(len(corrupted))
+				corrupted[pos] ^= 1 << rng.Intn(8)
+			}
+		case 1:
+			corrupted = corrupted[:rng.Intn(len(corrupted))]
+		default:
+			if len(corrupted) > 2 {
+				corrupted = corrupted[:1+rng.Intn(len(corrupted)-1)]
+			}
+			for f := 0; f < 2 && len(corrupted) > 0; f++ {
+				pos := rng.Intn(len(corrupted))
+				corrupted[pos] ^= 0xFF
+			}
+		}
+		gotTab, gotLog, err := ReadBundle(bytes.NewReader(corrupted))
+		if err != nil {
+			continue // rejected, fine
+		}
+		// Decoded despite corruption: must still be self-consistent.
+		if gotLog.Len() > gotLog.Capacity() {
+			t.Fatalf("trial %d: decoded log len %d beyond capacity %d",
+				trial, gotLog.Len(), gotLog.Capacity())
+		}
+		for i := 0; i < gotLog.Len(); i++ {
+			if _, err := gotLog.Entry(i); err != nil {
+				t.Fatalf("trial %d: entry %d unreadable: %v", trial, i, err)
+			}
+		}
+		if gotTab.Len() == 0 {
+			t.Fatalf("trial %d: decoded table has no symbols", trial)
+		}
+	}
+}

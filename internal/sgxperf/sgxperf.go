@@ -1,0 +1,205 @@
+// Package sgxperf reimplements the transition-level profiler the paper
+// compares against in §V (sgx-perf, Weichbrodt et al., Middleware'18): it
+// observes enclave enter/exit events — ECALLs, OCALLs, AEXs — and analyzes
+// the cost of context switches. It deliberately has no view *inside* the
+// enclave: it cannot produce method-level profiles, which is exactly the
+// limitation TEE-Perf addresses (demonstrated by
+// TestTransitionProfilerCannotSeeMethods).
+package sgxperf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"teeperf/internal/tee"
+)
+
+// Tracer collects enclave transition events. Attach it to an enclave with
+// tee.WithTransitionListener(tracer.Listener()).
+type Tracer struct {
+	mu     sync.Mutex
+	events []tee.TransitionEvent
+}
+
+// New returns an empty tracer.
+func New() *Tracer {
+	return &Tracer{}
+}
+
+// Listener returns the callback to install on the enclave.
+func (t *Tracer) Listener() func(tee.TransitionEvent) {
+	return func(ev tee.TransitionEvent) {
+		t.mu.Lock()
+		t.events = append(t.events, ev)
+		t.mu.Unlock()
+	}
+}
+
+// Events returns a copy of the collected events in arrival order.
+func (t *Tracer) Events() []tee.TransitionEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]tee.TransitionEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of collected events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Reset clears the tracer.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+}
+
+// KindStat aggregates one transition kind.
+type KindStat struct {
+	Kind  tee.Transition
+	Count uint64
+	Total time.Duration
+}
+
+// OCallStat aggregates one OCALL name — sgx-perf's main output: which host
+// calls cost the run, how often, and what to do about it.
+type OCallStat struct {
+	// Name is the OCALL name.
+	Name string
+	// Count and Total are invocation count and summed switch cost.
+	Count uint64
+	Total time.Duration
+	// Mean is Total/Count.
+	Mean time.Duration
+}
+
+// Analysis is the tracer's report.
+type Analysis struct {
+	// Kinds aggregates by transition type, ordered ecall/ocall/aex.
+	Kinds []KindStat
+	// OCalls aggregates by name, most expensive first.
+	OCalls []OCallStat
+	// SwitchTime is the total time lost to world switches.
+	SwitchTime time.Duration
+	// Threads is the number of distinct enclave threads observed.
+	Threads int
+}
+
+// Analyze aggregates the collected events.
+func (t *Tracer) Analyze() Analysis {
+	events := t.Events()
+	kinds := map[tee.Transition]*KindStat{}
+	ocalls := map[string]*OCallStat{}
+	threads := map[uint64]struct{}{}
+	var switchTime time.Duration
+
+	for _, ev := range events {
+		ks, ok := kinds[ev.Kind]
+		if !ok {
+			ks = &KindStat{Kind: ev.Kind}
+			kinds[ev.Kind] = ks
+		}
+		ks.Count++
+		ks.Total += ev.Cost
+		switchTime += ev.Cost
+		threads[ev.Thread] = struct{}{}
+
+		if ev.Kind == tee.TransitionOCall {
+			os, ok := ocalls[ev.Name]
+			if !ok {
+				os = &OCallStat{Name: ev.Name}
+				ocalls[ev.Name] = os
+			}
+			os.Count++
+			os.Total += ev.Cost
+		}
+	}
+
+	var a Analysis
+	for _, k := range []tee.Transition{tee.TransitionECall, tee.TransitionOCall, tee.TransitionAEX} {
+		if ks, ok := kinds[k]; ok {
+			a.Kinds = append(a.Kinds, *ks)
+		}
+	}
+	for _, os := range ocalls {
+		if os.Count > 0 {
+			os.Mean = os.Total / time.Duration(os.Count)
+		}
+		a.OCalls = append(a.OCalls, *os)
+	}
+	sort.Slice(a.OCalls, func(i, j int) bool {
+		if a.OCalls[i].Total != a.OCalls[j].Total {
+			return a.OCalls[i].Total > a.OCalls[j].Total
+		}
+		return a.OCalls[i].Name < a.OCalls[j].Name
+	})
+	a.SwitchTime = switchTime
+	a.Threads = len(threads)
+	return a
+}
+
+// Recommendations produces sgx-perf-style advice for the most expensive
+// OCALLs: calls that repeat very often are caching/batching candidates.
+func (a Analysis) Recommendations() []string {
+	var out []string
+	for _, os := range a.OCalls {
+		switch {
+		case os.Count >= 1000:
+			out = append(out, fmt.Sprintf(
+				"%s: %d calls, %v total — cache the result or batch calls inside the enclave",
+				os.Name, os.Count, os.Total.Round(time.Microsecond)))
+		case os.Total >= time.Millisecond:
+			out = append(out, fmt.Sprintf(
+				"%s: %v total — consider an asynchronous (switchless) call",
+				os.Name, os.Total.Round(time.Microsecond)))
+		}
+	}
+	return out
+}
+
+// WriteReport renders the analysis.
+func (t *Tracer) WriteReport(w io.Writer) error {
+	a := t.Analyze()
+	if _, err := fmt.Fprintf(w, "enclave transitions (%d threads, %v total switch time)\n\n",
+		a.Threads, a.SwitchTime.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %10s %14s\n", "KIND", "COUNT", "TOTAL"); err != nil {
+		return err
+	}
+	for _, ks := range a.Kinds {
+		if _, err := fmt.Fprintf(w, "%-8s %10d %14s\n",
+			ks.Kind, ks.Count, ks.Total.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	if len(a.OCalls) > 0 {
+		if _, err := fmt.Fprintf(w, "\n%-16s %10s %14s %12s\n", "OCALL", "COUNT", "TOTAL", "MEAN"); err != nil {
+			return err
+		}
+		for _, os := range a.OCalls {
+			if _, err := fmt.Fprintf(w, "%-16s %10d %14s %12s\n",
+				os.Name, os.Count, os.Total.Round(time.Microsecond), os.Mean); err != nil {
+				return err
+			}
+		}
+	}
+	if recs := a.Recommendations(); len(recs) > 0 {
+		if _, err := fmt.Fprintln(w, "\nrecommendations:"); err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if _, err := fmt.Fprintf(w, "  * %s\n", r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

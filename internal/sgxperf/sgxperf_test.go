@@ -1,0 +1,159 @@
+package sgxperf
+
+import (
+	"strings"
+	"testing"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/counter"
+	"teeperf/internal/probe"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+	"teeperf/internal/tee"
+)
+
+func tracedEnclave(t *testing.T) (*tee.Enclave, *Tracer) {
+	t.Helper()
+	tr := New()
+	encl, err := tee.NewEnclave(tee.SGXv1(), tee.NewHost(1),
+		tee.WithoutSpin(), tee.WithTransitionListener(tr.Listener()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encl, tr
+}
+
+func TestTracerCollectsTransitions(t *testing.T) {
+	encl, tr := tracedEnclave(t)
+	th := encl.Thread() // ecall
+	th.Getpid()         // ocall getpid
+	th.Getpid()         // ocall getpid
+	th.Rdtsc()          // ocall rdtsc
+	th.AddInterruptDebt(1000)
+
+	a := tr.Analyze()
+	if a.Threads != 1 {
+		t.Errorf("threads = %d, want 1", a.Threads)
+	}
+	kindCount := make(map[tee.Transition]uint64)
+	for _, k := range a.Kinds {
+		kindCount[k.Kind] = k.Count
+	}
+	if kindCount[tee.TransitionECall] != 1 {
+		t.Errorf("ecalls = %d, want 1", kindCount[tee.TransitionECall])
+	}
+	if kindCount[tee.TransitionOCall] != 3 {
+		t.Errorf("ocalls = %d, want 3", kindCount[tee.TransitionOCall])
+	}
+	if kindCount[tee.TransitionAEX] != 1 {
+		t.Errorf("aexs = %d, want 1", kindCount[tee.TransitionAEX])
+	}
+	if len(a.OCalls) != 2 {
+		t.Fatalf("ocall names = %d, want 2", len(a.OCalls))
+	}
+	if a.OCalls[0].Name != "getpid" || a.OCalls[0].Count != 2 {
+		t.Errorf("top ocall = %+v, want getpid x2", a.OCalls[0])
+	}
+	if a.SwitchTime <= 0 {
+		t.Error("switch time not accumulated")
+	}
+
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+func TestRecommendations(t *testing.T) {
+	encl, tr := tracedEnclave(t)
+	th := encl.Thread()
+	for i := 0; i < 1500; i++ {
+		th.Getpid()
+	}
+	recs := tr.Analyze().Recommendations()
+	if len(recs) == 0 {
+		t.Fatal("no recommendations for 1500 getpid OCALLs")
+	}
+	if !strings.Contains(recs[0], "getpid") || !strings.Contains(recs[0], "cache") {
+		t.Errorf("recommendation = %q, want getpid caching advice", recs[0])
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	encl, tr := tracedEnclave(t)
+	th := encl.Thread()
+	th.Getpid()
+	th.Rdtsc()
+	var sb strings.Builder
+	if err := tr.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"enclave transitions", "ecall", "ocall", "getpid", "rdtsc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTransitionProfilerCannotSeeMethods demonstrates the paper's point
+// about sgx-perf (§V): two applications with *different* in-enclave
+// hotspots but identical OCALL patterns are indistinguishable to a
+// transition-level profiler, while TEE-Perf's method-level profile tells
+// them apart.
+func TestTransitionProfilerCannotSeeMethods(t *testing.T) {
+	type appResult struct {
+		transition Analysis
+		hottest    string
+	}
+
+	// run simulates an app doing one OCALL and then burning its time in
+	// the named hot function (virtual-time probes record the truth).
+	run := func(hotName string) appResult {
+		encl, tr := tracedEnclave(t)
+		th := encl.Thread()
+
+		tab := symtab.New()
+		log, err := shmlog.New(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vclock := counter.NewVirtual(0)
+		rt, err := probe.New(log, vclock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := tab.MustRegister(hotName, 16, "app.go", 1)
+		other := tab.MustRegister("setup", 16, "app.go", 9)
+		pth := rt.Thread()
+
+		th.Getpid() // identical transition pattern in both apps
+
+		pth.Enter(other)
+		vclock.Advance(10)
+		pth.Exit(other)
+		pth.Enter(hot)
+		vclock.Advance(90) // the hot spot
+		pth.Exit(hot)
+
+		p, err := analyzer.Analyze(log, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return appResult{transition: tr.Analyze(), hottest: p.Top(1)[0].Name}
+	}
+
+	appA := run("parse_request")
+	appB := run("compress_block")
+
+	// sgx-perf's view: identical.
+	if len(appA.transition.OCalls) != len(appB.transition.OCalls) ||
+		appA.transition.OCalls[0] != appB.transition.OCalls[0] {
+		t.Errorf("transition views should be identical: %+v vs %+v",
+			appA.transition.OCalls, appB.transition.OCalls)
+	}
+	// TEE-Perf's view: the real hotspots, which differ.
+	if appA.hottest != "parse_request" || appB.hottest != "compress_block" {
+		t.Errorf("method-level views wrong: %q / %q", appA.hottest, appB.hottest)
+	}
+}

@@ -1,0 +1,57 @@
+package shmlog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead exercises the binary log decoder with arbitrary input. The
+// decoder must never panic and, when it accepts input, the decoded log
+// must be internally consistent.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid log.
+	l, err := New(4, WithPID(9))
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = l.Append(Entry{Kind: KindCall, Counter: 1, Addr: 2, ThreadID: 3})
+	_ = l.Append(Entry{Kind: KindReturn, Counter: 4, Addr: 2, ThreadID: 3})
+	var valid bytes.Buffer
+	if _, err := l.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if log.Len() > log.Capacity() {
+			t.Fatalf("len %d > capacity %d", log.Len(), log.Capacity())
+		}
+		for i := 0; i < log.Len(); i++ {
+			e, err := log.Entry(i)
+			if err != nil {
+				t.Fatalf("entry %d unreadable: %v", i, err)
+			}
+			if e.Kind != KindCall && e.Kind != KindReturn {
+				t.Fatalf("entry %d: impossible kind %d", i, e.Kind)
+			}
+		}
+		// Accepted logs must round-trip.
+		var out bytes.Buffer
+		if _, err := log.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again.Len() != log.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", log.Len(), again.Len())
+		}
+	})
+}

@@ -1,0 +1,523 @@
+// Package shmlog implements the TEE-Perf shared-memory log (Figure 2 of the
+// paper): a fixed-capacity, append-only event log designed to be mapped into
+// untrusted host memory and written lock-free from inside a trusted
+// execution environment.
+//
+// The log consists of a 64-byte header followed by fixed-size entries.
+// Writers reserve an entry slot with a single atomic fetch-and-add on the
+// tail index and then own that slot exclusively, so no locks are required
+// and per-thread event order is preserved (the property the analyzer relies
+// on). The header also hosts the software-counter word, so the counter
+// thread's tight loop touches only the header cache line.
+package shmlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Layout constants. The on-disk representation is little-endian 64-bit
+// words matching the in-memory word layout exactly.
+const (
+	// HeaderWords is the number of 64-bit words in the log header.
+	HeaderWords = 8
+	// EntryWords is the number of 64-bit words per log entry:
+	// word 0: kind bit (bit 63) | counter value (bits 62..0)
+	// word 1: call/return target address
+	// word 2: thread ID
+	EntryWords = 3
+
+	// HeaderSize and EntrySize are the byte sizes of the corresponding
+	// structures in the persisted format.
+	HeaderSize = HeaderWords * 8
+	EntrySize  = EntryWords * 8
+
+	// Magic identifies a persisted TEE-Perf log ("TEEPERF1").
+	Magic uint64 = 0x5445455045524631
+
+	// Version is the current log structure version. The version is
+	// written once at setup and never changes afterwards, so it does not
+	// need atomic access (per the paper).
+	Version uint64 = 1
+)
+
+// Header word indexes.
+const (
+	wordFlags = iota
+	wordVersion
+	wordPID
+	wordCapacity
+	wordTail
+	wordProfilerAddr
+	wordCounter
+	wordMagic
+)
+
+// Flag bits stored in the header flags word. Flags may be toggled while the
+// measured application runs; all access is atomic so toggling introduces no
+// critical section into the measured execution.
+const (
+	// FlagActive enables recording. Probes drop events while it is clear.
+	FlagActive uint64 = 1 << 0
+	// FlagMultithread marks a log produced by a multi-threaded run.
+	FlagMultithread uint64 = 1 << 1
+
+	// EventCall / EventReturn select which event kinds are recorded.
+	EventCall   uint64 = 1 << 2
+	EventReturn uint64 = 1 << 3
+
+	// EventMask covers all event-selection bits.
+	EventMask = EventCall | EventReturn
+)
+
+// Kind distinguishes call and return entries.
+type Kind uint8
+
+// Entry kinds. KindCall is recorded by the function-entry probe,
+// KindReturn by the function-exit probe.
+const (
+	KindCall Kind = iota + 1
+	KindReturn
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindCall:
+		return "call"
+	case KindReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+const (
+	kindBit     = uint64(1) << 63
+	counterMask = kindBit - 1
+)
+
+// Sync selects the slot-reservation strategy. The paper designs the log for
+// lock-free atomic access but explicitly does not rely on atomics being
+// available; SyncMutex is the portable fallback (and the A1 ablation
+// baseline).
+type Sync int
+
+// Synchronization modes.
+const (
+	SyncAtomic Sync = iota + 1
+	SyncMutex
+)
+
+// Errors returned by log operations.
+var (
+	// ErrFull is returned by Append once all slots are used.
+	ErrFull = errors.New("shmlog: log full")
+	// ErrInactive is returned by Append when FlagActive is clear.
+	ErrInactive = errors.New("shmlog: recording inactive")
+	// ErrFiltered is returned by Append when the entry kind is masked out.
+	ErrFiltered = errors.New("shmlog: event kind filtered")
+	// ErrBadMagic is returned when decoding a non-TEE-Perf stream.
+	ErrBadMagic = errors.New("shmlog: bad magic")
+	// ErrBadVersion is returned when decoding an unsupported log version.
+	ErrBadVersion = errors.New("shmlog: unsupported log version")
+	// ErrTruncated is returned when a persisted log ends prematurely.
+	ErrTruncated = errors.New("shmlog: truncated log")
+	// ErrRange is returned when an entry index is out of bounds.
+	ErrRange = errors.New("shmlog: entry index out of range")
+)
+
+// Entry is one decoded log record (Figure 2 (b)).
+type Entry struct {
+	// Kind reports whether the probe observed a call or a return.
+	Kind Kind
+	// Counter is the 63-bit counter value sampled by the probe.
+	Counter uint64
+	// Addr is the call/return target address (a virtual text address
+	// resolvable through the symbol table).
+	Addr uint64
+	// ThreadID identifies the application thread that wrote the entry.
+	ThreadID uint64
+}
+
+// Log is the shared-memory log region. It is safe for concurrent use by any
+// number of writers and readers.
+type Log struct {
+	words []uint64
+	sync  Sync
+	mu    sync.Mutex // used only in SyncMutex mode
+
+	dropped atomic.Uint64
+}
+
+// Option configures New.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	pid          uint64
+	version      uint64
+	profilerAddr uint64
+	sync         Sync
+	flags        uint64
+}
+
+type pidOption uint64
+
+func (o pidOption) apply(opts *options) { opts.pid = uint64(o) }
+
+// WithPID records the process ID of the profiled application in the header
+// so the analyzer can tell multiple runs apart.
+func WithPID(pid uint64) Option { return pidOption(pid) }
+
+type profilerAddrOption uint64
+
+func (o profilerAddrOption) apply(opts *options) { opts.profilerAddr = uint64(o) }
+
+// WithProfilerAddr records the in-memory address of the well-known profiler
+// anchor function, letting the analyzer compute the relocation offset of
+// position-independent code.
+func WithProfilerAddr(addr uint64) Option { return profilerAddrOption(addr) }
+
+type syncOption Sync
+
+func (o syncOption) apply(opts *options) { opts.sync = Sync(o) }
+
+// WithSync selects the slot reservation strategy (default SyncAtomic).
+func WithSync(s Sync) Option { return syncOption(s) }
+
+type flagsOption uint64
+
+func (o flagsOption) apply(opts *options) { opts.flags = uint64(o) }
+
+// WithFlags sets the initial header flags. The default enables recording of
+// both calls and returns with the log active.
+func WithFlags(flags uint64) Option { return flagsOption(flags) }
+
+type versionOption uint64
+
+func (o versionOption) apply(opts *options) { opts.version = uint64(o) }
+
+// WithVersion overrides the log structure version (testing only).
+func WithVersion(v uint64) Option { return versionOption(v) }
+
+// New allocates a log with room for capacity entries.
+func New(capacity int, opts ...Option) (*Log, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("shmlog: capacity must be positive, got %d", capacity)
+	}
+	o := options{
+		version: Version,
+		sync:    SyncAtomic,
+		flags:   FlagActive | EventCall | EventReturn,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	if o.sync != SyncAtomic && o.sync != SyncMutex {
+		return nil, fmt.Errorf("shmlog: unknown sync mode %d", o.sync)
+	}
+	l := &Log{
+		words: make([]uint64, HeaderWords+capacity*EntryWords),
+		sync:  o.sync,
+	}
+	l.words[wordFlags] = o.flags
+	l.words[wordVersion] = o.version
+	l.words[wordPID] = o.pid
+	l.words[wordCapacity] = uint64(capacity)
+	l.words[wordProfilerAddr] = o.profilerAddr
+	l.words[wordMagic] = Magic
+	return l, nil
+}
+
+// Capacity returns the maximum number of entries the log can hold. The
+// capacity is fixed at setup and immutable afterwards (per the paper).
+func (l *Log) Capacity() int { return int(l.words[wordCapacity]) }
+
+// PID returns the recorded process ID.
+func (l *Log) PID() uint64 { return l.words[wordPID] }
+
+// Version returns the log structure version.
+func (l *Log) Version() uint64 { return l.words[wordVersion] }
+
+// ProfilerAddr returns the recorded profiler anchor address.
+func (l *Log) ProfilerAddr() uint64 { return l.words[wordProfilerAddr] }
+
+// SetProfilerAddr records the profiler anchor address. It is written by the
+// recorder during setup, before any probes run.
+func (l *Log) SetProfilerAddr(addr uint64) { l.words[wordProfilerAddr] = addr }
+
+// Flags returns the current header flags (atomic).
+func (l *Log) Flags() uint64 { return atomic.LoadUint64(&l.words[wordFlags]) }
+
+// SetFlag sets the given flag bits atomically while the application runs.
+func (l *Log) SetFlag(bits uint64) {
+	for {
+		old := atomic.LoadUint64(&l.words[wordFlags])
+		if atomic.CompareAndSwapUint64(&l.words[wordFlags], old, old|bits) {
+			return
+		}
+	}
+}
+
+// ClearFlag clears the given flag bits atomically.
+func (l *Log) ClearFlag(bits uint64) {
+	for {
+		old := atomic.LoadUint64(&l.words[wordFlags])
+		if atomic.CompareAndSwapUint64(&l.words[wordFlags], old, old&^bits) {
+			return
+		}
+	}
+}
+
+// Active reports whether recording is enabled.
+func (l *Log) Active() bool { return l.Flags()&FlagActive != 0 }
+
+// SetActive toggles the active flag.
+func (l *Log) SetActive(active bool) {
+	if active {
+		l.SetFlag(FlagActive)
+	} else {
+		l.ClearFlag(FlagActive)
+	}
+}
+
+// AddCounter atomically advances the header counter word by delta and
+// returns the new value. The software counter thread calls this in its
+// tight loop.
+func (l *Log) AddCounter(delta uint64) uint64 {
+	return atomic.AddUint64(&l.words[wordCounter], delta)
+}
+
+// LoadCounter atomically reads the header counter word.
+func (l *Log) LoadCounter() uint64 {
+	return atomic.LoadUint64(&l.words[wordCounter])
+}
+
+// Tail returns the raw tail index. It can exceed Capacity when writers
+// raced past the end; Len clamps it.
+func (l *Log) Tail() uint64 { return atomic.LoadUint64(&l.words[wordTail]) }
+
+// Len returns the number of committed entries.
+func (l *Log) Len() int {
+	tail := l.Tail()
+	if c := uint64(l.Capacity()); tail > c {
+		tail = c
+	}
+	return int(tail)
+}
+
+// Dropped returns how many entries were rejected because the log was full.
+func (l *Log) Dropped() uint64 { return l.dropped.Load() }
+
+// Append records one entry. It checks the active flag and the event mask,
+// reserves a slot (fetch-and-add in SyncAtomic mode), and writes the entry
+// into the reserved slot, which it owns exclusively. Counter values are
+// truncated to 63 bits; bit 63 carries the kind.
+func (l *Log) Append(e Entry) error {
+	flags := l.Flags()
+	if flags&FlagActive == 0 {
+		return ErrInactive
+	}
+	switch e.Kind {
+	case KindCall:
+		if flags&EventCall == 0 {
+			return ErrFiltered
+		}
+	case KindReturn:
+		if flags&EventReturn == 0 {
+			return ErrFiltered
+		}
+	default:
+		return fmt.Errorf("shmlog: invalid entry kind %d", e.Kind)
+	}
+
+	var slot uint64
+	if l.sync == SyncAtomic {
+		slot = atomic.AddUint64(&l.words[wordTail], 1) - 1
+	} else {
+		l.mu.Lock()
+		slot = l.words[wordTail]
+		l.words[wordTail]++
+		l.mu.Unlock()
+	}
+	if slot >= uint64(l.Capacity()) {
+		l.dropped.Add(1)
+		return ErrFull
+	}
+
+	base := HeaderWords + int(slot)*EntryWords
+	word0 := e.Counter & counterMask
+	if e.Kind == KindReturn {
+		word0 |= kindBit
+	}
+	// The slot is exclusively owned; plain stores suffice for the entry
+	// body, but the first word is stored atomically last so a concurrent
+	// reader scanning below the tail never observes a torn record.
+	atomic.StoreUint64(&l.words[base+1], e.Addr)
+	atomic.StoreUint64(&l.words[base+2], e.ThreadID)
+	atomic.StoreUint64(&l.words[base], word0)
+	return nil
+}
+
+// Entry decodes the committed entry at index i.
+func (l *Log) Entry(i int) (Entry, error) {
+	if i < 0 || i >= l.Len() {
+		return Entry{}, fmt.Errorf("%w: %d (len %d)", ErrRange, i, l.Len())
+	}
+	base := HeaderWords + i*EntryWords
+	word0 := atomic.LoadUint64(&l.words[base])
+	e := Entry{
+		Kind:     KindCall,
+		Counter:  word0 & counterMask,
+		Addr:     atomic.LoadUint64(&l.words[base+1]),
+		ThreadID: atomic.LoadUint64(&l.words[base+2]),
+	}
+	if word0&kindBit != 0 {
+		e.Kind = KindReturn
+	}
+	return e, nil
+}
+
+// Entries decodes all committed entries in log order.
+func (l *Log) Entries() []Entry {
+	n := l.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		e, err := l.Entry(i)
+		if err != nil {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Reset clears the tail, counter and drop count, keeping configuration
+// (capacity, pid, flags) intact. Not safe to call concurrently with Append.
+func (l *Log) Reset() {
+	atomic.StoreUint64(&l.words[wordTail], 0)
+	atomic.StoreUint64(&l.words[wordCounter], 0)
+	l.dropped.Store(0)
+}
+
+// WriteTo persists the header and all committed entries in the binary
+// format. It implements io.WriterTo.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	n := l.Len()
+	buf := make([]byte, 8)
+	var written int64
+
+	writeWord := func(v uint64) error {
+		binary.LittleEndian.PutUint64(buf, v)
+		m, err := w.Write(buf)
+		written += int64(m)
+		return err
+	}
+
+	header := [HeaderWords]uint64{
+		wordFlags:        l.Flags(),
+		wordVersion:      l.Version(),
+		wordPID:          l.PID(),
+		wordCapacity:     uint64(n), // persisted capacity == committed length
+		wordTail:         uint64(n),
+		wordProfilerAddr: l.ProfilerAddr(),
+		wordCounter:      l.LoadCounter(),
+		wordMagic:        Magic,
+	}
+	for _, word := range header {
+		if err := writeWord(word); err != nil {
+			return written, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		base := HeaderWords + i*EntryWords
+		for j := 0; j < EntryWords; j++ {
+			if err := writeWord(atomic.LoadUint64(&l.words[base+j])); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+var _ io.WriterTo = (*Log)(nil)
+
+// Read decodes a persisted log. The returned log is inactive (read-only
+// use); it still supports Entry/Entries/Len and header accessors.
+func Read(r io.Reader) (*Log, error) {
+	head := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, head); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrTruncated
+		}
+		return nil, fmt.Errorf("shmlog: read header: %w", err)
+	}
+	var header [HeaderWords]uint64
+	for i := range header {
+		header[i] = binary.LittleEndian.Uint64(head[i*8:])
+	}
+	if header[wordMagic] != Magic {
+		return nil, ErrBadMagic
+	}
+	if header[wordVersion] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, header[wordVersion])
+	}
+	capacity := header[wordCapacity]
+	tail := header[wordTail]
+	if tail > capacity {
+		tail = capacity
+	}
+	const maxEntries = 1 << 32
+	if capacity > maxEntries {
+		return nil, fmt.Errorf("shmlog: unreasonable capacity %d", capacity)
+	}
+
+	// Read the body incrementally so a forged header claiming billions of
+	// entries fails at the first missing byte instead of pre-allocating
+	// the claimed size.
+	words := make([]uint64, HeaderWords, HeaderWords+clampEntries(tail)*EntryWords)
+	copy(words, header[:])
+	chunk := make([]byte, 64*1024)
+	remaining := int64(tail) * EntrySize
+	for remaining > 0 {
+		n := int64(len(chunk))
+		if remaining < n {
+			n = remaining
+		}
+		if _, err := io.ReadFull(r, chunk[:n]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, ErrTruncated
+			}
+			return nil, fmt.Errorf("shmlog: read entries: %w", err)
+		}
+		for i := int64(0); i+8 <= n; i += 8 {
+			words = append(words, binary.LittleEndian.Uint64(chunk[i:]))
+		}
+		remaining -= n
+	}
+
+	l := &Log{words: words, sync: SyncAtomic}
+	l.words[wordFlags] = header[wordFlags] &^ FlagActive // read-only
+	// The decoded log is immutable: its capacity is what was persisted.
+	l.words[wordCapacity] = tail
+	l.words[wordTail] = tail
+	return l, nil
+}
+
+// clampEntries bounds the initial allocation hint for decoded logs.
+func clampEntries(tail uint64) int {
+	const hintLimit = 1 << 16
+	if tail > hintLimit {
+		return hintLimit
+	}
+	return int(tail)
+}

@@ -1,0 +1,159 @@
+package symtab
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Demangle converts an Itanium-ABI-mangled C++ symbol name into a readable
+// form, covering the subset the TEE-Perf analyzer needs from c++filt:
+// nested names (namespaces, classes), constructors/destructors, template
+// argument skipping, and plain C symbols (returned unchanged). Argument
+// types are summarized as "()" — the paper's flame graphs truncate them
+// anyway. Unparseable names are returned verbatim, which is what c++filt
+// does for non-mangled input.
+func Demangle(name string) string {
+	if !strings.HasPrefix(name, "_Z") {
+		return name
+	}
+	d := demangler{in: name, pos: 2}
+	out, ok := d.encoding()
+	if !ok {
+		return name
+	}
+	return out
+}
+
+type demangler struct {
+	in  string
+	pos int
+}
+
+func (d *demangler) peek() byte {
+	if d.pos >= len(d.in) {
+		return 0
+	}
+	return d.in[d.pos]
+}
+
+func (d *demangler) encoding() (string, bool) {
+	switch d.peek() {
+	case 'N':
+		return d.nestedName()
+	case 'L':
+		// local/internal linkage: _ZL<name>
+		d.pos++
+		s, ok := d.sourceName("")
+		if !ok {
+			return "", false
+		}
+		return s + "()", true
+	default:
+		if d.peek() >= '0' && d.peek() <= '9' {
+			s, ok := d.sourceName("")
+			if !ok {
+				return "", false
+			}
+			return s + "()", true
+		}
+		return "", false
+	}
+}
+
+// nestedName parses N <prefix...> <unqualified-name> E.
+func (d *demangler) nestedName() (string, bool) {
+	d.pos++ // consume 'N'
+	// Skip CV-qualifiers on member functions (K, V, r) and ref-qualifiers.
+	for {
+		switch d.peek() {
+		case 'K', 'V', 'r', 'R', 'O':
+			d.pos++
+			continue
+		}
+		break
+	}
+	var parts []string
+	for d.peek() != 'E' && d.peek() != 0 {
+		switch c := d.peek(); {
+		case c >= '0' && c <= '9':
+			s, ok := d.sourceName("")
+			if !ok {
+				return "", false
+			}
+			parts = append(parts, s)
+		case c == 'C': // constructor C1/C2/C3
+			d.pos += 2
+			if len(parts) == 0 {
+				return "", false
+			}
+			parts = append(parts, lastComponent(parts[len(parts)-1]))
+		case c == 'D': // destructor D0/D1/D2
+			d.pos += 2
+			if len(parts) == 0 {
+				return "", false
+			}
+			parts = append(parts, "~"+lastComponent(parts[len(parts)-1]))
+		case c == 'I': // template args: skip balanced I...E
+			if !d.skipTemplateArgs() {
+				return "", false
+			}
+		case c == 'S': // substitution — not tracked; bail out gracefully
+			return "", false
+		default:
+			return "", false
+		}
+	}
+	if d.peek() != 'E' || len(parts) == 0 {
+		return "", false
+	}
+	d.pos++
+	return strings.Join(parts, "::") + "()", true
+}
+
+// sourceName parses <decimal length><identifier>.
+func (d *demangler) sourceName(prefix string) (string, bool) {
+	start := d.pos
+	for d.pos < len(d.in) && d.in[d.pos] >= '0' && d.in[d.pos] <= '9' {
+		d.pos++
+	}
+	if d.pos == start {
+		return "", false
+	}
+	n, err := strconv.Atoi(d.in[start:d.pos])
+	if err != nil || n <= 0 || d.pos+n > len(d.in) {
+		return "", false
+	}
+	name := d.in[d.pos : d.pos+n]
+	d.pos += n
+	// Anonymous namespace encoding.
+	if strings.HasPrefix(name, "_GLOBAL__N") {
+		name = "(anonymous namespace)"
+	}
+	return prefix + name, true
+}
+
+// skipTemplateArgs consumes a balanced I ... E template argument list.
+func (d *demangler) skipTemplateArgs() bool {
+	depth := 0
+	for d.pos < len(d.in) {
+		switch d.in[d.pos] {
+		case 'I':
+			depth++
+		case 'E':
+			depth--
+			if depth == 0 {
+				d.pos++
+				return true
+			}
+		}
+		d.pos++
+	}
+	return false
+}
+
+func lastComponent(s string) string {
+	if i := strings.LastIndex(s, "::"); i >= 0 {
+		return s[i+2:]
+	}
+	return s
+}

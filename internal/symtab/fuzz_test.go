@@ -1,0 +1,57 @@
+package symtab
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDemangle: the c++filt stand-in must never panic and must return
+// non-mangled input verbatim.
+func FuzzDemangle(f *testing.F) {
+	f.Add("_ZN7rocksdb5Stats3NowEv")
+	f.Add("_ZN7rocksdb15RandomGeneratorC1Ev")
+	f.Add("plain_name")
+	f.Add("_Z")
+	f.Add("_ZN12_GLOBAL__N_11fEv")
+	f.Add("_ZN3stdIiE1fEv")
+	f.Fuzz(func(t *testing.T, name string) {
+		out := Demangle(name)
+		if out == "" && name != "" {
+			t.Fatalf("Demangle(%q) returned empty", name)
+		}
+		if !strings.HasPrefix(name, "_Z") && out != name {
+			t.Fatalf("non-mangled input changed: %q -> %q", name, out)
+		}
+	})
+}
+
+// FuzzReadSideFile: the side-file parser must never panic, and accepted
+// tables must round-trip.
+func FuzzReadSideFile(f *testing.F) {
+	tab := New()
+	tab.MustRegister("main", 64, "m.go", 1)
+	var sb strings.Builder
+	if _, err := tab.WriteTo(&sb); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sb.String())
+	f.Add("TEESYM1\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := Read(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again.Len() != got.Len() {
+			t.Fatalf("round trip changed symbol count: %d -> %d", got.Len(), again.Len())
+		}
+	})
+}

@@ -1,0 +1,385 @@
+package tee
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enclave is one simulated trusted execution environment instance bound to
+// a host. Workload goroutines obtain a Thread and issue all outside-world
+// interactions through it so the platform cost model applies.
+type Enclave struct {
+	platform Platform
+	host     *Host
+	spin     bool
+	listener func(TransitionEvent)
+
+	stats Stats
+
+	nextThread atomic.Uint64
+
+	// Per-OCALL-name accounting (the paper's Fig 6 view: which host
+	// call is eating the run).
+	ocallMu     sync.Mutex
+	ocallByName map[string]uint64
+
+	// EPC residency tracking (FIFO eviction).
+	pageMu   sync.Mutex
+	resident map[uint64]struct{}
+	fifo     []uint64
+	maxPages int
+	nextPage uint64
+}
+
+// Stats aggregates enclave activity. All fields are written atomically.
+type Stats struct {
+	ECalls     atomic.Uint64
+	OCalls     atomic.Uint64
+	AEXs       atomic.Uint64
+	PageFaults atomic.Uint64
+	// ChargedNanos is the total simulated penalty time injected.
+	ChargedNanos atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	ECalls     uint64
+	OCalls     uint64
+	AEXs       uint64
+	PageFaults uint64
+	Charged    time.Duration
+}
+
+// Transition is an enclave boundary-crossing kind.
+type Transition int
+
+// Transition kinds.
+const (
+	TransitionECall Transition = iota + 1
+	TransitionOCall
+	TransitionAEX
+)
+
+// String names the transition.
+func (t Transition) String() string {
+	switch t {
+	case TransitionECall:
+		return "ecall"
+	case TransitionOCall:
+		return "ocall"
+	case TransitionAEX:
+		return "aex"
+	default:
+		return fmt.Sprintf("transition(%d)", int(t))
+	}
+}
+
+// TransitionEvent describes one boundary crossing, delivered to the
+// enclave's transition listener (how transition-level profilers like
+// sgx-perf observe an enclave from the outside).
+type TransitionEvent struct {
+	// Kind is the crossing type.
+	Kind Transition
+	// Name is the OCALL name ("" for ECALLs/AEXs).
+	Name string
+	// Thread is the enclave thread ID (0 if not yet assigned).
+	Thread uint64
+	// At is the host clock at the crossing, in nanoseconds.
+	At uint64
+	// Cost is the simulated penalty charged for the crossing.
+	Cost time.Duration
+}
+
+// EnclaveOption configures NewEnclave.
+type EnclaveOption interface {
+	applyEnclave(*enclaveOptions)
+}
+
+type enclaveOptions struct {
+	spin     bool
+	listener func(TransitionEvent)
+}
+
+type withoutSpinOption struct{}
+
+func (withoutSpinOption) applyEnclave(o *enclaveOptions) { o.spin = false }
+
+// WithoutSpin records charged penalties in the stats without busy-waiting.
+// Tests use it to keep simulated platforms fast and deterministic; benches
+// use real spinning so penalties are visible to wall-clock measurements.
+func WithoutSpin() EnclaveOption { return withoutSpinOption{} }
+
+type listenerOption struct {
+	fn func(TransitionEvent)
+}
+
+func (o listenerOption) applyEnclave(opts *enclaveOptions) { opts.listener = o.fn }
+
+// WithTransitionListener delivers every boundary crossing to fn (must be
+// safe for concurrent calls). Transition-level profilers subscribe here.
+func WithTransitionListener(fn func(TransitionEvent)) EnclaveOption {
+	return listenerOption{fn: fn}
+}
+
+// NewEnclave creates an enclave on host with the given platform model.
+func NewEnclave(p Platform, host *Host, opts ...EnclaveOption) (*Enclave, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if host == nil {
+		return nil, fmt.Errorf("tee: nil host")
+	}
+	o := enclaveOptions{spin: true}
+	for _, opt := range opts {
+		opt.applyEnclave(&o)
+	}
+	return &Enclave{
+		platform:    p,
+		host:        host,
+		spin:        o.spin,
+		listener:    o.listener,
+		ocallByName: make(map[string]uint64),
+		resident:    make(map[uint64]struct{}),
+		maxPages:    p.EPCSize / p.PageSize,
+	}, nil
+}
+
+// Platform returns the enclave's cost model.
+func (e *Enclave) Platform() Platform { return e.platform }
+
+// Host returns the untrusted host the enclave is bound to.
+func (e *Enclave) Host() *Host { return e.host }
+
+// Snapshot returns the current activity counters.
+func (e *Enclave) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		ECalls:     e.stats.ECalls.Load(),
+		OCalls:     e.stats.OCalls.Load(),
+		AEXs:       e.stats.AEXs.Load(),
+		PageFaults: e.stats.PageFaults.Load(),
+		Charged:    time.Duration(e.stats.ChargedNanos.Load()),
+	}
+}
+
+// payDebtThreshold bounds how much penalty time a thread accumulates before
+// actually spinning it off, amortizing timer reads on the hot path.
+const payDebtThreshold = 20 * time.Microsecond
+
+// Thread is one enclave execution context. Each workload goroutine must use
+// its own Thread; Threads are not safe for concurrent use (matching real
+// thread semantics), except for AddInterruptDebt which may be called from a
+// sampler goroutine.
+type Thread struct {
+	id   uint64
+	encl *Enclave
+
+	// debt is penalty time accrued but not yet spun off. interruptDebt is
+	// written by external samplers (AEX model).
+	debt          time.Duration
+	interruptDebt atomic.Int64
+}
+
+// Thread enters the enclave (charging the ECALL cost) and returns a new
+// execution context.
+func (e *Enclave) Thread() *Thread {
+	t := &Thread{id: e.nextThread.Add(1), encl: e}
+	e.stats.ECalls.Add(1)
+	e.notify(TransitionEvent{
+		Kind:   TransitionECall,
+		Thread: t.id,
+		At:     e.host.NowNanos(),
+		Cost:   e.platform.ECallCost,
+	})
+	t.charge(e.platform.ECallCost)
+	return t
+}
+
+func (e *Enclave) notify(ev TransitionEvent) {
+	if e.listener != nil {
+		e.listener(ev)
+	}
+}
+
+// ID returns the thread's enclave-unique identifier (≥ 1).
+func (t *Thread) ID() uint64 { return t.id }
+
+// Enclave returns the owning enclave.
+func (t *Thread) Enclave() *Enclave { return t.encl }
+
+// charge accrues penalty time and pays it off once above the threshold.
+func (t *Thread) charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.encl.stats.ChargedNanos.Add(uint64(d))
+	if !t.encl.spin {
+		return
+	}
+	t.debt += d
+	if t.debt >= payDebtThreshold {
+		t.payNow()
+	}
+}
+
+// payNow spins off all accumulated debt.
+func (t *Thread) payNow() {
+	d := t.debt
+	t.debt = 0
+	if d <= 0 {
+		return
+	}
+	spinFor(d)
+}
+
+// Safepoint settles interrupt debt injected by samplers and any residual
+// charge. Long-running enclave code without OCALLs should call it
+// periodically (the simulator's stand-in for being interruptible).
+func (t *Thread) Safepoint() {
+	if d := t.interruptDebt.Swap(0); d > 0 {
+		t.charge(time.Duration(d))
+	}
+}
+
+// Exit settles all outstanding debt; call when the thread leaves the
+// enclave for good.
+func (t *Thread) Exit() {
+	t.Safepoint()
+	if t.encl.spin {
+		t.payNow()
+	}
+}
+
+// AddInterruptDebt injects an asynchronous-exit penalty (an AEX caused by
+// an interrupt such as a sampling timer). Safe to call from other
+// goroutines; the thread pays at its next safepoint or OCALL.
+func (t *Thread) AddInterruptDebt(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.encl.stats.AEXs.Add(1)
+	t.encl.notify(TransitionEvent{
+		Kind:   TransitionAEX,
+		Thread: t.id,
+		At:     t.encl.host.NowNanos(),
+		Cost:   d,
+	})
+	t.interruptDebt.Add(int64(d))
+}
+
+// OCallCounts returns per-OCALL-name invocation counts.
+func (e *Enclave) OCallCounts() map[string]uint64 {
+	e.ocallMu.Lock()
+	defer e.ocallMu.Unlock()
+	out := make(map[string]uint64, len(e.ocallByName))
+	for k, v := range e.ocallByName {
+		out[k] = v
+	}
+	return out
+}
+
+// OCall performs a world switch to run fn on the host, charging the
+// platform OCALL cost and recording the call under name in the per-OCALL
+// accounting.
+func (t *Thread) OCall(name string, fn func()) {
+	t.encl.ocallMu.Lock()
+	t.encl.ocallByName[name]++
+	t.encl.ocallMu.Unlock()
+	t.encl.stats.OCalls.Add(1)
+	t.encl.notify(TransitionEvent{
+		Kind:   TransitionOCall,
+		Name:   name,
+		Thread: t.id,
+		At:     t.encl.host.NowNanos(),
+		Cost:   t.encl.platform.OCallCost,
+	})
+	t.Safepoint()
+	t.charge(t.encl.platform.OCallCost)
+	if t.encl.spin {
+		// OCALLs are synchronous world switches; pay immediately so the
+		// penalty lands where the profiler will observe it.
+		t.payNow()
+	}
+	fn()
+}
+
+// syscall runs fn on the host through an OCALL and charges the shielded
+// syscall-path cost on top of the world switch.
+func (t *Thread) syscall(name string, fn func()) {
+	t.OCall(name, fn)
+	t.charge(t.encl.platform.SyscallCost)
+	if t.encl.spin {
+		t.payNow()
+	}
+}
+
+// Getpid returns the host process ID. Inside a TEE without direct syscalls
+// this is a full proxied syscall — the expensive call the SPDK case study
+// eliminates.
+func (t *Thread) Getpid() int {
+	if t.encl.platform.DirectSyscalls {
+		return t.encl.host.Pid()
+	}
+	var pid int
+	t.syscall("getpid", func() { pid = t.encl.host.Pid() })
+	return pid
+}
+
+// Rdtsc returns the host timestamp counter. On platforms where rdtsc is
+// illegal inside the enclave (SGXv1) this is an OCALL.
+func (t *Thread) Rdtsc() uint64 {
+	if t.encl.platform.DirectTSC {
+		return t.encl.host.NowNanos()
+	}
+	var ts uint64
+	t.OCall("rdtsc", func() { ts = t.encl.host.NowNanos() })
+	return ts
+}
+
+// ClockNow returns wall-clock nanoseconds via the OS clock; always a
+// syscall, hence an OCALL on TEE platforms.
+func (t *Thread) ClockNow() uint64 {
+	if t.encl.platform.DirectSyscalls {
+		return t.encl.host.NowNanos()
+	}
+	var ts uint64
+	t.syscall("clock_gettime", func() { ts = t.encl.host.NowNanos() })
+	return ts
+}
+
+// Pread reads from a host file through an OCALL (direct I/O is forbidden
+// inside TEEs).
+func (t *Thread) Pread(f *HostFile, p []byte, off int64) (int, error) {
+	var (
+		n   int
+		err error
+	)
+	if t.encl.platform.DirectSyscalls {
+		return f.Pread(p, off)
+	}
+	t.syscall("pread", func() { n, err = f.Pread(p, off) })
+	return n, err
+}
+
+// Pwrite writes to a host file through an OCALL.
+func (t *Thread) Pwrite(f *HostFile, p []byte, off int64) (int, error) {
+	var (
+		n   int
+		err error
+	)
+	if t.encl.platform.DirectSyscalls {
+		return f.Pwrite(p, off)
+	}
+	t.syscall("pwrite", func() { n, err = f.Pwrite(p, off) })
+	return n, err
+}
+
+// spinFor busy-waits for roughly d. A busy wait (rather than sleep) keeps
+// the penalty on-CPU like the modeled hardware stalls.
+func spinFor(d time.Duration) {
+	t0 := time.Now()
+	for time.Since(t0) < d {
+		// Busy wait.
+	}
+}

@@ -1,0 +1,106 @@
+package tee
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Host models the untrusted side of the machine: the OS services an
+// enclave must reach through OCALLs — process identity, the clock, and a
+// simple block-addressed file store standing in for host storage.
+type Host struct {
+	pid   int
+	start time.Time
+
+	mu    sync.RWMutex
+	files map[string]*HostFile
+}
+
+// NewHost returns a host with the given (simulated) process ID.
+func NewHost(pid int) *Host {
+	return &Host{
+		pid:   pid,
+		start: time.Now(),
+		files: make(map[string]*HostFile),
+	}
+}
+
+// Pid returns the host-assigned process ID (the getpid result).
+func (h *Host) Pid() int { return h.pid }
+
+// NowNanos returns monotonic nanoseconds since host creation (the rdtsc /
+// clock_gettime stand-in).
+func (h *Host) NowNanos() uint64 { return uint64(time.Since(h.start)) }
+
+// CreateFile allocates a host file of the given size, truncating any
+// existing file with the same name.
+func (h *Host) CreateFile(name string, size int) (*HostFile, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("tee: negative file size %d", size)
+	}
+	f := &HostFile{name: name, data: make([]byte, size)}
+	h.mu.Lock()
+	h.files[name] = f
+	h.mu.Unlock()
+	return f, nil
+}
+
+// OpenFile returns an existing host file.
+func (h *Host) OpenFile(name string) (*HostFile, error) {
+	h.mu.RLock()
+	f, ok := h.files[name]
+	h.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("tee: host file %q not found", name)
+	}
+	return f, nil
+}
+
+// HostFile is an in-memory host-side file supporting positional I/O.
+type HostFile struct {
+	name string
+
+	mu   sync.RWMutex
+	data []byte
+}
+
+// Name returns the file name.
+func (f *HostFile) Name() string { return f.name }
+
+// Size returns the current file size.
+func (f *HostFile) Size() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.data)
+}
+
+// Pread copies len(p) bytes at offset off into p.
+func (f *HostFile) Pread(p []byte, off int64) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off < 0 {
+		return 0, fmt.Errorf("tee: %s: negative offset %d", f.name, off)
+	}
+	if off >= int64(len(f.data)) {
+		return 0, fmt.Errorf("tee: %s: read at %d beyond size %d", f.name, off, len(f.data))
+	}
+	n := copy(p, f.data[off:])
+	return n, nil
+}
+
+// Pwrite copies p into the file at offset off, growing it if needed.
+func (f *HostFile) Pwrite(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("tee: %s: negative offset %d", f.name, off)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if end := off + int64(len(p)); end > int64(len(f.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:], p)
+	return len(p), nil
+}

@@ -1,0 +1,97 @@
+package tee
+
+import (
+	"fmt"
+)
+
+// Buffer is enclave-protected memory. Its pages count against the
+// platform's EPC budget: touching a non-resident page triggers secure
+// paging (evicting the oldest resident page FIFO-style and charging the
+// page-fault cost), and every explicit touch pays the memory-encryption
+// penalty. Workloads call Touch/TouchRange around their accesses; the
+// backing bytes themselves are reachable via Data for bulk operations.
+type Buffer struct {
+	encl     *Enclave
+	data     []byte
+	basePage uint64
+}
+
+// Alloc reserves n bytes of enclave memory. Allocation itself is cheap;
+// costs accrue on first touch of each page (demand paging).
+func (e *Enclave) Alloc(n int) (*Buffer, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tee: allocation size must be positive, got %d", n)
+	}
+	pages := uint64((n + e.platform.PageSize - 1) / e.platform.PageSize)
+	e.pageMu.Lock()
+	base := e.nextPage
+	e.nextPage += pages
+	e.pageMu.Unlock()
+	return &Buffer{encl: e, data: make([]byte, n), basePage: base}, nil
+}
+
+// Len returns the buffer size in bytes.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Data exposes the backing bytes for bulk access. Pair raw accesses with
+// Touch/TouchRange so the cost model applies.
+func (b *Buffer) Data() []byte { return b.data }
+
+// Touch models one access at byte offset off by thread t, charging paging
+// and encryption penalties as needed.
+func (b *Buffer) Touch(t *Thread, off int) error {
+	if off < 0 || off >= len(b.data) {
+		return fmt.Errorf("tee: touch offset %d out of range [0,%d)", off, len(b.data))
+	}
+	b.touchPage(t, b.basePage+uint64(off/b.encl.platform.PageSize))
+	t.charge(b.encl.platform.MemAccessCost)
+	return nil
+}
+
+// TouchRange models a sequential access of length n starting at off,
+// charging per crossed page.
+func (b *Buffer) TouchRange(t *Thread, off, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("tee: touch range length must be positive, got %d", n)
+	}
+	if off < 0 || off+n > len(b.data) {
+		return fmt.Errorf("tee: touch range [%d,%d) out of range [0,%d)", off, off+n, len(b.data))
+	}
+	ps := b.encl.platform.PageSize
+	first := off / ps
+	last := (off + n - 1) / ps
+	for p := first; p <= last; p++ {
+		b.touchPage(t, b.basePage+uint64(p))
+		t.charge(b.encl.platform.MemAccessCost)
+	}
+	return nil
+}
+
+// touchPage brings a page into the EPC, evicting FIFO-style when the
+// budget is exceeded.
+func (b *Buffer) touchPage(t *Thread, page uint64) {
+	e := b.encl
+	e.pageMu.Lock()
+	if _, ok := e.resident[page]; ok {
+		e.pageMu.Unlock()
+		return
+	}
+	for len(e.fifo) >= e.maxPages && len(e.fifo) > 0 {
+		victim := e.fifo[0]
+		e.fifo = e.fifo[1:]
+		delete(e.resident, victim)
+	}
+	e.resident[page] = struct{}{}
+	e.fifo = append(e.fifo, page)
+	e.pageMu.Unlock()
+
+	e.stats.PageFaults.Add(1)
+	t.charge(e.platform.PageFaultCost)
+}
+
+// ResidentPages returns how many enclave pages are currently in the EPC.
+func (e *Enclave) ResidentPages() int {
+	e.pageMu.Lock()
+	defer e.pageMu.Unlock()
+	return len(e.resident)
+}

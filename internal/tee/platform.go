@@ -1,0 +1,200 @@
+// Package tee simulates trusted execution environments. It is the substrate
+// that stands in for Intel SGX + SCONE (and the other TEEs the paper
+// targets): workloads execute on enclave threads whose interactions with
+// the outside world — syscalls, clock reads, I/O — pay the platform's
+// world-switch costs, and whose memory accesses beyond the protected-memory
+// budget pay secure-paging costs. Costs are injected as real busy-wait time
+// so they are observable by any wall-clock profiler, exactly like the
+// micro-architectural penalties they model.
+package tee
+
+import (
+	"fmt"
+	"time"
+)
+
+// Platform describes the cost model of one TEE implementation.
+type Platform struct {
+	// Name identifies the platform in reports.
+	Name string
+
+	// ECallCost is charged when entering the enclave (world switch in).
+	ECallCost time.Duration
+	// OCallCost is charged for every enclave exit + re-entry pair
+	// (syscall proxying, TLB flush included).
+	OCallCost time.Duration
+	// AEXCost is charged for an asynchronous enclave exit (interrupt,
+	// e.g. a profiler sampling tick landing on an enclave thread).
+	AEXCost time.Duration
+	// SyscallCost is charged on top of OCallCost for proxied syscalls
+	// (getpid, clock_gettime, pread/pwrite): the shielded syscall path —
+	// argument marshalling, kernel service, result checks — that SCONE
+	// and similar runtimes add.
+	SyscallCost time.Duration
+
+	// EPCSize is the protected-memory budget in bytes. Enclave pages
+	// beyond this budget are securely swapped to host memory.
+	EPCSize int
+	// PageSize is the paging granularity.
+	PageSize int
+	// PageFaultCost is charged per securely-paged-in page.
+	PageFaultCost time.Duration
+	// MemAccessCost is the memory-encryption-engine penalty charged per
+	// explicitly touched page-sized range of enclave memory.
+	MemAccessCost time.Duration
+
+	// DirectSyscalls reports whether the environment can issue syscalls
+	// without an OCALL (true only for native execution).
+	DirectSyscalls bool
+	// DirectTSC reports whether the timestamp counter is readable from
+	// inside (rdtsc is illegal inside SGXv1 enclaves).
+	DirectTSC bool
+}
+
+// Default cost figures. They track the relative magnitudes reported for
+// SGX-class hardware (a world switch costs thousands of cycles, secure
+// paging tens of thousands) scaled to keep simulated runs fast; the
+// absolute values are not calibrated to any specific CPU.
+const defaultPageSize = 4096
+
+// Native returns a zero-cost platform: direct syscalls, direct TSC, no
+// paging penalty. It models running the application outside any TEE.
+func Native() Platform {
+	return Platform{
+		Name:           "native",
+		PageSize:       defaultPageSize,
+		EPCSize:        1 << 62,
+		DirectSyscalls: true,
+		DirectTSC:      true,
+	}
+}
+
+// SGXv1 models a first-generation Intel SGX enclave (the paper's testbed):
+// expensive world switches, ~93 MiB usable EPC, very expensive EPC paging,
+// no rdtsc inside the enclave.
+func SGXv1() Platform {
+	return Platform{
+		Name:          "sgx-v1",
+		ECallCost:     2500 * time.Nanosecond,
+		OCallCost:     3500 * time.Nanosecond,
+		AEXCost:       4500 * time.Nanosecond,
+		SyscallCost:   15 * time.Microsecond,
+		EPCSize:       93 << 20,
+		PageSize:      defaultPageSize,
+		PageFaultCost: 12 * time.Microsecond,
+		MemAccessCost: 30 * time.Nanosecond,
+	}
+}
+
+// SGXv2 models SGX with EDMM and a larger EPC: same switch costs, much
+// larger protected memory, and rdtsc permitted inside the enclave.
+func SGXv2() Platform {
+	p := SGXv1()
+	p.Name = "sgx-v2"
+	p.EPCSize = 4 << 30
+	p.DirectTSC = true
+	return p
+}
+
+// TrustZone models an ARM TrustZone secure world: cheaper world switches
+// (SMC), no EPC-style paging but also no memory encryption by default.
+func TrustZone() Platform {
+	return Platform{
+		Name:        "trustzone",
+		ECallCost:   800 * time.Nanosecond,
+		OCallCost:   1200 * time.Nanosecond,
+		AEXCost:     1500 * time.Nanosecond,
+		SyscallCost: 2 * time.Microsecond,
+		EPCSize:     1 << 62,
+		PageSize:    defaultPageSize,
+		DirectTSC:   true,
+	}
+}
+
+// SEV models an AMD SEV encrypted VM: syscalls stay inside the guest
+// (cheap), memory encryption penalty on access, no paging cliff.
+func SEV() Platform {
+	return Platform{
+		Name:           "sev",
+		OCallCost:      300 * time.Nanosecond,
+		AEXCost:        2000 * time.Nanosecond,
+		EPCSize:        1 << 62,
+		PageSize:       defaultPageSize,
+		MemAccessCost:  25 * time.Nanosecond,
+		DirectSyscalls: true,
+		DirectTSC:      true,
+	}
+}
+
+// Keystone models a RISC-V Keystone enclave: security-monitor mediated
+// world switches, modest protected memory.
+func Keystone() Platform {
+	return Platform{
+		Name:          "keystone",
+		ECallCost:     1800 * time.Nanosecond,
+		OCallCost:     2600 * time.Nanosecond,
+		AEXCost:       3000 * time.Nanosecond,
+		SyscallCost:   8 * time.Microsecond,
+		EPCSize:       64 << 20,
+		PageSize:      defaultPageSize,
+		PageFaultCost: 9 * time.Microsecond,
+	}
+}
+
+// Scale returns a copy of the platform with all time costs multiplied by f.
+// Benches use it to compress or stretch simulated penalties.
+func (p Platform) Scale(f float64) Platform {
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * f)
+	}
+	p.ECallCost = scale(p.ECallCost)
+	p.OCallCost = scale(p.OCallCost)
+	p.AEXCost = scale(p.AEXCost)
+	p.SyscallCost = scale(p.SyscallCost)
+	p.PageFaultCost = scale(p.PageFaultCost)
+	p.MemAccessCost = scale(p.MemAccessCost)
+	return p
+}
+
+// Validate reports configuration errors.
+func (p Platform) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("tee: platform has no name")
+	}
+	if p.PageSize <= 0 {
+		return fmt.Errorf("tee: platform %s: page size must be positive, got %d", p.Name, p.PageSize)
+	}
+	if p.EPCSize < p.PageSize {
+		return fmt.Errorf("tee: platform %s: EPC %d smaller than one page", p.Name, p.EPCSize)
+	}
+	if p.ECallCost < 0 || p.OCallCost < 0 || p.AEXCost < 0 ||
+		p.SyscallCost < 0 || p.PageFaultCost < 0 || p.MemAccessCost < 0 {
+		return fmt.Errorf("tee: platform %s: negative cost", p.Name)
+	}
+	return nil
+}
+
+// ByName returns the preset platform with the given name.
+func ByName(name string) (Platform, error) {
+	switch name {
+	case "native":
+		return Native(), nil
+	case "sgx-v1", "sgx":
+		return SGXv1(), nil
+	case "sgx-v2":
+		return SGXv2(), nil
+	case "trustzone":
+		return TrustZone(), nil
+	case "sev":
+		return SEV(), nil
+	case "keystone":
+		return Keystone(), nil
+	default:
+		return Platform{}, fmt.Errorf("tee: unknown platform %q", name)
+	}
+}
+
+// PlatformNames lists the available presets.
+func PlatformNames() []string {
+	return []string{"native", "sgx-v1", "sgx-v2", "trustzone", "sev", "keystone"}
+}

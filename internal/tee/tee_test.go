@@ -1,0 +1,441 @@
+package tee
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlatformPresets(t *testing.T) {
+	for _, name := range PlatformNames() {
+		t.Run(name, func(t *testing.T) {
+			p, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("preset %s invalid: %v", name, err)
+			}
+			if p.Name != name && !(name == "sgx" && p.Name == "sgx-v1") {
+				t.Errorf("preset %s has name %s", name, p.Name)
+			}
+		})
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) should fail")
+	}
+	if p, err := ByName("sgx"); err != nil || p.Name != "sgx-v1" {
+		t.Errorf("ByName(sgx) = %v, %v; want sgx-v1 alias", p.Name, err)
+	}
+}
+
+func TestPlatformScale(t *testing.T) {
+	p := SGXv1().Scale(2)
+	if p.OCallCost != 2*SGXv1().OCallCost {
+		t.Errorf("scaled OCallCost = %v, want doubled", p.OCallCost)
+	}
+	if p.EPCSize != SGXv1().EPCSize {
+		t.Errorf("Scale must not change EPC size")
+	}
+	zero := SGXv1().Scale(0)
+	if zero.OCallCost != 0 || zero.PageFaultCost != 0 {
+		t.Error("Scale(0) should zero all costs")
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Platform)
+	}{
+		{name: "no name", mutate: func(p *Platform) { p.Name = "" }},
+		{name: "zero page size", mutate: func(p *Platform) { p.PageSize = 0 }},
+		{name: "tiny epc", mutate: func(p *Platform) { p.EPCSize = 1 }},
+		{name: "negative cost", mutate: func(p *Platform) { p.OCallCost = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := SGXv1()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate should fail")
+			}
+		})
+	}
+}
+
+func newTestEnclave(t *testing.T, p Platform) *Enclave {
+	t.Helper()
+	e, err := NewEnclave(p, NewHost(1234), WithoutSpin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEnclaveValidation(t *testing.T) {
+	if _, err := NewEnclave(Platform{}, NewHost(1)); err == nil {
+		t.Error("invalid platform should fail")
+	}
+	if _, err := NewEnclave(Native(), nil); err == nil {
+		t.Error("nil host should fail")
+	}
+}
+
+func TestThreadIDsUnique(t *testing.T) {
+	e := newTestEnclave(t, SGXv1())
+	a, b := e.Thread(), e.Thread()
+	if a.ID() == b.ID() {
+		t.Errorf("thread IDs collide: %d", a.ID())
+	}
+	if a.ID() == 0 || b.ID() == 0 {
+		t.Error("thread IDs must be non-zero")
+	}
+	if got := e.Snapshot().ECalls; got != 2 {
+		t.Errorf("ECalls = %d, want 2", got)
+	}
+}
+
+func TestOCallCharges(t *testing.T) {
+	e := newTestEnclave(t, SGXv1())
+	th := e.Thread()
+	before := e.Snapshot()
+
+	ran := false
+	th.OCall("test", func() { ran = true })
+	if !ran {
+		t.Fatal("OCall did not run the host function")
+	}
+	after := e.Snapshot()
+	if after.OCalls != before.OCalls+1 {
+		t.Errorf("OCalls = %d, want %d", after.OCalls, before.OCalls+1)
+	}
+	if delta := after.Charged - before.Charged; delta < SGXv1().OCallCost {
+		t.Errorf("charged %v, want >= %v", delta, SGXv1().OCallCost)
+	}
+}
+
+func TestSyscallsDirectVsOCall(t *testing.T) {
+	t.Run("sgx getpid is an ocall", func(t *testing.T) {
+		e := newTestEnclave(t, SGXv1())
+		th := e.Thread()
+		if pid := th.Getpid(); pid != 1234 {
+			t.Errorf("Getpid = %d, want 1234", pid)
+		}
+		if got := e.Snapshot().OCalls; got != 1 {
+			t.Errorf("OCalls = %d, want 1", got)
+		}
+	})
+	t.Run("native getpid is direct", func(t *testing.T) {
+		e := newTestEnclave(t, Native())
+		th := e.Thread()
+		if pid := th.Getpid(); pid != 1234 {
+			t.Errorf("Getpid = %d, want 1234", pid)
+		}
+		if got := e.Snapshot().OCalls; got != 0 {
+			t.Errorf("OCalls = %d, want 0", got)
+		}
+	})
+	t.Run("sgxv1 rdtsc is an ocall, sgxv2 direct", func(t *testing.T) {
+		e1 := newTestEnclave(t, SGXv1())
+		e1.Thread().Rdtsc()
+		if got := e1.Snapshot().OCalls; got != 1 {
+			t.Errorf("SGXv1 rdtsc OCalls = %d, want 1", got)
+		}
+		e2 := newTestEnclave(t, SGXv2())
+		e2.Thread().Rdtsc()
+		if got := e2.Snapshot().OCalls; got != 0 {
+			t.Errorf("SGXv2 rdtsc OCalls = %d, want 0", got)
+		}
+	})
+	t.Run("clock on sev is direct", func(t *testing.T) {
+		e := newTestEnclave(t, SEV())
+		e.Thread().ClockNow()
+		if got := e.Snapshot().OCalls; got != 0 {
+			t.Errorf("SEV clock OCalls = %d, want 0", got)
+		}
+	})
+}
+
+func TestHostFileIO(t *testing.T) {
+	h := NewHost(1)
+	f, err := h.CreateFile("dev0", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreateFile("bad", -1); err == nil {
+		t.Error("negative size should fail")
+	}
+	if _, err := h.OpenFile("missing"); err == nil {
+		t.Error("missing file should fail")
+	}
+	got, err := h.OpenFile("dev0")
+	if err != nil || got != f {
+		t.Fatalf("OpenFile = %v, %v", got, err)
+	}
+
+	if _, err := f.Pwrite([]byte("hello"), 10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.Pread(buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("read %q, want hello", buf)
+	}
+	// Growth on write past end.
+	if _, err := f.Pwrite([]byte("x"), 2000); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 2001 {
+		t.Errorf("size = %d, want 2001", f.Size())
+	}
+	// Error paths.
+	if _, err := f.Pread(buf, -1); err == nil {
+		t.Error("negative read offset should fail")
+	}
+	if _, err := f.Pread(buf, 99999); err == nil {
+		t.Error("read beyond end should fail")
+	}
+	if _, err := f.Pwrite(buf, -1); err == nil {
+		t.Error("negative write offset should fail")
+	}
+}
+
+func TestEnclaveFileIOCountsOCalls(t *testing.T) {
+	e := newTestEnclave(t, SGXv1())
+	th := e.Thread()
+	f, err := e.Host().CreateFile("disk", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Pwrite(f, []byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := th.Pread(f, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abc" {
+		t.Errorf("read %q", buf)
+	}
+	if got := e.Snapshot().OCalls; got != 2 {
+		t.Errorf("OCalls = %d, want 2", got)
+	}
+}
+
+func TestAllocValidation(t *testing.T) {
+	e := newTestEnclave(t, SGXv1())
+	if _, err := e.Alloc(0); err == nil {
+		t.Error("Alloc(0) should fail")
+	}
+	if _, err := e.Alloc(-4); err == nil {
+		t.Error("Alloc(-4) should fail")
+	}
+}
+
+func TestBufferTouchFaultsOncePerResidentPage(t *testing.T) {
+	p := SGXv1()
+	e := newTestEnclave(t, p)
+	th := e.Thread()
+	b, err := e.Alloc(3 * p.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Touch(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Touch(th, 1); err != nil { // same page: no new fault
+		t.Fatal(err)
+	}
+	if err := b.Touch(th, p.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Snapshot().PageFaults; got != 2 {
+		t.Errorf("PageFaults = %d, want 2", got)
+	}
+	if got := e.ResidentPages(); got != 2 {
+		t.Errorf("ResidentPages = %d, want 2", got)
+	}
+}
+
+func TestBufferTouchErrors(t *testing.T) {
+	e := newTestEnclave(t, SGXv1())
+	th := e.Thread()
+	b, err := e.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Touch(th, -1); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if err := b.Touch(th, 100); err == nil {
+		t.Error("offset == len should fail")
+	}
+	if err := b.TouchRange(th, 0, 0); err == nil {
+		t.Error("zero-length range should fail")
+	}
+	if err := b.TouchRange(th, 90, 20); err == nil {
+		t.Error("overflowing range should fail")
+	}
+}
+
+func TestEPCEviction(t *testing.T) {
+	// Platform with a 4-page EPC: touching 6 distinct pages must evict,
+	// and re-touching an evicted page must fault again.
+	p := SGXv1()
+	p.EPCSize = 4 * p.PageSize
+	e := newTestEnclave(t, p)
+	th := e.Thread()
+	b, err := e.Alloc(6 * p.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := b.Touch(th, i*p.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Snapshot().PageFaults; got != 6 {
+		t.Fatalf("PageFaults = %d, want 6", got)
+	}
+	if got := e.ResidentPages(); got != 4 {
+		t.Fatalf("ResidentPages = %d, want 4", got)
+	}
+	// Page 0 was evicted first (FIFO): touching it faults again.
+	if err := b.Touch(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Snapshot().PageFaults; got != 7 {
+		t.Errorf("PageFaults after re-touch = %d, want 7", got)
+	}
+}
+
+func TestWorkingSetWithinEPCNeverEvicts(t *testing.T) {
+	p := SGXv1()
+	p.EPCSize = 16 * p.PageSize
+	e := newTestEnclave(t, p)
+	th := e.Thread()
+	b, err := e.Alloc(8 * p.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 8; i++ {
+			if err := b.Touch(th, i*p.PageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := e.Snapshot().PageFaults; got != 8 {
+		t.Errorf("PageFaults = %d, want 8 (one per page, ever)", got)
+	}
+}
+
+func TestTouchRangeSpansPages(t *testing.T) {
+	p := SGXv1()
+	e := newTestEnclave(t, p)
+	th := e.Thread()
+	b, err := e.Alloc(4 * p.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range crossing 3 pages.
+	if err := b.TouchRange(th, p.PageSize-10, 2*p.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Snapshot().PageFaults; got != 3 {
+		t.Errorf("PageFaults = %d, want 3", got)
+	}
+}
+
+func TestInterruptDebtPaidAtSafepoint(t *testing.T) {
+	e := newTestEnclave(t, SGXv1())
+	th := e.Thread()
+	before := e.Snapshot().Charged
+	th.AddInterruptDebt(time.Millisecond)
+	th.AddInterruptDebt(0) // no-op
+	if got := e.Snapshot().AEXs; got != 1 {
+		t.Errorf("AEXs = %d, want 1", got)
+	}
+	th.Safepoint()
+	if delta := e.Snapshot().Charged - before; delta < time.Millisecond {
+		t.Errorf("charged %v after safepoint, want >= 1ms", delta)
+	}
+}
+
+func TestExitSettlesDebt(t *testing.T) {
+	e := newTestEnclave(t, SGXv1())
+	th := e.Thread()
+	th.AddInterruptDebt(time.Microsecond)
+	before := e.Snapshot().Charged
+	th.Exit()
+	if delta := e.Snapshot().Charged - before; delta < time.Microsecond {
+		t.Errorf("Exit settled only %v", delta)
+	}
+}
+
+func TestSpinningEnclaveActuallyDelays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	p := Native()
+	p.Name = "slow-ocall"
+	p.DirectSyscalls = false
+	p.OCallCost = 2 * time.Millisecond
+	e, err := NewEnclave(p, NewHost(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := e.Thread()
+	t0 := time.Now()
+	th.Getpid()
+	if elapsed := time.Since(t0); elapsed < 2*time.Millisecond {
+		t.Errorf("OCall took %v, want >= 2ms of injected penalty", elapsed)
+	}
+}
+
+func TestHostClockMonotonic(t *testing.T) {
+	h := NewHost(1)
+	a := h.NowNanos()
+	b := h.NowNanos()
+	if b < a {
+		t.Errorf("host clock went backwards: %d -> %d", a, b)
+	}
+}
+
+func TestOCallCountsByName(t *testing.T) {
+	e := newTestEnclave(t, SGXv1())
+	th := e.Thread()
+	th.Getpid()
+	th.Getpid()
+	th.Rdtsc()
+	th.ClockNow()
+	counts := e.OCallCounts()
+	if counts["getpid"] != 2 {
+		t.Errorf("getpid count = %d, want 2", counts["getpid"])
+	}
+	if counts["rdtsc"] != 1 {
+		t.Errorf("rdtsc count = %d, want 1", counts["rdtsc"])
+	}
+	if counts["clock_gettime"] != 1 {
+		t.Errorf("clock_gettime count = %d, want 1", counts["clock_gettime"])
+	}
+	// Returned map is a copy.
+	counts["getpid"] = 99
+	if e.OCallCounts()["getpid"] != 2 {
+		t.Error("OCallCounts exposed internal state")
+	}
+}
+
+func TestSyscallCostCharged(t *testing.T) {
+	e := newTestEnclave(t, SGXv1())
+	th := e.Thread()
+	before := e.Snapshot().Charged
+	th.Getpid()
+	delta := e.Snapshot().Charged - before
+	want := SGXv1().OCallCost + SGXv1().SyscallCost
+	if delta < want {
+		t.Errorf("getpid charged %v, want >= OCall+Syscall = %v", delta, want)
+	}
+}

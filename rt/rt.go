@@ -1,0 +1,260 @@
+// Package rt is the link-time runtime for instrumented applications — the
+// Go analogue of the paper's profiler.h + libprofiler pair. The
+// teeperf-instrument compiler pass injects calls to Register (one per
+// function, during package initialization, before any measured code runs)
+// and Span (at every function entry). The runtime owns a process-global
+// recorder: shared-memory log, counter, symbol table. Finish persists the
+// profile bundle for offline analysis with the teeperf CLI or the analyzer
+// API.
+//
+// Threads: each goroutine is attributed its own log thread automatically —
+// the first probe on a new goroutine registers it. Resolving the current
+// goroutine costs ~1µs per function call (Go offers no TLS), which is the
+// documented price of profiling unmodified sources; the high-rate
+// experiment harnesses in this repository use the explicit-handle probe
+// API instead.
+package rt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"teeperf/internal/probe"
+	"teeperf/internal/recorder"
+	"teeperf/internal/symtab"
+)
+
+// CounterMode mirrors recorder.CounterMode for configuration.
+type CounterMode = recorder.CounterMode
+
+// Counter modes accepted by Configure.
+const (
+	CounterSoftware = recorder.CounterSoftware
+	CounterTSC      = recorder.CounterTSC
+)
+
+// Config controls the global runtime. Zero values select defaults.
+type Config struct {
+	// LogCapacity is the log size in entries (default 1<<20).
+	LogCapacity int
+	// Counter selects the time source (default software counter).
+	Counter CounterMode
+	// PID is recorded in the log header.
+	PID uint64
+}
+
+var global struct {
+	mu      sync.Mutex
+	tab     *symtab.Table
+	rec     *recorder.Recorder
+	cfg     Config
+	started bool
+	// startedFast mirrors started for the probe hot path (Span checks it
+	// with one atomic load instead of taking the mutex).
+	startedFast atomic.Bool
+
+	threadMu sync.RWMutex
+	threads  map[int64]*probe.Thread
+}
+
+// Configure sets runtime options. It must be called before the first Span
+// (i.e. before any instrumented function executes — typically first thing
+// in main). Calling it after recording started returns an error.
+func Configure(cfg Config) error {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.started {
+		return errors.New("rt: already recording; Configure must run first")
+	}
+	global.cfg = cfg
+	global.rec = nil // force re-init with the new config
+	return nil
+}
+
+// Register adds one function to the global symbol table and returns its
+// probe address. The instrumenter emits one Register call per function as
+// a package-level variable initializer, so registration completes before
+// main runs.
+func Register(name, file string, line int) uint64 {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if err := ensureLocked(); err != nil {
+		// Registration failures are programming errors in generated
+		// code; surface them loudly.
+		panic(fmt.Sprintf("rt: init: %v", err))
+	}
+	addr, err := global.tab.Register(name, 64, file, line)
+	for i := 2; err != nil && i < 1000; i++ {
+		// Disambiguate duplicate names (e.g. same function name in
+		// multiple files of a package).
+		addr, err = global.tab.Register(fmt.Sprintf("%s#%d", name, i), 64, file, line)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("rt: register %s: %v", name, err))
+	}
+	return addr
+}
+
+func ensureLocked() error {
+	if global.rec != nil {
+		return nil
+	}
+	if global.tab == nil {
+		global.tab = symtab.New()
+	}
+	cfg := global.cfg
+	opts := []recorder.Option{recorder.WithPID(cfg.PID)}
+	if cfg.LogCapacity > 0 {
+		opts = append(opts, recorder.WithCapacity(cfg.LogCapacity))
+	}
+	if cfg.Counter != 0 {
+		opts = append(opts, recorder.WithCounterMode(cfg.Counter))
+	}
+	rec, err := recorder.New(global.tab, opts...)
+	if err != nil {
+		return err
+	}
+	global.rec = rec
+	if global.threads == nil {
+		global.threads = make(map[int64]*probe.Thread)
+	}
+	return nil
+}
+
+// start launches recording on first use.
+func start() error {
+	if global.startedFast.Load() {
+		return nil
+	}
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if err := ensureLocked(); err != nil {
+		return err
+	}
+	if global.started {
+		return nil
+	}
+	if err := global.rec.Start(); err != nil {
+		return err
+	}
+	global.started = true
+	global.startedFast.Store(true)
+	return nil
+}
+
+// Span records the function-entry event for addr on the current goroutine
+// and returns the function that records the matching exit. Generated code
+// uses it as `defer __teeperf_span(addr)()`.
+func Span(addr uint64) func() {
+	if err := start(); err != nil {
+		return func() {}
+	}
+	th := currentThread()
+	th.Enter(addr)
+	return func() { th.Exit(addr) }
+}
+
+// currentThread resolves (or lazily creates) the probe thread bound to the
+// calling goroutine.
+func currentThread() *probe.Thread {
+	id := goid()
+	global.threadMu.RLock()
+	th, ok := global.threads[id]
+	global.threadMu.RUnlock()
+	if ok {
+		return th
+	}
+	global.threadMu.Lock()
+	defer global.threadMu.Unlock()
+	if th, ok = global.threads[id]; ok {
+		return th
+	}
+	th = global.rec.Thread()
+	global.threads[id] = th
+	return th
+}
+
+// goid extracts the current goroutine ID from the runtime stack header
+// ("goroutine 123 [...").
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	// Skip "goroutine ".
+	i := bytes.IndexByte(s, ' ')
+	if i < 0 {
+		return 0
+	}
+	s = s[i+1:]
+	j := bytes.IndexByte(s, ' ')
+	if j < 0 {
+		return 0
+	}
+	id, err := strconv.ParseInt(string(s[:j]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// Enable resumes recording (dynamic activation).
+func Enable() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.rec != nil {
+		global.rec.Enable()
+	}
+}
+
+// Disable pauses recording without tearing the session down.
+func Disable() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.rec != nil {
+		global.rec.Disable()
+	}
+}
+
+// Finish stops recording and persists the profile bundle to path.
+func Finish(path string) error {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.rec == nil || !global.started {
+		return errors.New("rt: nothing recorded")
+	}
+	if err := global.rec.Stop(); err != nil {
+		return err
+	}
+	return global.rec.Persist(path)
+}
+
+// Stats reports the current recorder statistics.
+func Stats() recorder.Stats {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.rec == nil {
+		return recorder.Stats{}
+	}
+	return global.rec.Stats()
+}
+
+// Reset discards all global state (tests and repeated in-process runs).
+func Reset() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.rec != nil && global.started {
+		_ = global.rec.Stop()
+	}
+	global.tab = nil
+	global.rec = nil
+	global.started = false
+	global.startedFast.Store(false)
+	global.threadMu.Lock()
+	global.threads = nil
+	global.threadMu.Unlock()
+}

@@ -1,0 +1,167 @@
+package rt
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/recorder"
+)
+
+func TestSpanRecordsAndFinishPersists(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Configure(Config{LogCapacity: 1 << 12, Counter: CounterTSC, PID: 77}); err != nil {
+		t.Fatal(err)
+	}
+	fnA := Register("main.a", "main.go", 10)
+	fnB := Register("main.b", "main.go", 20)
+
+	func() {
+		defer Span(fnA)()
+		func() {
+			defer Span(fnB)()
+		}()
+	}()
+
+	st := Stats()
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4", st.Entries)
+	}
+
+	path := filepath.Join(t.TempDir(), "out.teeperf")
+	if err := Finish(path); err != nil {
+		t.Fatal(err)
+	}
+	tab, log, err := recorder.ReadBundleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.PID() != 77 {
+		t.Errorf("pid = %d, want 77", log.PID())
+	}
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := p.Func("main.b")
+	if !ok {
+		t.Fatal("main.b missing")
+	}
+	if got := b.Callers["main.a"]; got != 1 {
+		t.Errorf("main.b callers[main.a] = %d, want 1", got)
+	}
+}
+
+func TestConfigureAfterStartFails(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	fn := Register("x", "x.go", 1)
+	Span(fn)() // starts recording
+	if err := Configure(Config{}); err == nil {
+		t.Error("Configure after recording started should fail")
+	}
+}
+
+func TestFinishWithoutRecording(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Finish("/tmp/never"); err == nil {
+		t.Error("Finish without recording should fail")
+	}
+}
+
+func TestDuplicateRegistrationDisambiguates(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	a := Register("dup", "a.go", 1)
+	b := Register("dup", "b.go", 1)
+	if a == b {
+		t.Errorf("duplicate names share an address: %#x", a)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	fn := Register("f", "f.go", 1)
+	Span(fn)()
+	before := Stats().Entries
+	Disable()
+	Span(fn)()
+	if got := Stats().Entries; got != before {
+		t.Errorf("entries grew while disabled: %d -> %d", before, got)
+	}
+	Enable()
+	Span(fn)()
+	if got := Stats().Entries; got != before+2 {
+		t.Errorf("entries = %d after re-enable, want %d", got, before+2)
+	}
+}
+
+func TestGoroutinesGetDistinctThreads(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Configure(Config{Counter: CounterTSC, LogCapacity: 1 << 14}); err != nil {
+		t.Fatal(err)
+	}
+	fn := Register("worker", "w.go", 1)
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				Span(fn)()
+			}
+		}()
+	}
+	wg.Wait()
+
+	path := filepath.Join(t.TempDir(), "mt.teeperf")
+	if err := Finish(path); err != nil {
+		t.Fatal(err)
+	}
+	tab, log, err := recorder.ReadBundleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := analyzer.Analyze(log, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Threads()); got != workers {
+		t.Errorf("profile threads = %d, want %d", got, workers)
+	}
+	if p.Truncated != 0 || p.Unmatched != 0 {
+		t.Errorf("unbalanced: %d/%d", p.Truncated, p.Unmatched)
+	}
+}
+
+func TestGoidStable(t *testing.T) {
+	a, b := goid(), goid()
+	if a == 0 || a != b {
+		t.Errorf("goid unstable: %d vs %d", a, b)
+	}
+	ch := make(chan int64, 1)
+	go func() { ch <- goid() }()
+	if other := <-ch; other == a {
+		t.Error("different goroutines share a goid")
+	}
+}
+
+func BenchmarkSpan(b *testing.B) {
+	Reset()
+	b.Cleanup(Reset)
+	if err := Configure(Config{Counter: CounterTSC, LogCapacity: 1 << 24}); err != nil {
+		b.Fatal(err)
+	}
+	fn := Register("bench", "b.go", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Span(fn)()
+	}
+}
