@@ -1,0 +1,125 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestUsageMentionsEveryCommand pins the usage text to the command
+// registry: a subcommand added without a listing (or vice versa) fails here.
+func TestUsageMentionsEveryCommand(t *testing.T) {
+	usage := usageError().Error()
+	for _, c := range commands {
+		if !strings.Contains(usage, c.name) {
+			t.Errorf("usage text does not mention %q", c.name)
+		}
+		if !strings.Contains(usage, c.summary) {
+			t.Errorf("usage text does not carry the summary of %q", c.name)
+		}
+		found := false
+		for _, g := range commandGroups {
+			if c.group == g {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("command %q has unlisted group %q", c.name, c.group)
+		}
+	}
+	for _, g := range commandGroups {
+		if !strings.Contains(usage, g+":") {
+			t.Errorf("usage text missing group header %q", g)
+		}
+	}
+	if err := run([]string{"help"}); err == nil || !strings.Contains(err.Error(), "usage: teeperf") {
+		t.Error("`teeperf help` should print usage")
+	}
+}
+
+func TestCLIMonitorPlain(t *testing.T) {
+	chdirTemp(t)
+	err := run([]string{"monitor",
+		"-workload", "phoenix/histogram",
+		"-interval", "5ms",
+		"-top", "5",
+		"-plain",
+	})
+	if err != nil {
+		t.Fatalf("monitor: %v", err)
+	}
+}
+
+func TestCLIServeEndToEnd(t *testing.T) {
+	dir := chdirTemp(t)
+	addrFile := filepath.Join(dir, "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve",
+			"-workload", "phoenix/histogram",
+			"-interval", "5ms",
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-linger", "3s",
+		})
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never wrote its address file")
+		}
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = string(data)
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	// The gauges the acceptance criteria name explicitly.
+	for _, want := range []string{
+		"teeperf_entries_committed_total",
+		"teeperf_entries_dropped_total",
+		"teeperf_log_fill_percent",
+		"teeperf_counter_ticks_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+func TestCLILiveErrors(t *testing.T) {
+	chdirTemp(t)
+	cases := [][]string{
+		{"monitor", "-workload", "bogus/one"},
+		{"serve", "-workload", "bogus/one"},
+		{"serve", "-workload", "phoenix/histogram", "-addr", "256.0.0.1:bad"},
+		{"monitor", "-workload", "phoenix/histogram", "-interval", "0s"},
+		{"serve", "-workload", "phoenix/histogram", "-interval", "0s"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

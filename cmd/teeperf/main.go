@@ -1,10 +1,14 @@
-// teeperf is the command-line front end: it analyzes persisted profile
-// bundles (written by instrumented applications via teeperf/rt or by the
-// Session API), answers declarative queries, and renders flame graphs.
+// teeperf is the command-line front end: it records built-in workloads
+// under the profiler (optionally monitoring them live in the terminal or
+// over HTTP), analyzes persisted profile bundles (written by instrumented
+// applications via teeperf/rt or by the Session API), answers declarative
+// queries, and renders flame graphs.
 //
 // Usage:
 //
 //	teeperf record   -workload phoenix/word_count -platform sgx-v1 -o run.teeperf
+//	teeperf monitor  -workload dbbench -interval 500ms [-top 10]
+//	teeperf serve    -workload dbbench -addr :7070 [-linger 1m]
 //	teeperf analyze  -i run.teeperf [-top 20]
 //	teeperf query    -i run.teeperf -q 'name =~ "rocksdb" && self > 1000' [-group name] [-sort col] [-n 20]
 //	teeperf flame    -i run.teeperf -o flame.svg [-title T] [-width 1200]
@@ -28,6 +32,35 @@ import (
 	"teeperf"
 )
 
+// command is one registered subcommand; the usage text and the dispatch
+// table are both derived from the registry so they cannot drift apart.
+type command struct {
+	name    string
+	group   string
+	summary string
+	run     func([]string) error
+}
+
+// commandGroups orders the usage listing.
+var commandGroups = []string{"record", "monitor", "analyze", "visualize"}
+
+var commands = []command{
+	{"record", "record", "run a built-in workload under the profiler and persist a bundle", cmdRecord},
+	{"monitor", "monitor", "record a workload with a live hot-methods view in the terminal", cmdMonitor},
+	{"serve", "monitor", "record a workload while serving live metrics and profile over HTTP", cmdServe},
+	{"analyze", "analyze", "print the hot-methods table of a bundle", cmdAnalyze},
+	{"query", "analyze", "filter/group/sort profile records declaratively", cmdQuery},
+	{"threads", "analyze", "per-thread statistics of a bundle", cmdThreads},
+	{"dump", "analyze", "print raw log entries resolved through the symbol table", cmdDump},
+	{"callgraph", "analyze", "gprof-style caller/callee report", cmdCallGraph},
+	{"paths", "analyze", "per-call-path statistics", cmdPaths},
+	{"diff", "analyze", "compare two bundles function by function", cmdDiff},
+	{"whatif", "analyze", "project removing functions from the critical path", cmdWhatIf},
+	{"flame", "visualize", "render an SVG flame graph", cmdFlame},
+	{"folded", "visualize", "emit folded stacks for external flame-graph tooling", cmdFolded},
+	{"report", "visualize", "render a self-contained HTML report", cmdReport},
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "teeperf:", err)
@@ -40,39 +73,29 @@ func run(args []string) error {
 		return usageError()
 	}
 	switch args[0] {
-	case "analyze":
-		return cmdAnalyze(args[1:])
-	case "query":
-		return cmdQuery(args[1:])
-	case "flame":
-		return cmdFlame(args[1:])
-	case "folded":
-		return cmdFolded(args[1:])
-	case "threads":
-		return cmdThreads(args[1:])
-	case "record":
-		return cmdRecord(args[1:])
-	case "dump":
-		return cmdDump(args[1:])
-	case "callgraph":
-		return cmdCallGraph(args[1:])
-	case "paths":
-		return cmdPaths(args[1:])
-	case "diff":
-		return cmdDiff(args[1:])
-	case "whatif":
-		return cmdWhatIf(args[1:])
-	case "report":
-		return cmdReport(args[1:])
 	case "help", "-h", "--help":
 		return usageError()
-	default:
-		return fmt.Errorf("unknown command %q\n%v", args[0], usageError())
 	}
+	for _, c := range commands {
+		if c.name == args[0] {
+			return c.run(args[1:])
+		}
+	}
+	return fmt.Errorf("unknown command %q\n%v", args[0], usageError())
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: teeperf <record|analyze|query|flame|folded|threads|dump|callgraph|paths|diff|whatif|report> [options]")
+	var b strings.Builder
+	b.WriteString("usage: teeperf <command> [options]\n")
+	for _, group := range commandGroups {
+		fmt.Fprintf(&b, "\n%s:\n", group)
+		for _, c := range commands {
+			if c.group == group {
+				fmt.Fprintf(&b, "  %-10s %s\n", c.name, c.summary)
+			}
+		}
+	}
+	return fmt.Errorf("%s", b.String())
 }
 
 func loadProfile(path string) (*teeperf.Profile, error) {

@@ -31,6 +31,7 @@ func cmdRecord(args []string) error {
 	output := fs.String("o", "run.teeperf", "output bundle path")
 	scale := fs.Int("scale", 1, "workload scale (phoenix only)")
 	ops := fs.Int("ops", 5000, "operations (dbbench/spdk only)")
+	capacity := fs.Int("capacity", 1<<22, "log capacity in entries")
 	selective := fs.String("only", "", "substring filter for selective profiling")
 	transitions := fs.Bool("transitions", false, "also print a transition-level (sgx-perf style) report")
 	if err := fs.Parse(args); err != nil {
@@ -55,23 +56,7 @@ func cmdRecord(args []string) error {
 		return err
 	}
 
-	recOpts := []recorder.Option{recorder.WithCapacity(1 << 22)}
-	// The software counter needs a spare core for its spin thread; on a
-	// single-CPU machine fall back to the TSC source (and say so).
-	if runtime.NumCPU() < 2 {
-		fmt.Fprintln(os.Stderr, "teeperf record: single CPU — using the TSC counter instead of the software counter")
-		recOpts = append(recOpts, recorder.WithCounterMode(recorder.CounterTSC))
-	}
-	if *selective != "" {
-		filter, err := probe.NewFilter(tab, func(s symtab.Symbol) bool {
-			return strings.Contains(s.Name, *selective)
-		})
-		if err != nil {
-			return err
-		}
-		recOpts = append(recOpts, recorder.WithFilter(filter))
-	}
-	rec, err := recorder.New(tab, recOpts...)
+	rec, err := buildRecorder(tab, *capacity, *selective)
 	if err != nil {
 		return err
 	}
@@ -91,6 +76,7 @@ func cmdRecord(args []string) error {
 	st := rec.Stats()
 	fmt.Printf("recorded %d events (%d dropped) in %v; wrote %s\n",
 		st.Entries, st.Dropped, st.Duration.Round(1e6), *output)
+	printStatsSummary(st)
 	if tracer != nil {
 		fmt.Println()
 		if err := tracer.WriteReport(os.Stdout); err != nil {
@@ -98,6 +84,45 @@ func cmdRecord(args []string) error {
 		}
 	}
 	return nil
+}
+
+// buildRecorder assembles the recorder used by record, monitor and serve:
+// fixed capacity, optional selective-profiling filter, and the
+// single-CPU fallback from the software counter to the TSC source.
+func buildRecorder(tab *symtab.Table, capacity int, selective string) (*recorder.Recorder, error) {
+	recOpts := []recorder.Option{
+		recorder.WithCapacity(capacity),
+		recorder.WithPID(uint64(os.Getpid())),
+	}
+	// The software counter needs a spare core for its spin thread; on a
+	// single-CPU machine fall back to the TSC source (and say so).
+	if runtime.NumCPU() < 2 {
+		fmt.Fprintln(os.Stderr, "teeperf: single CPU — using the TSC counter instead of the software counter")
+		recOpts = append(recOpts, recorder.WithCounterMode(recorder.CounterTSC))
+	}
+	if selective != "" {
+		filter, err := probe.NewFilter(tab, func(s symtab.Symbol) bool {
+			return strings.Contains(s.Name, selective)
+		})
+		if err != nil {
+			return nil, err
+		}
+		recOpts = append(recOpts, recorder.WithFilter(filter))
+	}
+	return recorder.New(tab, recOpts...)
+}
+
+// printStatsSummary reports the run's recorder health on stderr, and warns
+// loudly about drops — a silent drop means a silently truncated profile.
+func printStatsSummary(st recorder.Stats) {
+	fmt.Fprintf(os.Stderr, "stats: %d entries, %d dropped, %.1f%% fill, %v\n",
+		st.Entries, st.Dropped, st.FillPercent, st.Duration.Round(1e6))
+	if st.Dropped > 0 {
+		fmt.Fprintf(os.Stderr,
+			"WARNING: %d events were dropped (%.0f/s, log full at %d entries) — the profile is truncated.\n"+
+				"         Increase capacity, use selective profiling (-only), or rotate segments.\n",
+			st.Dropped, st.DropRate, st.Capacity)
+	}
 }
 
 // runFn executes the prepared workload against a live recorder.

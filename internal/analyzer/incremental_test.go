@@ -1,0 +1,153 @@
+package analyzer
+
+import (
+	"math/rand"
+	"testing"
+
+	"teeperf/internal/shmlog"
+)
+
+// feedAllFromLog replays a fixture's log through an incremental analyzer
+// the way the monitor's cursor would: in committed log order.
+func feedAllFromLog(inc *Incremental, log *shmlog.Log) {
+	inc.FeedAll(log.Cursor().Next(nil))
+}
+
+func TestIncrementalMatchesAnalyzeNested(t *testing.T) {
+	f := newFixture(t, 16, "main", "work", "leaf")
+	f.call(t, 1, "main", 0)
+	f.call(t, 1, "work", 10)
+	f.call(t, 1, "leaf", 20)
+	f.ret(t, 1, "leaf", 30)
+	f.ret(t, 1, "work", 60)
+	f.ret(t, 1, "main", 100)
+
+	inc := NewIncremental(f.tab)
+	feedAllFromLog(inc, f.log)
+	got := inc.Snapshot(0)
+	p := f.analyze(t)
+	assertTablesMatch(t, got, p)
+	if got.OpenFrames != 0 {
+		t.Errorf("OpenFrames = %d after a balanced stream", got.OpenFrames)
+	}
+}
+
+func TestIncrementalMatchesAnalyzeTruncatedAndUnmatched(t *testing.T) {
+	f := newFixture(t, 32, "main", "work", "other")
+	// Unmatched return (recording toggled mid-run)...
+	f.ret(t, 1, "other", 5)
+	// ...then a run that ends with frames still open.
+	f.call(t, 1, "main", 10)
+	f.call(t, 1, "work", 20)
+	f.ret(t, 1, "work", 50)
+	f.call(t, 1, "work", 60) // never returns
+	// A second thread entirely open.
+	f.call(t, 2, "other", 0)
+	f.call(t, 2, "work", 40)
+
+	inc := NewIncremental(f.tab)
+	feedAllFromLog(inc, f.log)
+	got := inc.Snapshot(0)
+	p := f.analyze(t)
+	assertTablesMatch(t, got, p)
+	if got.Unmatched != p.Unmatched {
+		t.Errorf("Unmatched = %d, offline %d", got.Unmatched, p.Unmatched)
+	}
+	if got.OpenFrames != p.Truncated {
+		t.Errorf("OpenFrames = %d, offline force-closed %d", got.OpenFrames, p.Truncated)
+	}
+}
+
+func TestIncrementalMatchesAnalyzeRandomStream(t *testing.T) {
+	// A randomized multi-thread call/return stream: whatever the offline
+	// analyzer computes, the incremental fold must reproduce exactly.
+	names := []string{"a", "b", "c", "d", "e"}
+	f := newFixture(t, 4096, names...)
+	rng := rand.New(rand.NewSource(7))
+	now := uint64(0)
+	depth := map[uint64][]string{}
+	for i := 0; i < 2000; i++ {
+		tid := uint64(1 + rng.Intn(3))
+		now += uint64(1 + rng.Intn(5))
+		stack := depth[tid]
+		if len(stack) > 0 && rng.Intn(2) == 0 {
+			name := stack[len(stack)-1]
+			depth[tid] = stack[:len(stack)-1]
+			f.ret(t, tid, name, now)
+		} else {
+			name := names[rng.Intn(len(names))]
+			depth[tid] = append(stack, name)
+			f.call(t, tid, name, now)
+		}
+	}
+
+	inc := NewIncremental(f.tab)
+	feedAllFromLog(inc, f.log)
+	assertTablesMatch(t, inc.Snapshot(0), f.analyze(t))
+}
+
+func TestIncrementalSnapshotDoesNotPerturbState(t *testing.T) {
+	f := newFixture(t, 16, "main", "work")
+	f.call(t, 1, "main", 0)
+	f.call(t, 1, "work", 10)
+
+	inc := NewIncremental(f.tab)
+	cur := f.log.Cursor()
+	inc.FeedAll(cur.Next(nil))
+	first := inc.Snapshot(0)
+	second := inc.Snapshot(0)
+	if first.TotalTicks != second.TotalTicks || len(first.Funcs) != len(second.Funcs) {
+		t.Fatalf("repeated snapshots differ: %+v vs %+v", first, second)
+	}
+	for i := range first.Funcs {
+		if first.Funcs[i] != second.Funcs[i] {
+			t.Errorf("func %d drifted across snapshots: %+v vs %+v", i, first.Funcs[i], second.Funcs[i])
+		}
+	}
+
+	// Completing the stream must still close frames with the full
+	// inclusive time, proving the snapshots above worked on copies.
+	f.ret(t, 1, "work", 60)
+	f.ret(t, 1, "main", 100)
+	inc.FeedAll(cur.Next(nil))
+	assertTablesMatch(t, inc.Snapshot(0), f.analyze(t))
+}
+
+func TestIncrementalTopLimit(t *testing.T) {
+	f := newFixture(t, 64, "a", "b", "c", "d")
+	now := uint64(0)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		f.call(t, 1, n, now)
+		now += 10
+		f.ret(t, 1, n, now)
+		now += 1
+	}
+	inc := NewIncremental(f.tab)
+	feedAllFromLog(inc, f.log)
+	if got := inc.Snapshot(2); len(got.Funcs) != 2 {
+		t.Errorf("Snapshot(2) returned %d funcs", len(got.Funcs))
+	}
+	if got := inc.Snapshot(0); len(got.Funcs) != 4 {
+		t.Errorf("Snapshot(0) returned %d funcs", len(got.Funcs))
+	}
+}
+
+// assertTablesMatch requires the live table to agree exactly with the
+// offline profile: same function set, same calls/incl/self, same totals.
+func assertTablesMatch(t *testing.T, live LiveTable, p *Profile) {
+	t.Helper()
+	if live.TotalTicks != p.TotalTicks {
+		t.Errorf("TotalTicks = %d, offline %d", live.TotalTicks, p.TotalTicks)
+	}
+	offline := p.Funcs()
+	if len(live.Funcs) != len(offline) {
+		t.Fatalf("function count = %d, offline %d", len(live.Funcs), len(offline))
+	}
+	for i := range offline {
+		lf, of := live.Funcs[i], offline[i]
+		if lf.Name != of.Name || lf.Calls != of.Calls || lf.Incl != of.Incl || lf.Self != of.Self {
+			t.Errorf("func %d: live %+v, offline {%s %d %d %d}",
+				i, lf, of.Name, of.Calls, of.Incl, of.Self)
+		}
+	}
+}

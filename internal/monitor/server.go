@@ -1,0 +1,290 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net"
+	"net/http"
+	"time"
+
+	"teeperf/internal/recorder"
+	"teeperf/internal/report"
+)
+
+// Handler returns the monitor's HTTP interface:
+//
+//	/              auto-refreshing HTML hot-methods page
+//	/metrics       Prometheus text exposition of the recorder self-metrics
+//	/vars          the same metrics as an expvar-style JSON document
+//	/profile.json  live profile snapshot (stats + hot-methods table)
+//	/history.json  the recorded sample trajectory (snapshot ring buffer)
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", m.serveIndex)
+	mux.HandleFunc("/metrics", m.serveMetrics)
+	mux.HandleFunc("/vars", m.serveVars)
+	mux.HandleFunc("/profile.json", m.serveProfile)
+	mux.HandleFunc("/history.json", m.serveHistory)
+	return mux
+}
+
+// metric is one exported gauge/counter with its Prometheus metadata.
+type metric struct {
+	name, help, kind string
+	value            float64
+}
+
+func (m *Monitor) metrics() []metric {
+	m.mu.Lock()
+	s := m.pollLocked(time.Now(), false)
+	open := m.inc.OpenFrames()
+	funcs := len(m.inc.Snapshot(0).Funcs)
+	m.mu.Unlock()
+
+	return []metric{
+		{"teeperf_entries_committed_total", "Committed log entries observed across all segments.", "counter", float64(s.Entries)},
+		{"teeperf_entries_dropped_total", "Probe events lost to log overflow.", "counter", float64(s.Dropped)},
+		{"teeperf_counter_ticks_total", "Software/TSC counter value.", "counter", float64(s.CounterTicks)},
+		{"teeperf_log_fill_percent", "Active log segment fill level (0-100).", "gauge", s.FillPercent},
+		{"teeperf_log_capacity_entries", "Active log segment capacity.", "gauge", float64(s.Capacity)},
+		{"teeperf_log_rotations_total", "Completed log segment rotations.", "counter", float64(s.Rotations)},
+		{"teeperf_entries_per_second", "Entry commit rate over the last sample window.", "gauge", s.EntriesPerSec},
+		{"teeperf_counter_ticks_per_second", "Counter tick rate over the last sample window.", "gauge", s.TicksPerSec},
+		{"teeperf_drops_per_second", "Drop rate over the last sample window.", "gauge", s.DropsPerSec},
+		{"teeperf_run_duration_seconds", "Wall-clock run duration.", "gauge", s.Elapsed.Seconds()},
+		{"teeperf_open_frames", "Calls currently in flight (entered, not yet returned).", "gauge", float64(open)},
+		{"teeperf_profile_functions", "Distinct functions in the live profile.", "gauge", float64(funcs)},
+	}
+}
+
+func (m *Monitor) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, mt := range m.metrics() {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", mt.name, mt.help, mt.name, mt.kind, mt.name, mt.value)
+	}
+}
+
+func (m *Monitor) serveVars(w http.ResponseWriter, r *http.Request) {
+	vars := make(map[string]float64)
+	for _, mt := range m.metrics() {
+		vars[mt.name] = mt.value
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(vars)
+}
+
+// profileJSON is the /profile.json document.
+type profileJSON struct {
+	PID        uint64         `json:"pid"`
+	Stats      statsJSON      `json:"stats"`
+	TotalTicks uint64         `json:"total_ticks"`
+	Calls      uint64         `json:"calls"`
+	Unmatched  int            `json:"unmatched"`
+	OpenFrames int            `json:"open_frames"`
+	Threads    int            `json:"threads"`
+	MaxDepth   int            `json:"max_depth"`
+	Functions  []funcRowJSON  `json:"functions"`
+}
+
+type statsJSON struct {
+	Entries     uint64  `json:"entries"`
+	Dropped     uint64  `json:"dropped"`
+	Ticks       uint64  `json:"counter_ticks"`
+	DurationMS  int64   `json:"duration_ms"`
+	Capacity    int     `json:"capacity"`
+	FillPercent float64 `json:"fill_percent"`
+	Rotations   int     `json:"rotations"`
+	DropRate    float64 `json:"drop_rate"`
+}
+
+type funcRowJSON struct {
+	Name        string  `json:"name"`
+	Calls       uint64  `json:"calls"`
+	Self        uint64  `json:"self"`
+	Incl        uint64  `json:"incl"`
+	SelfPercent float64 `json:"self_percent"`
+}
+
+func (m *Monitor) serveProfile(w http.ResponseWriter, r *http.Request) {
+	top := 0
+	if v := r.URL.Query().Get("top"); v != "" {
+		fmt.Sscanf(v, "%d", &top)
+	}
+	t := m.Table(top)
+	s := m.Latest()
+	st := m.rec.Stats()
+	doc := profileJSON{
+		PID: m.rec.Log().PID(),
+		Stats: statsJSON{
+			Entries:     s.Entries,
+			Dropped:     st.Dropped,
+			Ticks:       st.CounterTicks,
+			DurationMS:  st.Duration.Milliseconds(),
+			Capacity:    st.Capacity,
+			FillPercent: st.FillPercent,
+			Rotations:   st.Rotations,
+			DropRate:    st.DropRate,
+		},
+		TotalTicks: t.TotalTicks,
+		Calls:      t.Calls,
+		Unmatched:  t.Unmatched,
+		OpenFrames: t.OpenFrames,
+		Threads:    t.Threads,
+		MaxDepth:   t.MaxDepth,
+	}
+	for _, f := range t.Funcs {
+		doc.Functions = append(doc.Functions, funcRowJSON{
+			Name:        f.Name,
+			Calls:       f.Calls,
+			Self:        f.Self,
+			Incl:        f.Incl,
+			SelfPercent: t.SelfPercent(f),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+func (m *Monitor) serveHistory(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(m.History())
+}
+
+var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="{{.Refresh}}">
+<title>teeperf live monitor</title>
+<style>
+` + report.BaseCSS + `</style>
+</head>
+<body>
+<h1>teeperf live monitor</h1>
+<p class="summary">
+  <span>elapsed <b>{{.Elapsed}}</b></span>
+  <span>entries <b>{{.Entries}}</b> ({{printf "%.0f" .EntriesPerSec}}/s)</span>
+  <span>dropped <b>{{.Dropped}}</b> ({{printf "%.1f" .DropsPerSec}}/s)</span>
+  <span>log fill <b>{{printf "%.1f" .FillPercent}}%</b></span>
+  <span>rotations <b>{{.Rotations}}</b></span>
+  <span>counter <b>{{.CounterTicks}}</b> ticks</span>
+</p>
+<p class="summary">
+  <span>threads <b>{{.Threads}}</b></span>
+  <span>calls <b>{{.Calls}}</b></span>
+  <span>in flight <b>{{.OpenFrames}}</b></span>
+  <span>unmatched <b>{{.Unmatched}}</b></span>
+</p>
+
+<h2>Hot methods (live, by self time)</h2>
+<table>
+<tr><th>Function</th><th class="num">Calls</th><th class="num">Self</th><th class="num">Incl</th><th class="num">Self %</th></tr>
+{{range .Funcs}}<tr><td><code>{{.Name}}</code></td><td class="num">{{.Calls}}</td><td class="num">{{.Self}}</td><td class="num">{{.Incl}}</td><td class="num">{{printf "%.2f" .SelfPercent}}%</td></tr>
+{{end}}</table>
+
+<p><small>auto-refreshes every {{.Refresh}}s — <a href="/metrics">/metrics</a> · <a href="/vars">/vars</a> · <a href="/profile.json">/profile.json</a> · <a href="/history.json">/history.json</a></small></p>
+</body>
+</html>
+`))
+
+type indexData struct {
+	Refresh int
+	Sample
+	Threads    int
+	Calls      uint64
+	OpenFrames int
+	Unmatched  int
+	Funcs      []funcRowJSON
+}
+
+func (m *Monitor) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	t := m.Table(25)
+	refresh := int(m.interval / time.Second)
+	if refresh < 1 {
+		refresh = 1
+	}
+	data := indexData{
+		Refresh:    refresh,
+		Sample:     m.Latest(),
+		Threads:    t.Threads,
+		Calls:      t.Calls,
+		OpenFrames: t.OpenFrames,
+		Unmatched:  t.Unmatched,
+	}
+	for _, f := range t.Funcs {
+		data.Funcs = append(data.Funcs, funcRowJSON{
+			Name:        f.Name,
+			Calls:       f.Calls,
+			Self:        f.Self,
+			Incl:        f.Incl,
+			SelfPercent: t.SelfPercent(f),
+		})
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTemplate.Execute(w, data)
+}
+
+// Server is a running live-monitor HTTP endpoint.
+type Server struct {
+	mon      *Monitor
+	ln       net.Listener
+	srv      *http.Server
+	ownedMon bool
+}
+
+// Serve starts serving m's Handler on addr (e.g. ":7070" or
+// "127.0.0.1:0"). The caller keeps ownership of the monitor.
+func Serve(m *Monitor, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: m.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{mon: m, ln: ln, srv: srv}, nil
+}
+
+// ServeRecorder builds a monitor over rec, starts its sampling loop and
+// serves it on addr — the one-call recorder serve hook. Close stops both
+// the server and the monitor.
+func ServeRecorder(rec *recorder.Recorder, addr string, opts ...Option) (*Server, error) {
+	m := New(rec, opts...)
+	m.Start()
+	s, err := Serve(m, addr)
+	if err != nil {
+		m.Stop()
+		return nil, err
+	}
+	s.ownedMon = true
+	return s, nil
+}
+
+// Monitor returns the served monitor.
+func (s *Server) Monitor() *Monitor { return s.mon }
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the server down (and stops the monitor if ServeRecorder
+// created it).
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	if s.ownedMon {
+		s.mon.Stop()
+	}
+	return err
+}

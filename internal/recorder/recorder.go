@@ -49,13 +49,17 @@ type Recorder struct {
 	bias int64
 	cfg  config
 
+	// stateMu guards the run-lifecycle fields below; the live monitor
+	// calls Stats concurrently with Start/Stop.
+	stateMu   sync.Mutex
 	started   bool
 	stopped   bool
 	startTime time.Time
 	duration  time.Duration
 
-	rotateMu sync.Mutex
-	segments int
+	rotateMu    sync.Mutex
+	segments    int
+	rotateHooks []func(old *shmlog.Log)
 
 	rotStop chan struct{}
 	rotDone chan struct{}
@@ -195,14 +199,17 @@ func (r *Recorder) Thread() *probe.Thread { return r.rt.Thread() }
 
 // Start launches the counter (software mode) and activates recording.
 func (r *Recorder) Start() error {
+	r.stateMu.Lock()
 	if r.started {
+		r.stateMu.Unlock()
 		return ErrAlreadyStarted
 	}
 	r.started = true
+	r.startTime = time.Now()
+	r.stateMu.Unlock()
 	if r.soft != nil {
 		r.soft.Start()
 	}
-	r.startTime = time.Now()
 	r.Log().SetActive(true)
 	return nil
 }
@@ -210,15 +217,19 @@ func (r *Recorder) Start() error {
 // Stop deactivates recording and stops the counter. It is idempotent after
 // the first successful call.
 func (r *Recorder) Stop() error {
+	r.stateMu.Lock()
 	if !r.started {
+		r.stateMu.Unlock()
 		return ErrNotStarted
 	}
 	if r.stopped {
+		r.stateMu.Unlock()
 		return nil
 	}
 	r.stopped = true
-	r.StopAutoRotate()
 	r.duration = time.Since(r.startTime)
+	r.stateMu.Unlock()
+	r.StopAutoRotate()
 	r.Log().SetActive(false)
 	if r.soft != nil {
 		if err := r.soft.Stop(); err != nil {
@@ -234,28 +245,62 @@ func (r *Recorder) Enable() { r.Log().SetActive(true) }
 // Disable pauses recording mid-run without stopping the counter.
 func (r *Recorder) Disable() { r.Log().SetActive(false) }
 
-// Stats summarizes the run.
+// Stats summarizes the run. It is shared by the post-run CLI summary and
+// the live monitor, which samples it while the run is still in progress.
 type Stats struct {
-	// Entries is the number of committed log entries.
+	// Entries is the number of committed log entries in the active
+	// segment.
 	Entries int
 	// Dropped counts events lost to log overflow.
 	Dropped uint64
 	// CounterTicks is the final counter value.
 	CounterTicks uint64
-	// Duration is the wall-clock time between Start and Stop.
+	// Duration is the wall-clock time between Start and Stop; while the
+	// run is still in progress it is the time since Start.
 	Duration time.Duration
+	// Capacity is the active log segment's capacity in entries.
+	Capacity int
+	// FillPercent is Entries as a percentage of Capacity.
+	FillPercent float64
+	// Rotations counts completed log-segment rotations.
+	Rotations int
+	// DropRate is drops per second of run (0 before Start).
+	DropRate float64
 }
 
 // Stats returns the run summary.
 func (r *Recorder) Stats() Stats {
-	return Stats{
-		Entries: r.Log().Len(),
+	r.stateMu.Lock()
+	duration := r.duration
+	if r.started && !r.stopped {
+		duration = time.Since(r.startTime)
+	}
+	r.stateMu.Unlock()
+
+	log := r.Log()
+	// The log's counter header word is maintained by the software counter
+	// thread; with a TSC/virtual source the source itself is authoritative.
+	ticks := log.LoadCounter()
+	if r.soft == nil && r.src != nil {
+		ticks = r.src.Now()
+	}
+	st := Stats{
+		Entries: log.Len(),
 		// All recorder writes flow through the probe runtime, whose drop
 		// counter spans every rotated segment.
 		Dropped:      r.rt.Dropped(),
-		CounterTicks: r.Log().LoadCounter(),
-		Duration:     r.duration,
+		CounterTicks: ticks,
+		Duration:     duration,
+		Capacity:     log.Capacity(),
+		Rotations:    r.Segments(),
 	}
+	if st.Capacity > 0 {
+		st.FillPercent = 100 * float64(st.Entries) / float64(st.Capacity)
+	}
+	if secs := duration.Seconds(); secs > 0 {
+		st.DropRate = float64(st.Dropped) / secs
+	}
+	return st
 }
 
 // Persist writes the profile bundle (symbols + log) to path.

@@ -349,3 +349,78 @@ func TestWriteBundleValidation(t *testing.T) {
 		t.Error("nil args should fail")
 	}
 }
+
+func TestStatsExtendedFields(t *testing.T) {
+	r, _ := newTestRecorder(t) // capacity 1<<10
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th := r.Thread()
+	addr := r.AddrOf("work")
+	for i := 0; i < 256; i++ {
+		th.Enter(addr)
+		th.Exit(addr)
+	}
+
+	st := r.Stats()
+	if st.Capacity != 1<<10 {
+		t.Errorf("Capacity = %d, want %d", st.Capacity, 1<<10)
+	}
+	if st.FillPercent != 50 {
+		t.Errorf("FillPercent = %f, want 50 (512 of 1024 entries)", st.FillPercent)
+	}
+	if st.Rotations != 0 {
+		t.Errorf("Rotations = %d before any rotation", st.Rotations)
+	}
+	if st.Duration <= 0 {
+		t.Errorf("live Duration = %v while running, want > 0", st.Duration)
+	}
+	if st.CounterTicks == 0 {
+		t.Error("CounterTicks = 0 with a virtual source")
+	}
+
+	if _, err := r.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	st = r.Stats()
+	if st.Rotations != 1 {
+		t.Errorf("Rotations = %d after Rotate, want 1", st.Rotations)
+	}
+	if st.FillPercent != 0 {
+		t.Errorf("FillPercent = %f on the fresh segment, want 0", st.FillPercent)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsDropRate(t *testing.T) {
+	tab := symtab.New()
+	tab.MustRegister("work", 16, "main.go", 1)
+	r, err := New(tab, WithCounterMode(CounterVirtual), WithCapacity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th := r.Thread()
+	addr := r.AddrOf("work")
+	for i := 0; i < 10; i++ { // 20 events into 8 slots
+		th.Enter(addr)
+		th.Exit(addr)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Dropped != 12 {
+		t.Errorf("Dropped = %d, want 12", st.Dropped)
+	}
+	if st.DropRate <= 0 {
+		t.Errorf("DropRate = %f with %d drops over %v", st.DropRate, st.Dropped, st.Duration)
+	}
+	if st.FillPercent != 100 {
+		t.Errorf("FillPercent = %f on a full log", st.FillPercent)
+	}
+}

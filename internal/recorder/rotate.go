@@ -48,7 +48,20 @@ func (r *Recorder) Rotate() (*shmlog.Log, error) {
 		return nil, err
 	}
 	r.segments++
+	for _, fn := range r.rotateHooks {
+		fn(prev)
+	}
 	return prev, nil
+}
+
+// OnRotate registers fn to be called with each rotated-out segment, in
+// rotation order, before Rotate returns. The live monitor subscribes so it
+// can drain segments that come and go entirely between two polls; fn must
+// not call back into Rotate or Segments.
+func (r *Recorder) OnRotate(fn func(old *shmlog.Log)) {
+	r.rotateMu.Lock()
+	defer r.rotateMu.Unlock()
+	r.rotateHooks = append(r.rotateHooks, fn)
 }
 
 // Segments returns how many rotations have happened.

@@ -356,12 +356,15 @@ func (l *Log) Append(e Entry) error {
 	if e.Kind == KindReturn {
 		word0 |= kindBit
 	}
-	// The slot is exclusively owned; plain stores suffice for the entry
-	// body, but the first word is stored atomically last so a concurrent
-	// reader scanning below the tail never observes a torn record.
+	// The slot is exclusively owned; the thread-ID word is stored
+	// atomically last and doubles as the commit marker: thread IDs are
+	// never zero (the probe runtime assigns IDs starting at 1), so a
+	// concurrent tailing reader that observes a non-zero thread ID is
+	// guaranteed to see the final counter and address words too, and a
+	// zero thread ID marks a reserved-but-in-flight slot it must dismiss.
+	atomic.StoreUint64(&l.words[base], word0)
 	atomic.StoreUint64(&l.words[base+1], e.Addr)
 	atomic.StoreUint64(&l.words[base+2], e.ThreadID)
-	atomic.StoreUint64(&l.words[base], word0)
 	return nil
 }
 
@@ -511,6 +514,66 @@ func Read(r io.Reader) (*Log, error) {
 	l.words[wordCapacity] = tail
 	l.words[wordTail] = tail
 	return l, nil
+}
+
+// Cursor is an incremental reader over a live log: each Next call returns
+// the entries committed since the previous call, letting a monitor tail the
+// log concurrently with running probes without reparsing from the start.
+//
+// A slot below the tail may be reserved but still in flight (the writer
+// sits between the fetch-and-add and the entry stores). The cursor uses the
+// thread-ID word — stored last by Append — as the commit marker and stops
+// at the first slot whose thread ID is still zero, dismissing the in-flight
+// region exactly like the offline analyzer dismisses the log's trailing
+// edge. The dismissed region is re-examined on the next call, so every
+// committed entry is observed exactly once, in log order.
+//
+// Consequently the cursor requires non-zero thread IDs: an entry appended
+// with ThreadID 0 is indistinguishable from an in-flight slot and blocks
+// the cursor. The probe runtime always assigns thread IDs starting at 1.
+//
+// A cursor is not safe for concurrent use by multiple goroutines, and
+// Log.Reset must not be called while a cursor is live.
+type Cursor struct {
+	log *Log
+	pos int
+}
+
+// Cursor returns a new incremental reader positioned at the start of the
+// log.
+func (l *Log) Cursor() *Cursor { return &Cursor{log: l} }
+
+// Log returns the log this cursor reads.
+func (c *Cursor) Log() *Log { return c.log }
+
+// Pos returns the index of the next entry the cursor will examine, i.e.
+// how many entries it has returned so far.
+func (c *Cursor) Pos() int { return c.pos }
+
+// Next appends every newly committed entry to dst and returns the extended
+// slice. It returns dst unchanged when nothing new has committed.
+func (c *Cursor) Next(dst []Entry) []Entry {
+	n := c.log.Len()
+	for c.pos < n {
+		base := HeaderWords + c.pos*EntryWords
+		tid := atomic.LoadUint64(&c.log.words[base+2])
+		if tid == 0 {
+			break // reserved but not yet committed; retry next call
+		}
+		word0 := atomic.LoadUint64(&c.log.words[base])
+		e := Entry{
+			Kind:     KindCall,
+			Counter:  word0 & counterMask,
+			Addr:     atomic.LoadUint64(&c.log.words[base+1]),
+			ThreadID: tid,
+		}
+		if word0&kindBit != 0 {
+			e.Kind = KindReturn
+		}
+		dst = append(dst, e)
+		c.pos++
+	}
+	return dst
 }
 
 // clampEntries bounds the initial allocation hint for decoded logs.

@@ -26,6 +26,7 @@ import (
 	"teeperf/internal/analyzer"
 	"teeperf/internal/counter"
 	"teeperf/internal/flamegraph"
+	"teeperf/internal/monitor"
 	"teeperf/internal/probe"
 	"teeperf/internal/query"
 	"teeperf/internal/recorder"
@@ -370,4 +371,52 @@ func (s *Session) StartAutoRotate(dir string, fillThreshold float64) error {
 		return errors.New("teeperf: session not started")
 	}
 	return s.rec.StartAutoRotate(dir, fillThreshold, 0)
+}
+
+// Live-monitoring re-exports. The monitor tails the shared-memory log
+// while the measurement runs, folding committed entries into a live
+// hot-methods table and sampling recorder health (entries/s, drop rate,
+// log fill, counter ticks/s).
+type (
+	// Monitor is the live observer over a running session.
+	Monitor = monitor.Monitor
+	// MonitorServer is a running live-monitor HTTP endpoint.
+	MonitorServer = monitor.Server
+	// MonitorSample is one point of the run's recorded trajectory.
+	MonitorSample = monitor.Sample
+	// MonitorOption configures a Monitor.
+	MonitorOption = monitor.Option
+	// LiveTable is a point-in-time view of the live profile.
+	LiveTable = analyzer.LiveTable
+	// LiveFunc is one function's running totals in the live table.
+	LiveFunc = analyzer.LiveFunc
+)
+
+// Monitor option constructors.
+var (
+	// WithMonitorInterval sets the sampling interval (default 250ms).
+	WithMonitorInterval = monitor.WithInterval
+	// WithMonitorHistory bounds the snapshot ring buffer (default 512).
+	WithMonitorHistory = monitor.WithHistorySize
+)
+
+// Monitor creates (but does not start) a live monitor over the running
+// session. Call its Start method to begin background sampling, or Poll /
+// Table for on-demand reads.
+func (s *Session) Monitor(opts ...MonitorOption) (*Monitor, error) {
+	if s.rec == nil {
+		return nil, errors.New("teeperf: session not started")
+	}
+	return monitor.New(s.rec, opts...), nil
+}
+
+// ServeMonitor starts a background monitor over the running session and
+// serves it on addr (e.g. ":7070"): /metrics (Prometheus text), /vars
+// (JSON), /profile.json, /history.json and a live HTML page at /. Close
+// the returned server to stop both it and the monitor.
+func (s *Session) ServeMonitor(addr string, opts ...MonitorOption) (*MonitorServer, error) {
+	if s.rec == nil {
+		return nil, errors.New("teeperf: session not started")
+	}
+	return monitor.ServeRecorder(s.rec, addr, opts...)
 }

@@ -2,9 +2,12 @@ package teeperf
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestSessionEndToEnd(t *testing.T) {
@@ -273,5 +276,58 @@ func TestSessionRotate(t *testing.T) {
 	stat, _ := merged.Func("spin")
 	if stat.Calls != 12 {
 		t.Errorf("merged calls = %d, want 12", stat.Calls)
+	}
+}
+
+func TestSessionMonitorFacade(t *testing.T) {
+	s, err := New(WithCounter(CounterVirtual), WithCapacity(1<<12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := s.RegisterFunc("app.live", "main.go", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Monitor(); err == nil {
+		t.Fatal("Monitor before Start should fail")
+	}
+	if _, err := s.ServeMonitor("127.0.0.1:0"); err == nil {
+		t.Fatal("ServeMonitor before Start should fail")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := s.ServeMonitor("127.0.0.1:0", WithMonitorInterval(time.Millisecond), WithMonitorHistory(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	th, err := s.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Enter(fn)
+	th.Exit(fn)
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	mon := srv.Monitor()
+	table := mon.Table(0)
+	if len(table.Funcs) != 1 || table.Funcs[0].Name != "app.live" || table.Funcs[0].Calls != 1 {
+		t.Fatalf("live table via facade = %+v", table.Funcs)
+	}
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "teeperf_entries_committed_total 2") {
+		t.Errorf("facade /metrics missing entry count:\n%s", body)
 	}
 }
