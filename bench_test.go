@@ -10,7 +10,10 @@ package teeperf
 // the figure's headline number through b.ReportMetric.
 
 import (
+	"bytes"
+	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"teeperf/internal/analyzer"
@@ -437,6 +440,159 @@ func BenchmarkRecorderSession(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		th.Enter(fn)
 		th.Exit(fn)
+	}
+}
+
+// --- Hot-path suite: batched reservation and bulk log I/O ---
+
+// benchAppendParallel records b.N probe events spread over a fixed number
+// of goroutines, each with its own thread handle, reserving log slots in
+// blocks of k. ns/op is therefore ns per event; the byte rate is event
+// payload throughput.
+func benchAppendParallel(b *testing.B, goroutines, batch int) {
+	log, err := shmlog.New(b.N + goroutines*(batch+1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := probe.New(log, counter.NewTSC(), probe.WithBatch(batch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	threads := make([]*probe.Thread, goroutines)
+	for i := range threads {
+		threads[i] = rt.Thread()
+	}
+	counts := make([]int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		counts[i] = b.N / goroutines
+	}
+	counts[0] += b.N % goroutines
+
+	b.SetBytes(shmlog.EntrySize)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(th *probe.Thread, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				th.Enter(0x400100)
+			}
+		}(threads[g], counts[g])
+	}
+	wg.Wait()
+	b.StopTimer()
+	rt.Flush()
+	if dropped := rt.Dropped(); dropped != 0 {
+		b.Fatalf("%d events dropped — capacity sizing bug", dropped)
+	}
+}
+
+// BenchmarkAppendParallel sweeps writer count against reservation batch
+// size: the contended tail fetch-and-add is paid once per k events, so
+// larger k should win exactly where writers collide.
+func BenchmarkAppendParallel(b *testing.B) {
+	for _, goroutines := range []int{1, 4, 16} {
+		for _, batch := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("g%d/k%d", goroutines, batch), func(b *testing.B) {
+				benchAppendParallel(b, goroutines, batch)
+			})
+		}
+	}
+}
+
+// newFilledLog builds a committed log of exactly entries events.
+func newFilledLog(b *testing.B, entries int) *shmlog.Log {
+	b.Helper()
+	log, err := shmlog.New(entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < entries; i++ {
+		kind := shmlog.KindCall
+		if i%2 == 1 {
+			kind = shmlog.KindReturn
+		}
+		if err := log.Append(shmlog.Entry{Kind: kind, Counter: uint64(i + 1), Addr: 0x400000 + uint64(i%64)*16, ThreadID: uint64(i%4) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return log
+}
+
+// BenchmarkLogWriteTo measures persisting a filled 1Mi-entry segment
+// through the bulk encoder (MB/s of on-disk format produced).
+func BenchmarkLogWriteTo(b *testing.B) {
+	const entries = 1 << 20
+	log := newFilledLog(b, entries)
+	b.SetBytes(int64(shmlog.HeaderSize + entries*shmlog.EntrySize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := log.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogRead measures decoding the persisted format back into a log
+// (MB/s of on-disk format consumed).
+func BenchmarkLogRead(b *testing.B) {
+	const entries = 1 << 20
+	log := newFilledLog(b, entries)
+	var buf bytes.Buffer
+	if _, err := log.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := shmlog.Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzerParallel measures stage-3 throughput with the
+// worker-pool analyzer on a multi-thread log, against the same log
+// analyzed serially (the Parallelism=1 subbench).
+func BenchmarkAnalyzerParallel(b *testing.B) {
+	const depth, pairs, nthreads = 8, 1 << 13, 8
+	tab := symtab.New()
+	addrs := make([]uint64, depth)
+	for i := range addrs {
+		addrs[i] = tab.MustRegister("pfn"+string(rune('a'+i)), 16, "f.go", i)
+	}
+	log, err := shmlog.New(2 * depth * pairs * nthreads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := uint64(0)
+	for p := 0; p < pairs; p++ {
+		for tid := uint64(1); tid <= nthreads; tid++ {
+			for d := 0; d < depth; d++ {
+				now++
+				_ = log.Append(shmlog.Entry{Kind: shmlog.KindCall, Counter: now, Addr: addrs[d], ThreadID: tid})
+			}
+			for d := depth - 1; d >= 0; d-- {
+				now++
+				_ = log.Append(shmlog.Entry{Kind: shmlog.KindReturn, Counter: now, Addr: addrs[d], ThreadID: tid})
+			}
+		}
+	}
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(log.Len() * shmlog.EntrySize))
+			for i := 0; i < b.N; i++ {
+				if _, err := analyzer.AnalyzeWith(log, tab, analyzer.Options{Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

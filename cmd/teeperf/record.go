@@ -14,6 +14,7 @@ import (
 	"teeperf/internal/probe"
 	"teeperf/internal/recorder"
 	"teeperf/internal/sgxperf"
+	"teeperf/internal/shmlog"
 	"teeperf/internal/spdknvme"
 	"teeperf/internal/symtab"
 	"teeperf/internal/tee"
@@ -32,6 +33,7 @@ func cmdRecord(args []string) error {
 	scale := fs.Int("scale", 1, "workload scale (phoenix only)")
 	ops := fs.Int("ops", 5000, "operations (dbbench/spdk only)")
 	capacity := fs.Int("capacity", 1<<22, "log capacity in entries")
+	batch := fs.Int("batch", 1, "probe slot-reservation batch size (events per tail fetch-and-add)")
 	selective := fs.String("only", "", "substring filter for selective profiling")
 	transitions := fs.Bool("transitions", false, "also print a transition-level (sgx-perf style) report")
 	if err := fs.Parse(args); err != nil {
@@ -56,7 +58,7 @@ func cmdRecord(args []string) error {
 		return err
 	}
 
-	rec, err := buildRecorder(tab, *capacity, *selective)
+	rec, err := buildRecorder(tab, *capacity, *batch, *selective)
 	if err != nil {
 		return err
 	}
@@ -87,12 +89,16 @@ func cmdRecord(args []string) error {
 }
 
 // buildRecorder assembles the recorder used by record, monitor and serve:
-// fixed capacity, optional selective-profiling filter, and the
-// single-CPU fallback from the software counter to the TSC source.
-func buildRecorder(tab *symtab.Table, capacity int, selective string) (*recorder.Recorder, error) {
+// fixed capacity, optional batched slot reservation, optional
+// selective-profiling filter, and the single-CPU fallback from the software
+// counter to the TSC source.
+func buildRecorder(tab *symtab.Table, capacity, batch int, selective string) (*recorder.Recorder, error) {
 	recOpts := []recorder.Option{
 		recorder.WithCapacity(capacity),
 		recorder.WithPID(uint64(os.Getpid())),
+	}
+	if batch > 1 {
+		recOpts = append(recOpts, recorder.WithBatch(batch))
 	}
 	// The software counter needs a spare core for its spin thread; on a
 	// single-CPU machine fall back to the TSC source (and say so).
@@ -237,10 +243,17 @@ func cmdDump(args []string) error {
 	}
 	fmt.Printf("%-8s %-8s %-16s %s\n", "THREAD", "KIND", "COUNTER", "FUNCTION")
 	printed := 0
+	dismissed := 0
 	for i := 0; i < log.Len(); i++ {
 		e, err := log.Entry(i)
 		if err != nil {
 			return err
+		}
+		// Slots a batched writer reserved but never committed (in-flight
+		// holes) or released (tombstones) carry no event.
+		if e.ThreadID == 0 || e.ThreadID == shmlog.TombstoneTID {
+			dismissed++
+			continue
 		}
 		if *thread != 0 && e.ThreadID != *thread {
 			continue
@@ -256,6 +269,9 @@ func cmdDump(args []string) error {
 	p, err := analyzer.Analyze(log, tab)
 	if err != nil {
 		return err
+	}
+	if dismissed > 0 {
+		fmt.Printf("(%d uncommitted/released slots dismissed)\n", dismissed)
 	}
 	fmt.Printf("\n%d entries, %d threads, %d completed calls\n", log.Len(), len(p.Threads()), len(p.Records()))
 	return nil

@@ -10,8 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"teeperf/internal/shmlog"
 	"teeperf/internal/symtab"
@@ -81,6 +83,11 @@ type Profile struct {
 	// Unmatched counts return entries with no corresponding call
 	// (typically the result of toggling recording mid-run).
 	Unmatched int
+	// Dismissed counts log slots that carried no committed event: holes a
+	// batched writer reserved but never filled (thread ID 0) and released
+	// slots (tombstones). They are skipped, exactly as the paper's
+	// analyzer dismisses possibly-wrong records.
+	Dismissed int
 	// Dropped is the number of entries lost to log overflow, as recorded
 	// in the log.
 	Dropped uint64
@@ -108,15 +115,55 @@ type frame struct {
 	childTicks uint64
 }
 
-type threadState struct {
-	stat   ThreadStat
-	stack  []frame
-	names  []string
-	lastTS uint64
+// Options tunes AnalyzeWith. The zero value matches Analyze.
+type Options struct {
+	// Parallelism is the number of worker goroutines reconstructing
+	// per-thread call stacks (threads are independent by construction);
+	// 0 means GOMAXPROCS, 1 forces the serial path. The output is
+	// byte-identical at every setting.
+	Parallelism int
+}
+
+// threadEntries is one thread's slice of the log: the committed entries
+// attributed to it, with each entry's global log index (the merge key that
+// makes the parallel reconstruction deterministic).
+type threadEntries struct {
+	id      uint64
+	entries []shmlog.Entry
+	at      []int
+}
+
+// closedRec is a completed execution produced by a reconstruction worker,
+// tagged with the global log index of the entry that closed it; force-closed
+// frames are tagged past the end of the log in thread-discovery order, so a
+// stable sort by the tag replays records in exactly the serial close order.
+type closedRec struct {
+	rec      Record
+	stackKey string
+	at       int
+}
+
+// threadResult is one worker's output for one thread.
+type threadResult struct {
+	stat      ThreadStat
+	recs      []closedRec
+	unmatched int
+	truncated int
 }
 
 // Analyze reconstructs a profile from a recorded log.
 func Analyze(log *shmlog.Log, tab *symtab.Table) (*Profile, error) {
+	return AnalyzeWith(log, tab, Options{})
+}
+
+// AnalyzeWith is Analyze with explicit tuning. It runs in three phases:
+// a serial scan groups committed entries per thread (dismissing in-flight
+// holes and released tombstones), a worker pool rebuilds each thread's call
+// stack independently, and a serial merge — ordered by the global log index
+// of each record's closing entry — folds the per-thread results into one
+// profile. The merge order equals the serial close order, so the output is
+// identical to a single-threaded analysis, worker scheduling notwithstanding.
+func AnalyzeWith(log *shmlog.Log, tab *symtab.Table, opts Options) (*Profile, error) {
 	if log == nil || tab == nil {
 		return nil, ErrNilInput
 	}
@@ -132,51 +179,99 @@ func Analyze(log *shmlog.Log, tab *symtab.Table) (*Profile, error) {
 		pathStats: make(map[string]*pathAccum),
 		Dropped:   log.Dropped(),
 	}
-	threads := make(map[uint64]*threadState)
-	order := make([]uint64, 0, 8)
 
+	// Phase 1 (serial): group entries per thread in log order.
+	threads := make(map[uint64]*threadEntries)
+	order := make([]uint64, 0, 8)
 	n := log.Len()
 	for i := 0; i < n; i++ {
 		e, err := log.Entry(i)
 		if err != nil {
 			return nil, fmt.Errorf("analyzer: entry %d: %w", i, err)
 		}
-		ts, ok := threads[e.ThreadID]
+		if e.ThreadID == 0 || e.ThreadID == shmlog.TombstoneTID {
+			p.Dismissed++
+			continue
+		}
+		g, ok := threads[e.ThreadID]
 		if !ok {
-			ts = &threadState{stat: ThreadStat{ID: e.ThreadID}}
-			threads[e.ThreadID] = ts
+			g = &threadEntries{id: e.ThreadID}
+			threads[e.ThreadID] = g
 			order = append(order, e.ThreadID)
 		}
-		ts.stat.Events++
-		ts.lastTS = e.Counter
-
-		switch e.Kind {
-		case shmlog.KindCall:
-			ts.stack = append(ts.stack, frame{
-				addr:  e.Addr,
-				name:  tab.Name(e.Addr),
-				start: e.Counter,
-			})
-			ts.names = append(ts.names, ts.stack[len(ts.stack)-1].name)
-			if d := len(ts.stack); d > ts.stat.MaxDepth {
-				ts.stat.MaxDepth = d
-			}
-		case shmlog.KindReturn:
-			p.closeUntil(ts, e.Addr, e.Counter)
-		}
+		g.entries = append(g.entries, e)
+		g.at = append(g.at, i)
 	}
 
-	// Force-close whatever remains on each stack at the thread's last
-	// observed counter value; these durations are approximate.
-	for _, tid := range order {
-		ts := threads[tid]
-		for len(ts.stack) > 0 {
-			p.closeTop(ts, ts.lastTS, true)
-			p.Truncated++
-		}
-		p.TotalTicks += ts.stat.Ticks
-		p.threads = append(p.threads, ts.stat)
+	// Phase 2 (parallel): rebuild each thread's stacks. The symbol table's
+	// resolver is concurrency-safe; everything else is thread-local.
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	results := make([]threadResult, len(order))
+	if workers <= 1 {
+		for oi, tid := range order {
+			results[oi] = analyzeThread(threads[tid], tab, n+oi)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for oi := range jobs {
+					results[oi] = analyzeThread(threads[order[oi]], tab, n+oi)
+				}
+			}()
+		}
+		for oi := range order {
+			jobs <- oi
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Phase 3 (serial): merge deterministically. Records carry the global
+	// index of their closing entry; at most one thread closes records at any
+	// given index, and within a thread the worker emitted them in order, so
+	// a stable sort reproduces the serial close order exactly.
+	total := 0
+	for oi := range results {
+		r := &results[oi]
+		p.threads = append(p.threads, r.stat)
+		p.TotalTicks += r.stat.Ticks
+		p.Truncated += r.truncated
+		p.Unmatched += r.unmatched
+		total += len(r.recs)
+	}
+	merged := make([]closedRec, 0, total)
+	for oi := range results {
+		merged = append(merged, results[oi].recs...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].at < merged[j].at })
+	p.records = make([]Record, 0, len(merged))
+	for i := range merged {
+		cr := &merged[i]
+		p.records = append(p.records, cr.rec)
+		if cr.rec.Self > 0 {
+			p.folded[cr.stackKey] += cr.rec.Self
+		}
+		pa, ok := p.pathStats[cr.stackKey]
+		if !ok {
+			pa = &pathAccum{}
+			p.pathStats[cr.stackKey] = pa
+		}
+		pa.calls++
+		pa.incl += cr.rec.Incl
+		pa.self += cr.rec.Self
+		p.accumulate(cr.rec)
+	}
+
 	sort.Slice(p.threads, func(i, j int) bool { return p.threads[i].ID < p.threads[j].ID })
 	sort.Slice(p.funcs, func(i, j int) bool {
 		if p.funcs[i].Self != p.funcs[j].Self {
@@ -191,83 +286,111 @@ func Analyze(log *shmlog.Log, tab *symtab.Table) (*Profile, error) {
 	return p, nil
 }
 
-// closeUntil pops frames until it closes the frame matching addr. Frames
-// above the match lost their return entries (recording was toggled or the
-// log overflowed); they are closed at the return's counter value.
-func (p *Profile) closeUntil(ts *threadState, addr, now uint64) {
-	// Find the matching frame.
-	match := -1
-	for i := len(ts.stack) - 1; i >= 0; i-- {
-		if ts.stack[i].addr == addr {
-			match = i
-			break
+// analyzeThread rebuilds one thread's call stack from its entry stream.
+// forceAt is the merge tag for frames force-closed at the end of the log
+// (past every real index, ordered by thread discovery).
+func analyzeThread(g *threadEntries, tab *symtab.Table, forceAt int) threadResult {
+	res := threadResult{stat: ThreadStat{ID: g.id}}
+	var (
+		stack  []frame
+		names  []string
+		lastTS uint64
+	)
+
+	// closeTop completes the top frame at counter value now; identical
+	// arithmetic to the historical serial closeTop.
+	closeTop := func(now uint64, truncated bool, at int) {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		incl := uint64(0)
+		if now > f.start {
+			incl = now - f.start
+		}
+		self := uint64(0)
+		if incl > f.childTicks {
+			self = incl - f.childTicks
+		}
+
+		depth := len(stack)
+		caller := ""
+		if depth > 0 {
+			parent := &stack[depth-1]
+			parent.childTicks += incl
+			caller = parent.name
+		} else {
+			res.stat.Ticks += incl
+		}
+		res.stat.Calls++
+
+		// Folded stack and call-path accounting are attributed to the full
+		// stack including the closing frame.
+		stackKey := strings.Join(names, ";")
+		names = names[:len(names)-1]
+
+		res.recs = append(res.recs, closedRec{
+			rec: Record{
+				Thread:    res.stat.ID,
+				Name:      f.name,
+				Addr:      f.addr,
+				Caller:    caller,
+				Depth:     depth,
+				Start:     f.start,
+				End:       now,
+				Incl:      incl,
+				Self:      self,
+				Truncated: truncated,
+			},
+			stackKey: stackKey,
+			at:       at,
+		})
+	}
+
+	for k := range g.entries {
+		e := &g.entries[k]
+		res.stat.Events++
+		lastTS = e.Counter
+
+		switch e.Kind {
+		case shmlog.KindCall:
+			stack = append(stack, frame{
+				addr:  e.Addr,
+				name:  tab.Name(e.Addr),
+				start: e.Counter,
+			})
+			names = append(names, stack[len(stack)-1].name)
+			if d := len(stack); d > res.stat.MaxDepth {
+				res.stat.MaxDepth = d
+			}
+		case shmlog.KindReturn:
+			// Pop frames until the one matching the return closes. Frames
+			// above the match lost their return entries (recording was
+			// toggled or the log overflowed); they close at the return's
+			// counter value.
+			match := -1
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].addr == e.Addr {
+					match = i
+					break
+				}
+			}
+			if match < 0 {
+				res.unmatched++
+				continue
+			}
+			for len(stack) > match {
+				closeTop(e.Counter, false, g.at[k])
+			}
 		}
 	}
-	if match < 0 {
-		p.Unmatched++
-		return
-	}
-	for len(ts.stack) > match {
-		p.closeTop(ts, now, false)
-	}
-}
 
-// closeTop completes the top frame at counter value now.
-func (p *Profile) closeTop(ts *threadState, now uint64, truncated bool) {
-	f := ts.stack[len(ts.stack)-1]
-	ts.stack = ts.stack[:len(ts.stack)-1]
-
-	incl := uint64(0)
-	if now > f.start {
-		incl = now - f.start
+	// Force-close whatever remains on the stack at the thread's last
+	// observed counter value; these durations are approximate.
+	for len(stack) > 0 {
+		closeTop(lastTS, true, forceAt)
+		res.truncated++
 	}
-	self := uint64(0)
-	if incl > f.childTicks {
-		self = incl - f.childTicks
-	}
-
-	depth := len(ts.stack)
-	caller := ""
-	if depth > 0 {
-		parent := &ts.stack[depth-1]
-		parent.childTicks += incl
-		caller = parent.name
-	} else {
-		ts.stat.Ticks += incl
-	}
-	ts.stat.Calls++
-
-	rec := Record{
-		Thread:    ts.stat.ID,
-		Name:      f.name,
-		Addr:      f.addr,
-		Caller:    caller,
-		Depth:     depth,
-		Start:     f.start,
-		End:       now,
-		Incl:      incl,
-		Self:      self,
-		Truncated: truncated,
-	}
-	p.records = append(p.records, rec)
-
-	// Folded stack and call-path accounting: attributed to the full stack
-	// including the closing frame.
-	stackKey := strings.Join(ts.names, ";")
-	if self > 0 {
-		p.folded[stackKey] += self
-	}
-	pa, ok := p.pathStats[stackKey]
-	if !ok {
-		pa = &pathAccum{}
-		p.pathStats[stackKey] = pa
-	}
-	pa.calls++
-	pa.incl += incl
-	pa.self += self
-	ts.names = ts.names[:len(ts.names)-1]
-
-	p.accumulate(rec)
+	return res
 }
 
 func (p *Profile) accumulate(rec Record) {

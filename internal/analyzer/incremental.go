@@ -20,6 +20,12 @@ import (
 // once the stream has been fully drained a snapshot converges to exactly
 // the offline analyzer's result.
 //
+// Batched writers (probe.WithBatch) never disturb the stream: the cursor
+// skips in-flight reserved slots and revisits them once committed, emitting
+// resolved holes before newer entries, and drops released (tombstoned)
+// slots entirely — so Incremental only ever sees committed events, each
+// thread's in order.
+//
 // An Incremental is not safe for concurrent use; the monitor serializes
 // access to it.
 type Incremental struct {

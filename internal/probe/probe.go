@@ -9,6 +9,7 @@ package probe
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"teeperf/internal/counter"
@@ -40,16 +41,21 @@ func (Nop) Enter(uint64) {}
 func (Nop) Exit(uint64) {}
 
 // Runtime owns the probe state shared by all threads of one profiled
-// process: the log, the counter source and the selective filter. The log
-// is held behind an atomic pointer so the recorder can rotate a full log
-// out from under running probes without stopping the application.
+// process: the log, the counter source, the selective filter and the
+// slot-reservation batch size. The log is held behind an atomic pointer so
+// the recorder can rotate a full log out from under running probes without
+// stopping the application.
 type Runtime struct {
 	log    atomic.Pointer[shmlog.Log]
 	src    counter.Source
 	filter *Filter
+	batch  int
 
 	nextTID atomic.Uint64
 	drops   atomic.Uint64
+
+	threadsMu sync.Mutex
+	threads   []*Thread
 }
 
 // Option configures New.
@@ -59,6 +65,7 @@ type Option interface {
 
 type runtimeOptions struct {
 	filter *Filter
+	batch  int
 }
 
 type filterOption struct{ f *Filter }
@@ -68,6 +75,18 @@ func (o filterOption) apply(opts *runtimeOptions) { opts.filter = o.f }
 // WithFilter restricts recording to the functions selected by f
 // (selective code profiling). A nil filter records everything.
 func WithFilter(f *Filter) Option { return filterOption{f: f} }
+
+type batchOption int
+
+func (o batchOption) apply(opts *runtimeOptions) { opts.batch = int(o) }
+
+// WithBatch makes each thread reserve blocks of k log slots with a single
+// tail fetch-and-add and fill them locally, cutting the contended global
+// atomic from one per event to one per k events. The default (k = 1)
+// reserves per event, exactly like shmlog.Append. Unused trailing slots of
+// a block are released (tombstoned) when the thread flushes, observes a
+// rotation, or the runtime stops.
+func WithBatch(k int) Option { return batchOption(k) }
 
 // New creates a probe runtime writing to log with timestamps from src.
 func New(log *shmlog.Log, src counter.Source, opts ...Option) (*Runtime, error) {
@@ -81,10 +100,19 @@ func New(log *shmlog.Log, src counter.Source, opts ...Option) (*Runtime, error) 
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	rt := &Runtime{src: src, filter: o.filter}
+	if o.batch < 0 {
+		return nil, fmt.Errorf("probe: batch size must be >= 1, got %d", o.batch)
+	}
+	if o.batch == 0 {
+		o.batch = 1
+	}
+	rt := &Runtime{src: src, filter: o.filter, batch: o.batch}
 	rt.log.Store(log)
 	return rt, nil
 }
+
+// Batch returns the configured slot-reservation batch size.
+func (rt *Runtime) Batch() int { return rt.batch }
 
 // Log returns the current shared-memory log.
 func (rt *Runtime) Log() *shmlog.Log { return rt.log.Load() }
@@ -109,7 +137,35 @@ func (rt *Runtime) Thread() *Thread {
 	if id == 2 {
 		rt.Log().SetFlag(shmlog.FlagMultithread)
 	}
-	return &Thread{rt: rt, id: id}
+	t := &Thread{rt: rt, id: id}
+	rt.threadsMu.Lock()
+	rt.threads = append(rt.threads, t)
+	rt.threadsMu.Unlock()
+	return t
+}
+
+// Flush releases the reserved-but-unfilled log slots of every registered
+// thread (see Thread.Flush). It must only be called once the application
+// threads have quiesced — after the workload completed or recording was
+// deactivated and drained — because thread handles are thread-local state;
+// the recorder calls it at Stop so trailing reserved slots of batched
+// blocks are released rather than left as permanent holes.
+func (rt *Runtime) Flush() {
+	rt.threadsMu.Lock()
+	threads := make([]*Thread, len(rt.threads))
+	copy(threads, rt.threads)
+	rt.threadsMu.Unlock()
+	for _, t := range threads {
+		t.Flush()
+	}
+}
+
+// block is a thread's current reserved slot range in one log segment.
+type block struct {
+	log  *shmlog.Log
+	next uint64 // next slot to fill
+	end  uint64 // one past the last usable reserved slot
+	full bool   // the segment was full at the last reservation attempt
 }
 
 // Thread is the per-application-thread probe handle. It is not safe for
@@ -118,6 +174,7 @@ type Thread struct {
 	rt      *Runtime
 	id      uint64
 	inProbe bool
+	blk     block
 }
 
 var _ Hooks = (*Thread)(nil)
@@ -150,16 +207,73 @@ func (t *Thread) record(kind shmlog.Kind, addr uint64) {
 		t.inProbe = false
 		return
 	}
-	err := t.rt.Log().Append(shmlog.Entry{
+
+	// The activation flag and event mask are honored per event, exactly
+	// like shmlog.Append, so dynamic toggling works mid-block.
+	log := t.rt.log.Load()
+	flags := log.Flags()
+	switch {
+	case flags&shmlog.FlagActive == 0:
+		t.inProbe = false
+		return
+	case kind == shmlog.KindCall && flags&shmlog.EventCall == 0,
+		kind == shmlog.KindReturn && flags&shmlog.EventReturn == 0:
+		t.inProbe = false
+		return
+	}
+
+	// Block maintenance. A rotation (the runtime's log pointer moved)
+	// releases the remainder of the block held in the old segment — the
+	// persisted segment then carries tombstones instead of permanent
+	// holes — before reserving from the new one.
+	if t.blk.log != log {
+		t.releaseBlock()
+		t.blk = block{log: log}
+	}
+	if t.blk.next == t.blk.end && !t.blk.full {
+		start, n := log.Reserve(t.rt.batch)
+		if n == 0 {
+			t.blk.full = true
+		} else {
+			t.blk.next, t.blk.end = start, start+uint64(n)
+		}
+	}
+	if t.blk.next == t.blk.end {
+		// Segment full: same accounting as the ErrFull path of Append.
+		log.NoteDropped(1)
+		t.rt.drops.Add(1)
+		t.inProbe = false
+		return
+	}
+
+	slot := t.blk.next
+	t.blk.next++
+	log.Commit(slot, shmlog.Entry{
 		Kind:     kind,
 		Counter:  t.rt.src.Now(),
 		Addr:     addr,
 		ThreadID: t.id,
 	})
-	if errors.Is(err, shmlog.ErrFull) {
-		t.rt.drops.Add(1)
-	}
 	t.inProbe = false
+}
+
+// releaseBlock tombstones the unfilled remainder of the current block.
+func (t *Thread) releaseBlock() {
+	for s := t.blk.next; s < t.blk.end; s++ {
+		t.blk.log.Release(s)
+	}
+	t.blk.next = t.blk.end
+}
+
+// Flush releases (tombstones) the reserved-but-unfilled slots of the
+// thread's current block, so readers see them as dismissed instead of
+// still-in-flight holes. Call it when the thread stops producing events —
+// at workload completion, before a log Reset, or implicitly via
+// Runtime.Flush at recorder stop. Like all Thread methods it must not race
+// with the owning thread's own Enter/Exit calls.
+func (t *Thread) Flush() {
+	t.releaseBlock()
+	t.blk = block{}
 }
 
 // Filter implements selective code profiling: only functions whose

@@ -78,6 +78,7 @@ type config struct {
 	filter   *probe.Filter
 	bias     int64
 	sync     shmlog.Sync
+	batch    int
 }
 
 type optionFunc func(*config)
@@ -120,6 +121,13 @@ func WithLoadBias(delta int64) Option {
 // WithSync selects the log synchronization mode (ablation A1).
 func WithSync(s shmlog.Sync) Option {
 	return optionFunc(func(c *config) { c.sync = s })
+}
+
+// WithBatch makes each probe thread reserve blocks of k log slots per tail
+// fetch-and-add instead of one (default 1; see probe.WithBatch). Unused
+// trailing slots of a block are released at rotation and at Stop.
+func WithBatch(k int) Option {
+	return optionFunc(func(c *config) { c.batch = k })
 }
 
 // New prepares a recorder over the given symbol table. The log is created
@@ -166,6 +174,9 @@ func New(tab *symtab.Table, opts ...Option) (*Recorder, error) {
 	var probeOpts []probe.Option
 	if cfg.filter != nil {
 		probeOpts = append(probeOpts, probe.WithFilter(cfg.filter))
+	}
+	if cfg.batch > 0 {
+		probeOpts = append(probeOpts, probe.WithBatch(cfg.batch))
 	}
 	rt, err := probe.New(log, r.src, probeOpts...)
 	if err != nil {
@@ -231,6 +242,11 @@ func (r *Recorder) Stop() error {
 	r.stateMu.Unlock()
 	r.StopAutoRotate()
 	r.Log().SetActive(false)
+	// Release the trailing reserved slots of every thread's batched block
+	// so the persisted log carries tombstones (dismissed by readers)
+	// instead of permanent holes. Stop is called after the workload's
+	// threads have quiesced, which Runtime.Flush requires.
+	r.rt.Flush()
 	if r.soft != nil {
 		if err := r.soft.Stop(); err != nil {
 			return fmt.Errorf("recorder: stop counter: %w", err)

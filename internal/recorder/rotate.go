@@ -16,6 +16,13 @@ import (
 // without dropping events; segments are analyzed independently and merged
 // (call stacks spanning a rotation boundary appear as truncated/unmatched
 // frames at the seam, which the analyzer already tolerates).
+//
+// Probe threads running with a batched block (probe.WithBatch) flush the
+// block they hold in the rotated-out segment lazily: each thread releases
+// its remaining reserved slots the first time it records after observing
+// the swap. Until then those slots read as in-flight holes, which both the
+// cursor (skip-and-revisit) and the analyzer (dismiss) tolerate; the live
+// monitor's retired-cursor grace window covers the stragglers.
 func (r *Recorder) Rotate() (*shmlog.Log, error) {
 	r.rotateMu.Lock()
 	defer r.rotateMu.Unlock()

@@ -1,0 +1,215 @@
+package shmlog
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestReserveBasics covers the block-reservation contract: contiguous
+// non-overlapping blocks, clamping at capacity, and zero-count once full.
+func TestReserveBasics(t *testing.T) {
+	l, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, n := l.Reserve(4)
+	if start != 0 || n != 4 {
+		t.Fatalf("first Reserve = (%d, %d), want (0, 4)", start, n)
+	}
+	start, n = l.Reserve(4)
+	if start != 4 || n != 4 {
+		t.Fatalf("second Reserve = (%d, %d), want (4, 4)", start, n)
+	}
+	start, n = l.Reserve(4)
+	if start != 8 || n != 2 {
+		t.Fatalf("clamped Reserve = (%d, %d), want (8, 2)", start, n)
+	}
+	if _, n = l.Reserve(4); n != 0 {
+		t.Fatalf("Reserve on full log returned %d usable slots, want 0", n)
+	}
+	if _, n = l.Reserve(0); n != 0 {
+		t.Fatal("Reserve(0) must return no slots")
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d, want 10 (clamped to capacity)", l.Len())
+	}
+}
+
+// TestCursorBatchedHolesScripted walks a cursor through a hand-scripted
+// interleaving of two batched writers: out-of-order commits become holes
+// that are revisited and emitted exactly once, releases are dismissed, and
+// hole backfills are emitted before newer frontier entries (per-thread
+// order).
+func TestCursorBatchedHolesScripted(t *testing.T) {
+	l, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writer 1 owns slots 0..3, writer 2 owns 4..7.
+	s1, n1 := l.Reserve(4)
+	s2, n2 := l.Reserve(4)
+	if s1 != 0 || n1 != 4 || s2 != 4 || n2 != 4 {
+		t.Fatalf("reservations = (%d,%d) (%d,%d)", s1, n1, s2, n2)
+	}
+	at := func(tid, seq uint64) Entry {
+		return Entry{Kind: KindCall, Counter: seq, Addr: tid*100 + seq, ThreadID: tid}
+	}
+
+	// Writer 2 commits first: the cursor must not block on writer 1's
+	// still-empty block.
+	l.Commit(4, at(2, 1))
+	l.Commit(5, at(2, 2))
+	c := l.Cursor()
+	got := c.Next(nil)
+	if len(got) != 2 || got[0] != at(2, 1) || got[1] != at(2, 2) {
+		t.Fatalf("first drain = %+v, want writer 2's two entries", got)
+	}
+	if c.Pending() != 6 || c.Pos() != 8 {
+		t.Fatalf("Pending = %d, Pos = %d; want 6 tracked holes, frontier 8", c.Pending(), c.Pos())
+	}
+
+	// Writer 1 backfills two of its slots; they must come out before
+	// anything newer, and only once.
+	l.Commit(0, at(1, 1))
+	l.Commit(1, at(1, 2))
+	l.Commit(6, at(2, 3))
+	got = c.Next(nil)
+	want := []Entry{at(1, 1), at(1, 2), at(2, 3)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("second drain[%d] = %+v, want %+v (holes before frontier)", i, got[i], want[i])
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("second drain returned %d entries, want 3", len(got))
+	}
+
+	// Both writers flush: remaining slots tombstone and the holes resolve
+	// to nothing.
+	l.Release(2)
+	l.Release(3)
+	l.Release(7)
+	if got = c.Next(nil); len(got) != 0 {
+		t.Fatalf("drain after release = %+v, want nothing", got)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d after all slots resolved, want 0", c.Pending())
+	}
+
+	// A fresh cursor over the settled log sees the same five entries.
+	fresh := l.Cursor().Next(nil)
+	if len(fresh) != 5 {
+		t.Fatalf("fresh cursor saw %d entries, want 5", len(fresh))
+	}
+}
+
+// TestCursorConcurrentBatchedWriters tails a log while several goroutines
+// write through Reserve/Commit blocks of varying batch size, then checks
+// every committed entry was observed exactly once and in per-thread order.
+func TestCursorConcurrentBatchedWriters(t *testing.T) {
+	const (
+		writers = 4
+		perner  = 3000
+		// Slack for the trailing slots each writer's final partly-used
+		// block releases: they consume capacity without carrying events.
+		capacity = writers*perner + 64
+	)
+	l, err := New(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(tid uint64) {
+			defer wg.Done()
+			batch := int(tid)*4 + 1 // 1, 5, 9, 13: exercise uneven tails
+			var next, end uint64
+			for i := 0; i < perner; i++ {
+				if next == end {
+					start, n := l.Reserve(batch)
+					if n == 0 {
+						t.Errorf("writer %d: log unexpectedly full", tid)
+						return
+					}
+					next, end = start, start+uint64(n)
+				}
+				l.Commit(next, Entry{Kind: KindCall, Counter: uint64(i + 1), Addr: tid<<32 | uint64(i), ThreadID: tid})
+				next++
+			}
+			for ; next < end; next++ {
+				l.Release(next)
+			}
+		}(uint64(w + 1))
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var got []Entry
+	cursor := l.Cursor()
+	for {
+		got = cursor.Next(got)
+		select {
+		case <-done:
+			got = cursor.Next(got) // final drain picks up late holes
+			if cursor.Pending() != 0 {
+				t.Fatalf("cursor still tracks %d holes after all writers flushed", cursor.Pending())
+			}
+			if len(got) != writers*perner {
+				t.Fatalf("observed %d entries, want %d", len(got), writers*perner)
+			}
+			lastSeq := make(map[uint64]uint64)
+			for i, e := range got {
+				if e.ThreadID < 1 || e.ThreadID > writers {
+					t.Fatalf("entry %d: bad thread %d", i, e.ThreadID)
+				}
+				if e.Counter <= lastSeq[e.ThreadID] {
+					t.Fatalf("thread %d out of order: seq %d after %d", e.ThreadID, e.Counter, lastSeq[e.ThreadID])
+				}
+				lastSeq[e.ThreadID] = e.Counter
+			}
+			for w := 1; w <= writers; w++ {
+				if lastSeq[uint64(w)] != perner {
+					t.Fatalf("thread %d: last seq %d, want %d", w, lastSeq[uint64(w)], perner)
+				}
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestEntriesDismissTombstones: released slots disappear from Entries but
+// still count toward Len (they occupy reserved slots).
+func TestEntriesDismissTombstones(t *testing.T) {
+	l, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, n := l.Reserve(4)
+	if start != 0 || n != 4 {
+		t.Fatalf("Reserve = (%d, %d)", start, n)
+	}
+	l.Commit(0, Entry{Kind: KindCall, Counter: 1, Addr: 0xA, ThreadID: 3})
+	l.Commit(1, Entry{Kind: KindReturn, Counter: 2, Addr: 0xA, ThreadID: 3})
+	l.Release(2)
+	l.Release(3)
+
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	got := l.Entries()
+	if len(got) != 2 || got[0].Addr != 0xA || got[1].Kind != KindReturn {
+		t.Fatalf("Entries = %+v, want the 2 committed entries", got)
+	}
+	// The raw view still exposes the tombstone marker.
+	e, err := l.Entry(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ThreadID != TombstoneTID {
+		t.Fatalf("raw tombstone ThreadID = %#x, want TombstoneTID", e.ThreadID)
+	}
+}

@@ -1,0 +1,155 @@
+package shmlog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// encodeV1 renders entries in the legacy version-1 persisted format: a
+// packed 8-word header (flags, version, pid, capacity, tail, profiler
+// address, counter, magic) followed by the 3-word entries. The current
+// writer only emits version 2, so this is the reference encoder the
+// decode-compatibility tests are pinned against.
+func encodeV1(flags, pid, profilerAddr, counter uint64, entries []Entry) []byte {
+	var buf bytes.Buffer
+	put := func(v uint64) {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf.Write(w[:])
+	}
+	header := [HeaderWordsV1]uint64{
+		v1WordFlags:        flags,
+		v1WordVersion:      VersionV1,
+		v1WordPID:          pid,
+		v1WordCapacity:     uint64(len(entries)),
+		v1WordTail:         uint64(len(entries)),
+		v1WordProfilerAddr: profilerAddr,
+		v1WordCounter:      counter,
+		v1WordMagic:        Magic,
+	}
+	for _, w := range header {
+		put(w)
+	}
+	for _, e := range entries {
+		word0 := e.Counter & counterMask
+		if e.Kind == KindReturn {
+			word0 |= kindBit
+		}
+		put(word0)
+		put(e.Addr)
+		put(e.ThreadID)
+	}
+	return buf.Bytes()
+}
+
+// TestReadV1Golden pins the v1 byte layout: if the header constants drift,
+// the golden header bytes change and old recordings silently stop decoding.
+func TestReadV1Golden(t *testing.T) {
+	entries := []Entry{
+		{Kind: KindCall, Counter: 100, Addr: 0x400010, ThreadID: 1},
+		{Kind: KindReturn, Counter: 250, Addr: 0x400010, ThreadID: 1},
+	}
+	raw := encodeV1(EventCall|EventReturn, 42, 0x400000, 999, entries)
+
+	golden := [HeaderWordsV1]uint64{
+		EventCall | EventReturn, // flags
+		1,                       // version
+		42,                      // pid
+		2,                       // capacity
+		2,                       // tail
+		0x400000,                // profiler anchor
+		999,                     // counter
+		0x5445455045524631,      // magic "TEEPERF1"
+	}
+	for i, want := range golden {
+		if got := binary.LittleEndian.Uint64(raw[i*8:]); got != want {
+			t.Fatalf("v1 header word %d = %#x, want %#x", i, got, want)
+		}
+	}
+
+	l, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Read v1: %v", err)
+	}
+	if l.SourceVersion() != VersionV1 {
+		t.Fatalf("SourceVersion = %d, want %d", l.SourceVersion(), VersionV1)
+	}
+	if l.Version() != Version {
+		t.Fatalf("in-memory Version = %d, want %d (decoded logs are normalized)", l.Version(), Version)
+	}
+	if l.PID() != 42 || l.ProfilerAddr() != 0x400000 || l.LoadCounter() != 999 {
+		t.Fatalf("header fields: pid=%d addr=%#x counter=%d", l.PID(), l.ProfilerAddr(), l.LoadCounter())
+	}
+	if l.Active() {
+		t.Fatal("decoded log must be inactive")
+	}
+	if got := l.Entries(); !reflect.DeepEqual(got, entries) {
+		t.Fatalf("entries = %+v, want %+v", got, entries)
+	}
+}
+
+// TestReadV1RoundTripsToV2 decodes a v1 stream and re-persists it: the
+// output must be the version-2 format carrying the same events and header
+// state.
+func TestReadV1RoundTripsToV2(t *testing.T) {
+	entries := []Entry{
+		{Kind: KindCall, Counter: 1, Addr: 0xA, ThreadID: 1},
+		{Kind: KindCall, Counter: 2, Addr: 0xB, ThreadID: 2},
+		{Kind: KindReturn, Counter: 7, Addr: 0xB, ThreadID: 2},
+		{Kind: KindReturn, Counter: 9, Addr: 0xA, ThreadID: 1},
+	}
+	raw := encodeV1(FlagActive|FlagMultithread|EventCall|EventReturn, 7, 0x1000, 55, entries)
+
+	v1, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Read v1: %v", err)
+	}
+
+	var out bytes.Buffer
+	if _, err := v1.WriteTo(&out); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if got := out.Len(); got != HeaderSize+len(entries)*EntrySize {
+		t.Fatalf("re-encoded size = %d, want v2 size %d", got, HeaderSize+len(entries)*EntrySize)
+	}
+	if magic := binary.LittleEndian.Uint64(out.Bytes()); magic != Magic {
+		t.Fatalf("re-encoded word 0 = %#x, want v2 magic", magic)
+	}
+
+	v2, err := Read(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("Read re-encoded: %v", err)
+	}
+	if v2.SourceVersion() != Version {
+		t.Fatalf("re-encoded SourceVersion = %d, want %d", v2.SourceVersion(), Version)
+	}
+	if !reflect.DeepEqual(v2.Entries(), entries) {
+		t.Fatalf("entries after v1→v2 round trip = %+v, want %+v", v2.Entries(), entries)
+	}
+	if v2.PID() != v1.PID() || v2.LoadCounter() != v1.LoadCounter() ||
+		v2.ProfilerAddr() != v1.ProfilerAddr() || v2.Flags() != v1.Flags() {
+		t.Fatal("header state changed across the v1→v2 round trip")
+	}
+}
+
+// TestReadV1BadVersion: a stream with the magic in the v1 position but an
+// unknown version must be rejected, not misparsed.
+func TestReadV1BadVersion(t *testing.T) {
+	raw := encodeV1(0, 0, 0, 0, nil)
+	binary.LittleEndian.PutUint64(raw[v1WordVersion*8:], 3)
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+// TestReadV1Truncated: a v1 header promising more entries than the stream
+// carries must fail cleanly.
+func TestReadV1Truncated(t *testing.T) {
+	raw := encodeV1(0, 0, 0, 0, []Entry{{Kind: KindCall, Counter: 1, Addr: 2, ThreadID: 3}})
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-8])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}

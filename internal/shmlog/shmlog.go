@@ -3,12 +3,29 @@
 // untrusted host memory and written lock-free from inside a trusted
 // execution environment.
 //
-// The log consists of a 64-byte header followed by fixed-size entries.
-// Writers reserve an entry slot with a single atomic fetch-and-add on the
-// tail index and then own that slot exclusively, so no locks are required
-// and per-thread event order is preserved (the property the analyzer relies
-// on). The header also hosts the software-counter word, so the counter
-// thread's tight loop touches only the header cache line.
+// The log consists of a padded header followed by fixed-size entries.
+// Writers reserve entry slots with a single atomic fetch-and-add on the
+// tail index — one slot (Append) or a contiguous block of slots (Reserve,
+// the batched fast path) — and then own those slots exclusively, so no
+// locks are required and per-thread event order is preserved (the property
+// the analyzer relies on).
+//
+// Since format version 2 the header spreads its mutable words over
+// separate 64-byte cache lines so the three concurrent hot loops never
+// false-share:
+//
+//	line 0 (bytes   0..63):  magic, version, pid, capacity, profiler addr
+//	                         — written once at setup, read-mostly.
+//	line 1 (bytes  64..127): flags — read by every probe, toggled rarely.
+//	line 2 (bytes 128..191): tail — fetch-and-add by every reservation.
+//	line 3 (bytes 192..255): counter — the software-counter thread's
+//	                         tight-loop increment word.
+//	byte 256: first entry (a cache-line boundary).
+//
+// In version 1 all eight header words shared one cache line, so the counter
+// thread's increment loop, every probe's tail fetch-and-add and the flag
+// reads all contended on the same line. Read still decodes version-1
+// streams; in memory every Log uses the padded layout.
 package shmlog
 
 import (
@@ -23,38 +40,58 @@ import (
 // Layout constants. The on-disk representation is little-endian 64-bit
 // words matching the in-memory word layout exactly.
 const (
-	// HeaderWords is the number of 64-bit words in the log header.
-	HeaderWords = 8
+	// HeaderWords is the number of 64-bit words in the version-2 log
+	// header: four 64-byte cache lines.
+	HeaderWords = 32
+	// HeaderWordsV1 is the number of header words in the legacy version-1
+	// format (decode-only support).
+	HeaderWordsV1 = 8
 	// EntryWords is the number of 64-bit words per log entry:
 	// word 0: kind bit (bit 63) | counter value (bits 62..0)
 	// word 1: call/return target address
-	// word 2: thread ID
+	// word 2: thread ID (stored last: the commit marker)
 	EntryWords = 3
 
-	// HeaderSize and EntrySize are the byte sizes of the corresponding
-	// structures in the persisted format.
-	HeaderSize = HeaderWords * 8
-	EntrySize  = EntryWords * 8
+	// HeaderSize, HeaderSizeV1 and EntrySize are the byte sizes of the
+	// corresponding structures in the persisted format.
+	HeaderSize   = HeaderWords * 8
+	HeaderSizeV1 = HeaderWordsV1 * 8
+	EntrySize    = EntryWords * 8
 
 	// Magic identifies a persisted TEE-Perf log ("TEEPERF1").
 	Magic uint64 = 0x5445455045524631
 
-	// Version is the current log structure version. The version is
-	// written once at setup and never changes afterwards, so it does not
-	// need atomic access (per the paper).
-	Version uint64 = 1
+	// Version is the current log structure version: the cache-line-padded
+	// header. VersionV1 is the legacy packed-header format, still decoded
+	// by Read.
+	Version   uint64 = 2
+	VersionV1 uint64 = 1
 )
 
-// Header word indexes.
+// Header word indexes (version-2 layout). The mutable words — flags, tail,
+// counter — each sit on their own cache line (8 words apart); the remaining
+// words of each line are reserved padding, persisted as zero.
 const (
-	wordFlags = iota
-	wordVersion
-	wordPID
-	wordCapacity
-	wordTail
-	wordProfilerAddr
-	wordCounter
-	wordMagic
+	wordMagic        = 0
+	wordVersion      = 1
+	wordPID          = 2
+	wordCapacity     = 3
+	wordProfilerAddr = 4
+	wordFlags        = 8  // cache line 1
+	wordTail         = 16 // cache line 2
+	wordCounter      = 24 // cache line 3
+)
+
+// Version-1 header word indexes (decode-only).
+const (
+	v1WordFlags = iota
+	v1WordVersion
+	v1WordPID
+	v1WordCapacity
+	v1WordTail
+	v1WordProfilerAddr
+	v1WordCounter
+	v1WordMagic
 )
 
 // Flag bits stored in the header flags word. Flags may be toggled while the
@@ -73,6 +110,13 @@ const (
 	// EventMask covers all event-selection bits.
 	EventMask = EventCall | EventReturn
 )
+
+// TombstoneTID is the thread-ID word of a reserved slot that was released
+// without being committed (a batched writer's unused trailing slots).
+// Readers dismiss tombstoned slots. Real thread IDs start at 1 and are
+// assigned sequentially, so neither 0 (in-flight) nor TombstoneTID ever
+// collides with a committed entry.
+const TombstoneTID = ^uint64(0)
 
 // Kind distinguishes call and return entries.
 type Kind uint8
@@ -100,6 +144,11 @@ const (
 	kindBit     = uint64(1) << 63
 	counterMask = kindBit - 1
 )
+
+// bulkBufSize is the scratch-buffer size shared by WriteTo and Read: big
+// enough to amortize Write/Read syscalls, small enough to stay cache- and
+// stack-friendly.
+const bulkBufSize = 64 * 1024
 
 // Sync selects the slot-reservation strategy. The paper designs the log for
 // lock-free atomic access but explicitly does not rely on atomics being
@@ -150,6 +199,10 @@ type Log struct {
 	words []uint64
 	sync  Sync
 	mu    sync.Mutex // used only in SyncMutex mode
+
+	// srcVersion is the format version the log was decoded from (Version
+	// for logs created by New).
+	srcVersion uint64
 
 	dropped atomic.Uint64
 }
@@ -223,52 +276,88 @@ func New(capacity int, opts ...Option) (*Log, error) {
 		return nil, fmt.Errorf("shmlog: unknown sync mode %d", o.sync)
 	}
 	l := &Log{
-		words: make([]uint64, HeaderWords+capacity*EntryWords),
-		sync:  o.sync,
+		words:      make([]uint64, HeaderWords+capacity*EntryWords),
+		sync:       o.sync,
+		srcVersion: o.version,
 	}
-	l.words[wordFlags] = o.flags
+	l.words[wordMagic] = Magic
 	l.words[wordVersion] = o.version
 	l.words[wordPID] = o.pid
 	l.words[wordCapacity] = uint64(capacity)
 	l.words[wordProfilerAddr] = o.profilerAddr
-	l.words[wordMagic] = Magic
+	l.words[wordFlags] = o.flags
 	return l, nil
 }
 
 // Capacity returns the maximum number of entries the log can hold. The
-// capacity is fixed at setup and immutable afterwards (per the paper).
-func (l *Log) Capacity() int { return int(l.words[wordCapacity]) }
+// capacity is fixed at setup and immutable afterwards (per the paper), but
+// it is read on the Append fast path next to atomically-written words, so
+// the load is atomic to keep the race detector (and weaker memory models)
+// satisfied.
+func (l *Log) Capacity() int { return int(atomic.LoadUint64(&l.words[wordCapacity])) }
 
 // PID returns the recorded process ID.
-func (l *Log) PID() uint64 { return l.words[wordPID] }
+func (l *Log) PID() uint64 { return atomic.LoadUint64(&l.words[wordPID]) }
 
-// Version returns the log structure version.
-func (l *Log) Version() uint64 { return l.words[wordVersion] }
+// Version returns the log structure version of the in-memory layout.
+func (l *Log) Version() uint64 { return atomic.LoadUint64(&l.words[wordVersion]) }
+
+// SourceVersion returns the format version the log was decoded from: for
+// logs decoded by Read it may be VersionV1; for logs created by New it is
+// the configured (normally current) version.
+func (l *Log) SourceVersion() uint64 { return l.srcVersion }
 
 // ProfilerAddr returns the recorded profiler anchor address.
-func (l *Log) ProfilerAddr() uint64 { return l.words[wordProfilerAddr] }
+func (l *Log) ProfilerAddr() uint64 { return atomic.LoadUint64(&l.words[wordProfilerAddr]) }
 
 // SetProfilerAddr records the profiler anchor address. It is written by the
 // recorder during setup, before any probes run.
-func (l *Log) SetProfilerAddr(addr uint64) { l.words[wordProfilerAddr] = addr }
+func (l *Log) SetProfilerAddr(addr uint64) { atomic.StoreUint64(&l.words[wordProfilerAddr], addr) }
 
 // Flags returns the current header flags (atomic).
 func (l *Log) Flags() uint64 { return atomic.LoadUint64(&l.words[wordFlags]) }
 
 // SetFlag sets the given flag bits atomically while the application runs.
+//
+// Go 1.22 has no atomic.OrUint64 (it arrived in Go 1.23), so a read-
+// modify-write of the flags word must be a CompareAndSwap retry loop. Flag
+// toggles come from a single control goroutine in practice, so the first
+// CAS — or no write at all, when the bits are already set — is the common
+// case; the loop only spins under a concurrent toggle.
 func (l *Log) SetFlag(bits uint64) {
+	old := atomic.LoadUint64(&l.words[wordFlags])
+	if old&bits == bits {
+		return // already set: no write, no cache-line bounce
+	}
+	if atomic.CompareAndSwapUint64(&l.words[wordFlags], old, old|bits) {
+		return // uncontended single-caller fast path
+	}
 	for {
-		old := atomic.LoadUint64(&l.words[wordFlags])
+		old = atomic.LoadUint64(&l.words[wordFlags])
+		if old&bits == bits {
+			return
+		}
 		if atomic.CompareAndSwapUint64(&l.words[wordFlags], old, old|bits) {
 			return
 		}
 	}
 }
 
-// ClearFlag clears the given flag bits atomically.
+// ClearFlag clears the given flag bits atomically. Same CAS-loop rationale
+// as SetFlag (no atomic.AndUint64 before Go 1.23).
 func (l *Log) ClearFlag(bits uint64) {
+	old := atomic.LoadUint64(&l.words[wordFlags])
+	if old&bits == 0 {
+		return // already clear
+	}
+	if atomic.CompareAndSwapUint64(&l.words[wordFlags], old, old&^bits) {
+		return
+	}
 	for {
-		old := atomic.LoadUint64(&l.words[wordFlags])
+		old = atomic.LoadUint64(&l.words[wordFlags])
+		if old&bits == 0 {
+			return
+		}
 		if atomic.CompareAndSwapUint64(&l.words[wordFlags], old, old&^bits) {
 			return
 		}
@@ -289,7 +378,8 @@ func (l *Log) SetActive(active bool) {
 
 // AddCounter atomically advances the header counter word by delta and
 // returns the new value. The software counter thread calls this in its
-// tight loop.
+// tight loop; since format v2 the counter word owns a whole cache line, so
+// the loop no longer contends with tail reservations or flag reads.
 func (l *Log) AddCounter(delta uint64) uint64 {
 	return atomic.AddUint64(&l.words[wordCounter], delta)
 }
@@ -303,7 +393,10 @@ func (l *Log) LoadCounter() uint64 {
 // raced past the end; Len clamps it.
 func (l *Log) Tail() uint64 { return atomic.LoadUint64(&l.words[wordTail]) }
 
-// Len returns the number of committed entries.
+// Len returns the number of reserved entry slots, clamped to the capacity.
+// With single-slot writers every slot below Len is committed; with batched
+// writers (Reserve) slots below Len may still be in flight (zero thread-ID
+// word) or released (TombstoneTID) — readers dismiss those.
 func (l *Log) Len() int {
 	tail := l.Tail()
 	if c := uint64(l.Capacity()); tail > c {
@@ -315,10 +408,73 @@ func (l *Log) Len() int {
 // Dropped returns how many entries were rejected because the log was full.
 func (l *Log) Dropped() uint64 { return l.dropped.Load() }
 
+// NoteDropped adds n to the drop counter. Batched writers call it when an
+// event arrives and no slot can be reserved, so drop accounting matches the
+// single-slot Append path.
+func (l *Log) NoteDropped(n uint64) { l.dropped.Add(n) }
+
+// Reserve claims up to n contiguous entry slots with a single fetch-and-add
+// on the tail and returns the first slot index and the number of usable
+// slots (0 when the log is full). The caller owns slots
+// [start, start+count) exclusively and must either Commit or Release every
+// one of them; a slot left untouched is indistinguishable from an in-flight
+// write and is dismissed by readers.
+func (l *Log) Reserve(n int) (start uint64, count int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	if l.sync == SyncAtomic {
+		start = atomic.AddUint64(&l.words[wordTail], uint64(n)) - uint64(n)
+	} else {
+		// The stores stay atomic even under the mutex so concurrent
+		// atomic readers (Tail, Len, cursors) never mix a plain write
+		// with an atomic load on the same word.
+		l.mu.Lock()
+		start = atomic.LoadUint64(&l.words[wordTail])
+		atomic.StoreUint64(&l.words[wordTail], start+uint64(n))
+		l.mu.Unlock()
+	}
+	capacity := uint64(l.Capacity())
+	if start >= capacity {
+		return start, 0
+	}
+	usable := capacity - start
+	if usable > uint64(n) {
+		usable = uint64(n)
+	}
+	return start, int(usable)
+}
+
+// Commit writes e into a reserved slot the caller owns exclusively.
+// Counter values are truncated to 63 bits; bit 63 carries the kind. The
+// thread-ID word is stored atomically last and doubles as the commit
+// marker: thread IDs are never zero (the probe runtime assigns IDs starting
+// at 1), so a concurrent tailing reader that observes a non-zero,
+// non-tombstone thread ID is guaranteed to see the final counter and
+// address words too.
+func (l *Log) Commit(slot uint64, e Entry) {
+	base := HeaderWords + int(slot)*EntryWords
+	word0 := e.Counter & counterMask
+	if e.Kind == KindReturn {
+		word0 |= kindBit
+	}
+	atomic.StoreUint64(&l.words[base], word0)
+	atomic.StoreUint64(&l.words[base+1], e.Addr)
+	atomic.StoreUint64(&l.words[base+2], e.ThreadID)
+}
+
+// Release marks a reserved slot as permanently unused (tombstone). Batched
+// writers release the trailing slots of a partially-filled block at flush,
+// rotation or stop, so readers can tell "never coming" from "still in
+// flight".
+func (l *Log) Release(slot uint64) {
+	base := HeaderWords + int(slot)*EntryWords
+	atomic.StoreUint64(&l.words[base+2], TombstoneTID)
+}
+
 // Append records one entry. It checks the active flag and the event mask,
-// reserves a slot (fetch-and-add in SyncAtomic mode), and writes the entry
-// into the reserved slot, which it owns exclusively. Counter values are
-// truncated to 63 bits; bit 63 carries the kind.
+// reserves a slot (fetch-and-add in SyncAtomic mode), and commits the entry
+// into the reserved slot, which it owns exclusively.
 func (l *Log) Append(e Entry) error {
 	flags := l.Flags()
 	if flags&FlagActive == 0 {
@@ -337,38 +493,19 @@ func (l *Log) Append(e Entry) error {
 		return fmt.Errorf("shmlog: invalid entry kind %d", e.Kind)
 	}
 
-	var slot uint64
-	if l.sync == SyncAtomic {
-		slot = atomic.AddUint64(&l.words[wordTail], 1) - 1
-	} else {
-		l.mu.Lock()
-		slot = l.words[wordTail]
-		l.words[wordTail]++
-		l.mu.Unlock()
-	}
-	if slot >= uint64(l.Capacity()) {
+	slot, n := l.Reserve(1)
+	if n == 0 {
 		l.dropped.Add(1)
 		return ErrFull
 	}
-
-	base := HeaderWords + int(slot)*EntryWords
-	word0 := e.Counter & counterMask
-	if e.Kind == KindReturn {
-		word0 |= kindBit
-	}
-	// The slot is exclusively owned; the thread-ID word is stored
-	// atomically last and doubles as the commit marker: thread IDs are
-	// never zero (the probe runtime assigns IDs starting at 1), so a
-	// concurrent tailing reader that observes a non-zero thread ID is
-	// guaranteed to see the final counter and address words too, and a
-	// zero thread ID marks a reserved-but-in-flight slot it must dismiss.
-	atomic.StoreUint64(&l.words[base], word0)
-	atomic.StoreUint64(&l.words[base+1], e.Addr)
-	atomic.StoreUint64(&l.words[base+2], e.ThreadID)
+	l.Commit(slot, e)
 	return nil
 }
 
-// Entry decodes the committed entry at index i.
+// Entry decodes the raw entry at index i. Under batched writers a slot
+// below Len may be reserved-in-flight (ThreadID 0) or released
+// (ThreadID TombstoneTID); Entry returns those raw words and the caller
+// dismisses them (as Entries and the analyzer do).
 func (l *Log) Entry(i int) (Entry, error) {
 	if i < 0 || i >= l.Len() {
 		return Entry{}, fmt.Errorf("%w: %d (len %d)", ErrRange, i, l.Len())
@@ -387,7 +524,9 @@ func (l *Log) Entry(i int) (Entry, error) {
 	return e, nil
 }
 
-// Entries decodes all committed entries in log order.
+// Entries decodes all committed entries in log order, dismissing released
+// (tombstoned) slots. Slots still in flight decode as zero-thread entries,
+// exactly as they are persisted.
 func (l *Log) Entries() []Entry {
 	n := l.Len()
 	if n == 0 {
@@ -399,83 +538,150 @@ func (l *Log) Entries() []Entry {
 		if err != nil {
 			break
 		}
+		if e.ThreadID == TombstoneTID {
+			continue
+		}
 		out = append(out, e)
 	}
 	return out
 }
 
 // Reset clears the tail, counter and drop count, keeping configuration
-// (capacity, pid, flags) intact. Not safe to call concurrently with Append.
+// (capacity, pid, flags) intact. Not safe to call concurrently with Append,
+// Reserve or a live Cursor; batched writers must Flush (releasing their
+// blocks) before a Reset, or their stale blocks would commit into the
+// recycled region.
 func (l *Log) Reset() {
 	atomic.StoreUint64(&l.words[wordTail], 0)
 	atomic.StoreUint64(&l.words[wordCounter], 0)
 	l.dropped.Store(0)
 }
 
-// WriteTo persists the header and all committed entries in the binary
-// format. It implements io.WriterTo.
+// WriteTo persists the header and all reserved entries in the binary
+// format, re-encoding the word array through a reused 64 KiB buffer (one
+// Write per buffer-full rather than one per word). It implements
+// io.WriterTo.
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
 	n := l.Len()
-	buf := make([]byte, 8)
-	var written int64
-
-	writeWord := func(v uint64) error {
-		binary.LittleEndian.PutUint64(buf, v)
-		m, err := w.Write(buf)
-		written += int64(m)
-		return err
-	}
-
 	header := [HeaderWords]uint64{
-		wordFlags:        l.Flags(),
+		wordMagic:        Magic,
 		wordVersion:      l.Version(),
 		wordPID:          l.PID(),
-		wordCapacity:     uint64(n), // persisted capacity == committed length
+		wordCapacity:     uint64(n), // persisted capacity == reserved length
 		wordTail:         uint64(n),
 		wordProfilerAddr: l.ProfilerAddr(),
+		wordFlags:        l.Flags(),
 		wordCounter:      l.LoadCounter(),
-		wordMagic:        Magic,
 	}
+
+	var (
+		buf     [bulkBufSize]byte
+		off     int
+		written int64
+	)
+	flush := func() error {
+		if off == 0 {
+			return nil
+		}
+		m, err := w.Write(buf[:off])
+		written += int64(m)
+		off = 0
+		return err
+	}
+	put := func(v uint64) error {
+		if off == len(buf) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		binary.LittleEndian.PutUint64(buf[off:], v)
+		off += 8
+		return nil
+	}
+
 	for _, word := range header {
-		if err := writeWord(word); err != nil {
+		if err := put(word); err != nil {
 			return written, err
 		}
 	}
-	for i := 0; i < n; i++ {
-		base := HeaderWords + i*EntryWords
-		for j := 0; j < EntryWords; j++ {
-			if err := writeWord(atomic.LoadUint64(&l.words[base+j])); err != nil {
-				return written, err
-			}
+	for i := 0; i < n*EntryWords; i++ {
+		if err := put(atomic.LoadUint64(&l.words[HeaderWords+i])); err != nil {
+			return written, err
 		}
 	}
-	return written, nil
+	return written, flush()
 }
 
 var _ io.WriterTo = (*Log)(nil)
 
-// Read decodes a persisted log. The returned log is inactive (read-only
-// use); it still supports Entry/Entries/Len and header accessors.
+// Read decodes a persisted log, accepting both the current padded format
+// and legacy version-1 streams (packed 64-byte header). The returned log is
+// inactive (read-only use), always uses the in-memory version-2 layout, and
+// still supports Entry/Entries/Len and header accessors; SourceVersion
+// reports the format it was decoded from.
 func Read(r io.Reader) (*Log, error) {
-	head := make([]byte, HeaderSize)
+	// Both formats share a 64-byte prefix length: v1 is exactly 64 bytes
+	// of header, v2 begins with its first cache line. The magic word
+	// disambiguates: v1 stores it in word 7, v2 in word 0, and neither
+	// position can fake the other (v1 word 0 holds small flag bits, v2
+	// word 7 is reserved padding).
+	head := make([]byte, HeaderSizeV1)
 	if _, err := io.ReadFull(r, head); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, ErrTruncated
 		}
 		return nil, fmt.Errorf("shmlog: read header: %w", err)
 	}
-	var header [HeaderWords]uint64
-	for i := range header {
-		header[i] = binary.LittleEndian.Uint64(head[i*8:])
+	var prefix [HeaderWordsV1]uint64
+	for i := range prefix {
+		prefix[i] = binary.LittleEndian.Uint64(head[i*8:])
 	}
-	if header[wordMagic] != Magic {
+
+	var (
+		flags, pid, profilerAddr, counter uint64
+		capacity, tail                    uint64
+		srcVersion                        uint64
+	)
+	switch {
+	case prefix[v1WordMagic] == Magic:
+		if prefix[v1WordVersion] != VersionV1 {
+			return nil, fmt.Errorf("%w: %d", ErrBadVersion, prefix[v1WordVersion])
+		}
+		srcVersion = VersionV1
+		flags = prefix[v1WordFlags]
+		pid = prefix[v1WordPID]
+		capacity = prefix[v1WordCapacity]
+		tail = prefix[v1WordTail]
+		profilerAddr = prefix[v1WordProfilerAddr]
+		counter = prefix[v1WordCounter]
+	case prefix[wordMagic] == Magic:
+		if prefix[wordVersion] != Version {
+			return nil, fmt.Errorf("%w: %d", ErrBadVersion, prefix[wordVersion])
+		}
+		srcVersion = Version
+		rest := make([]byte, HeaderSize-HeaderSizeV1)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, ErrTruncated
+			}
+			return nil, fmt.Errorf("shmlog: read header: %w", err)
+		}
+		word := func(i int) uint64 {
+			if i < HeaderWordsV1 {
+				return prefix[i]
+			}
+			return binary.LittleEndian.Uint64(rest[(i-HeaderWordsV1)*8:])
+		}
+		pid = prefix[wordPID]
+		capacity = prefix[wordCapacity]
+		profilerAddr = prefix[wordProfilerAddr]
+		flags = word(wordFlags)
+		tail = word(wordTail)
+		counter = word(wordCounter)
+	default:
 		return nil, ErrBadMagic
 	}
-	if header[wordVersion] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, header[wordVersion])
-	}
-	capacity := header[wordCapacity]
-	tail := header[wordTail]
+
 	if tail > capacity {
 		tail = capacity
 	}
@@ -486,10 +692,11 @@ func Read(r io.Reader) (*Log, error) {
 
 	// Read the body incrementally so a forged header claiming billions of
 	// entries fails at the first missing byte instead of pre-allocating
-	// the claimed size.
+	// the claimed size. Each chunk is bulk-converted: the slice is grown
+	// once per chunk and the words decoded by index, not appended one by
+	// one.
 	words := make([]uint64, HeaderWords, HeaderWords+clampEntries(tail)*EntryWords)
-	copy(words, header[:])
-	chunk := make([]byte, 64*1024)
+	chunk := make([]byte, bulkBufSize)
 	remaining := int64(tail) * EntrySize
 	for remaining > 0 {
 		n := int64(len(chunk))
@@ -502,17 +709,27 @@ func Read(r io.Reader) (*Log, error) {
 			}
 			return nil, fmt.Errorf("shmlog: read entries: %w", err)
 		}
-		for i := int64(0); i+8 <= n; i += 8 {
-			words = append(words, binary.LittleEndian.Uint64(chunk[i:]))
+		base := len(words)
+		words = append(words, make([]uint64, n/8)...)
+		dst := words[base:]
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint64(chunk[i*8:])
 		}
 		remaining -= n
 	}
 
-	l := &Log{words: words, sync: SyncAtomic}
-	l.words[wordFlags] = header[wordFlags] &^ FlagActive // read-only
+	l := &Log{words: words, sync: SyncAtomic, srcVersion: srcVersion}
+	l.words[wordMagic] = Magic
+	// Decoded logs are normalized to the current in-memory layout and
+	// version; SourceVersion keeps the origin.
+	l.words[wordVersion] = Version
+	l.words[wordPID] = pid
+	l.words[wordProfilerAddr] = profilerAddr
+	l.words[wordFlags] = flags &^ FlagActive // read-only
 	// The decoded log is immutable: its capacity is what was persisted.
 	l.words[wordCapacity] = tail
 	l.words[wordTail] = tail
+	l.words[wordCounter] = counter
 	return l, nil
 }
 
@@ -520,23 +737,29 @@ func Read(r io.Reader) (*Log, error) {
 // the entries committed since the previous call, letting a monitor tail the
 // log concurrently with running probes without reparsing from the start.
 //
-// A slot below the tail may be reserved but still in flight (the writer
-// sits between the fetch-and-add and the entry stores). The cursor uses the
-// thread-ID word — stored last by Append — as the commit marker and stops
-// at the first slot whose thread ID is still zero, dismissing the in-flight
-// region exactly like the offline analyzer dismisses the log's trailing
-// edge. The dismissed region is re-examined on the next call, so every
-// committed entry is observed exactly once, in log order.
+// A slot below the tail may be reserved but still in flight: the writer
+// sits between the fetch-and-add and the entry stores, or — under batched
+// reservation — holds the slot in its current block and will fill it with
+// one of its next events. The cursor uses the thread-ID word, stored last
+// by Commit, as the commit marker. Instead of stopping at the first zero
+// thread-ID word it records such slots as holes, keeps scanning, and
+// re-examines the holes on every subsequent Next: a hole that commits is
+// emitted exactly once, a hole that is released (TombstoneTID) is dropped.
+// Because a writer thread always commits its slots in increasing slot
+// order, emitting hole backfills before the frontier scan preserves
+// per-thread order — the only order the analyzer relies on.
 //
-// Consequently the cursor requires non-zero thread IDs: an entry appended
-// with ThreadID 0 is indistinguishable from an in-flight slot and blocks
-// the cursor. The probe runtime always assigns thread IDs starting at 1.
+// Consequently the cursor requires non-zero thread IDs: an entry committed
+// with ThreadID 0 is indistinguishable from an in-flight slot and is
+// tracked as a hole forever (never emitted). The probe runtime always
+// assigns thread IDs starting at 1.
 //
 // A cursor is not safe for concurrent use by multiple goroutines, and
 // Log.Reset must not be called while a cursor is live.
 type Cursor struct {
-	log *Log
-	pos int
+	log   *Log
+	pos   int
+	holes []int
 }
 
 // Cursor returns a new incremental reader positioned at the start of the
@@ -546,34 +769,66 @@ func (l *Log) Cursor() *Cursor { return &Cursor{log: l} }
 // Log returns the log this cursor reads.
 func (c *Cursor) Log() *Log { return c.log }
 
-// Pos returns the index of the next entry the cursor will examine, i.e.
-// how many entries it has returned so far.
+// Pos returns the index of the next entry the cursor's frontier will
+// examine. Entries returned so far equal Pos minus Pending (holes below the
+// frontier still awaiting their commit or release).
 func (c *Cursor) Pos() int { return c.pos }
+
+// Pending returns how many reserved-but-unresolved holes the cursor is
+// tracking below its frontier.
+func (c *Cursor) Pending() int { return len(c.holes) }
 
 // Next appends every newly committed entry to dst and returns the extended
 // slice. It returns dst unchanged when nothing new has committed.
 func (c *Cursor) Next(dst []Entry) []Entry {
+	// Revisit holes first: they are older slots, and a writer commits its
+	// slots in increasing order, so backfills must precede frontier
+	// entries to keep per-thread order.
+	if len(c.holes) > 0 {
+		kept := c.holes[:0]
+		for _, i := range c.holes {
+			switch tid := atomic.LoadUint64(&c.log.words[HeaderWords+i*EntryWords+2]); tid {
+			case 0:
+				kept = append(kept, i) // still in flight
+			case TombstoneTID:
+				// released: never coming
+			default:
+				dst = append(dst, c.decode(i, tid))
+			}
+		}
+		c.holes = kept
+	}
 	n := c.log.Len()
 	for c.pos < n {
 		base := HeaderWords + c.pos*EntryWords
-		tid := atomic.LoadUint64(&c.log.words[base+2])
-		if tid == 0 {
-			break // reserved but not yet committed; retry next call
+		switch tid := atomic.LoadUint64(&c.log.words[base+2]); tid {
+		case 0:
+			c.holes = append(c.holes, c.pos)
+		case TombstoneTID:
+			// released: dismissed
+		default:
+			dst = append(dst, c.decode(c.pos, tid))
 		}
-		word0 := atomic.LoadUint64(&c.log.words[base])
-		e := Entry{
-			Kind:     KindCall,
-			Counter:  word0 & counterMask,
-			Addr:     atomic.LoadUint64(&c.log.words[base+1]),
-			ThreadID: tid,
-		}
-		if word0&kindBit != 0 {
-			e.Kind = KindReturn
-		}
-		dst = append(dst, e)
 		c.pos++
 	}
 	return dst
+}
+
+// decode reads the committed entry at slot i; tid is the already-loaded
+// commit marker.
+func (c *Cursor) decode(i int, tid uint64) Entry {
+	base := HeaderWords + i*EntryWords
+	word0 := atomic.LoadUint64(&c.log.words[base])
+	e := Entry{
+		Kind:     KindCall,
+		Counter:  word0 & counterMask,
+		Addr:     atomic.LoadUint64(&c.log.words[base+1]),
+		ThreadID: tid,
+	}
+	if word0&kindBit != 0 {
+		e.Kind = KindReturn
+	}
+	return e
 }
 
 // clampEntries bounds the initial allocation hint for decoded logs.

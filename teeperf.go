@@ -124,6 +124,15 @@ func WithLoadBias(delta int64) Option {
 	})
 }
 
+// WithBatch makes each probe thread reserve blocks of k log slots with one
+// tail fetch-and-add (default 1), amortizing the contended atomic across k
+// events on hot multi-threaded runs.
+func WithBatch(k int) Option {
+	return optionFunc(func(s *Session) {
+		s.recOpts = append(s.recOpts, recorder.WithBatch(k))
+	})
+}
+
 // WithSelective restricts recording to functions whose registered name
 // satisfies pred — selective code profiling.
 func WithSelective(pred func(name string) bool) Option {
