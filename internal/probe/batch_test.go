@@ -2,6 +2,7 @@ package probe
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"teeperf/internal/counter"
@@ -162,6 +163,59 @@ func TestBatchedMatchesUnbatched(t *testing.T) {
 	batched := record(WithBatch(7))
 	if !reflect.DeepEqual(plain, batched) {
 		t.Fatalf("batched stream diverges from unbatched:\n%+v\nvs\n%+v", batched, plain)
+	}
+}
+
+// TestFlushConcurrentWithProbe: Runtime.Flush and FlushLog may overlap a
+// straggling probe (the recorder's Stop and Rotate paths); the per-thread
+// busy handshake must keep block state untorn. Run under -race this is the
+// regression test for the Stop/Flush data race: every event is either
+// committed intact or dropped, never half-written, and per-thread order
+// survives the interleaved flushes.
+func TestFlushConcurrentWithProbe(t *testing.T) {
+	const events = 5000
+	rt := newRuntime(t, events+512, WithBatch(8))
+	th := rt.Thread()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < events; i++ {
+			th.Enter(uint64(0x100 + i%16))
+		}
+		close(done)
+	}()
+	for flushing := true; flushing; {
+		rt.Flush()
+		rt.FlushLog(rt.Log())
+		select {
+		case <-done:
+			flushing = false
+		default:
+		}
+	}
+	wg.Wait()
+	rt.Flush()
+
+	// An event that loses the handshake CAS to an overlapping flush is
+	// skipped, so not every event lands; the invariant is that whatever
+	// did land is intact (no torn thread ID) and per-thread ordered (the
+	// virtual counter is strictly increasing across recorded events).
+	seen, last := 0, uint64(0)
+	for _, e := range rt.Log().Entries() {
+		if e.ThreadID != th.ID() {
+			t.Fatalf("entry with torn thread ID %d", e.ThreadID)
+		}
+		if e.Counter <= last {
+			t.Fatalf("per-thread order broken: counter %d after %d", e.Counter, last)
+		}
+		last = e.Counter
+		seen++
+	}
+	if seen == 0 {
+		t.Fatal("no events survived the concurrent flushes")
 	}
 }
 

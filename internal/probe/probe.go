@@ -9,6 +9,7 @@ package probe
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -145,19 +146,39 @@ func (rt *Runtime) Thread() *Thread {
 }
 
 // Flush releases the reserved-but-unfilled log slots of every registered
-// thread (see Thread.Flush). It must only be called once the application
-// threads have quiesced — after the workload completed or recording was
-// deactivated and drained — because thread handles are thread-local state;
-// the recorder calls it at Stop so trailing reserved slots of batched
-// blocks are released rather than left as permanent holes.
+// thread (see Thread.Flush). The per-thread busy handshake makes it safe to
+// call while application threads are still probing — a straggler racing
+// with its own flush either records first or has its event dropped — but it
+// is meant for quiescence points: the recorder calls it at Stop so trailing
+// reserved slots of batched blocks are released rather than left as
+// permanent holes.
 func (rt *Runtime) Flush() {
+	for _, t := range rt.snapshotThreads() {
+		t.Flush()
+	}
+}
+
+// FlushLog releases every registered thread's block if — and only if — that
+// block still sits in old. The recorder calls it right after a rotation
+// swaps old out, so the rotated segment is persisted with tombstones
+// instead of the in-flight holes idle threads would otherwise leave until
+// their next event; threads that already moved to the new segment are left
+// untouched.
+func (rt *Runtime) FlushLog(old *shmlog.Log) {
+	if old == nil {
+		return
+	}
+	for _, t := range rt.snapshotThreads() {
+		t.flushLog(old)
+	}
+}
+
+func (rt *Runtime) snapshotThreads() []*Thread {
 	rt.threadsMu.Lock()
 	threads := make([]*Thread, len(rt.threads))
 	copy(threads, rt.threads)
 	rt.threadsMu.Unlock()
-	for _, t := range threads {
-		t.Flush()
-	}
+	return threads
 }
 
 // block is a thread's current reserved slot range in one log segment.
@@ -168,13 +189,24 @@ type block struct {
 	full bool   // the segment was full at the last reservation attempt
 }
 
-// Thread is the per-application-thread probe handle. It is not safe for
-// concurrent use by multiple goroutines (it models a thread-local).
+// Thread is the per-application-thread probe handle. Enter/Exit/Span/record
+// must only be called by the owning thread (it models a thread-local), but
+// Flush may be called from any goroutine: the busy flag below serializes
+// cross-goroutine block maintenance against an in-flight probe.
 type Thread struct {
-	rt      *Runtime
-	id      uint64
-	inProbe bool
-	blk     block
+	rt  *Runtime
+	id  uint64
+	blk block
+
+	// busy is the reentrancy guard (the paper's no_instrument_function
+	// rule: injected code must never measure itself) and, since block
+	// state must survive a concurrent Flush from the recorder's Stop or
+	// rotation path, also the handshake that keeps flushes from tearing
+	// blk under a straggling probe. Acquired with a CAS on entry to record
+	// and to the flush paths; a probe that loses the race to a concurrent
+	// flush drops its event, which is acceptable at the
+	// stop/rotation boundaries where that race can occur.
+	busy atomic.Bool
 }
 
 var _ Hooks = (*Thread)(nil)
@@ -197,14 +229,14 @@ func (t *Thread) Span(addr uint64) func() {
 }
 
 func (t *Thread) record(kind shmlog.Kind, addr uint64) {
-	// Reentrancy guard: injected code must never measure itself, or the
-	// probe would recurse (the paper's no_instrument_function rule).
-	if t.inProbe {
+	// One CAS guards both reentrancy (a nested probe sees busy and bails)
+	// and concurrent flushes (see Thread.busy). The flag lives on the
+	// thread-local handle, so the CAS never contends in steady state.
+	if !t.busy.CompareAndSwap(false, true) {
 		return
 	}
-	t.inProbe = true
 	if t.rt.filter != nil && !t.rt.filter.Allow(addr) {
-		t.inProbe = false
+		t.busy.Store(false)
 		return
 	}
 
@@ -214,11 +246,11 @@ func (t *Thread) record(kind shmlog.Kind, addr uint64) {
 	flags := log.Flags()
 	switch {
 	case flags&shmlog.FlagActive == 0:
-		t.inProbe = false
+		t.busy.Store(false)
 		return
 	case kind == shmlog.KindCall && flags&shmlog.EventCall == 0,
 		kind == shmlog.KindReturn && flags&shmlog.EventReturn == 0:
-		t.inProbe = false
+		t.busy.Store(false)
 		return
 	}
 
@@ -242,7 +274,7 @@ func (t *Thread) record(kind shmlog.Kind, addr uint64) {
 		// Segment full: same accounting as the ErrFull path of Append.
 		log.NoteDropped(1)
 		t.rt.drops.Add(1)
-		t.inProbe = false
+		t.busy.Store(false)
 		return
 	}
 
@@ -254,7 +286,16 @@ func (t *Thread) record(kind shmlog.Kind, addr uint64) {
 		Addr:     addr,
 		ThreadID: t.id,
 	})
-	t.inProbe = false
+	t.busy.Store(false)
+}
+
+// acquire spins until it owns the busy flag. The guarded section never
+// blocks (a handful of loads and stores), so the wait is bounded by one
+// in-flight probe.
+func (t *Thread) acquire() {
+	for !t.busy.CompareAndSwap(false, true) {
+		runtime.Gosched()
+	}
 }
 
 // releaseBlock tombstones the unfilled remainder of the current block.
@@ -269,11 +310,25 @@ func (t *Thread) releaseBlock() {
 // thread's current block, so readers see them as dismissed instead of
 // still-in-flight holes. Call it when the thread stops producing events —
 // at workload completion, before a log Reset, or implicitly via
-// Runtime.Flush at recorder stop. Like all Thread methods it must not race
-// with the owning thread's own Enter/Exit calls.
+// Runtime.Flush at recorder stop. It is safe to call from any goroutine:
+// the busy handshake serializes it against an in-flight probe of the
+// owning thread (which afterwards simply reserves a fresh block).
 func (t *Thread) Flush() {
+	t.acquire()
 	t.releaseBlock()
 	t.blk = block{}
+	t.busy.Store(false)
+}
+
+// flushLog releases the thread's block only if it belongs to old, leaving
+// a block already reserved in a newer segment alone (see Runtime.FlushLog).
+func (t *Thread) flushLog(old *shmlog.Log) {
+	t.acquire()
+	if t.blk.log == old {
+		t.releaseBlock()
+		t.blk = block{}
+	}
+	t.busy.Store(false)
 }
 
 // Filter implements selective code profiling: only functions whose

@@ -244,8 +244,9 @@ func (r *Recorder) Stop() error {
 	r.Log().SetActive(false)
 	// Release the trailing reserved slots of every thread's batched block
 	// so the persisted log carries tombstones (dismissed by readers)
-	// instead of permanent holes. Stop is called after the workload's
-	// threads have quiesced, which Runtime.Flush requires.
+	// instead of permanent holes. The probe runtime's per-thread busy
+	// handshake makes this safe even if a straggling probe overlaps Stop;
+	// the straggler's event is recorded or dropped, never torn.
 	r.rt.Flush()
 	if r.soft != nil {
 		if err := r.soft.Stop(); err != nil {

@@ -17,12 +17,15 @@ import (
 // (call stacks spanning a rotation boundary appear as truncated/unmatched
 // frames at the seam, which the analyzer already tolerates).
 //
-// Probe threads running with a batched block (probe.WithBatch) flush the
-// block they hold in the rotated-out segment lazily: each thread releases
-// its remaining reserved slots the first time it records after observing
-// the swap. Until then those slots read as in-flight holes, which both the
-// cursor (skip-and-revisit) and the analyzer (dismiss) tolerate; the live
-// monitor's retired-cursor grace window covers the stragglers.
+// Probe threads running with a batched block (probe.WithBatch) have the
+// block they hold in the rotated-out segment released eagerly: Rotate calls
+// probe.Runtime.FlushLog on the old segment after the swap, so idle
+// threads' reserved slots persist as tombstones (dismissed by readers)
+// rather than in-flight holes. A probe that loaded the old log pointer just
+// before the swap can still reserve one late block there; such holes are
+// rare, and both the cursor (skip-and-revisit) and the analyzer (dismiss)
+// tolerate them — the live monitor's retired-cursor grace window covers
+// those stragglers.
 func (r *Recorder) Rotate() (*shmlog.Log, error) {
 	r.rotateMu.Lock()
 	defer r.rotateMu.Unlock()
@@ -54,6 +57,10 @@ func (r *Recorder) Rotate() (*shmlog.Log, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Tombstone the blocks batched threads still hold in the rotated-out
+	// segment before anyone persists it; threads already writing to the
+	// new segment are left alone.
+	r.rt.FlushLog(prev)
 	r.segments++
 	for _, fn := range r.rotateHooks {
 		fn(prev)

@@ -173,6 +173,47 @@ func TestAutoRotatePersistsSegments(t *testing.T) {
 	}
 }
 
+// TestRotateTombstonesIdleThreadBlocks: a batched thread that goes idle
+// still holds reserved slots in the segment being rotated out; Rotate must
+// release them eagerly so the segment is persisted with tombstones
+// (dismissed, not counted as pending) instead of permanent in-flight holes.
+func TestRotateTombstonesIdleThreadBlocks(t *testing.T) {
+	r, _ := newTestRecorder(t, WithCapacity(64), WithBatch(8))
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fn := r.AddrOf("work")
+	busy, idle := r.Thread(), r.Thread()
+	idle.Enter(fn) // reserves a block of 8, fills one slot, goes idle
+	for i := 0; i < 5; i++ {
+		busy.Enter(fn)
+		busy.Exit(fn)
+	}
+
+	prev, err := r.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The busy thread's 10 events span two 8-slot blocks and the idle
+	// thread holds one more; every unfilled slot of those 24 must now read
+	// as a tombstone, not an in-flight hole.
+	if got := prev.Len(); got != 24 {
+		t.Fatalf("rotated segment reserved %d slots, want 24", got)
+	}
+	c := prev.Cursor()
+	if drained := c.Next(nil); len(drained) != 11 || c.Pending() != 0 {
+		t.Fatalf("rotated segment: %d entries, %d pending holes; want 11 and 0", len(drained), c.Pending())
+	}
+	// The idle thread can still record afterwards — into the new segment.
+	idle.Exit(fn)
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Log().Entries(); len(got) != 1 {
+		t.Fatalf("new segment has %d entries, want the idle thread's exit", len(got))
+	}
+}
+
 func TestAutoRotateValidation(t *testing.T) {
 	r, _ := newTestRecorder(t)
 	if err := r.StartAutoRotate(t.TempDir(), 0, time.Millisecond); err == nil {

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -745,9 +746,19 @@ func Read(r io.Reader) (*Log, error) {
 // thread-ID word it records such slots as holes, keeps scanning, and
 // re-examines the holes on every subsequent Next: a hole that commits is
 // emitted exactly once, a hole that is released (TombstoneTID) is dropped.
-// Because a writer thread always commits its slots in increasing slot
-// order, emitting hole backfills before the frontier scan preserves
-// per-thread order — the only order the analyzer relies on.
+//
+// Within one Next call entries are emitted in slot order, and a writer
+// thread always commits its slots in increasing slot order, so emitted
+// entries are per-thread ordered — the only order the analyzer relies on.
+// The subtle case is a hole left behind across calls: a single scan could
+// read slot i as in-flight, then read a later slot j of the same thread as
+// committed (the writer committed both in between), emit j now and backfill
+// i on a later call — out of per-thread order. Next therefore rescans the
+// remaining holes until a pass resolves no new commit: any hole ordered
+// before an entry observed committed this call was itself committed first
+// (increasing-slot commit order), so the rescan is guaranteed to observe it
+// and splice it in. When Next returns, no tracked hole was committed before
+// any entry it emitted.
 //
 // Consequently the cursor requires non-zero thread IDs: an entry committed
 // with ThreadID 0 is indistinguishable from an in-flight slot and is
@@ -760,6 +771,9 @@ type Cursor struct {
 	log   *Log
 	pos   int
 	holes []int
+	// scratch holds the slot indexes observed committed during one Next
+	// call, reused across calls to avoid per-call allocation.
+	scratch []int
 }
 
 // Cursor returns a new incremental reader positioned at the start of the
@@ -778,39 +792,67 @@ func (c *Cursor) Pos() int { return c.pos }
 // tracking below its frontier.
 func (c *Cursor) Pending() int { return len(c.holes) }
 
-// Next appends every newly committed entry to dst and returns the extended
-// slice. It returns dst unchanged when nothing new has committed.
+// Next appends every newly committed entry to dst in slot order and
+// returns the extended slice. It returns dst unchanged when nothing new has
+// committed.
 func (c *Cursor) Next(dst []Entry) []Entry {
-	// Revisit holes first: they are older slots, and a writer commits its
-	// slots in increasing order, so backfills must precede frontier
-	// entries to keep per-thread order.
-	if len(c.holes) > 0 {
-		kept := c.holes[:0]
-		for _, i := range c.holes {
+	n := c.log.Len()
+	if len(c.holes) == 0 && c.pos >= n {
+		return dst
+	}
+
+	// Candidate slots for this call, in increasing slot order: previously
+	// tracked holes (all below the frontier) followed by the new frontier
+	// region.
+	pending := c.holes
+	for i := c.pos; i < n; i++ {
+		pending = append(pending, i)
+	}
+	c.pos = n
+
+	// Resolve to a fixpoint. A single pass is racy: it can read slot i as
+	// in-flight, then read a later slot j of the same thread as committed
+	// (the writer committed i then j in between) — emitting j while i is
+	// left to backfill on a later call would break per-thread order. A
+	// writer commits its slots in increasing slot order, so every hole
+	// ordered before a commit observed by pass k is itself committed
+	// before pass k+1 starts; rescanning the remaining holes until a pass
+	// observes no new commit therefore guarantees that no hole surviving
+	// this call was committed before any entry emitted by it. In practice
+	// the loop is two passes — the second resolves nothing — and only the
+	// first walks the frontier.
+	committed := c.scratch[:0]
+	for {
+		resolved := false
+		kept := pending[:0]
+		for _, i := range pending {
 			switch tid := atomic.LoadUint64(&c.log.words[HeaderWords+i*EntryWords+2]); tid {
 			case 0:
 				kept = append(kept, i) // still in flight
 			case TombstoneTID:
 				// released: never coming
 			default:
-				dst = append(dst, c.decode(i, tid))
+				committed = append(committed, i)
+				resolved = true
 			}
 		}
-		c.holes = kept
-	}
-	n := c.log.Len()
-	for c.pos < n {
-		base := HeaderWords + c.pos*EntryWords
-		switch tid := atomic.LoadUint64(&c.log.words[base+2]); tid {
-		case 0:
-			c.holes = append(c.holes, c.pos)
-		case TombstoneTID:
-			// released: dismissed
-		default:
-			dst = append(dst, c.decode(c.pos, tid))
+		pending = kept
+		if !resolved || len(pending) == 0 {
+			break
 		}
-		c.pos++
 	}
+	c.holes = pending
+
+	// Later passes append holes that sit between earlier passes' slots;
+	// restore slot order (== per-thread commit order) before emitting.
+	if !sort.IntsAreSorted(committed) {
+		sort.Ints(committed)
+	}
+	for _, i := range committed {
+		tid := atomic.LoadUint64(&c.log.words[HeaderWords+i*EntryWords+2])
+		dst = append(dst, c.decode(i, tid))
+	}
+	c.scratch = committed[:0]
 	return dst
 }
 
