@@ -6,10 +6,11 @@
 //
 // Usage:
 //
-//	teeperf record   -workload phoenix/word_count -platform sgx-v1 -o run.teeperf
+//	teeperf record   -workload phoenix/word_count -platform sgx-v1 -o run.teeperf [-checkpoint 500ms]
 //	teeperf monitor  -workload dbbench -interval 500ms [-top 10]
 //	teeperf serve    -workload dbbench -addr :7070 [-linger 1m]
 //	teeperf analyze  -i run.teeperf [-top 20]
+//	teeperf recover  -i run.teeperf.part [-o clean.teeperf]
 //	teeperf query    -i run.teeperf -q 'name =~ "rocksdb" && self > 1000' [-group name] [-sort col] [-n 20]
 //	teeperf flame    -i run.teeperf -o flame.svg [-title T] [-width 1200]
 //	teeperf folded   -i run.teeperf [-o stacks.folded]
@@ -23,6 +24,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +32,8 @@ import (
 	"strings"
 
 	"teeperf"
+	"teeperf/internal/recorder"
+	"teeperf/internal/shmlog"
 )
 
 // command is one registered subcommand; the usage text and the dispatch
@@ -49,6 +53,7 @@ var commands = []command{
 	{"monitor", "monitor", "record a workload with a live hot-methods view in the terminal", cmdMonitor},
 	{"serve", "monitor", "record a workload while serving live metrics and profile over HTTP", cmdServe},
 	{"analyze", "analyze", "print the hot-methods table of a bundle", cmdAnalyze},
+	{"recover", "analyze", "salvage a torn/corrupted bundle and print the recovery report", cmdRecover},
 	{"query", "analyze", "filter/group/sort profile records declaratively", cmdQuery},
 	{"threads", "analyze", "per-thread statistics of a bundle", cmdThreads},
 	{"dump", "analyze", "print raw log entries resolved through the symbol table", cmdDump},
@@ -114,6 +119,11 @@ func cmdAnalyze(args []string) error {
 	}
 	p, err := loadProfile(*input)
 	if err != nil {
+		// A torn or truncated bundle is recoverable; point at the tool
+		// that does it instead of leaving the user with a decode error.
+		if errors.Is(err, shmlog.ErrTruncated) || errors.Is(err, recorder.ErrBadBundle) {
+			return fmt.Errorf("%w\nhint: the bundle looks torn or corrupted — try: teeperf recover -i %s -o recovered.teeperf", err, *input)
+		}
 		return err
 	}
 	fmt.Printf("pid %d, %d ticks total, %d truncated frames, %d unmatched returns, %d dropped entries\n\n",

@@ -36,6 +36,7 @@ func cmdRecord(args []string) error {
 	batch := fs.Int("batch", 1, "probe slot-reservation batch size (events per tail fetch-and-add)")
 	selective := fs.String("only", "", "substring filter for selective profiling")
 	transitions := fs.Bool("transitions", false, "also print a transition-level (sgx-perf style) report")
+	checkpoint := fs.Duration("checkpoint", 0, "crash-consistent checkpoint interval (0 disables); snapshots the bundle to <output> periodically so a killed run stays recoverable")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +65,16 @@ func cmdRecord(args []string) error {
 	}
 	if err := rec.Start(); err != nil {
 		return err
+	}
+	if *checkpoint > 0 {
+		// Periodically snapshot the bundle to <output> (written as
+		// <output>.part, renamed atomically), so a recorder killed
+		// mid-run leaves a loadable bundle — at worst a torn .part that
+		// `teeperf recover` salvages.
+		if err := rec.StartCheckpoint(*output, *checkpoint); err != nil {
+			_ = rec.Stop()
+			return err
+		}
 	}
 	if err := run(rec); err != nil {
 		_ = rec.Stop()

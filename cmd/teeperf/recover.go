@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/recorder"
+)
+
+// cmdRecover salvages a torn or corrupted profile bundle — typically the
+// .part file a killed checkpoint pass left behind, or a bundle damaged on
+// disk — into a clean one, printing the structured recovery report:
+//
+//	teeperf recover -i run.teeperf.part -o run.teeperf
+func cmdRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ContinueOnError)
+	input := fs.String("i", "", "torn/corrupted bundle path")
+	output := fs.String("o", "", "write the salvaged clean bundle here (optional)")
+	top := fs.Int("top", 10, "hot functions of the salvaged profile to show (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" {
+		return fmt.Errorf("missing -i <bundle>")
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	tab, log, rep, err := recorder.ReadBundleLenient(f)
+	if err != nil {
+		return fmt.Errorf("recover %s: %w", *input, err)
+	}
+	fmt.Printf("%s: %s\n", *input, rep)
+
+	p, err := analyzer.AnalyzeRecovered(log, tab, rep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovered profile: %d entries, %d threads, %d completed calls, %d truncated, %d unmatched\n",
+		log.Len(), len(p.Threads()), len(p.Records()), p.Truncated, p.Unmatched)
+	if *top > 0 && len(p.Records()) > 0 {
+		fmt.Println()
+		if err := p.WriteTable(os.Stdout, *top); err != nil {
+			return err
+		}
+	}
+
+	if *output != "" {
+		out, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := recorder.WriteBundle(out, tab, log); err != nil {
+			return fmt.Errorf("write %s: %w", *output, err)
+		}
+		if err := out.Sync(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote clean bundle %s\n", *output)
+	}
+	return nil
+}

@@ -91,6 +91,13 @@ type Profile struct {
 	// Dropped is the number of entries lost to log overflow, as recorded
 	// in the log.
 	Dropped uint64
+	// Recovery carries the salvage report when the profile was built from
+	// a log recovered by shmlog.ReadLenient (nil for clean logs). When
+	// set, return entries whose call was lost to the salvage are
+	// attributed to the synthetic TruncatedFrameName function instead of
+	// being silently dropped, so the damage is visible in tables and
+	// flame graphs.
+	Recovery *shmlog.RecoveryReport
 
 	funcs     []FuncStat
 	byName    map[string]int
@@ -115,6 +122,12 @@ type frame struct {
 	childTicks uint64
 }
 
+// TruncatedFrameName is the synthetic frame recovered-but-unmatched
+// entries are attributed to when analyzing a salvaged log: the visible
+// scar of a torn head or tail, mirroring the analyzer's existing
+// force-close tolerance for truncated tails.
+const TruncatedFrameName = "[truncated]"
+
 // Options tunes AnalyzeWith. The zero value matches Analyze.
 type Options struct {
 	// Parallelism is the number of worker goroutines reconstructing
@@ -122,6 +135,13 @@ type Options struct {
 	// 0 means GOMAXPROCS, 1 forces the serial path. The output is
 	// byte-identical at every setting.
 	Parallelism int
+
+	// Recovery marks the log as salvaged by shmlog.ReadLenient and
+	// attaches the salvage report to the profile. In recovery mode,
+	// unmatched returns — calls lost with the torn region — surface as
+	// zero-tick records under TruncatedFrameName instead of vanishing
+	// into a counter.
+	Recovery *shmlog.RecoveryReport
 }
 
 // threadEntries is one thread's slice of the log: the committed entries
@@ -156,6 +176,14 @@ func Analyze(log *shmlog.Log, tab *symtab.Table) (*Profile, error) {
 	return AnalyzeWith(log, tab, Options{})
 }
 
+// AnalyzeRecovered reconstructs a profile from a log salvaged by
+// shmlog.ReadLenient, attaching the recovery report and attributing
+// salvaged-but-unmatched entries to the synthetic TruncatedFrameName
+// frame.
+func AnalyzeRecovered(log *shmlog.Log, tab *symtab.Table, rep *shmlog.RecoveryReport) (*Profile, error) {
+	return AnalyzeWith(log, tab, Options{Recovery: rep})
+}
+
 // AnalyzeWith is Analyze with explicit tuning. It runs in three phases:
 // a serial scan groups committed entries per thread (dismissing in-flight
 // holes and released tombstones), a worker pool rebuilds each thread's call
@@ -178,7 +206,9 @@ func AnalyzeWith(log *shmlog.Log, tab *symtab.Table, opts Options) (*Profile, er
 		folded:    make(map[string]uint64),
 		pathStats: make(map[string]*pathAccum),
 		Dropped:   log.Dropped(),
+		Recovery:  opts.Recovery,
 	}
+	lenient := opts.Recovery != nil
 
 	// Phase 1 (serial): group entries per thread in log order.
 	threads := make(map[uint64]*threadEntries)
@@ -215,7 +245,7 @@ func AnalyzeWith(log *shmlog.Log, tab *symtab.Table, opts Options) (*Profile, er
 	results := make([]threadResult, len(order))
 	if workers <= 1 {
 		for oi, tid := range order {
-			results[oi] = analyzeThread(threads[tid], tab, n+oi)
+			results[oi] = analyzeThread(threads[tid], tab, n+oi, lenient)
 		}
 	} else {
 		jobs := make(chan int)
@@ -225,7 +255,7 @@ func AnalyzeWith(log *shmlog.Log, tab *symtab.Table, opts Options) (*Profile, er
 			go func() {
 				defer wg.Done()
 				for oi := range jobs {
-					results[oi] = analyzeThread(threads[order[oi]], tab, n+oi)
+					results[oi] = analyzeThread(threads[order[oi]], tab, n+oi, lenient)
 				}
 			}()
 		}
@@ -260,6 +290,11 @@ func AnalyzeWith(log *shmlog.Log, tab *symtab.Table, opts Options) (*Profile, er
 		p.records = append(p.records, cr.rec)
 		if cr.rec.Self > 0 {
 			p.folded[cr.stackKey] += cr.rec.Self
+		} else if cr.rec.Name == TruncatedFrameName {
+			// The synthetic recovery frame is zero-width; register its
+			// stack anyway so flame graphs show WHERE the torn activity
+			// happened, even at zero weight.
+			p.folded[cr.stackKey] += 0
 		}
 		pa, ok := p.pathStats[cr.stackKey]
 		if !ok {
@@ -288,8 +323,10 @@ func AnalyzeWith(log *shmlog.Log, tab *symtab.Table, opts Options) (*Profile, er
 
 // analyzeThread rebuilds one thread's call stack from its entry stream.
 // forceAt is the merge tag for frames force-closed at the end of the log
-// (past every real index, ordered by thread discovery).
-func analyzeThread(g *threadEntries, tab *symtab.Table, forceAt int) threadResult {
+// (past every real index, ordered by thread discovery). In lenient
+// (recovery) mode, unmatched returns surface as zero-tick records under
+// TruncatedFrameName rather than being dropped.
+func analyzeThread(g *threadEntries, tab *symtab.Table, forceAt int, lenient bool) threadResult {
 	res := threadResult{stat: ThreadStat{ID: g.id}}
 	var (
 		stack  []frame
@@ -376,6 +413,33 @@ func analyzeThread(g *threadEntries, tab *symtab.Table, forceAt int) threadResul
 			}
 			if match < 0 {
 				res.unmatched++
+				if lenient {
+					// The call side was lost with the torn region:
+					// attribute the orphaned return to the synthetic
+					// truncated frame so the salvage scar is visible.
+					caller := ""
+					if len(stack) > 0 {
+						caller = stack[len(stack)-1].name
+					}
+					stackKey := TruncatedFrameName
+					if len(names) > 0 {
+						stackKey = strings.Join(names, ";") + ";" + TruncatedFrameName
+					}
+					res.recs = append(res.recs, closedRec{
+						rec: Record{
+							Thread:    res.stat.ID,
+							Name:      TruncatedFrameName,
+							Addr:      e.Addr,
+							Caller:    caller,
+							Depth:     len(stack),
+							Start:     e.Counter,
+							End:       e.Counter,
+							Truncated: true,
+						},
+						stackKey: stackKey,
+						at:       g.at[k],
+					})
+				}
 				continue
 			}
 			for len(stack) > match {

@@ -45,6 +45,12 @@ var ErrNotRunning = errors.New("counter: not running")
 type Software struct {
 	word atomic.Pointer[wordBox]
 
+	// hook, when non-nil, is called once per outer loop iteration (every
+	// 1024 increments) — the recorder's fault-injection wiring uses it to
+	// model a stalled counter thread. The nil check costs one branch per
+	// 1024 adds, so an unhooked counter's rate is unaffected.
+	hook func()
+
 	mu      sync.Mutex
 	stop    chan struct{}
 	done    chan struct{}
@@ -91,6 +97,18 @@ func (s *Software) Retarget(word Word) {
 	}
 }
 
+// OnTick installs fn to be called once per outer loop iteration (every
+// 1024 increments). It must be called before Start; the fault-injection
+// harness uses it to stall the counter thread deterministically.
+func (s *Software) OnTick(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		panic("counter: OnTick after Start")
+	}
+	s.hook = fn
+}
+
 // Start launches the counter loop. Starting an already-running counter is a
 // no-op.
 func (s *Software) Start() {
@@ -119,6 +137,9 @@ func (s *Software) loop(stop, done chan struct{}) {
 		w := s.word.Load().w
 		for i := 0; i < 1024; i++ {
 			w.AddCounter(1)
+		}
+		if s.hook != nil {
+			s.hook()
 		}
 	}
 }

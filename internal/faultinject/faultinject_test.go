@@ -1,0 +1,213 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	in := New(1)
+	if in.Enabled() {
+		t.Fatal("fresh injector reports enabled")
+	}
+	for _, p := range All {
+		if err := in.Hit(p); err != nil {
+			t.Fatalf("disabled Hit(%v) = %v", p, err)
+		}
+	}
+	// Hits are not counted while disabled — the fast path is one load.
+	for _, p := range All {
+		if in.Hits(p) != 0 {
+			t.Fatalf("disabled injector counted hits at %v", p)
+		}
+	}
+}
+
+func TestArmCountdown(t *testing.T) {
+	in := New(1)
+	in.Arm(CheckpointBegin, 3, Fail())
+	if !in.Enabled() {
+		t.Fatal("armed injector reports disabled")
+	}
+	for i := 0; i < 2; i++ {
+		if err := in.Hit(CheckpointBegin); err != nil {
+			t.Fatalf("hit %d fired early: %v", i+1, err)
+		}
+	}
+	if err := in.Hit(CheckpointBegin); !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd hit: err = %v, want ErrInjected", err)
+	}
+	// One-shot: the arm is consumed and the injector disables itself.
+	if err := in.Hit(CheckpointBegin); err != nil {
+		t.Fatalf("4th hit after one-shot: %v", err)
+	}
+	if in.Enabled() {
+		t.Fatal("injector still enabled after its only arm fired")
+	}
+	if in.Hits(CheckpointBegin) != 3 {
+		t.Fatalf("Hits = %d, want 3 (4th hit was on the disabled fast path)", in.Hits(CheckpointBegin))
+	}
+}
+
+func TestArmEveryAndDisarm(t *testing.T) {
+	in := New(1)
+	in.ArmEvery(CheckpointWrite, 2, Fail())
+	if err := in.Hit(CheckpointWrite); err != nil {
+		t.Fatalf("1st hit fired early: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := in.Hit(CheckpointWrite); !errors.Is(err, ErrInjected) {
+			t.Fatalf("persistent hit %d: err = %v", i, err)
+		}
+	}
+	in.Disarm(CheckpointWrite)
+	if in.Enabled() {
+		t.Fatal("enabled after disarming the only point")
+	}
+	if err := in.Hit(CheckpointWrite); err != nil {
+		t.Fatalf("hit after disarm: %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	in := New(1)
+	in.ArmEvery(CounterStall, 1, Fail())
+	_ = in.Hit(CounterStall)
+	in.Reset()
+	if in.Enabled() || in.Hits(CounterStall) != 0 {
+		t.Fatalf("Reset left enabled=%v hits=%d", in.Enabled(), in.Hits(CounterStall))
+	}
+}
+
+func TestSleepAction(t *testing.T) {
+	in := New(1)
+	in.Arm(CheckpointBeforeSync, 1, Sleep(30*time.Millisecond))
+	start := time.Now()
+	if err := in.Hit(CheckpointBeforeSync); err != nil {
+		t.Fatalf("Sleep action returned error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("stall lasted %v, want >= 30ms", d)
+	}
+}
+
+func TestWriterShortAndFail(t *testing.T) {
+	in := New(1)
+	var buf bytes.Buffer
+	w := in.Writer(&buf, CheckpointWrite)
+
+	// Pass-through while unarmed.
+	if n, err := w.Write([]byte("abcdefgh")); n != 8 || err != nil {
+		t.Fatalf("unarmed write: n=%d err=%v", n, err)
+	}
+
+	in.Arm(CheckpointWrite, 1, Short())
+	n, err := w.Write([]byte("ijklmnop"))
+	if n != 4 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: n=%d err=%v, want 4 + ErrShortWrite", n, err)
+	}
+	if got := buf.String(); got != "abcdefghijkl" {
+		t.Fatalf("buffer = %q after short write", got)
+	}
+
+	in.Arm(CheckpointWrite, 1, Fail())
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("failed write: n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "abcdefghijkl" {
+		t.Fatalf("failed write reached the underlying writer: %q", got)
+	}
+}
+
+type recordingWriterAt struct {
+	data []byte
+}
+
+func (r *recordingWriterAt) WriteAt(b []byte, off int64) (int, error) {
+	need := int(off) + len(b)
+	if need > len(r.data) {
+		grown := make([]byte, need)
+		copy(grown, r.data)
+		r.data = grown
+	}
+	copy(r.data[off:], b)
+	return len(b), nil
+}
+
+func TestWriterAtShort(t *testing.T) {
+	in := New(1)
+	under := &recordingWriterAt{}
+	w := in.WriterAt(under, CheckpointWrite)
+	if n, err := w.WriteAt([]byte("12345678"), 0); n != 8 || err != nil {
+		t.Fatalf("unarmed WriteAt: n=%d err=%v", n, err)
+	}
+	in.Arm(CheckpointWrite, 1, Short())
+	n, err := w.WriteAt([]byte("ABCDEFGH"), 8)
+	if n != 4 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short WriteAt: n=%d err=%v", n, err)
+	}
+	if got := string(under.data); got != "12345678ABCD" {
+		t.Fatalf("underlying data = %q", got)
+	}
+}
+
+func TestFlipBitsDeterministic(t *testing.T) {
+	base := bytes.Repeat([]byte{0x00}, 64)
+	a := New(42).FlipBits(base, 8, 56, 10)
+	b := New(42).FlipBits(base, 8, 56, 10)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different flips")
+	}
+	if bytes.Equal(a, base) {
+		t.Fatal("no bits flipped")
+	}
+	// Flips stay inside [lo, hi).
+	if !bytes.Equal(a[:8], base[:8]) || !bytes.Equal(a[56:], base[56:]) {
+		t.Fatal("flip escaped the [lo, hi) window")
+	}
+	// Original input untouched.
+	if !bytes.Equal(base, bytes.Repeat([]byte{0x00}, 64)) {
+		t.Fatal("FlipBits mutated its input")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	data := []byte("0123456789")
+	for _, tc := range []struct {
+		n    int
+		want string
+	}{
+		{0, ""},
+		{4, "0123"},
+		{10, "0123456789"},
+		{99, "0123456789"},
+		{-3, "0123456"},
+		{-99, ""},
+	} {
+		if got := string(Truncate(data, tc.n)); got != tc.want {
+			t.Errorf("Truncate(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+	if string(data) != "0123456789" {
+		t.Fatal("Truncate mutated its input")
+	}
+}
+
+func TestPointNames(t *testing.T) {
+	for _, p := range All {
+		name := p.String()
+		if name == "" || name == "none" {
+			t.Fatalf("point %d has no name", p)
+		}
+		back, ok := PointByName(name)
+		if !ok || back != p {
+			t.Fatalf("PointByName(%q) = %v, %v", name, back, ok)
+		}
+	}
+	if _, ok := PointByName("no-such-point"); ok {
+		t.Fatal("PointByName accepted garbage")
+	}
+}

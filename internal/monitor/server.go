@@ -78,15 +78,15 @@ func (m *Monitor) serveVars(w http.ResponseWriter, r *http.Request) {
 
 // profileJSON is the /profile.json document.
 type profileJSON struct {
-	PID        uint64         `json:"pid"`
-	Stats      statsJSON      `json:"stats"`
-	TotalTicks uint64         `json:"total_ticks"`
-	Calls      uint64         `json:"calls"`
-	Unmatched  int            `json:"unmatched"`
-	OpenFrames int            `json:"open_frames"`
-	Threads    int            `json:"threads"`
-	MaxDepth   int            `json:"max_depth"`
-	Functions  []funcRowJSON  `json:"functions"`
+	PID        uint64        `json:"pid"`
+	Stats      statsJSON     `json:"stats"`
+	TotalTicks uint64        `json:"total_ticks"`
+	Calls      uint64        `json:"calls"`
+	Unmatched  int           `json:"unmatched"`
+	OpenFrames int           `json:"open_frames"`
+	Threads    int           `json:"threads"`
+	MaxDepth   int           `json:"max_depth"`
+	Functions  []funcRowJSON `json:"functions"`
 }
 
 type statsJSON struct {

@@ -100,6 +100,41 @@ func ReadBundleFile(path string) (*symtab.Table, *shmlog.Log, error) {
 	return ReadBundle(f)
 }
 
+// ReadBundleLenient decodes a possibly torn bundle (e.g. a .part file a
+// killed checkpoint pass left behind), salvaging as much of the log as
+// shmlog.ReadLenient can recover and reporting the damage instead of
+// failing. The symbol section is written first and is small, so it is
+// almost always intact; a bundle torn before the symbols end is
+// unrecoverable (there is no log after it to salvage) and returns an
+// error. A bundle torn anywhere inside the log section salvages the
+// committed prefix.
+func ReadBundleLenient(r io.Reader) (*symtab.Table, *shmlog.Log, *shmlog.RecoveryReport, error) {
+	br := bufio.NewReader(r)
+	header, err := readLine(br)
+	if err != nil || header != bundleHeader {
+		return nil, nil, nil, fmt.Errorf("%w: unrecoverable: no bundle header", ErrBadBundle)
+	}
+	symBytes, err := readSection(br, "syms")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: unrecoverable: torn before the log section", ErrBadBundle)
+	}
+	tab, err := symtab.Read(bytes.NewReader(symBytes))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: symbols: %v", ErrBadBundle, err)
+	}
+	// The log section header may itself be torn; whatever follows it (or
+	// nothing at all) goes through the lenient log reader. The declared
+	// section length is deliberately ignored: for a torn file it promises
+	// more bytes than exist, and the lenient reader's own header/commit
+	// invariants bound what is trusted.
+	if line, err := readLine(br); err != nil || !strings.HasPrefix(line, "section log ") {
+		log, rep, lerr := shmlog.ReadLenient(bytes.NewReader(nil))
+		return tab, log, rep, lerr
+	}
+	log, rep, err := shmlog.ReadLenient(br)
+	return tab, log, rep, err
+}
+
 func readSection(br *bufio.Reader, want string) ([]byte, error) {
 	line, err := readLine(br)
 	if err != nil {

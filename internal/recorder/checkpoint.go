@@ -1,0 +1,158 @@
+package recorder
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"teeperf/internal/faultinject"
+)
+
+// Checkpointing is the recorder's crash-consistency mechanism: a
+// background flusher that periodically snapshots the committed prefix of
+// the run — symbol table plus shared-memory log — to <path>.part and
+// atomically renames it onto <path>. The rename is the commit point, so a
+// SIGKILL at any instant leaves either the previous complete checkpoint
+// at <path> (loadable with plain Read) or, at worst, a torn <path>.part
+// that shmlog.ReadLenient salvages. The recorder exists outside the TEE
+// precisely to survive the enclave misbehaving (paper §II, stage 2);
+// checkpointing extends that survival to the recorder process itself.
+//
+// Every step boundary of one checkpoint pass is a registered fault point
+// (faultinject.Checkpoint*), so the kill-at-every-fault-point test can
+// SIGKILL the process between any two persistence steps and assert the
+// recovery invariant above.
+type checkpointer struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartCheckpoint launches the background flusher: every interval it
+// snapshots the current bundle to path+".part" and atomically renames it
+// onto path. StopCheckpoint halts it after one final pass; Stop implies
+// StopCheckpoint.
+func (r *Recorder) StartCheckpoint(path string, interval time.Duration) error {
+	if path == "" {
+		return fmt.Errorf("recorder: checkpoint path must not be empty")
+	}
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	if r.ckpt != nil {
+		return fmt.Errorf("recorder: checkpointing already running")
+	}
+	r.ckptPath = path
+	c := &checkpointer{stop: make(chan struct{}), done: make(chan struct{})}
+	r.ckpt = c
+	go r.checkpointLoop(c, interval)
+	return nil
+}
+
+// StopCheckpoint halts the background flusher after one final checkpoint
+// pass and returns that pass's error. It is idempotent and safe to call
+// when checkpointing never started.
+func (r *Recorder) StopCheckpoint() error {
+	r.ckptMu.Lock()
+	c := r.ckpt
+	r.ckpt = nil
+	r.ckptMu.Unlock()
+	if c == nil {
+		return nil
+	}
+	close(c.stop)
+	<-c.done
+	return r.CheckpointNow()
+}
+
+// CheckpointStats reports how many checkpoint passes completed (reached
+// the atomic rename) and the most recent pass error (nil after a clean
+// pass).
+func (r *Recorder) CheckpointStats() (passes int, lastErr error) {
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	return r.ckptPasses, r.ckptErr
+}
+
+// CheckpointNow performs one synchronous checkpoint pass against the
+// configured path. It is what the background loop runs each tick; tests
+// call it directly to hit fault points deterministically.
+func (r *Recorder) CheckpointNow() error {
+	r.ckptMu.Lock()
+	path := r.ckptPath
+	r.ckptMu.Unlock()
+	if path == "" {
+		return fmt.Errorf("recorder: no checkpoint path configured (StartCheckpoint first)")
+	}
+	err := r.checkpointPass(path)
+	r.ckptMu.Lock()
+	if err == nil {
+		r.ckptPasses++
+	}
+	r.ckptErr = err
+	r.ckptMu.Unlock()
+	return err
+}
+
+func (r *Recorder) checkpointLoop(c *checkpointer, interval time.Duration) {
+	defer close(c.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			// Pass errors are sticky in CheckpointStats until a clean
+			// pass; the loop keeps trying — a transiently full disk must
+			// not end crash protection for the rest of the run.
+			_ = r.CheckpointNow()
+		}
+	}
+}
+
+// checkpointPass runs one checkpoint: create <path>.part, stream the
+// bundle through the (normally no-op) fault-injecting writer, fsync, and
+// atomically rename onto <path>. Each step boundary is a registered fault
+// point.
+func (r *Recorder) checkpointPass(path string) error {
+	inj := r.injector()
+	if err := inj.Hit(faultinject.CheckpointBegin); err != nil {
+		return fmt.Errorf("recorder: checkpoint: %w", err)
+	}
+	part := path + ".part"
+	f, err := os.Create(part)
+	if err != nil {
+		return fmt.Errorf("recorder: checkpoint create: %w", err)
+	}
+	// The bundle streams through the fault-injection writer wrapper so an
+	// armed CheckpointWrite point can shorten, fail, delay or kill any
+	// individual Write; a disabled injector adds one atomic load per
+	// Write.
+	if err := WriteBundle(inj.Writer(f, faultinject.CheckpointWrite), r.tab, r.Log()); err != nil {
+		f.Close()
+		return fmt.Errorf("recorder: checkpoint write: %w", err)
+	}
+	if err := inj.Hit(faultinject.CheckpointBeforeSync); err != nil {
+		f.Close()
+		return fmt.Errorf("recorder: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("recorder: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("recorder: checkpoint close: %w", err)
+	}
+	if err := inj.Hit(faultinject.CheckpointBeforeRename); err != nil {
+		return fmt.Errorf("recorder: checkpoint: %w", err)
+	}
+	if err := os.Rename(part, path); err != nil {
+		return fmt.Errorf("recorder: checkpoint rename: %w", err)
+	}
+	if err := inj.Hit(faultinject.CheckpointAfterRename); err != nil {
+		return fmt.Errorf("recorder: checkpoint: %w", err)
+	}
+	return nil
+}

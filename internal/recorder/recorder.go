@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"teeperf/internal/counter"
+	"teeperf/internal/faultinject"
 	"teeperf/internal/probe"
 	"teeperf/internal/shmlog"
 	"teeperf/internal/symtab"
@@ -63,6 +64,16 @@ type Recorder struct {
 
 	rotStop chan struct{}
 	rotDone chan struct{}
+
+	// Checkpointing state (checkpoint.go). ckptMu is separate from
+	// stateMu so checkpoint passes never contend with Stats sampling.
+	ckptMu     sync.Mutex
+	ckpt       *checkpointer
+	ckptPath   string
+	ckptPasses int
+	ckptErr    error
+
+	inject *faultinject.Injector
 }
 
 // Option configures New.
@@ -79,6 +90,7 @@ type config struct {
 	bias     int64
 	sync     shmlog.Sync
 	batch    int
+	inject   *faultinject.Injector
 }
 
 type optionFunc func(*config)
@@ -130,6 +142,13 @@ func WithBatch(k int) Option {
 	return optionFunc(func(c *config) { c.batch = k })
 }
 
+// WithFaultInjector installs a fault injector on the recorder's
+// persistence and counter paths (tests and chaos runs). The default is
+// the disabled package injector, whose fault points cost one atomic load.
+func WithFaultInjector(in *faultinject.Injector) Option {
+	return optionFunc(func(c *config) { c.inject = in })
+}
+
 // New prepares a recorder over the given symbol table. The log is created
 // inactive; Start activates it.
 func New(tab *symtab.Table, opts ...Option) (*Recorder, error) {
@@ -156,12 +175,20 @@ func New(tab *symtab.Table, opts ...Option) (*Recorder, error) {
 		return nil, fmt.Errorf("recorder: create log: %w", err)
 	}
 
-	r := &Recorder{tab: tab, bias: cfg.bias, cfg: cfg}
+	r := &Recorder{tab: tab, bias: cfg.bias, cfg: cfg, inject: cfg.inject}
 	switch {
 	case cfg.source != nil:
 		r.src = cfg.source
 	case cfg.mode == CounterSoftware:
 		r.soft = counter.NewSoftware(log)
+		// With an explicit injector, the counter thread checks the
+		// CounterStall fault point every 1024 increments so chaos tests
+		// can stall it; the default (nil) wiring adds nothing to the
+		// counter loop.
+		if cfg.inject != nil {
+			in := cfg.inject
+			r.soft.OnTick(func() { _ = in.Hit(faultinject.CounterStall) })
+		}
 		r.src = r.soft
 	case cfg.mode == CounterTSC:
 		r.src = counter.NewTSC()
@@ -188,6 +215,15 @@ func New(tab *symtab.Table, opts ...Option) (*Recorder, error) {
 
 // Log exposes the currently active shared-memory log segment.
 func (r *Recorder) Log() *shmlog.Log { return r.rt.Log() }
+
+// injector returns the configured fault injector, defaulting to the
+// disabled package-level one.
+func (r *Recorder) injector() *faultinject.Injector {
+	if r.inject != nil {
+		return r.inject
+	}
+	return faultinject.Default
+}
 
 // Table exposes the symbol table.
 func (r *Recorder) Table() *symtab.Table { return r.tab }
@@ -248,6 +284,12 @@ func (r *Recorder) Stop() error {
 	// handshake makes this safe even if a straggling probe overlaps Stop;
 	// the straggler's event is recorded or dropped, never torn.
 	r.rt.Flush()
+	// The final checkpoint runs after the flush so it captures the fully
+	// tombstoned log; a crash before this point is covered by the last
+	// periodic checkpoint plus lenient recovery of the torn .part file.
+	if err := r.StopCheckpoint(); err != nil {
+		return fmt.Errorf("recorder: final checkpoint: %w", err)
+	}
 	if r.soft != nil {
 		if err := r.soft.Stop(); err != nil {
 			return fmt.Errorf("recorder: stop counter: %w", err)

@@ -3,7 +3,25 @@ package shmlog
 import (
 	"bytes"
 	"testing"
+
+	"teeperf/internal/faultinject"
 )
+
+// tornSeeds builds fixtures the fault injector produces in practice: a
+// valid stream torn mid-entry, torn mid-header, and bit-flipped in the
+// header and entry regions. Seeding these steers the fuzzer straight at
+// the salvage paths instead of making it rediscover the format.
+func tornSeeds(f *testing.F, valid []byte) [][]byte {
+	f.Helper()
+	inj := faultinject.New(1)
+	return [][]byte{
+		faultinject.Truncate(valid, -5),                 // torn mid-entry
+		faultinject.Truncate(valid, HeaderSize/2),       // torn mid-header
+		faultinject.Truncate(valid, HeaderSize+1),       // one byte into the entry region
+		inj.FlipBits(valid, 0, HeaderSize, 16),          // bit rot in the header
+		inj.FlipBits(valid, HeaderSize, len(valid), 16), // bit rot in the entries
+	}
+}
 
 // FuzzRead exercises the binary log decoder with arbitrary input. The
 // decoder must never panic and, when it accepts input, the decoded log
@@ -23,6 +41,9 @@ func FuzzRead(f *testing.F) {
 	f.Add(valid.Bytes())
 	f.Add([]byte{})
 	f.Add(make([]byte, HeaderSize))
+	for _, seed := range tornSeeds(f, valid.Bytes()) {
+		f.Add(seed)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		log, err := Read(bytes.NewReader(data))
@@ -52,6 +73,59 @@ func FuzzRead(f *testing.F) {
 		}
 		if again.Len() != log.Len() {
 			t.Fatalf("round trip changed length: %d -> %d", log.Len(), again.Len())
+		}
+	})
+}
+
+// FuzzReadLenient exercises the salvage decoder: it must never panic and
+// never error on in-memory input, the report must be self-consistent, and
+// whatever it salvages must survive a strict re-read.
+func FuzzReadLenient(f *testing.F) {
+	l, err := New(4, WithPID(9))
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = l.Append(Entry{Kind: KindCall, Counter: 1, Addr: 2, ThreadID: 3})
+	_ = l.Append(Entry{Kind: KindReturn, Counter: 4, Addr: 2, ThreadID: 3})
+	var valid bytes.Buffer
+	if _, err := l.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	for _, seed := range tornSeeds(f, valid.Bytes()) {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, rep, err := ReadLenient(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("ReadLenient must not fail on in-memory input: %v", err)
+		}
+		if log == nil || rep == nil {
+			t.Fatal("nil log or report")
+		}
+		if rep.EntriesSalvaged != log.Len() {
+			t.Fatalf("report says %d salvaged, log holds %d", rep.EntriesSalvaged, log.Len())
+		}
+		if rep.EntriesSalvaged+rep.EntriesDropped != rep.EntriesPresent {
+			t.Fatalf("salvaged %d + dropped %d != present %d",
+				rep.EntriesSalvaged, rep.EntriesDropped, rep.EntriesPresent)
+		}
+		if rep.BytesRead != int64(len(data)) {
+			t.Fatalf("BytesRead %d != input %d", rep.BytesRead, len(data))
+		}
+		// Whatever was salvaged must be strictly loadable.
+		var out bytes.Buffer
+		if _, err := log.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode salvaged log: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("strict Read of salvaged log: %v", err)
+		}
+		if again.Len() != log.Len() {
+			t.Fatalf("salvage round trip changed length: %d -> %d", log.Len(), again.Len())
 		}
 	})
 }

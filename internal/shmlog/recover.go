@@ -1,0 +1,293 @@
+package shmlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Corruption classifies one kind of damage ReadLenient detected and
+// recovered from. A report carries every class observed, in detection
+// order.
+type Corruption string
+
+// Corruption classes.
+const (
+	// CorruptEmptyInput: the input held no bytes at all.
+	CorruptEmptyInput Corruption = "empty-input"
+	// CorruptBadMagic: no magic word found; nothing was salvageable.
+	CorruptBadMagic Corruption = "bad-magic"
+	// CorruptTruncatedHeader: the header ended early; missing words were
+	// taken as zero.
+	CorruptTruncatedHeader Corruption = "truncated-header"
+	// CorruptBadVersion: the version word matched no known format; the
+	// layout was inferred from the magic position.
+	CorruptBadVersion Corruption = "bad-version"
+	// CorruptTornEntry: the entry region ended mid-entry; the partial
+	// trailing record was dropped.
+	CorruptTornEntry Corruption = "torn-entry"
+	// CorruptTailRange: the header tail disagreed with the entries
+	// actually present (out of range or past EOF); it was clamped to the
+	// last fully committed entry.
+	CorruptTailRange Corruption = "tail-out-of-range"
+	// CorruptGarbageMarker: an entry's commit-marker word held an
+	// implausible thread ID (bit-flip damage); the entry was dropped.
+	CorruptGarbageMarker Corruption = "garbage-commit-marker"
+	// CorruptUnknownFlags: the header flags word carried undefined bits;
+	// they were masked off.
+	CorruptUnknownFlags Corruption = "unknown-flag-bits"
+)
+
+// maxPlausibleTID bounds commit-marker thread IDs ReadLenient accepts.
+// The probe runtime assigns IDs sequentially from 1, so any value above
+// this bound (other than TombstoneTID) can only be corruption.
+const maxPlausibleTID = uint64(1) << 32
+
+// RecoveryReport describes what ReadLenient salvaged from a damaged log
+// stream and what it had to drop, instead of an error: the recovery
+// analogue of the paper's analyzer dismissing possibly-wrong records.
+type RecoveryReport struct {
+	// SourceVersion is the format version the stream was decoded as
+	// (Version, VersionV1, or 0 when no header was recognizable).
+	SourceVersion uint64
+	// BytesRead is the total input length.
+	BytesRead int64
+	// BytesSalvaged counts the header and entry bytes that contributed to
+	// the recovered log.
+	BytesSalvaged int64
+	// EntriesPresent is the number of complete entry records found in the
+	// input, committed or not.
+	EntriesPresent int
+	// EntriesSalvaged is the number of committed entries recovered.
+	EntriesSalvaged int
+	// EntriesDropped is EntriesPresent minus EntriesSalvaged, split into
+	// the Dropped* counters below.
+	EntriesDropped int
+	// DroppedInFlight counts slots whose commit marker was still zero
+	// (a writer died between reserve and commit).
+	DroppedInFlight int
+	// DroppedTombstone counts released slots (normal batched-writer
+	// residue, not corruption).
+	DroppedTombstone int
+	// DroppedGarbage counts entries with implausible commit markers
+	// (bit-flip damage).
+	DroppedGarbage int
+	// TailClamped reports that the header tail was out of range and was
+	// clamped to the entries actually present.
+	TailClamped bool
+	// Corruption lists every damage class observed, in detection order.
+	Corruption []Corruption
+}
+
+// note records a corruption class once.
+func (r *RecoveryReport) note(c Corruption) {
+	for _, have := range r.Corruption {
+		if have == c {
+			return
+		}
+	}
+	r.Corruption = append(r.Corruption, c)
+}
+
+// Clean reports whether the stream decoded without any damage: a clean
+// ReadLenient is equivalent to Read.
+func (r *RecoveryReport) Clean() bool {
+	return len(r.Corruption) == 0 && r.EntriesDropped == 0
+}
+
+// String renders the report as a short human-readable summary (the
+// `teeperf recover` output).
+func (r *RecoveryReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "salvaged %d/%d entries (%d/%d bytes)",
+		r.EntriesSalvaged, r.EntriesPresent, r.BytesSalvaged, r.BytesRead)
+	if r.EntriesDropped > 0 {
+		fmt.Fprintf(&b, "; dropped %d (%d in-flight, %d released, %d garbage)",
+			r.EntriesDropped, r.DroppedInFlight, r.DroppedTombstone, r.DroppedGarbage)
+	}
+	if r.TailClamped {
+		b.WriteString("; tail clamped")
+	}
+	if len(r.Corruption) > 0 {
+		names := make([]string, len(r.Corruption))
+		for i, c := range r.Corruption {
+			names[i] = string(c)
+		}
+		fmt.Fprintf(&b, "; corruption: %s", strings.Join(names, ", "))
+	} else {
+		b.WriteString("; clean")
+	}
+	return b.String()
+}
+
+// knownFlags is every flag bit a valid header may carry; lenient decoding
+// masks everything else off (bit-flip damage in the flags word).
+const knownFlags = FlagActive | FlagMultithread | EventCall | EventReturn
+
+// ReadLenient decodes a persisted log salvaging whatever it can: a
+// truncated header is zero-filled, a tail pointing past EOF (or past the
+// capacity) is clamped to the last fully committed entry, a torn trailing
+// entry is dropped, and entries whose commit-marker word is zero
+// (in-flight), TombstoneTID (released) or implausible (bit-flipped) are
+// skipped. Damage is returned as a structured RecoveryReport rather than
+// an error; the only errors are real I/O failures from r.
+//
+// The recovered log is compacted — it contains exactly the salvaged
+// committed entries, in log order, with a fresh consistent header — so
+// Read, the analyzer and every downstream consumer accept it unmodified.
+// When the input is undamaged the result is entry-for-entry identical to
+// Read's and the report is Clean.
+//
+// The magic word is the one thing ReadLenient cannot do without: with
+// fewer than 8 input bytes, or a damaged magic in both the version-1 and
+// version-2 positions, nothing distinguishes a torn log from arbitrary
+// bytes, and the salvaged log is empty (class bad-magic).
+func ReadLenient(r io.Reader) (*Log, *RecoveryReport, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shmlog: read: %w", err)
+	}
+	rep := &RecoveryReport{BytesRead: int64(len(data))}
+
+	word := func(i int) uint64 {
+		if (i+1)*8 > len(data) {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(data[i*8:])
+	}
+
+	// Locate the magic. v1 stores it in word 7, v2 in word 0; neither
+	// position can fake the other (v1 word 0 holds small flag bits, v2
+	// word 7 is reserved padding).
+	var headerLen int
+	var flags, pid, profilerAddr, counterVal, capacity, tail uint64
+	switch {
+	case len(data) == 0:
+		rep.note(CorruptEmptyInput)
+		return emptyRecovered(rep, 0, 0)
+	case len(data) >= HeaderSizeV1 && word(v1WordMagic) == Magic:
+		rep.SourceVersion = VersionV1
+		headerLen = HeaderSizeV1
+		if word(v1WordVersion) != VersionV1 {
+			rep.note(CorruptBadVersion)
+		}
+		flags = word(v1WordFlags)
+		pid = word(v1WordPID)
+		capacity = word(v1WordCapacity)
+		tail = word(v1WordTail)
+		profilerAddr = word(v1WordProfilerAddr)
+		counterVal = word(v1WordCounter)
+	case word(wordMagic) == Magic:
+		rep.SourceVersion = Version
+		headerLen = HeaderSize
+		if len(data) < HeaderSize {
+			rep.note(CorruptTruncatedHeader)
+			headerLen = len(data)
+		}
+		if v := word(wordVersion); v != Version && len(data) >= (wordVersion+1)*8 {
+			rep.note(CorruptBadVersion)
+		}
+		pid = word(wordPID)
+		capacity = word(wordCapacity)
+		profilerAddr = word(wordProfilerAddr)
+		flags = word(wordFlags)
+		tail = word(wordTail)
+		counterVal = word(wordCounter)
+	default:
+		rep.note(CorruptBadMagic)
+		if len(data) < HeaderSizeV1 {
+			rep.note(CorruptTruncatedHeader)
+		}
+		return emptyRecovered(rep, 0, 0)
+	}
+
+	if flags&^knownFlags != 0 {
+		rep.note(CorruptUnknownFlags)
+		flags &= knownFlags
+	}
+
+	// Entry region: everything after the header, whole entries only.
+	body := data[min(headerLen, len(data)):]
+	present := len(body) / EntrySize
+	if len(body)%EntrySize != 0 {
+		rep.note(CorruptTornEntry)
+	}
+	rep.EntriesPresent = present
+
+	// The header's tail and capacity may both be damaged or stale; the
+	// authoritative bound is the entries physically present. A tail that
+	// disagrees is clamped, never trusted past EOF.
+	if tail > uint64(present) || tail > capacity || int(tail) != present {
+		rep.note(CorruptTailRange)
+		rep.TailClamped = true
+	}
+
+	// Salvage committed entries, skipping in-flight, released and
+	// garbage commit markers.
+	entries := make([]Entry, 0, present)
+	for i := 0; i < present; i++ {
+		word0 := binary.LittleEndian.Uint64(body[i*EntrySize:])
+		addr := binary.LittleEndian.Uint64(body[i*EntrySize+8:])
+		tid := binary.LittleEndian.Uint64(body[i*EntrySize+16:])
+		switch {
+		case tid == 0:
+			rep.DroppedInFlight++
+			continue
+		case tid == TombstoneTID:
+			rep.DroppedTombstone++
+			continue
+		case tid > maxPlausibleTID:
+			rep.note(CorruptGarbageMarker)
+			rep.DroppedGarbage++
+			continue
+		}
+		e := Entry{Kind: KindCall, Counter: word0 & counterMask, Addr: addr, ThreadID: tid}
+		if word0&kindBit != 0 {
+			e.Kind = KindReturn
+		}
+		entries = append(entries, e)
+	}
+	rep.EntriesSalvaged = len(entries)
+	rep.EntriesDropped = rep.DroppedInFlight + rep.DroppedTombstone + rep.DroppedGarbage
+	rep.BytesSalvaged = int64(min(headerLen, len(data))) + int64(len(entries))*EntrySize
+
+	if len(entries) == 0 {
+		return emptyRecovered(rep, pid, profilerAddr)
+	}
+
+	out, err := New(len(entries),
+		WithPID(pid),
+		WithProfilerAddr(profilerAddr),
+		WithFlags(flags&^FlagActive), // recovered logs are read-only
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	out.srcVersion = rep.SourceVersion
+	for _, e := range entries {
+		slot, n := out.Reserve(1)
+		if n == 0 {
+			break
+		}
+		out.Commit(slot, e)
+	}
+	out.AddCounter(counterVal)
+	return out, rep, nil
+}
+
+// emptyRecovered builds the zero-entry recovered log ReadLenient returns
+// when nothing was salvageable: still a valid, loadable log so downstream
+// consumers need no special case.
+func emptyRecovered(rep *RecoveryReport, pid, profilerAddr uint64) (*Log, *RecoveryReport, error) {
+	out, err := New(1,
+		WithPID(pid),
+		WithProfilerAddr(profilerAddr),
+		WithFlags(EventCall|EventReturn),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	out.srcVersion = rep.SourceVersion
+	return out, rep, nil
+}

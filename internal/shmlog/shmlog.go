@@ -177,6 +177,14 @@ var (
 	ErrBadVersion = errors.New("shmlog: unsupported log version")
 	// ErrTruncated is returned when a persisted log ends prematurely.
 	ErrTruncated = errors.New("shmlog: truncated log")
+	// ErrEmptyLog is returned by Read for a zero-byte input. It wraps
+	// ErrTruncated, so existing errors.Is(err, ErrTruncated) checks keep
+	// matching.
+	ErrEmptyLog = fmt.Errorf("%w: empty (zero-byte) input", ErrTruncated)
+	// ErrTruncatedHeader is returned by Read when the input ends inside
+	// the header — shorter than any valid log can be. It wraps
+	// ErrTruncated.
+	ErrTruncatedHeader = fmt.Errorf("%w: incomplete header", ErrTruncated)
 	// ErrRange is returned when an entry index is out of bounds.
 	ErrRange = errors.New("shmlog: entry index out of range")
 )
@@ -628,8 +636,11 @@ func Read(r io.Reader) (*Log, error) {
 	// word 7 is reserved padding).
 	head := make([]byte, HeaderSizeV1)
 	if _, err := io.ReadFull(r, head); err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, ErrTruncated
+		if errors.Is(err, io.EOF) {
+			return nil, ErrEmptyLog
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrTruncatedHeader
 		}
 		return nil, fmt.Errorf("shmlog: read header: %w", err)
 	}
@@ -663,7 +674,7 @@ func Read(r io.Reader) (*Log, error) {
 		rest := make([]byte, HeaderSize-HeaderSizeV1)
 		if _, err := io.ReadFull(r, rest); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil, ErrTruncated
+				return nil, ErrTruncatedHeader
 			}
 			return nil, fmt.Errorf("shmlog: read header: %w", err)
 		}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Bench-regression smoke gate.
+#
+# Runs the hot-path benchmarks (log append, bundle write-out, analyzer) for
+# a single iteration and fails if any of the seed benchmarks no longer
+# compiles, runs, or reports a result. This is an EXISTENCE gate, not a
+# threshold gate: single-iteration numbers on shared CI runners are noise,
+# but a benchmark that silently stopped running means a refactor unhooked
+# the perf suite — exactly the regression this catches. Real numbers live
+# in EXPERIMENTS.md, measured on quiet hardware.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+# -run matches nothing so only benchmarks execute; -json gives a stable,
+# machine-checkable record of which benchmarks actually ran.
+go test -json -run='^$' -bench='Append|Analyzer|WriteTo' -benchtime=1x -count=1 ./... >"$out" || {
+    echo "bench gate: benchmark run failed" >&2
+    grep -E '"Action":"(fail|build-fail)"' "$out" >&2 || true
+    exit 1
+}
+
+# Every seed benchmark must have produced an output line. Extending the
+# bench suite does not touch this list; removing or renaming a seed
+# benchmark must update it deliberately.
+required=(
+    BenchmarkAnalyzer
+    BenchmarkAnalyzerParallel
+    BenchmarkAppendParallel
+    BenchmarkLogWriteTo
+)
+
+missing=0
+for b in "${required[@]}"; do
+    # A benchmark that ran emits its name in an Output event — either a
+    # result line ("BenchmarkLogWriteTo-8 ...") or, for benchmarks with
+    # sub-benchmarks, the bare announcement ("BenchmarkAppendParallel\n")
+    # followed by "BenchmarkAppendParallel/g1/k1-8 ..." lines.
+    if ! grep -qE "\"Output\":\"${b}(-|/| |\\\\n)" "$out"; then
+        echo "bench gate: seed benchmark ${b} did not run" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    exit 1
+fi
+echo "bench gate: all ${#required[@]} seed benchmarks ran"

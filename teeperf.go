@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"time"
 
 	"teeperf/internal/analyzer"
 	"teeperf/internal/counter"
@@ -31,6 +33,7 @@ import (
 	"teeperf/internal/query"
 	"teeperf/internal/recorder"
 	"teeperf/internal/report"
+	"teeperf/internal/shmlog"
 	"teeperf/internal/symtab"
 )
 
@@ -266,6 +269,28 @@ func Load(path string) (*Profile, error) {
 	return analyzer.Analyze(log, tab)
 }
 
+// RecoveryReport describes what lenient loading salvaged from a torn or
+// corrupted bundle (see LoadLenient and `teeperf recover`).
+type RecoveryReport = shmlog.RecoveryReport
+
+// LoadLenient reads a possibly torn or corrupted profile bundle — e.g.
+// the .part file left by a recorder killed mid-checkpoint — salvaging
+// every committed entry it can. The profile's Recovery field carries the
+// salvage report; salvaged-but-unmatched entries appear under the
+// synthetic "[truncated]" frame.
+func LoadLenient(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tab, log, rep, err := recorder.ReadBundleLenient(f)
+	if err != nil {
+		return nil, err
+	}
+	return analyzer.AnalyzeRecovered(log, tab, rep)
+}
+
 // LoadFrom reads a profile bundle from r and analyzes it.
 func LoadFrom(r io.Reader) (*Profile, error) {
 	tab, log, err := recorder.ReadBundle(r)
@@ -380,6 +405,18 @@ func (s *Session) StartAutoRotate(dir string, fillThreshold float64) error {
 		return errors.New("teeperf: session not started")
 	}
 	return s.rec.StartAutoRotate(dir, fillThreshold, 0)
+}
+
+// StartCheckpoint launches crash-consistent background persistence: every
+// interval the session's bundle is snapshotted to path+".part" and
+// atomically renamed onto path, so a process killed at any instant leaves
+// a loadable bundle (at worst a torn .part that LoadLenient salvages).
+// Stop performs one final checkpoint and halts the flusher.
+func (s *Session) StartCheckpoint(path string, interval time.Duration) error {
+	if s.rec == nil {
+		return errors.New("teeperf: session not started")
+	}
+	return s.rec.StartCheckpoint(path, interval)
 }
 
 // Live-monitoring re-exports. The monitor tails the shared-memory log
