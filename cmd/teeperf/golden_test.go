@@ -1,0 +1,148 @@
+package main
+
+// Golden-file tests for the CLI's human-facing output. The fixtures in
+// testdata/ are deterministic (virtual counter, fixed PID), so the exact
+// bytes of `teeperf analyze -top` and `teeperf recover` are pinned.
+// Regenerate fixtures and goldens together after an intentional format
+// change with:
+//
+//	go test ./cmd/teeperf -run TestGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"sync"
+	"testing"
+
+	"teeperf"
+	"teeperf/internal/counter"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata fixtures and golden files")
+
+var fixturesOnce sync.Once
+
+// ensureFixtures regenerates the checked-in fixture bundles when -update
+// is set; otherwise it verifies they exist.
+func ensureFixtures(t *testing.T) {
+	t.Helper()
+	if *update {
+		fixturesOnce.Do(func() { regenFixtures(t) })
+		return
+	}
+	for _, p := range []string{"testdata/sample.teeperf", "testdata/torn.teeperf.part"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("fixture missing (regenerate with -update): %v", err)
+		}
+	}
+}
+
+// regenFixtures writes a deterministic clean bundle and a torn variant
+// (final entry cut mid-record, as a crash mid-checkpoint would leave it).
+func regenFixtures(t *testing.T) {
+	t.Helper()
+	s, err := teeperf.New(
+		teeperf.WithCounterSource(counter.NewVirtual(1)),
+		teeperf.WithPID(4242),
+		teeperf.WithCapacity(4096),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct{ main, dispatch, seal, write, walk uint64 }
+	for _, f := range []struct {
+		dst  *uint64
+		name string
+		line int
+	}{
+		{&reg.main, "tee_main", 10},
+		{&reg.dispatch, "ecall_dispatch", 20},
+		{&reg.seal, "crypto_seal", 30},
+		{&reg.write, "ocall_write", 40},
+		{&reg.walk, "page_walk", 50},
+	} {
+		addr, err := s.RegisterFunc(f.name, "enclave.c", f.line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*f.dst = addr
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th, err := s.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		th.Enter(reg.main)
+		th.Enter(reg.dispatch)
+		th.Enter(reg.seal)
+		th.Exit(reg.seal)
+		if i%3 == 0 {
+			th.Enter(reg.write)
+			th.Exit(reg.write)
+		}
+		th.Exit(reg.dispatch)
+		if i%5 == 0 {
+			th.Enter(reg.walk)
+			th.Exit(reg.walk)
+		}
+		th.Exit(reg.main)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Persist("testdata/sample.teeperf"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile("testdata/sample.teeperf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < 64 {
+		t.Fatalf("sample bundle implausibly small: %d bytes", len(b))
+	}
+	if err := os.WriteFile("testdata/torn.teeperf.part", b[:len(b)-16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenAnalyzeTop(t *testing.T) {
+	ensureFixtures(t)
+	stdout, stderr, code := runCLI(t, nil, "analyze", "-i", "testdata/sample.teeperf", "-top", "5")
+	if code != 0 {
+		t.Fatalf("analyze exited %d\nstderr: %s", code, stderr)
+	}
+	checkGolden(t, "testdata/analyze_top.golden", []byte(stdout))
+}
+
+func TestGoldenRecoverReport(t *testing.T) {
+	ensureFixtures(t)
+	stdout, stderr, code := runCLI(t, nil, "recover", "-i", "testdata/torn.teeperf.part", "-top", "3")
+	if code != 0 {
+		t.Fatalf("recover exited %d\nstderr: %s", code, stderr)
+	}
+	checkGolden(t, "testdata/recover_report.golden", []byte(stdout))
+}

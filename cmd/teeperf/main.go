@@ -7,6 +7,7 @@
 // Usage:
 //
 //	teeperf record   -workload phoenix/word_count -platform sgx-v1 -o run.teeperf [-checkpoint 500ms]
+//	teeperf run      -o run.teeperf [-shm run.teeperf.shm] -- <cmd> [args...]
 //	teeperf monitor  -workload dbbench -interval 500ms [-top 10]
 //	teeperf serve    -workload dbbench -addr :7070 [-linger 1m]
 //	teeperf analyze  -i run.teeperf [-top 20]
@@ -21,6 +22,10 @@
 //	teeperf diff     -a before.teeperf -b after.teeperf
 //	teeperf whatif   -i run.teeperf -remove getpid,rdtsc
 //	teeperf report   -i run.teeperf -o report.html
+//
+// Exit status: 0 on success, 2 for usage errors (unknown command, missing
+// command line), 1 for any other failure (unreadable bundle, failed
+// workload, bad output path, ...).
 package main
 
 import (
@@ -50,6 +55,7 @@ var commandGroups = []string{"record", "monitor", "analyze", "visualize"}
 
 var commands = []command{
 	{"record", "record", "run a built-in workload under the profiler and persist a bundle", cmdRecord},
+	{"run", "record", "profile an external command through a shared-memory mapping (cross-process)", cmdRun},
 	{"monitor", "monitor", "record a workload with a live hot-methods view in the terminal", cmdMonitor},
 	{"serve", "monitor", "record a workload while serving live metrics and profile over HTTP", cmdServe},
 	{"analyze", "analyze", "print the hot-methods table of a bundle", cmdAnalyze},
@@ -67,10 +73,24 @@ var commands = []command{
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "teeperf:", err)
-		os.Exit(1)
+	os.Exit(cliMain(os.Args[1:]))
+}
+
+// cliMain runs the command line and maps the outcome to the documented
+// exit codes (0 success, 2 usage, 1 everything else). Split from main so
+// the exit-code contract is testable through the same code path the
+// binary uses.
+func cliMain(args []string) int {
+	err := run(args)
+	if err == nil {
+		return 0
 	}
+	fmt.Fprintln(os.Stderr, "teeperf:", err)
+	var ue usageErr
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
 }
 
 func run(args []string) error {
@@ -86,8 +106,13 @@ func run(args []string) error {
 			return c.run(args[1:])
 		}
 	}
-	return fmt.Errorf("unknown command %q\n%v", args[0], usageError())
+	return fmt.Errorf("unknown command %q\n%w", args[0], usageError())
 }
+
+// usageErr marks command-line mistakes; main exits 2 for them (and 1 for
+// every other error), so scripts can tell "you called it wrong" from "the
+// operation failed".
+type usageErr struct{ error }
 
 func usageError() error {
 	var b strings.Builder
@@ -100,7 +125,7 @@ func usageError() error {
 			}
 		}
 	}
-	return fmt.Errorf("%s", b.String())
+	return usageErr{fmt.Errorf("%s", b.String())}
 }
 
 func loadProfile(path string) (*teeperf.Profile, error) {

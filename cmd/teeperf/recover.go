@@ -1,12 +1,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"teeperf/internal/analyzer"
 	"teeperf/internal/recorder"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
 )
 
 // cmdRecover salvages a torn or corrupted profile bundle — typically the
@@ -32,10 +36,37 @@ func cmdRecover(args []string) error {
 	defer f.Close()
 
 	tab, log, rep, err := recorder.ReadBundleLenient(f)
+	rawShm := false
+	if err != nil && errors.Is(err, recorder.ErrBadBundle) {
+		// Not a bundle — maybe a raw shared-mapping file (`teeperf run
+		// -keep-shm`, or the .shm a dead recorder process left behind).
+		// The mapping is a bare log image; salvage it directly and
+		// resolve names through the symbol side file published next to
+		// it, if it survived.
+		if _, serr := f.Seek(0, io.SeekStart); serr == nil {
+			if rlog, rrep, rerr := shmlog.ReadLenient(f); rerr == nil {
+				log, rep, rawShm, err = rlog, rrep, true, nil
+				tab, _ = recorder.ReadSymsFile(recorder.SymsPath(*input))
+				if tab == nil {
+					tab = symtab.New() // addresses print raw
+					fmt.Fprintf(os.Stderr, "teeperf recover: no symbol side file %s; reporting raw addresses\n",
+						recorder.SymsPath(*input))
+				}
+			}
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("recover %s: %w", *input, err)
 	}
 	fmt.Printf("%s: %s\n", *input, rep)
+	if rep.Clean() && !rawShm {
+		// An intact bundle needs no salvage; failing here (exit 1) keeps
+		// scripted pipelines from silently "recovering" good data. A raw
+		// mapping file is different: even a clean one is not loadable by
+		// analyze, so recovering it (into a proper bundle with -o) is the
+		// point.
+		return fmt.Errorf("%s is intact; nothing to recover (use teeperf analyze)", *input)
+	}
 
 	p, err := analyzer.AnalyzeRecovered(log, tab, rep)
 	if err != nil {

@@ -1,0 +1,584 @@
+//go:build linux || darwin
+
+package teeperf
+
+// Cross-process conformance suite: the tests in this file re-exec the test
+// binary (Stress-SGX style) so a real second process appends to the shared
+// mapping while this process hosts the counter — or vice versa. TestMain
+// intercepts the TEEPERF_CROSSPROC_CHILD variable and runs the child role
+// instead of the test list.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/counter"
+	"teeperf/internal/recorder"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+const (
+	crossprocChildEnv = "TEEPERF_CROSSPROC_CHILD"
+	crossprocCkptEnv  = "TEEPERF_CROSSPROC_CKPT"
+)
+
+func TestMain(m *testing.M) {
+	if mode := os.Getenv(crossprocChildEnv); mode != "" {
+		crossprocChild(mode) // calls os.Exit
+	}
+	os.Exit(m.Run())
+}
+
+func childFail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crossproc child: "+format+"\n", args...)
+	os.Exit(4)
+}
+
+// crossprocChild is the re-exec'd role. Modes:
+//
+//	deterministic — attach, run the fixed workload with a Virtual(1)
+//	                counter, stop, exit (byte-identity test).
+//	live          — same workload on the default shared counter source
+//	                (the host process's spinning thread).
+//	spin          — deterministic workload, then print WORKLOAD-DONE and
+//	                block until the parent SIGKILLs us (salvage test).
+//	recorder      — host the mapping: Attach, Start, checkpoint, print
+//	                RECORDER-READY, block until SIGKILL.
+func crossprocChild(mode string) {
+	shm := os.Getenv(recorder.SharedEnv)
+	if shm == "" {
+		childFail("%s not set", recorder.SharedEnv)
+	}
+
+	if mode == "recorder" {
+		rec, err := recorder.Attach(shm)
+		if err != nil {
+			childFail("attach: %v", err)
+		}
+		if err := rec.Start(); err != nil {
+			childFail("start: %v", err)
+		}
+		if ckpt := os.Getenv(crossprocCkptEnv); ckpt != "" {
+			if err := rec.StartCheckpoint(ckpt, 25*time.Millisecond); err != nil {
+				childFail("checkpoint: %v", err)
+			}
+			if err := rec.CheckpointNow(); err != nil {
+				childFail("checkpoint pass: %v", err)
+			}
+		}
+		fmt.Println("RECORDER-READY")
+		select {} // parent SIGKILLs us
+	}
+
+	// Application roles: verify the attach handshake through a bare
+	// mapping first, then profile through the ordinary Session facade
+	// (which attaches again via the environment variable).
+	l, err := shmlog.OpenFile(shm)
+	if err != nil {
+		childFail("handshake open: %v", err)
+	}
+	if cp := l.CreatorPID(); cp == 0 || cp == uint64(os.Getpid()) {
+		childFail("creator pid = %d (own pid %d): mapping not created by the host", cp, os.Getpid())
+	}
+	if !l.WaitReady(5 * time.Second) {
+		childFail("host recorder never set the ready flag")
+	}
+	if err := l.Close(); err != nil {
+		childFail("handshake close: %v", err)
+	}
+
+	var opts []Option
+	if mode != "live" {
+		opts = append(opts, WithCounterSource(counter.NewVirtual(1)))
+	}
+	s, err := New(opts...)
+	if err != nil {
+		childFail("session: %v", err)
+	}
+	addrs, err := registerCrossprocSyms(s)
+	if err != nil {
+		childFail("register: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		childFail("start: %v", err)
+	}
+	if s.rec.SharedPath() != shm {
+		childFail("session did not attach to %s", shm)
+	}
+	th, err := s.Thread()
+	if err != nil {
+		childFail("thread: %v", err)
+	}
+	runCrossprocWorkload(th, addrs)
+	if mode == "live" {
+		// Prove the host's counter thread is visible through the mapping.
+		// The whole fixed workload can fit inside one scheduler timeslice
+		// on a small machine, during which the host's spinning thread never
+		// runs — so record one dedicated span around a sleeping poll that
+		// yields the CPU until the counter moves. That span is guaranteed
+		// non-zero ticks, which the parent asserts via the profile.
+		th.Enter(addrs.after)
+		c0 := s.rec.Log().LoadCounter()
+		deadline := time.Now().Add(10 * time.Second)
+		for s.rec.Log().LoadCounter() == c0 {
+			if time.Now().After(deadline) {
+				childFail("live counter never ticked (host thread not visible; started at %d)", c0)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		th.Exit(addrs.after)
+	}
+	if err := s.Stop(); err != nil {
+		childFail("stop: %v", err)
+	}
+	if mode == "spin" {
+		fmt.Println("WORKLOAD-DONE")
+		select {} // parent SIGKILLs us
+	}
+	os.Exit(0)
+}
+
+// crossprocAddrs carries the probe addresses of the fixed workload.
+type crossprocAddrs struct{ main, alpha, beta, gamma, after uint64 }
+
+func registerCrossprocSyms(s *Session) (crossprocAddrs, error) {
+	var a crossprocAddrs
+	var err error
+	reg := func(dst *uint64, name string, line int) {
+		if err != nil {
+			return
+		}
+		*dst, err = s.RegisterFunc(name, "crossproc.go", line)
+	}
+	reg(&a.main, "cp_main", 1)
+	reg(&a.alpha, "cp_alpha", 10)
+	reg(&a.beta, "cp_beta", 20)
+	reg(&a.gamma, "cp_gamma", 30)
+	reg(&a.after, "cp_after", 40)
+	return a, err
+}
+
+// runCrossprocWorkload is the fixed call pattern both processes replay:
+// 40 iterations of main{alpha{beta}}, every other one also main{gamma}.
+// With a Virtual(1) counter the resulting entry stream is fully
+// deterministic.
+func runCrossprocWorkload(th *Thread, a crossprocAddrs) {
+	for i := 0; i < 40; i++ {
+		th.Enter(a.main)
+		th.Enter(a.alpha)
+		th.Enter(a.beta)
+		th.Exit(a.beta)
+		th.Exit(a.alpha)
+		if i%2 == 0 {
+			th.Enter(a.gamma)
+			th.Exit(a.gamma)
+		}
+		th.Exit(a.main)
+	}
+}
+
+func requireMmap(t *testing.T) {
+	t.Helper()
+	if !shmlog.MmapSupported {
+		t.Skip("file-backed shared mappings unsupported on this platform")
+	}
+}
+
+// crossprocControlFolded records the same workload fully in-process (the
+// trusted baseline) and returns its folded-stack rendering.
+func crossprocControlFolded(t *testing.T) []byte {
+	t.Helper()
+	s, err := New(WithCounterSource(counter.NewVirtual(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := registerCrossprocSyms(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th, err := s.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCrossprocWorkload(th, addrs)
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	bundle := filepath.Join(t.TempDir(), "control.teeperf")
+	if err := s.Persist(bundle); err != nil {
+		t.Fatal(err)
+	}
+	return foldedOfBundle(t, bundle)
+}
+
+func foldedOfBundle(t *testing.T, path string) []byte {
+	t.Helper()
+	p, err := Load(path)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	return foldedOf(t, p)
+}
+
+func foldedOf(t *testing.T, p *Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// spawnCrossprocChild re-executes the test binary in the given role.
+func spawnCrossprocChild(t *testing.T, mode, shm string, extraEnv ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		crossprocChildEnv+"="+mode,
+		recorder.SharedEnv+"="+shm)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	return cmd
+}
+
+// hostAdoptSyms installs the symbol table the child published.
+func hostAdoptSyms(t *testing.T, host *recorder.Recorder, shm string) *symtab.Table {
+	t.Helper()
+	tab, err := recorder.ReadSymsFile(recorder.SymsPath(shm))
+	if err != nil {
+		t.Fatalf("child never published its symbol side file: %v", err)
+	}
+	host.SetTable(tab)
+	return tab
+}
+
+// TestCrossProcByteIdentical is the conformance anchor: a workload recorded
+// across two processes (child appends, this process hosts the counter and
+// persists) must produce byte-identical folded output to the same workload
+// recorded entirely in-process.
+func TestCrossProcByteIdentical(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	shm := filepath.Join(dir, "run.shm")
+
+	host, err := recorder.Create(shm, recorder.WithCapacity(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Log().Close()
+	if err := host.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !host.Log().Ready() {
+		t.Fatal("host Start did not set the ready flag")
+	}
+
+	cmd := spawnCrossprocChild(t, "deterministic", shm)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("child failed: %v\n%s", err, out)
+	}
+	// The child attached twice: once for the raw handshake check, once
+	// through the Session facade.
+	if gen := host.Log().AttachGen(); gen < 2 {
+		t.Fatalf("attach generation = %d, want >= 2", gen)
+	}
+	hostAdoptSyms(t, host, shm)
+	if err := host.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	bundle := filepath.Join(dir, "run.teeperf")
+	if err := host.Persist(bundle); err != nil {
+		t.Fatal(err)
+	}
+
+	cross := foldedOfBundle(t, bundle)
+	control := crossprocControlFolded(t)
+	if len(cross) == 0 {
+		t.Fatal("cross-process folded output is empty")
+	}
+	if !bytes.Equal(cross, control) {
+		t.Fatalf("cross-process profile diverges from in-process control\ncross:\n%s\ncontrol:\n%s", cross, control)
+	}
+}
+
+// TestCrossProcLiveCounter runs the same topology on the real shared
+// software counter: the host's spinning thread is the child's only time
+// source, so non-zero ticks prove the counter word crosses the process
+// boundary.
+func TestCrossProcLiveCounter(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	shm := filepath.Join(dir, "run.shm")
+
+	host, err := recorder.Create(shm, recorder.WithCapacity(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Log().Close()
+	if err := host.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cmd := spawnCrossprocChild(t, "live", shm)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("child failed: %v\n%s", err, out)
+	}
+	hostAdoptSyms(t, host, shm)
+	if err := host.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	bundle := filepath.Join(dir, "run.teeperf")
+	if err := host.Persist(bundle); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := Load(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := p.Func("cp_alpha"); !ok || st.Calls != 40 {
+		t.Fatalf("cp_alpha = %+v, want 40 calls", st)
+	}
+	if st, ok := p.Func("cp_gamma"); !ok || st.Calls != 20 {
+		t.Fatalf("cp_gamma = %+v, want 20 calls", st)
+	}
+	// The child recorded cp_after around a poll that waited for the host's
+	// counter thread to move, so its span must carry non-zero ticks.
+	if st, ok := p.Func("cp_after"); !ok || st.Calls != 1 {
+		t.Fatalf("cp_after = %+v, want 1 call", st)
+	}
+	if p.TotalTicks == 0 {
+		t.Fatal("live shared counter produced a zero-tick profile")
+	}
+}
+
+// waitForLine reads the child's stdout until the marker line appears.
+func waitForLine(t *testing.T, sc *bufio.Scanner, marker string) {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	got := make(chan bool, 1)
+	go func() {
+		for sc.Scan() {
+			if sc.Text() == marker {
+				got <- true
+				return
+			}
+		}
+		got <- false
+	}()
+	select {
+	case ok := <-got:
+		if !ok {
+			t.Fatalf("child exited without printing %q", marker)
+		}
+	case <-deadline:
+		t.Fatalf("timed out waiting for %q", marker)
+	}
+}
+
+// assertKilled SIGKILLs the child and verifies that is how it died.
+func assertKilled(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("wait after SIGKILL: %v", err)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child did not die by SIGKILL: %v", err)
+	}
+}
+
+// TestCrossProcKillChildSalvage: the instrumented application is SIGKILLed
+// after its workload but before a clean exit. The hosting recorder must
+// still persist a bundle whose folded output is byte-identical to the
+// in-process control, and lenient salvage of the raw mapping file must
+// agree too.
+func TestCrossProcKillChildSalvage(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	shm := filepath.Join(dir, "run.shm")
+
+	host, err := recorder.Create(shm, recorder.WithCapacity(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Log().Close()
+	if err := host.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := spawnCrossprocChild(t, "spin", shm)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitForLine(t, bufio.NewScanner(stdout), "WORKLOAD-DONE")
+	assertKilled(t, cmd)
+
+	tab := hostAdoptSyms(t, host, shm)
+	if err := host.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	bundle := filepath.Join(dir, "run.teeperf")
+	if err := host.Persist(bundle); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(shm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	control := crossprocControlFolded(t)
+
+	// Path 1: the host-persisted bundle.
+	if folded := foldedOfBundle(t, bundle); !bytes.Equal(folded, control) {
+		t.Fatalf("host-persisted bundle diverges after child SIGKILL\ngot:\n%s\nwant:\n%s", folded, control)
+	}
+
+	// Path 2: lenient salvage of the raw mapping file, as if the host had
+	// died too and only the file survived.
+	log, rep, err := shmlog.ReadLenient(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EntriesSalvaged == 0 {
+		t.Fatalf("raw mapping salvage came up empty: %v", rep)
+	}
+	p, err := analyzer.AnalyzeRecovered(log, tab, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded := foldedOf(t, p); !bytes.Equal(folded, control) {
+		t.Fatalf("raw-mapping salvage diverges after child SIGKILL\ngot:\n%s\nwant:\n%s\nreport: %v", folded, control, rep)
+	}
+}
+
+// TestCrossProcKillRecorderSalvage inverts the failure: the hosting
+// recorder process is SIGKILLed mid-run while this process plays the
+// instrumented application. The application must keep appending without
+// blocking, and lenient salvage of the mapping must contain the post-kill
+// events.
+func TestCrossProcKillRecorderSalvage(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	shm := filepath.Join(dir, "run.shm")
+	ckpt := filepath.Join(dir, "ckpt.teeperf")
+
+	// The application side creates the region up front; the re-exec'd
+	// recorder process adopts it with Attach.
+	seed, err := shmlog.CreateFile(shm, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := spawnCrossprocChild(t, "recorder", shm, crossprocCkptEnv+"="+ckpt)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitForLine(t, bufio.NewScanner(stdout), "RECORDER-READY")
+
+	tab := symtab.New()
+	tab.MustRegister("cp_main", 16, "cp.go", 1)
+	tab.MustRegister("cp_after", 16, "cp.go", 40)
+	rec, err := recorder.New(tab, recorder.WithShared(shm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Log().Close()
+	if err := rec.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The re-exec'd recorder's spin thread must be visible through the
+	// mapping: the counter word advances without this process touching it.
+	c0 := rec.Log().LoadCounter()
+	deadline := time.Now().Add(10 * time.Second)
+	for rec.Log().LoadCounter() == c0 {
+		if time.Now().After(deadline) {
+			t.Fatal("shared counter never advanced: recorder process not driving it")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	th := rec.Thread()
+	th.Enter(rec.AddrOf("cp_main"))
+	th.Exit(rec.AddrOf("cp_main"))
+	preKill := rec.Log().Len()
+	if preKill == 0 {
+		t.Fatal("no events reached the mapping before the kill")
+	}
+
+	assertKilled(t, cmd)
+
+	// The lock-free log needs nothing from the dead recorder: appends
+	// must keep landing.
+	const postKillCalls = 5
+	for i := 0; i < postKillCalls; i++ {
+		th.Enter(rec.AddrOf("cp_after"))
+		th.Exit(rec.AddrOf("cp_after"))
+	}
+	if got := rec.Log().Len(); got <= preKill {
+		t.Fatalf("log did not grow after recorder death: %d -> %d", preKill, got)
+	}
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Log().Msync(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(shm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	log, rep, err := shmlog.ReadLenient(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := analyzer.AnalyzeRecovered(log, tab, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := p.Func("cp_after"); !ok || st.Calls != postKillCalls {
+		t.Fatalf("post-kill events missing from salvage: %+v (report %v)", st, rep)
+	}
+
+	// The checkpoint bundle the dead recorder left behind must either load
+	// leniently or be recognizably torn — never crash the loader.
+	for _, path := range []string{ckpt, ckpt + ".part"} {
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		if _, err := LoadLenient(path); err != nil && !errors.Is(err, recorder.ErrBadBundle) {
+			t.Fatalf("checkpoint remnant %s: %v", path, err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package analyzer
+
+// Property/model test: random balanced call/return streams pushed through
+// the real probe runtime — batched and unbatched, single- and
+// multi-threaded — while an Incremental drains the live Cursor
+// concurrently. Once the writers finish and the runtime flushes, the live
+// table must converge EXACTLY to the offline analyzer's result over the
+// same log. Run under -race this also exercises the lock-free
+// reserve/commit protocol against a racing reader.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"teeperf/internal/counter"
+	"teeperf/internal/probe"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+func TestPropertyIncrementalConvergesViaProbe(t *testing.T) {
+	for _, batch := range []int{1, 4, 16} {
+		for _, threads := range []int{1, 3} {
+			batch, threads := batch, threads
+			t.Run(fmt.Sprintf("batch=%d,threads=%d", batch, threads), func(t *testing.T) {
+				runProbeProperty(t, batch, threads, int64(batch)*1000+int64(threads))
+			})
+		}
+	}
+}
+
+func runProbeProperty(t *testing.T, batch, threads int, seed int64) {
+	tab := symtab.New()
+	names := []string{"pp_a", "pp_b", "pp_c", "pp_d", "pp_e", "pp_f"}
+	addrs := make([]uint64, len(names))
+	for i, n := range names {
+		a, err := tab.Register(n, 16, "prop.go", i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+	}
+
+	log, err := shmlog.New(1 << 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var popts []probe.Option
+	if batch > 1 {
+		popts = append(popts, probe.WithBatch(batch))
+	}
+	rt, err := probe.New(log, counter.NewVirtual(1), popts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live reader: drain the cursor while the writers are still appending.
+	// Incremental is not safe for concurrent use, so only this goroutine
+	// touches it; the cursor itself reads the log's committed prefix with
+	// the same atomics the probes commit with.
+	inc := NewIncremental(tab)
+	cur := log.Cursor()
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			inc.FeedAll(cur.Next(nil))
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	const eventsPerThread = 400
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := rt.Thread()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var stack []uint64
+			for i := 0; i < eventsPerThread; i++ {
+				if len(stack) > 0 && (rng.Intn(2) == 0 || len(stack) >= 12) {
+					a := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					th.Exit(a)
+				} else {
+					a := addrs[rng.Intn(len(addrs))]
+					stack = append(stack, a)
+					th.Enter(a)
+				}
+			}
+			// Balance the stream: every call gets its return.
+			for len(stack) > 0 {
+				a := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				th.Exit(a)
+			}
+		}(w)
+	}
+	wg.Wait()
+	rt.Flush() // release reserved-but-unused batch slots
+	close(stop)
+	<-readerDone
+	// Final drain: everything committed (including former in-flight holes)
+	// must now be visible.
+	inc.FeedAll(cur.Next(nil))
+
+	if d := rt.Dropped(); d != 0 {
+		t.Fatalf("dropped %d events; the property needs a loss-free run", d)
+	}
+	if p := cur.Pending(); p != 0 {
+		t.Fatalf("cursor still has %d unresolved holes after flush", p)
+	}
+
+	live := inc.Snapshot(0)
+	p, err := Analyze(log, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesMatch(t, live, p)
+	if live.Unmatched != p.Unmatched {
+		t.Errorf("Unmatched = %d, offline %d", live.Unmatched, p.Unmatched)
+	}
+	if live.OpenFrames != 0 {
+		t.Errorf("OpenFrames = %d after a balanced stream", live.OpenFrames)
+	}
+	if live.Threads != threads {
+		t.Errorf("Threads = %d, want %d", live.Threads, threads)
+	}
+}

@@ -167,6 +167,23 @@ func (s *Software) Running() bool {
 // Now reads the current counter value.
 func (s *Software) Now() uint64 { return s.word.Load().w.LoadCounter() }
 
+// Reader is a passive source that samples a counter word some other
+// process advances — the attached application's view of the software
+// counter in cross-process mode: the recorder process runs the increment
+// loop against the shared mapping, the instrumented application only reads
+// the word. It is the paper's TEE-side half of the software counter.
+type Reader struct {
+	word Word
+}
+
+var _ Source = (*Reader)(nil)
+
+// NewReader returns a source that reads word without ever advancing it.
+func NewReader(word Word) *Reader { return &Reader{word: word} }
+
+// Now samples the externally-advanced counter word.
+func (r *Reader) Now() uint64 { return r.word.LoadCounter() }
+
 // TSC is a hardware-timestamp-like source backed by the host monotonic
 // clock, reporting nanoseconds since construction. It stands in for rdtsc
 // on platforms where the TEE can read a hardware counter directly.

@@ -130,7 +130,7 @@ func (r *Recorder) checkpointPass(path string) error {
 	// armed CheckpointWrite point can shorten, fail, delay or kill any
 	// individual Write; a disabled injector adds one atomic load per
 	// Write.
-	if err := WriteBundle(inj.Writer(f, faultinject.CheckpointWrite), r.tab, r.Log()); err != nil {
+	if err := WriteBundle(inj.Writer(f, faultinject.CheckpointWrite), r.Table(), r.Log()); err != nil {
 		f.Close()
 		return fmt.Errorf("recorder: checkpoint write: %w", err)
 	}

@@ -43,12 +43,23 @@ var (
 
 // Recorder owns one profiling run.
 type Recorder struct {
-	tab  *symtab.Table
+	// tabMu guards tab: in cross-process mode the hosting recorder starts
+	// with an empty table and SetTable swaps in the application's symbols
+	// (read from the side file) while checkpointing may be reading it.
+	tabMu sync.RWMutex
+	tab   *symtab.Table
+
 	rt   *probe.Runtime
 	soft *counter.Software
 	src  counter.Source
 	bias int64
 	cfg  config
+
+	// sharedPath is the backing file of a cross-process (mmap) log; empty
+	// for in-process runs. host marks the recorder-side end of the attach
+	// protocol: it owns the counter thread and the ready flag.
+	sharedPath string
+	host       bool
 
 	// stateMu guards the run-lifecycle fields below; the live monitor
 	// calls Stats concurrently with Start/Stop.
@@ -91,6 +102,8 @@ type config struct {
 	sync     shmlog.Sync
 	batch    int
 	inject   *faultinject.Injector
+	shared   string
+	table    *symtab.Table
 }
 
 type optionFunc func(*config)
@@ -149,37 +162,103 @@ func WithFaultInjector(in *faultinject.Injector) Option {
 	return optionFunc(func(c *config) { c.inject = in })
 }
 
+// WithShared attaches the recorder to an existing file-backed shared log
+// (created by a hosting recorder process, see Create) instead of
+// allocating a heap log. The default counter source becomes a passive
+// reader of the shared counter word — the hosting process runs the
+// increment loop. WithCapacity and WithSync are ignored: the mapping's
+// creator fixed both.
+func WithShared(path string) Option {
+	return optionFunc(func(c *config) { c.shared = path })
+}
+
+// WithTable supplies the symbol table for Create/Attach hosts. The default
+// is a fresh table; the host later learns the application's symbols via
+// SetTable (from the side file the instrumented process writes).
+func WithTable(tab *symtab.Table) Option {
+	return optionFunc(func(c *config) { c.table = tab })
+}
+
+// counterShared is the resolved default mode of a recorder attached to a
+// shared mapping it does not host: a passive reader of the counter word
+// the hosting process advances.
+const counterShared CounterMode = -1
+
 // New prepares a recorder over the given symbol table. The log is created
-// inactive; Start activates it.
+// inactive; Start activates it. With WithShared the recorder instead opens
+// an existing file-backed mapping (created by a hosting recorder process)
+// and stamps this process's PID and profiler anchor into the shared
+// header.
 func New(tab *symtab.Table, opts ...Option) (*Recorder, error) {
 	if tab == nil {
 		return nil, errors.New("recorder: nil symbol table")
 	}
 	cfg := config{
 		capacity: 1 << 20,
-		mode:     CounterSoftware,
 		sync:     shmlog.SyncAtomic,
 	}
 	for _, opt := range opts {
 		opt.apply(&cfg)
 	}
 
-	anchorRuntime := uint64(int64(tab.AnchorAddr()) + cfg.bias)
-	log, err := shmlog.New(cfg.capacity,
-		shmlog.WithPID(cfg.pid),
-		shmlog.WithProfilerAddr(anchorRuntime),
-		shmlog.WithSync(cfg.sync),
-		shmlog.WithFlags(shmlog.EventCall|shmlog.EventReturn), // inactive until Start
-	)
-	if err != nil {
-		return nil, fmt.Errorf("recorder: create log: %w", err)
+	var log *shmlog.Log
+	if cfg.shared != "" {
+		l, err := shmlog.OpenFile(cfg.shared)
+		if err != nil {
+			return nil, fmt.Errorf("recorder: attach shared log: %w", err)
+		}
+		pid := cfg.pid
+		if pid == 0 {
+			pid = uint64(os.Getpid())
+		}
+		l.SetPID(pid)
+		l.SetProfilerAddr(uint64(int64(tab.AnchorAddr()) + cfg.bias))
+		log = l
+	} else {
+		anchorRuntime := uint64(int64(tab.AnchorAddr()) + cfg.bias)
+		l, err := shmlog.New(cfg.capacity,
+			shmlog.WithPID(cfg.pid),
+			shmlog.WithProfilerAddr(anchorRuntime),
+			shmlog.WithSync(cfg.sync),
+			shmlog.WithFlags(shmlog.EventCall|shmlog.EventReturn), // inactive until Start
+		)
+		if err != nil {
+			return nil, fmt.Errorf("recorder: create log: %w", err)
+		}
+		log = l
 	}
+	r, err := newRecorder(tab, log, cfg, false)
+	if err != nil && log.Mapped() {
+		log.Close()
+	}
+	return r, err
+}
 
-	r := &Recorder{tab: tab, bias: cfg.bias, cfg: cfg, inject: cfg.inject}
+// newRecorder wires the counter source and probe runtime over an existing
+// log. host marks the recorder-process end of a shared mapping: it owns
+// the counter thread and the recorder-ready handshake bit.
+func newRecorder(tab *symtab.Table, log *shmlog.Log, cfg config, host bool) (*Recorder, error) {
+	r := &Recorder{tab: tab, bias: cfg.bias, cfg: cfg, inject: cfg.inject, host: host}
+	if log.Mapped() {
+		r.sharedPath = log.Path()
+	}
+	mode := cfg.mode
+	if mode == 0 {
+		// Default mode: the software counter — except on the application
+		// side of a shared mapping, where the hosting recorder process
+		// already runs the increment loop and this process only reads it.
+		if log.Mapped() && !host {
+			mode = counterShared
+		} else {
+			mode = CounterSoftware
+		}
+	}
 	switch {
 	case cfg.source != nil:
 		r.src = cfg.source
-	case cfg.mode == CounterSoftware:
+	case mode == counterShared:
+		r.src = counter.NewReader(log)
+	case mode == CounterSoftware:
 		r.soft = counter.NewSoftware(log)
 		// With an explicit injector, the counter thread checks the
 		// CounterStall fault point every 1024 increments so chaos tests
@@ -190,9 +269,9 @@ func New(tab *symtab.Table, opts ...Option) (*Recorder, error) {
 			r.soft.OnTick(func() { _ = in.Hit(faultinject.CounterStall) })
 		}
 		r.src = r.soft
-	case cfg.mode == CounterTSC:
+	case mode == CounterTSC:
 		r.src = counter.NewTSC()
-	case cfg.mode == CounterVirtual:
+	case mode == CounterVirtual:
 		r.src = counter.NewVirtual(1)
 	default:
 		return nil, fmt.Errorf("recorder: unknown counter mode %d", cfg.mode)
@@ -226,7 +305,28 @@ func (r *Recorder) injector() *faultinject.Injector {
 }
 
 // Table exposes the symbol table.
-func (r *Recorder) Table() *symtab.Table { return r.tab }
+func (r *Recorder) Table() *symtab.Table {
+	r.tabMu.RLock()
+	defer r.tabMu.RUnlock()
+	return r.tab
+}
+
+// SetTable swaps in a new symbol table. A hosting recorder starts with an
+// (almost) empty table and installs the application's symbols once the
+// instrumented process has written its side file; persistence and
+// checkpointing pick up the new table on their next pass.
+func (r *Recorder) SetTable(tab *symtab.Table) {
+	if tab == nil {
+		return
+	}
+	r.tabMu.Lock()
+	r.tab = tab
+	r.tabMu.Unlock()
+}
+
+// SharedPath returns the backing file of a cross-process shared log, or ""
+// for an in-process (heap) recorder.
+func (r *Recorder) SharedPath() string { return r.sharedPath }
 
 // Source exposes the counter source used by probes.
 func (r *Recorder) Source() counter.Source { return r.src }
@@ -234,7 +334,7 @@ func (r *Recorder) Source() counter.Source { return r.src }
 // AddrOf returns the runtime (relocated) address of a registered function;
 // workload setup uses it to wire probe call sites.
 func (r *Recorder) AddrOf(name string) uint64 {
-	static := r.tab.Addr(name)
+	static := r.Table().Addr(name)
 	if static == 0 {
 		return 0
 	}
@@ -258,6 +358,11 @@ func (r *Recorder) Start() error {
 		r.soft.Start()
 	}
 	r.Log().SetActive(true)
+	if r.host {
+		// Attach handshake: the counter thread is live, tell the (possibly
+		// not yet spawned) application it can start sampling.
+		r.Log().SetReady(true)
+	}
 	return nil
 }
 
@@ -278,6 +383,9 @@ func (r *Recorder) Stop() error {
 	r.stateMu.Unlock()
 	r.StopAutoRotate()
 	r.Log().SetActive(false)
+	if r.host {
+		r.Log().SetReady(false)
+	}
 	// Release the trailing reserved slots of every thread's batched block
 	// so the persisted log carries tombstones (dismissed by readers)
 	// instead of permanent holes. The probe runtime's per-thread busy
@@ -343,11 +451,17 @@ func (r *Recorder) Stats() Stats {
 	if r.soft == nil && r.src != nil {
 		ticks = r.src.Now()
 	}
+	// All of this process's writes flow through the probe runtime, whose
+	// drop counter spans every rotated segment; the log header's counter
+	// additionally sees drops suffered by another process sharing the
+	// mapping. Report whichever view is larger.
+	dropped := r.rt.Dropped()
+	if ld := log.Dropped(); ld > dropped {
+		dropped = ld
+	}
 	st := Stats{
-		Entries: log.Len(),
-		// All recorder writes flow through the probe runtime, whose drop
-		// counter spans every rotated segment.
-		Dropped:      r.rt.Dropped(),
+		Entries:      log.Len(),
+		Dropped:      dropped,
 		CounterTicks: ticks,
 		Duration:     duration,
 		Capacity:     log.Capacity(),
@@ -369,7 +483,7 @@ func (r *Recorder) Persist(path string) error {
 		return fmt.Errorf("recorder: create %s: %w", path, err)
 	}
 	defer f.Close()
-	if err := WriteBundle(f, r.tab, r.Log()); err != nil {
+	if err := WriteBundle(f, r.Table(), r.Log()); err != nil {
 		return fmt.Errorf("recorder: persist %s: %w", path, err)
 	}
 	return f.Sync()
@@ -377,5 +491,5 @@ func (r *Recorder) Persist(path string) error {
 
 // PersistTo writes the profile bundle to w.
 func (r *Recorder) PersistTo(w io.Writer) error {
-	return WriteBundle(w, r.tab, r.Log())
+	return WriteBundle(w, r.Table(), r.Log())
 }

@@ -31,7 +31,14 @@ func (r *Recorder) Rotate() (*shmlog.Log, error) {
 	defer r.rotateMu.Unlock()
 
 	old := r.Log()
-	anchorRuntime := uint64(int64(r.tab.AnchorAddr()) + r.bias)
+	if old.Mapped() {
+		// A fresh segment would be a process-local heap log: the other
+		// process would keep appending to the old mapping and the two
+		// would silently diverge. Cross-process runs size the mapping up
+		// front instead of rotating.
+		return nil, fmt.Errorf("recorder: cannot rotate a shared (mmap) log %q", old.Path())
+	}
+	anchorRuntime := uint64(int64(r.Table().AnchorAddr()) + r.bias)
 	flags := old.Flags() // carry activation state and event mask over
 	next, err := shmlog.New(r.cfg.capacity,
 		shmlog.WithPID(r.cfg.pid),
@@ -93,7 +100,7 @@ func (r *Recorder) PersistSegment(log *shmlog.Log, path string) error {
 		return fmt.Errorf("recorder: create %s: %w", path, err)
 	}
 	defer f.Close()
-	if err := WriteBundle(f, r.tab, log); err != nil {
+	if err := WriteBundle(f, r.Table(), log); err != nil {
 		return fmt.Errorf("recorder: persist segment %s: %w", path, err)
 	}
 	return f.Sync()

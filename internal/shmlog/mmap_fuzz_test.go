@@ -1,0 +1,95 @@
+//go:build linux || darwin
+
+package shmlog
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzMmapRoundTrip drives random workloads through a file-backed log and
+// checks three views agree: the creating mapping, a second mapping of the
+// same file, and the raw bytes decoded offline (strict and lenient).
+func FuzzMmapRoundTrip(f *testing.F) {
+	f.Add(uint16(8), uint16(3), int64(1))
+	f.Add(uint16(1), uint16(4), int64(2))  // overflow: more events than slots
+	f.Add(uint16(64), uint16(0), int64(3)) // empty log
+	f.Add(uint16(256), uint16(200), int64(4))
+	f.Fuzz(func(t *testing.T, rawCap, rawCount uint16, seed int64) {
+		capacity := int(rawCap)%256 + 1
+		count := int(rawCount) % 512
+		rng := rand.New(rand.NewSource(seed))
+
+		path := filepath.Join(t.TempDir(), "fuzz.shm")
+		creator, err := CreateFile(path, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer creator.Close()
+		attached, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer attached.Close()
+
+		var want []Entry
+		for i := 0; i < count; i++ {
+			e := Entry{
+				Kind:     KindCall,
+				Counter:  rng.Uint64() & counterMask,
+				Addr:     rng.Uint64(),
+				ThreadID: uint64(rng.Intn(8) + 1),
+			}
+			if rng.Intn(2) == 1 {
+				e.Kind = KindReturn
+			}
+			// Alternate which mapping appends: both write the same region.
+			l := creator
+			if i%2 == 1 {
+				l = attached
+			}
+			if err := l.Append(e); err == nil {
+				want = append(want, e)
+			}
+		}
+
+		if got := creator.Entries(); !sameEntries(got, want) {
+			t.Fatalf("creator entries diverge: got %d, want %d", len(got), len(want))
+		}
+		if got := attached.Entries(); !sameEntries(got, want) {
+			t.Fatalf("attached entries diverge: got %d, want %d", len(got), len(want))
+		}
+		wantDropped := uint64(count - len(want))
+		if got := creator.Dropped(); got != wantDropped {
+			t.Fatalf("Dropped = %d, want %d", got, wantDropped)
+		}
+
+		if err := creator.Msync(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strict, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("strict Read of raw file: %v", err)
+		}
+		if got := strict.Entries(); !sameEntries(got, want) {
+			t.Fatalf("strict raw-file entries diverge: got %d, want %d", len(got), len(want))
+		}
+		lenient, rep, err := ReadLenient(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("intact raw file not clean: %v", rep)
+		}
+		if got := lenient.Entries(); !sameEntries(got, want) {
+			t.Fatalf("lenient raw-file entries diverge: got %d, want %d", len(got), len(want))
+		}
+	})
+}

@@ -1,0 +1,21 @@
+//go:build !(linux || darwin)
+
+package shmlog
+
+// MmapSupported reports whether this platform supports file-backed shared
+// logs. On platforms without MAP_SHARED file mappings callers fall back to
+// the in-process heap log.
+const MmapSupported = false
+
+// CreateFile is unavailable on this platform.
+func CreateFile(path string, capacity int, opts ...Option) (*Log, error) {
+	return nil, ErrMmapUnsupported
+}
+
+// OpenFile is unavailable on this platform.
+func OpenFile(path string) (*Log, error) {
+	return nil, ErrMmapUnsupported
+}
+
+func msync(data []byte) error  { return nil }
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,152 @@
+//go:build linux || darwin
+
+package shmlog
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// MmapSupported reports whether this platform supports file-backed shared
+// logs (CreateFile / OpenFile). When false, callers fall back to the
+// in-process heap log.
+const MmapSupported = true
+
+// CreateFile creates (truncating) a file-backed log at path with room for
+// capacity entries and maps it MAP_SHARED. The header is initialised like
+// New's, plus the attach-handshake words: creator PID (this process) and a
+// zero attach generation. The recorder process calls this before spawning
+// the instrumented application.
+//
+// SyncMutex is rejected: a Go mutex cannot synchronise writers in two
+// different processes. WithVersion is likewise rejected — a shared file is
+// always the current layout.
+func CreateFile(path string, capacity int, opts ...Option) (*Log, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("shmlog: capacity must be positive, got %d", capacity)
+	}
+	o := options{
+		version: Version,
+		sync:    SyncAtomic,
+		flags:   FlagActive | EventCall | EventReturn,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	if o.sync != SyncAtomic {
+		return nil, fmt.Errorf("%w: file-backed logs require SyncAtomic (a mutex cannot cross processes)", ErrMapped)
+	}
+	if o.version != Version {
+		return nil, fmt.Errorf("%w: file-backed logs are always version %d", ErrMapped, Version)
+	}
+
+	size := HeaderSize + capacity*EntrySize
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("shmlog: create mapping file: %w", err)
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("shmlog: size mapping file: %w", err)
+	}
+	l, err := mapFile(f, path, size)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	l.words[wordMagic] = Magic
+	l.words[wordVersion] = Version
+	l.words[wordPID] = o.pid
+	l.words[wordCapacity] = uint64(capacity)
+	l.words[wordProfilerAddr] = o.profilerAddr
+	l.words[wordCreatorPID] = uint64(os.Getpid())
+	l.words[wordFlags] = o.flags
+	return l, nil
+}
+
+// OpenFile maps an existing file-backed log MAP_SHARED and validates its
+// header (magic, version, capacity vs file size). It atomically bumps the
+// attach generation so the creator can observe the attach. The instrumented
+// application calls this with the path handed over in TEEPERF_SHM.
+func OpenFile(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("shmlog: open mapping file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shmlog: stat mapping file: %w", err)
+	}
+	size := st.Size()
+	if size < HeaderSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: mapping file %q is %d bytes, below the %d-byte header", ErrTruncatedHeader, path, size, HeaderSize)
+	}
+	if size > int64(int(^uint(0)>>1)) { // cannot address as one slice
+		f.Close()
+		return nil, fmt.Errorf("shmlog: mapping file %q too large (%d bytes)", path, size)
+	}
+	l, err := mapFile(f, path, int(size))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if got := atomic.LoadUint64(&l.words[wordMagic]); got != Magic {
+		l.Close()
+		return nil, fmt.Errorf("%w: mapping file %q", ErrBadMagic, path)
+	}
+	if got := atomic.LoadUint64(&l.words[wordVersion]); got != Version {
+		l.Close()
+		return nil, fmt.Errorf("%w: %d in mapping file %q", ErrBadVersion, got, path)
+	}
+	capacity := atomic.LoadUint64(&l.words[wordCapacity])
+	if want := int64(HeaderSize) + int64(capacity)*EntrySize; want > size {
+		l.Close()
+		return nil, fmt.Errorf("%w: mapping file %q holds %d bytes but header claims capacity %d (%d bytes)",
+			ErrTruncated, path, size, capacity, want)
+	}
+	atomic.AddUint64(&l.words[wordAttachGen], 1)
+	return l, nil
+}
+
+// mapFile maps size bytes of f MAP_SHARED and lays the word array over the
+// mapping. size must be a multiple of 8 and at least HeaderSize.
+func mapFile(f *os.File, path string, size int) (*Log, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("shmlog: mmap %q: %w", path, err)
+	}
+	words := unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), size/8)
+	return &Log{
+		words:      words,
+		sync:       SyncAtomic,
+		srcVersion: Version,
+		mapped:     data,
+		file:       f,
+		path:       path,
+	}, nil
+}
+
+// msync flushes the mapping to its backing file with MS_SYNC.
+func msync(data []byte) error {
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return fmt.Errorf("shmlog: msync: %w", errno)
+	}
+	return nil
+}
+
+// munmap releases the mapping.
+func munmap(data []byte) error {
+	if err := syscall.Munmap(data); err != nil {
+		return fmt.Errorf("shmlog: munmap: %w", err)
+	}
+	return nil
+}

@@ -123,7 +123,8 @@ func (r *RecoveryReport) String() string {
 
 // knownFlags is every flag bit a valid header may carry; lenient decoding
 // masks everything else off (bit-flip damage in the flags word).
-const knownFlags = FlagActive | FlagMultithread | EventCall | EventReturn
+// FlagRecorderReady appears in raw mmap files salvaged after a crash.
+const knownFlags = FlagActive | FlagMultithread | EventCall | EventReturn | FlagRecorderReady
 
 // ReadLenient decodes a persisted log salvaging whatever it can: a
 // truncated header is zero-filled, a tail pointing past EOF (or past the
@@ -209,16 +210,42 @@ func ReadLenient(r io.Reader) (*Log, *RecoveryReport, error) {
 
 	// Entry region: everything after the header, whole entries only.
 	body := data[min(headerLen, len(data)):]
-	present := len(body) / EntrySize
 	if len(body)%EntrySize != 0 {
 		rep.note(CorruptTornEntry)
+	}
+
+	// A raw mmap file (the crash-salvage input of cross-process mode)
+	// persists the whole fixed-capacity region, so every slot at or above
+	// the tail was simply never reserved. Trim trailing all-zero slots down
+	// to the tail before judging the tail against what is present — they
+	// are padding, not died-in-flight writers. The trim stops at the first
+	// non-zero slot, so a tail word bit-flipped downward still leaves the
+	// real entries above it in the scan.
+	slotZero := func(i int) bool {
+		for _, b := range body[i*EntrySize : (i+1)*EntrySize] {
+			if b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	present := len(body) / EntrySize
+	for present > 0 && uint64(present) > tail && slotZero(present-1) {
+		present--
 	}
 	rep.EntriesPresent = present
 
 	// The header's tail and capacity may both be damaged or stale; the
 	// authoritative bound is the entries physically present. A tail that
 	// disagrees is clamped, never trusted past EOF.
-	if tail > uint64(present) || tail > capacity || int(tail) != present {
+	switch {
+	case tail > capacity && capacity == uint64(present):
+		// A raw mmap region whose writers raced past the end: the tail
+		// fetch-and-add keeps climbing after the log fills, so a tail above
+		// the capacity of a physically full region is benign overflow, not
+		// damage. Clamp silently, exactly as the strict Read does.
+		tail = capacity
+	case tail > uint64(present) || tail > capacity || int(tail) != present:
 		rep.note(CorruptTailRange)
 		rep.TailClamped = true
 	}

@@ -26,6 +26,15 @@
 // thread's increment loop, every probe's tail fetch-and-add and the flag
 // reads all contended on the same line. Read still decodes version-1
 // streams; in memory every Log uses the padded layout.
+//
+// On Linux and macOS the same layout can back a real cross-process shared
+// region: CreateFile / OpenFile lay the header and entries over a
+// MAP_SHARED file mapping, so a recorder process and the instrumented
+// application each map the file and communicate through the header's
+// handshake words (creator PID, attach generation, recorder-ready flag)
+// exactly as the paper's Stage 2 native recorder shares memory with the
+// TEE. Everything above the word array — probes, cursors, recovery — works
+// unchanged on a mapped log.
 package shmlog
 
 import (
@@ -33,9 +42,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Layout constants. The on-disk representation is little-endian 64-bit
@@ -72,14 +83,25 @@ const (
 // Header word indexes (version-2 layout). The mutable words — flags, tail,
 // counter — each sit on their own cache line (8 words apart); the remaining
 // words of each line are reserved padding, persisted as zero.
+//
+// File-backed (mmap) logs additionally use three handshake slots for the
+// cross-process attach protocol: the creator PID and attach generation live
+// in line 0 (written at setup / bumped once per attach), the recorder-ready
+// flag is a bit in the flags word, and the dropped-event counter shares the
+// tail's line (drops happen on the reservation path, and only when the log
+// is already full). All four persist as zero through WriteTo — they are
+// runtime coordination state, not part of the recorded measurement.
 const (
 	wordMagic        = 0
 	wordVersion      = 1
 	wordPID          = 2
 	wordCapacity     = 3
 	wordProfilerAddr = 4
+	wordCreatorPID   = 5  // attach handshake: PID of the creating process
+	wordAttachGen    = 6  // attach handshake: bumped once per OpenFile
 	wordFlags        = 8  // cache line 1
 	wordTail         = 16 // cache line 2
+	wordDropped      = 17 // drop counter (cold: touched only when full)
 	wordCounter      = 24 // cache line 3
 )
 
@@ -107,6 +129,12 @@ const (
 	// EventCall / EventReturn select which event kinds are recorded.
 	EventCall   uint64 = 1 << 2
 	EventReturn uint64 = 1 << 3
+
+	// FlagRecorderReady is the attach-handshake bit: the hosting recorder
+	// process sets it once its counter thread is running, so an attaching
+	// application knows the shared counter word is live before it starts
+	// sampling (cross-process mode).
+	FlagRecorderReady uint64 = 1 << 4
 
 	// EventMask covers all event-selection bits.
 	EventMask = EventCall | EventReturn
@@ -187,6 +215,13 @@ var (
 	ErrTruncatedHeader = fmt.Errorf("%w: incomplete header", ErrTruncated)
 	// ErrRange is returned when an entry index is out of bounds.
 	ErrRange = errors.New("shmlog: entry index out of range")
+	// ErrMmapUnsupported is returned by CreateFile/OpenFile on platforms
+	// without shared file-backed mappings; callers fall back to the
+	// in-process heap log.
+	ErrMmapUnsupported = errors.New("shmlog: file-backed shared mapping not supported on this platform")
+	// ErrMapped is returned for operations invalid on a file-backed log
+	// (e.g. unsupported sync modes).
+	ErrMapped = errors.New("shmlog: invalid operation on mapped log")
 )
 
 // Entry is one decoded log record (Figure 2 (b)).
@@ -213,7 +248,12 @@ type Log struct {
 	// for logs created by New).
 	srcVersion uint64
 
-	dropped atomic.Uint64
+	// mapped/file/path are set only for file-backed logs (CreateFile /
+	// OpenFile): words then aliases the MAP_SHARED byte region, so every
+	// atomic store is visible to other processes mapping the same file.
+	mapped []byte
+	file   *os.File
+	path   string
 }
 
 // Option configures New.
@@ -308,6 +348,11 @@ func (l *Log) Capacity() int { return int(atomic.LoadUint64(&l.words[wordCapacit
 // PID returns the recorded process ID.
 func (l *Log) PID() uint64 { return atomic.LoadUint64(&l.words[wordPID]) }
 
+// SetPID records the process ID of the profiled application. In
+// cross-process mode the recorder creates the mapping before the
+// application exists, so the attaching process stamps its own PID here.
+func (l *Log) SetPID(pid uint64) { atomic.StoreUint64(&l.words[wordPID], pid) }
+
 // Version returns the log structure version of the in-memory layout.
 func (l *Log) Version() uint64 { return atomic.LoadUint64(&l.words[wordVersion]) }
 
@@ -385,6 +430,85 @@ func (l *Log) SetActive(active bool) {
 	}
 }
 
+// CreatorPID returns the PID of the process that created a file-backed log
+// (zero for heap logs). An attaching process uses it to confirm it is
+// talking to a live recorder, not a stale file.
+func (l *Log) CreatorPID() uint64 { return atomic.LoadUint64(&l.words[wordCreatorPID]) }
+
+// AttachGen returns the attach generation: how many times OpenFile has
+// mapped this log. The creator observes it rise when the application
+// attaches; tests assert on it.
+func (l *Log) AttachGen() uint64 { return atomic.LoadUint64(&l.words[wordAttachGen]) }
+
+// Ready reports whether the hosting recorder has marked its counter thread
+// live (FlagRecorderReady).
+func (l *Log) Ready() bool { return l.Flags()&FlagRecorderReady != 0 }
+
+// SetReady toggles the recorder-ready handshake bit. The hosting recorder
+// sets it in Start (after the counter thread is running) and clears it in
+// Stop.
+func (l *Log) SetReady(ready bool) {
+	if ready {
+		l.SetFlag(FlagRecorderReady)
+	} else {
+		l.ClearFlag(FlagRecorderReady)
+	}
+}
+
+// WaitReady blocks until the recorder-ready bit is set or the timeout
+// elapses, polling the shared flags word. It returns true when the bit was
+// observed set. An attaching application calls this before sampling so its
+// first events carry live counter values.
+func (l *Log) WaitReady(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if l.Ready() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Mapped reports whether the log is a file-backed shared mapping.
+func (l *Log) Mapped() bool { return l.mapped != nil }
+
+// Path returns the backing file path of a mapped log ("" for heap logs).
+func (l *Log) Path() string { return l.path }
+
+// Msync flushes the mapped region to the backing file (MS_SYNC). It is a
+// no-op for heap logs.
+func (l *Log) Msync() error {
+	if l.mapped == nil {
+		return nil
+	}
+	return msync(l.mapped)
+}
+
+// Close unmaps a file-backed log and closes the backing file. The words
+// slice is repointed at a zeroed header-only region first, so a straggler
+// touching the log after Close reads harmless zeros (inactive, empty)
+// instead of faulting on unmapped memory. Heap logs are unaffected. Close
+// is not safe to call concurrently with writers still appending.
+func (l *Log) Close() error {
+	if l.mapped == nil {
+		return nil
+	}
+	l.words = make([]uint64, HeaderWords)
+	mapped := l.mapped
+	l.mapped = nil
+	err := munmap(mapped)
+	if l.file != nil {
+		if cerr := l.file.Close(); err == nil {
+			err = cerr
+		}
+		l.file = nil
+	}
+	return err
+}
+
 // AddCounter atomically advances the header counter word by delta and
 // returns the new value. The software counter thread calls this in its
 // tight loop; since format v2 the counter word owns a whole cache line, so
@@ -415,12 +539,15 @@ func (l *Log) Len() int {
 }
 
 // Dropped returns how many entries were rejected because the log was full.
-func (l *Log) Dropped() uint64 { return l.dropped.Load() }
+// The count lives in header word 17 (not a heap field) so that in
+// cross-process mode the hosting recorder sees drops suffered by the
+// attached application.
+func (l *Log) Dropped() uint64 { return atomic.LoadUint64(&l.words[wordDropped]) }
 
 // NoteDropped adds n to the drop counter. Batched writers call it when an
 // event arrives and no slot can be reserved, so drop accounting matches the
 // single-slot Append path.
-func (l *Log) NoteDropped(n uint64) { l.dropped.Add(n) }
+func (l *Log) NoteDropped(n uint64) { atomic.AddUint64(&l.words[wordDropped], n) }
 
 // Reserve claims up to n contiguous entry slots with a single fetch-and-add
 // on the tail and returns the first slot index and the number of usable
@@ -504,7 +631,7 @@ func (l *Log) Append(e Entry) error {
 
 	slot, n := l.Reserve(1)
 	if n == 0 {
-		l.dropped.Add(1)
+		atomic.AddUint64(&l.words[wordDropped], 1)
 		return ErrFull
 	}
 	l.Commit(slot, e)
@@ -563,7 +690,7 @@ func (l *Log) Entries() []Entry {
 func (l *Log) Reset() {
 	atomic.StoreUint64(&l.words[wordTail], 0)
 	atomic.StoreUint64(&l.words[wordCounter], 0)
-	l.dropped.Store(0)
+	atomic.StoreUint64(&l.words[wordDropped], 0)
 }
 
 // WriteTo persists the header and all reserved entries in the binary

@@ -19,13 +19,16 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"teeperf/internal/probe"
 	"teeperf/internal/recorder"
+	"teeperf/internal/shmlog"
 	"teeperf/internal/symtab"
 )
 
@@ -108,12 +111,28 @@ func ensureLocked() error {
 		global.tab = symtab.New()
 	}
 	cfg := global.cfg
-	opts := []recorder.Option{recorder.WithPID(cfg.PID)}
+	pid := cfg.PID
+	if pid == 0 {
+		pid = uint64(os.Getpid())
+	}
+	opts := []recorder.Option{recorder.WithPID(pid)}
 	if cfg.LogCapacity > 0 {
 		opts = append(opts, recorder.WithCapacity(cfg.LogCapacity))
 	}
 	if cfg.Counter != 0 {
 		opts = append(opts, recorder.WithCounterMode(cfg.Counter))
+	}
+	// A wrapper recorder process (`teeperf run`) hands its shared mapping
+	// over via the environment; attach to it instead of allocating a heap
+	// log, so events land in the recorder's address space. On platforms
+	// without mmap support the variable is ignored (with a warning) and
+	// recording stays in-process.
+	if shm := os.Getenv(recorder.SharedEnv); shm != "" {
+		if shmlog.MmapSupported {
+			opts = append(opts, recorder.WithShared(shm))
+		} else {
+			fmt.Fprintf(os.Stderr, "rt: %s set but shared mappings are unsupported on this platform; recording in-process\n", recorder.SharedEnv)
+		}
 	}
 	rec, err := recorder.New(global.tab, opts...)
 	if err != nil {
@@ -141,6 +160,17 @@ func start() error {
 	}
 	if err := global.rec.Start(); err != nil {
 		return err
+	}
+	if shm := global.rec.SharedPath(); shm != "" {
+		// Every package-init Register has run by the first Span, so the
+		// table is complete: publish the symbol side file for the hosting
+		// recorder. Best-effort — a host missing names still gets addresses.
+		if err := recorder.WriteSymsFile(recorder.SymsPath(shm), global.tab); err != nil {
+			fmt.Fprintf(os.Stderr, "rt: publish symbols: %v\n", err)
+		}
+		// Give the host's counter thread a moment to come up so the first
+		// events carry live tick values; an absent host is tolerated.
+		global.rec.Log().WaitReady(2 * time.Second)
 	}
 	global.started = true
 	global.startedFast.Store(true)
@@ -230,6 +260,17 @@ func Finish(path string) error {
 	if err := global.rec.Stop(); err != nil {
 		return err
 	}
+	if shm := global.rec.SharedPath(); shm != "" {
+		// Refresh the side file (late Registers) and flush the mapping so
+		// the hosting recorder persists a complete, durable region even if
+		// this process exits immediately after.
+		if err := recorder.WriteSymsFile(recorder.SymsPath(shm), global.tab); err != nil {
+			fmt.Fprintf(os.Stderr, "rt: publish symbols: %v\n", err)
+		}
+		if err := global.rec.Log().Msync(); err != nil {
+			fmt.Fprintf(os.Stderr, "rt: msync shared log: %v\n", err)
+		}
+	}
 	return global.rec.Persist(path)
 }
 
@@ -249,6 +290,9 @@ func Reset() {
 	defer global.mu.Unlock()
 	if global.rec != nil && global.started {
 		_ = global.rec.Stop()
+	}
+	if global.rec != nil && global.rec.SharedPath() != "" {
+		_ = global.rec.Log().Close()
 	}
 	global.tab = nil
 	global.rec = nil

@@ -188,9 +188,22 @@ func (s *Session) Start() error {
 		}
 		opts = append(opts, recorder.WithFilter(f))
 	}
+	// A wrapper recorder process (`teeperf run`) hands its shared mapping
+	// over via the environment; attach instead of allocating, so the
+	// recording lands in the mapping the wrapper persists.
+	if shm := os.Getenv(recorder.SharedEnv); shm != "" && shmlog.MmapSupported {
+		opts = append(opts, recorder.WithShared(shm))
+	}
 	rec, err := recorder.New(s.tab, opts...)
 	if err != nil {
 		return fmt.Errorf("teeperf: create recorder: %w", err)
+	}
+	if shm := rec.SharedPath(); shm != "" {
+		// The table is complete at Start, so publish the symbol side file
+		// for the hosting recorder process.
+		if err := recorder.WriteSymsFile(recorder.SymsPath(shm), s.tab); err != nil {
+			return fmt.Errorf("teeperf: publish symbols: %w", err)
+		}
 	}
 	s.rec = rec
 	s.started = true
@@ -220,12 +233,21 @@ func (s *Session) Disable() {
 	}
 }
 
-// Stop ends the measurement (idempotent).
+// Stop ends the measurement (idempotent). In cross-process mode the shared
+// mapping is flushed to its backing file so the hosting recorder (or an
+// offline salvage) sees the final state even if this process exits right
+// after.
 func (s *Session) Stop() error {
 	if !s.started {
 		return errors.New("teeperf: session not started")
 	}
-	return s.rec.Stop()
+	if err := s.rec.Stop(); err != nil {
+		return err
+	}
+	if s.rec.SharedPath() != "" {
+		return s.rec.Log().Msync()
+	}
+	return nil
 }
 
 // Stats reports recorder statistics.
