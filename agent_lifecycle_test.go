@@ -1,0 +1,191 @@
+//go:build linux || darwin
+
+package teeperf
+
+// Fleet-agent lifecycle conformance: one agent observes three real
+// instrumented child processes through a spool directory, one child is
+// SIGKILLed mid-run, and the fleet metrics must show exactly the surviving
+// sessions live and the killed one salvaged — with per-session entry
+// counts intact and the neighbors' accounting undisturbed.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"teeperf/internal/agent"
+	"teeperf/internal/recorder"
+)
+
+// crossprocWorkloadEntries is the deterministic entry count of the fixed
+// re-exec workload: 40×main{alpha{beta}} (6 entries each) plus 20×gamma
+// pairs.
+const crossprocWorkloadEntries = 40*6 + 20*2
+
+// lifecycleChild hosts one mapping and runs one "spin" child over it.
+type lifecycleChild struct {
+	name string
+	shm  string
+	host *recorder.Recorder
+	cmd  *exec.Cmd
+}
+
+func startLifecycleChild(t *testing.T, spool, name string) *lifecycleChild {
+	t.Helper()
+	shm := filepath.Join(spool, name+".shm")
+	host, err := recorder.Create(shm, recorder.WithCapacity(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = host.Log().Close() })
+	if err := host.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = host.Stop() })
+
+	cmd := spawnCrossprocChild(t, "spin", shm)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitForLine(t, bufio.NewScanner(stdout), "WORKLOAD-DONE")
+	return &lifecycleChild{name: name, shm: shm, host: host, cmd: cmd}
+}
+
+func fetchAgent(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
+}
+
+func TestAgentFleetLifecycle(t *testing.T) {
+	requireMmap(t)
+	spool := t.TempDir()
+
+	// Three real instrumented children, each appending the deterministic
+	// workload into its own spool mapping, then blocking for a signal.
+	children := []*lifecycleChild{
+		startLifecycleChild(t, spool, "app_a"),
+		startLifecycleChild(t, spool, "app_b"),
+		startLifecycleChild(t, spool, "app_c"),
+	}
+	defer func() {
+		for _, c := range children {
+			if c.cmd.ProcessState == nil {
+				_ = c.cmd.Process.Kill()
+				_, _ = c.cmd.Process.Wait()
+			}
+		}
+	}()
+
+	a := agent.New(agent.Config{Spool: spool})
+	defer a.Close()
+	srv, err := agent.Serve(a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The background loop discovers and scrapes all three; children are
+	// blocked in select{}, so their stamped PIDs answer liveness probes.
+	waitFleet := func(desc string, ok func(string) bool) string {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			body := fetchAgent(t, srv.URL()+"/metrics")
+			if ok(body) {
+				return body
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("fleet never reached: %s\n%s", desc, body)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	allLive := waitFleet("3 live sessions with full workloads", func(body string) bool {
+		if !strings.Contains(body, `teeperf_fleet_sessions_by_state{state="live"} 3`) {
+			return false
+		}
+		for _, c := range children {
+			want := fmt.Sprintf("teeperf_entries_committed_total{session=%q} %d", c.name, crossprocWorkloadEntries)
+			if !strings.Contains(body, want) {
+				return false
+			}
+		}
+		return true
+	})
+	if !strings.Contains(allLive, "teeperf_fleet_sessions 3") {
+		t.Fatalf("fleet size wrong:\n%s", allLive)
+	}
+	if want := fmt.Sprintf("teeperf_fleet_entries_committed_total %d", 3*crossprocWorkloadEntries); !strings.Contains(allLive, want) {
+		t.Fatalf("fleet rollup missing %q:\n%s", want, allLive)
+	}
+
+	// SIGKILL the middle child mid-run. The agent must notice death, run
+	// the salvage pass, and leave the neighbors' sessions untouched.
+	assertKilled(t, children[1].cmd)
+
+	final := waitFleet("2 live + 1 salvaged", func(body string) bool {
+		return strings.Contains(body, `teeperf_fleet_sessions_by_state{state="live"} 2`) &&
+			strings.Contains(body, `teeperf_fleet_sessions_by_state{state="salvaged"} 1`)
+	})
+	for _, want := range []string{
+		`teeperf_session_state{session="app_b",state="salvaged"} 1`,
+		`teeperf_session_state{session="app_a",state="live"} 1`,
+		`teeperf_session_state{session="app_c",state="live"} 1`,
+		fmt.Sprintf(`teeperf_session_salvaged_entries{session="app_b"} %d`, crossprocWorkloadEntries),
+		fmt.Sprintf(`teeperf_entries_committed_total{session="app_b"} %d`, crossprocWorkloadEntries),
+		fmt.Sprintf(`teeperf_fleet_salvaged_entries_total %d`, crossprocWorkloadEntries),
+	} {
+		if !strings.Contains(final, want) {
+			t.Errorf("/metrics missing %q after kill", want)
+		}
+	}
+	// Neighbors keep their full per-session accounting.
+	for _, name := range []string{"app_a", "app_c"} {
+		want := fmt.Sprintf("teeperf_entries_committed_total{session=%q} %d", name, crossprocWorkloadEntries)
+		if !strings.Contains(final, want) {
+			t.Errorf("neighbor %s accounting disturbed: missing %q", name, want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("final /metrics:\n%s", final)
+	}
+
+	// The salvage report on the session itself agrees with the metrics.
+	s := srv.Agent().Session("app_b")
+	if rep := s.Salvage(); rep == nil || rep.EntriesSalvaged != crossprocWorkloadEntries {
+		t.Fatalf("salvage report = %+v, want %d entries", rep, crossprocWorkloadEntries)
+	}
+
+	// The fleet dashboard and sessions registry reflect the same state.
+	index := fetchAgent(t, srv.URL()+"/")
+	for _, want := range []string{"<code>app_a</code>", "<code>app_b</code>", "salvaged"} {
+		if !strings.Contains(index, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"teeperf/internal/agent"
+	"teeperf/internal/shmlog"
+)
+
+// cmdAgent runs the fleet observability daemon: one process observing many
+// concurrent recordings. Mappings are discovered by watching a spool
+// directory for *.shm files (and/or passed as positional arguments, or
+// pushed later via POST /register), each becoming a session with its own
+// lifecycle; the whole fleet is exposed through a single HTTP endpoint set.
+//
+//	teeperf agent -spool /var/run/teeperf -addr :9090
+//	teeperf agent -once -spool ./spool            # one cycle, text summary
+func cmdAgent(args []string) error {
+	fs := flag.NewFlagSet("agent", flag.ContinueOnError)
+	spool := fs.String("spool", "", "directory watched for *.shm mappings")
+	addr := fs.String("addr", "127.0.0.1:9090", "listen address (use port 0 for an ephemeral port)")
+	interval := fs.Duration("interval", 250*time.Millisecond, "scrape interval")
+	budget := fs.Int("budget", 1<<16, "per-session entry budget of one scrape; exceeding it twice degrades the session to sampled scraping")
+	degradedEvery := fs.Int("degraded-every", 4, "scrape degraded sessions every Nth cycle")
+	once := fs.Bool("once", false, "run a single scrape cycle, print the fleet summary, and exit")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file (for scripts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !shmlog.MmapSupported {
+		return fmt.Errorf("the agent observes shared mappings, unavailable on this platform: %w", shmlog.ErrMmapUnsupported)
+	}
+	if *spool == "" && fs.NArg() == 0 {
+		return usageErr{fmt.Errorf("agent needs -spool <dir> and/or mapping paths: teeperf agent [options] [mapping.shm ...]")}
+	}
+
+	a := agent.New(agent.Config{
+		Spool:         *spool,
+		Interval:      *interval,
+		ScrapeBudget:  *budget,
+		DegradedEvery: *degradedEvery,
+	})
+	defer a.Close()
+	for _, path := range fs.Args() {
+		a.Register(path)
+	}
+
+	if *once {
+		a.ScrapeOnce()
+		a.WriteSummary(os.Stdout)
+		return nil
+	}
+
+	srv, err := agent.Serve(a, *addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("fleet agent on %s (spool %q, interval %v)\n", srv.URL(), *spool, *interval)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down; final fleet state:")
+	srv.Close()
+	a.WriteSummary(os.Stdout)
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 
 	"teeperf"
 	"teeperf/internal/counter"
+	"teeperf/internal/shmlog"
 )
 
 var update = flag.Bool("update", false, "regenerate testdata fixtures and golden files")
@@ -112,6 +113,56 @@ func regenFixtures(t *testing.T) {
 	}
 }
 
+// ensureSpoolFixtures regenerates the agent's spool-directory fixture when
+// -update is set: two well-formed shared mappings with deterministic
+// entries (virtual ticks, app PID left 0 so liveness is unknowable and the
+// sessions deterministically report "attached") plus one torn file that
+// must stay "discovered".
+func ensureSpoolFixtures(t *testing.T) {
+	t.Helper()
+	if !*update {
+		if _, err := os.Stat("testdata/spool/enclave_a.shm"); err != nil {
+			t.Fatalf("spool fixture missing (regenerate with -update): %v", err)
+		}
+		return
+	}
+	spoolOnce.Do(func() { regenSpoolFixtures(t) })
+}
+
+var spoolOnce sync.Once
+
+func regenSpoolFixtures(t *testing.T) {
+	t.Helper()
+	if err := os.MkdirAll("testdata/spool", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, pairs int) {
+		log, err := shmlog.CreateFile("testdata/spool/"+name, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tick := uint64(0)
+		for i := 0; i < pairs; i++ {
+			tick += 3
+			if err := log.Append(shmlog.Entry{Kind: shmlog.KindCall, Counter: tick, Addr: 0x1000 + uint64(i%2)*16, ThreadID: 1}); err != nil {
+				t.Fatal(err)
+			}
+			tick += 5
+			if err := log.Append(shmlog.Entry{Kind: shmlog.KindReturn, Counter: tick, Addr: 0x1000 + uint64(i%2)*16, ThreadID: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("enclave_a.shm", 12)
+	write("enclave_b.shm", 30)
+	if err := os.WriteFile("testdata/spool/torn.shm", []byte("not a log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func checkGolden(t *testing.T, path string, got []byte) {
 	t.Helper()
 	if *update {
@@ -136,6 +187,18 @@ func TestGoldenAnalyzeTop(t *testing.T) {
 		t.Fatalf("analyze exited %d\nstderr: %s", code, stderr)
 	}
 	checkGolden(t, "testdata/analyze_top.golden", []byte(stdout))
+}
+
+func TestGoldenAgentOnce(t *testing.T) {
+	if !shmlog.MmapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	ensureSpoolFixtures(t)
+	stdout, stderr, code := runCLI(t, nil, "agent", "-once", "-spool", "testdata/spool")
+	if code != 0 {
+		t.Fatalf("agent -once exited %d\nstderr: %s", code, stderr)
+	}
+	checkGolden(t, "testdata/agent_once.golden", []byte(stdout))
 }
 
 func TestGoldenRecoverReport(t *testing.T) {

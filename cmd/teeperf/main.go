@@ -10,6 +10,7 @@
 //	teeperf run      -o run.teeperf [-shm run.teeperf.shm] -- <cmd> [args...]
 //	teeperf monitor  -workload dbbench -interval 500ms [-top 10]
 //	teeperf serve    -workload dbbench -addr :7070 [-linger 1m]
+//	teeperf agent    -spool /var/run/teeperf -addr :9090 [-once]
 //	teeperf analyze  -i run.teeperf [-top 20]
 //	teeperf recover  -i run.teeperf.part [-o clean.teeperf]
 //	teeperf query    -i run.teeperf -q 'name =~ "rocksdb" && self > 1000' [-group name] [-sort col] [-n 20]
@@ -58,6 +59,7 @@ var commands = []command{
 	{"run", "record", "profile an external command through a shared-memory mapping (cross-process)", cmdRun},
 	{"monitor", "monitor", "record a workload with a live hot-methods view in the terminal", cmdMonitor},
 	{"serve", "monitor", "record a workload while serving live metrics and profile over HTTP", cmdServe},
+	{"agent", "monitor", "observe many concurrent recordings with fleet-wide metrics over HTTP", cmdAgent},
 	{"analyze", "analyze", "print the hot-methods table of a bundle", cmdAnalyze},
 	{"recover", "analyze", "salvage a torn/corrupted bundle and print the recovery report", cmdRecover},
 	{"query", "analyze", "filter/group/sort profile records declaratively", cmdQuery},

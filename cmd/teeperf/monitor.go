@@ -141,7 +141,9 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := monitor.ServeRecorder(rec, *addr, monitor.WithInterval(lf.interval))
+	srv, err := monitor.ServeRecorder(rec, *addr,
+		monitor.WithInterval(lf.interval),
+		monitor.WithSessionLabel(lf.workload))
 	if err != nil {
 		_ = rec.Stop()
 		return err

@@ -79,32 +79,11 @@ func cmdRun(args []string) error {
 	}
 
 	// The application publishes its symbol table as a side file once its
-	// probes are registered; poll for it so mid-run checkpoints (and the
-	// live monitor) resolve names instead of raw addresses.
-	symsPath := recorder.SymsPath(*shm)
-	stopPoll := make(chan struct{})
-	pollDone := make(chan struct{})
-	go func() {
-		defer close(pollDone)
-		var seen time.Time
-		ticker := time.NewTicker(100 * time.Millisecond)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stopPoll:
-				return
-			case <-ticker.C:
-			}
-			st, err := os.Stat(symsPath)
-			if err != nil || !st.ModTime().After(seen) {
-				continue
-			}
-			if tab, err := recorder.ReadSymsFile(symsPath); err == nil {
-				rec.SetTable(tab)
-				seen = st.ModTime()
-			}
-		}
-	}()
+	// probes are registered; watch for it so mid-run checkpoints (and the
+	// live monitor) resolve names instead of raw addresses. stopSyms does
+	// a final unconditional read — the application may publish right
+	// before exiting.
+	stopSyms := rec.WatchSyms(*shm, 100*time.Millisecond)
 
 	cmd := exec.Command(argv[0], argv[1:]...)
 	cmd.Stdin = os.Stdin
@@ -112,14 +91,7 @@ func cmdRun(args []string) error {
 	cmd.Stderr = os.Stderr
 	cmd.Env = append(os.Environ(), recorder.SharedEnv+"="+*shm)
 	runErr := cmd.Run()
-	close(stopPoll)
-	<-pollDone
-
-	// Final symbol read after exit: the application may have published (or
-	// refreshed) the table right before finishing.
-	if tab, err := recorder.ReadSymsFile(symsPath); err == nil {
-		rec.SetTable(tab)
-	} else if !errors.Is(err, os.ErrNotExist) {
+	if err := stopSyms(); err != nil {
 		fmt.Fprintf(os.Stderr, "teeperf run: %v\n", err)
 	}
 
@@ -144,7 +116,7 @@ func cmdRun(args []string) error {
 			return err
 		}
 		_ = os.Remove(*shm)
-		_ = os.Remove(symsPath)
+		_ = os.Remove(recorder.SymsPath(*shm))
 	}
 	if runErr != nil {
 		return fmt.Errorf("command %q: %w (profile salvaged to %s)", argv[0], runErr, *output)

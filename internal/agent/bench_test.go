@@ -1,0 +1,58 @@
+package agent
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"teeperf/internal/shmlog"
+)
+
+// BenchmarkAgentScrape measures one fleet scrape cycle: per iteration each
+// of 8 sessions commits a burst of 128 call/return pairs and the agent
+// drains and folds all of them. This is the agent's hot path — the cost a
+// scrape interval must amortize.
+func BenchmarkAgentScrape(b *testing.B) {
+	if !shmlog.MmapSupported {
+		b.Skip("mmap unsupported on this platform")
+	}
+	const sessions = 8
+	const pairs = 128
+	dir := b.TempDir()
+	a := New(Config{})
+	defer a.Close()
+	writers := make([]*shmlog.Log, sessions)
+	for i := range writers {
+		path := filepath.Join(dir, fmt.Sprintf("s%02d.shm", i))
+		log, err := shmlog.CreateFile(path, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer log.Close()
+		writers[i] = log
+		a.Register(path)
+	}
+	a.ScrapeOnce() // attach every session
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	full := false
+	for i := 0; i < b.N; i++ {
+		for _, log := range writers {
+			tick := uint64(i * pairs * 8)
+			for p := 0; p < pairs && !full; p++ {
+				tick += 3
+				if log.Append(shmlog.Entry{Kind: shmlog.KindCall, Counter: tick, Addr: 0x1000, ThreadID: 1}) != nil {
+					full = true // very long -benchtime outran the capacity
+					break
+				}
+				tick += 5
+				_ = log.Append(shmlog.Entry{Kind: shmlog.KindReturn, Counter: tick, Addr: 0x1000, ThreadID: 1})
+			}
+		}
+		if drained := a.ScrapeOnce(); !full && drained != sessions*pairs*2 {
+			b.Fatalf("drained %d, want %d", drained, sessions*pairs*2)
+		}
+	}
+	b.ReportMetric(float64(sessions*pairs*2), "entries/op")
+}

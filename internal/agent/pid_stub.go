@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package agent
+
+// pidAlive on platforms without signal-0 probing: liveness is unknowable,
+// so sessions never transition past attached on PID evidence alone.
+func pidAlive(pid uint64) (alive, known bool) { return false, false }

@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package agent
+
+import "syscall"
+
+// pidAlive probes whether pid answers signal 0. known is true on platforms
+// where the probe is meaningful; EPERM means the process exists but belongs
+// to someone else, which still counts as alive.
+func pidAlive(pid uint64) (alive, known bool) {
+	if pid == 0 || pid > 1<<31 {
+		return false, false
+	}
+	err := syscall.Kill(int(pid), 0)
+	if err == nil || err == syscall.EPERM {
+		return true, true
+	}
+	return false, true
+}

@@ -1,0 +1,294 @@
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+
+	"teeperf/internal/monitor"
+	"teeperf/internal/report"
+)
+
+// Handler returns the fleet HTTP interface:
+//
+//	/               fleet HTML dashboard
+//	/metrics        Prometheus exposition: per-session + fleet rollups
+//	/vars           the same series as a JSON document (keys are series)
+//	/sessions       session registry as JSON
+//	/profile.json   live profile of one session (?session=name)
+//	/trace          one session's lifecycle trace ring (?session=name)
+//	/register       POST ?path=/abs/file.shm — explicit registration
+func (a *Agent) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", a.serveIndex)
+	mux.HandleFunc("/metrics", a.serveMetrics)
+	mux.HandleFunc("/vars", a.serveVars)
+	mux.HandleFunc("/sessions", a.serveSessions)
+	mux.HandleFunc("/profile.json", a.serveProfile)
+	mux.HandleFunc("/trace", a.serveTrace)
+	mux.HandleFunc("/register", a.serveRegister)
+	return mux
+}
+
+func (a *Agent) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	monitor.WriteMetrics(w, a.Metrics())
+	a.writeScrapeHistogram(w)
+}
+
+// writeScrapeHistogram renders the agent's self-observability histogram in
+// native Prometheus histogram syntax (cumulative buckets, _sum, _count) —
+// the one shape the shared flat-metric renderer does not model.
+func (a *Agent) writeScrapeHistogram(w http.ResponseWriter) {
+	buckets, counts, sum, count := a.scrapeHistogram()
+	const name = "teeperf_agent_scrape_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Duration of one fleet scrape cycle.\n# TYPE %s histogram\n", name, name)
+	cum := uint64(0)
+	for i, le := range buckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(le), cum)
+	}
+	cum += counts[len(buckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, sum, name, count)
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", f), "0"), ".")
+}
+
+func (a *Agent) serveVars(w http.ResponseWriter, r *http.Request) {
+	vars := make(map[string]float64)
+	for _, m := range a.Metrics() {
+		// Series identity (name + labels) keys the JSON: many sessions
+		// share each metric name here, unlike single-session /vars.
+		vars[m.Series()] = m.Value
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(vars)
+}
+
+func (a *Agent) serveSessions(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(a.Sessions())
+}
+
+func (a *Agent) sessionFromQuery(w http.ResponseWriter, r *http.Request) *Session {
+	name := r.URL.Query().Get("session")
+	if name == "" {
+		http.Error(w, "missing ?session=<name>", http.StatusBadRequest)
+		return nil
+	}
+	s := a.Session(name)
+	if s == nil {
+		http.Error(w, "unknown session "+name, http.StatusNotFound)
+		return nil
+	}
+	return s
+}
+
+func (a *Agent) serveProfile(w http.ResponseWriter, r *http.Request) {
+	s := a.sessionFromQuery(w, r)
+	if s == nil {
+		return
+	}
+	top := 0
+	if v := r.URL.Query().Get("top"); v != "" {
+		fmt.Sscanf(v, "%d", &top)
+	}
+	t := s.Table(top)
+	info := s.Snapshot()
+	doc := struct {
+		Session    string         `json:"session"`
+		State      string         `json:"state"`
+		Info       Info           `json:"info"`
+		TotalTicks uint64         `json:"total_ticks"`
+		Calls      uint64         `json:"calls"`
+		Functions  []profileEntry `json:"functions"`
+	}{Session: info.Name, State: info.State, Info: info, TotalTicks: t.TotalTicks, Calls: t.Calls}
+	for _, f := range t.Funcs {
+		doc.Functions = append(doc.Functions, profileEntry{
+			Name: f.Name, Calls: f.Calls, Self: f.Self, Incl: f.Incl, SelfPercent: t.SelfPercent(f),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+type profileEntry struct {
+	Name        string  `json:"name"`
+	Calls       uint64  `json:"calls"`
+	Self        uint64  `json:"self"`
+	Incl        uint64  `json:"incl"`
+	SelfPercent float64 `json:"self_percent"`
+}
+
+func (a *Agent) serveTrace(w http.ResponseWriter, r *http.Request) {
+	s := a.sessionFromQuery(w, r)
+	if s == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Trace())
+}
+
+func (a *Agent) serveRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		http.Error(w, "missing ?path=<mapping>", http.StatusBadRequest)
+		return
+	}
+	name := a.Register(path)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(map[string]string{"session": name})
+}
+
+var fleetTemplate = template.Must(template.New("fleet").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="{{.Refresh}}">
+<title>teeperf fleet agent</title>
+<style>
+` + report.BaseCSS + `</style>
+</head>
+<body>
+<h1>teeperf fleet agent</h1>
+<p class="summary">
+  <span>sessions <b>{{.Total}}</b></span>
+  <span>live <b>{{.Live}}</b></span>
+  <span>salvaged <b>{{.Salvaged}}</b></span>
+  <span>degraded <b>{{.Degraded}}</b></span>
+  <span>entries <b>{{.Entries}}</b></span>
+  <span>dropped <b>{{.Dropped}}</b></span>
+</p>
+
+<h2>Sessions</h2>
+<table>
+<tr><th>Session</th><th>State</th><th class="num">Entries</th><th class="num">/s</th><th class="num">Dropped</th><th class="num">Fill %</th><th class="num">PID</th><th class="num">Gen</th><th class="num">Funcs</th><th class="num">Salvaged</th></tr>
+{{range .Sessions}}<tr><td><code>{{.Name}}</code></td><td>{{.State}}{{if .Degraded}} (degraded){{end}}</td><td class="num">{{.Entries}}</td><td class="num">{{printf "%.0f" .Rate}}</td><td class="num">{{.Dropped}}</td><td class="num">{{printf "%.1f" .FillPct}}</td><td class="num">{{.AppPID}}</td><td class="num">{{.AttachGen}}</td><td class="num">{{.Functions}}</td><td class="num">{{.Salvaged}}</td></tr>
+{{end}}</table>
+
+<p><small>auto-refreshes every {{.Refresh}}s — <a href="/metrics">/metrics</a> · <a href="/vars">/vars</a> · <a href="/sessions">/sessions</a></small></p>
+</body>
+</html>
+`))
+
+func (a *Agent) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	infos := a.Sessions()
+	data := struct {
+		Refresh  int
+		Total    int
+		Live     int
+		Salvaged int
+		Degraded int
+		Entries  uint64
+		Dropped  uint64
+		Sessions []Info
+	}{Refresh: refreshSeconds(a.cfg.Interval), Total: len(infos), Sessions: infos}
+	for _, s := range infos {
+		data.Entries += s.Entries
+		data.Dropped += s.Dropped
+		if s.State == StateLive.String() {
+			data.Live++
+		}
+		if s.State == StateSalvaged.String() {
+			data.Salvaged++
+		}
+		if s.Degraded {
+			data.Degraded++
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = fleetTemplate.Execute(w, data)
+}
+
+func refreshSeconds(interval interface{ Seconds() float64 }) int {
+	if s := int(interval.Seconds()); s >= 1 {
+		return s
+	}
+	return 1
+}
+
+// Server is a running fleet-agent HTTP endpoint.
+type Server struct {
+	agent *Agent
+	ln    net.Listener
+	srv   *http.Server
+}
+
+// Serve starts the agent's scrape loop and serves its Handler on addr.
+func Serve(a *Agent, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: listen %s: %w", addr, err)
+	}
+	a.Start()
+	srv := &http.Server{Handler: a.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{agent: a, ln: ln, srv: srv}, nil
+}
+
+// Agent returns the served agent.
+func (s *Server) Agent() *Agent { return s.agent }
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the HTTP server down and stops (but does not close) the
+// agent, so final state remains inspectable.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	s.agent.Stop()
+	return err
+}
+
+// WriteSummary renders the fleet as text — the `teeperf agent -once`
+// output. It is deterministic for a static spool: sessions sorted by name,
+// no timestamps or host-dependent fields.
+func (a *Agent) WriteSummary(w io.Writer) {
+	infos := a.Sessions()
+	byState := map[string]int{}
+	for _, s := range infos {
+		byState[s.State]++
+	}
+	states := make([]string, 0, len(byState))
+	for st := range byState {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+	fmt.Fprintf(w, "fleet: %d sessions", len(infos))
+	for _, st := range states {
+		fmt.Fprintf(w, ", %d %s", byState[st], st)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-20s %-12s %10s %8s %8s %6s %6s\n", "SESSION", "STATE", "ENTRIES", "DROPPED", "FILL%", "GEN", "FUNCS")
+	for _, s := range infos {
+		fmt.Fprintf(w, "%-20s %-12s %10d %8d %8.1f %6d %6d\n",
+			s.Name, s.State, s.Entries, s.Dropped, s.FillPct, s.AttachGen, s.Functions)
+	}
+}

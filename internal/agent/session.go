@@ -1,0 +1,416 @@
+// Package agent implements the fleet observability plane: one daemon
+// hosting many concurrent shared-memory profiling sessions. Where the
+// monitor package observes the single recorder living in its own process,
+// the agent observes *other* processes' recordings from the outside — it
+// discovers .shm mappings in a spool directory (or accepts explicit
+// registrations), attaches to each with a read-only observer mapping
+// (shmlog.ObserveFile, invisible to the app/recorder handshake), tails
+// every session's log with an incremental cursor, and exposes the whole
+// fleet through one Prometheus/HTML/JSON endpoint set.
+//
+// Sessions move through a lifecycle state machine:
+//
+//	discovered → attached → live → dead → salvaged
+//
+// discovered: the spool file exists but could not be mapped yet (the
+// creator may still be writing the header). attached: mapped and scraped,
+// but application liveness is unknown (no PID stamped, or the platform
+// cannot probe PIDs). live: the stamped application PID answers a liveness
+// probe. dead: the PID stopped answering — the session gets one final
+// cursor drain and a raw-file salvage pass (shmlog.ReadLenient), then
+// rests in salvaged with its recovery report attached. A session may also
+// re-register (same name, new file): the agent re-maps it and the attach
+// generation gauge moves.
+package agent
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/recorder"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+// State is a session's position in the lifecycle state machine.
+type State int
+
+const (
+	// StateDiscovered: the spool file exists, mapping not yet succeeded.
+	StateDiscovered State = iota + 1
+	// StateAttached: mapped and scraped; application liveness unknown.
+	StateAttached
+	// StateLive: the stamped application PID answers liveness probes.
+	StateLive
+	// StateDead: the PID stopped answering; salvage is about to run.
+	StateDead
+	// StateSalvaged: terminal — final drain and raw-file recovery done.
+	StateSalvaged
+)
+
+var stateNames = map[State]string{
+	StateDiscovered: "discovered",
+	StateAttached:   "attached",
+	StateLive:       "live",
+	StateDead:       "dead",
+	StateSalvaged:   "salvaged",
+}
+
+// States lists every lifecycle state in order (for one-hot metric export).
+var States = []State{StateDiscovered, StateAttached, StateLive, StateDead, StateSalvaged}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// TraceEvent is one entry of a session's lifecycle trace ring: what
+// happened, on which scrape cycle. Cycles rather than wall-clock times keep
+// traces deterministic for golden tests.
+type TraceEvent struct {
+	Cycle uint64 `json:"cycle"`
+	Event string `json:"event"`
+}
+
+// traceCap bounds each session's trace ring.
+const traceCap = 256
+
+// Session is one observed recording: an observer mapping over a shared
+// log, an incremental analyzer folding its committed entries into a live
+// profile, and the lifecycle/back-pressure accounting around them.
+// All methods are guarded by mu; the agent's scrape loop and the HTTP
+// handlers may touch a session concurrently.
+type Session struct {
+	mu sync.Mutex
+
+	name string
+	path string
+
+	state State
+	log   *shmlog.Log // nil while discovered
+	cur   *shmlog.Cursor
+	tab   *symtab.Table
+	inc   *analyzer.Incremental
+	syms  *recorder.SymsLoader
+	buf   []shmlog.Entry
+
+	entries   uint64 // committed entries drained so far
+	appPID    uint64 // stamped application PID (0 until the app attaches)
+	attachGen uint64
+	scrapes   uint64 // scrapes actually performed (not skipped)
+
+	salvage *shmlog.RecoveryReport // set once salvaged
+
+	// Back-pressure: a session that floods the agent (drains more than
+	// budget entries per scrape, twice in a row) is degraded to sampled
+	// scraping — only every degradedEvery-th cycle — until a performed
+	// scrape comes back under half the budget.
+	overBudget int
+	degraded   bool
+
+	// lastEntries/lastScrape feed the per-session rate gauges.
+	lastEntries uint64
+	lastScrape  time.Time
+	entriesRate float64
+
+	trace []TraceEvent
+}
+
+func newSession(name, path string) *Session {
+	s := &Session{name: name, path: path, state: StateDiscovered}
+	return s
+}
+
+// Name returns the session's registry key (spool basename minus ".shm").
+func (s *Session) Name() string { return s.name }
+
+// Path returns the observed mapping path.
+func (s *Session) Path() string { return s.path }
+
+// State returns the current lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Info is a session's externally visible accounting, as served by
+// /sessions and folded into the fleet metrics.
+type Info struct {
+	Name      string  `json:"name"`
+	Path      string  `json:"path"`
+	State     string  `json:"state"`
+	Entries   uint64  `json:"entries"`
+	Dropped   uint64  `json:"dropped"`
+	Capacity  int     `json:"capacity"`
+	FillPct   float64 `json:"fill_percent"`
+	AppPID    uint64  `json:"app_pid"`
+	AttachGen uint64  `json:"attach_gen"`
+	Degraded  bool    `json:"degraded"`
+	Scrapes   uint64  `json:"scrapes"`
+	Salvaged  uint64  `json:"salvaged_entries"`
+	Rate      float64 `json:"entries_per_second"`
+	Functions int     `json:"functions"`
+}
+
+// Snapshot returns the session's current accounting.
+func (s *Session) Snapshot() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Session) snapshotLocked() Info {
+	info := Info{
+		Name:      s.name,
+		Path:      s.path,
+		State:     s.state.String(),
+		Entries:   s.entries,
+		AppPID:    s.appPID,
+		AttachGen: s.attachGen,
+		Degraded:  s.degraded,
+		Scrapes:   s.scrapes,
+		Rate:      s.entriesRate,
+	}
+	if s.log != nil {
+		info.Dropped = s.log.Dropped()
+		info.Capacity = s.log.Capacity()
+		if info.Capacity > 0 {
+			info.FillPct = 100 * float64(s.log.Len()) / float64(info.Capacity)
+		}
+	}
+	if s.inc != nil {
+		info.Functions = len(s.inc.Snapshot(0).Funcs)
+	}
+	if s.salvage != nil {
+		info.Salvaged = uint64(s.salvage.EntriesSalvaged)
+	}
+	return info
+}
+
+// Salvage returns the recovery report once the session reached salvaged
+// (nil before).
+func (s *Session) Salvage() *shmlog.RecoveryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.salvage
+}
+
+// Trace returns a copy of the lifecycle trace ring, oldest first.
+func (s *Session) Trace() []TraceEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceEvent, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+// Table drains nothing (the scrape loop owns the cursor) and returns the
+// live hot-methods table as of the last scrape.
+func (s *Session) Table(top int) analyzer.LiveTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inc == nil {
+		return analyzer.LiveTable{}
+	}
+	return s.inc.Snapshot(top)
+}
+
+func (s *Session) traceLocked(cycle uint64, format string, args ...any) {
+	if len(s.trace) == traceCap {
+		copy(s.trace, s.trace[1:])
+		s.trace = s.trace[:traceCap-1]
+	}
+	s.trace = append(s.trace, TraceEvent{Cycle: cycle, Event: fmt.Sprintf(format, args...)})
+}
+
+func (s *Session) setStateLocked(cycle uint64, next State, why string) {
+	if s.state == next {
+		return
+	}
+	s.traceLocked(cycle, "%s -> %s (%s)", s.state, next, why)
+	s.state = next
+}
+
+// scrape advances the session one observation cycle: attach if not yet
+// mapped, probe application liveness, drain newly committed entries into
+// the incremental analyzer, adopt a republished symbol side file, and run
+// the back-pressure accounting. It returns the number of entries drained.
+// budget/degradedEvery come from the agent's config; now is the scrape
+// instant (for rate computation only — lifecycle decisions never read it).
+func (s *Session) scrape(cycle uint64, budget, degradedEvery int, now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	switch s.state {
+	case StateSalvaged:
+		return 0
+	case StateDiscovered:
+		if !s.attachLocked(cycle) {
+			return 0
+		}
+	}
+
+	// Degraded sessions are sampled: only every degradedEvery-th cycle
+	// touches the mapping, so one flooding tenant cannot starve the rest
+	// of the fleet's scrape interval.
+	if s.degraded && cycle%uint64(degradedEvery) != 0 {
+		return 0
+	}
+
+	// Liveness: the application stamps its PID into the header when it
+	// attaches. Before that (appPID 0) liveness is unknowable and the
+	// session stays attached. A PID that stops answering is dead exactly
+	// once — salvage runs and the state machine rests.
+	if pid := s.log.PID(); pid != 0 {
+		s.appPID = pid
+		if alive, known := pidAlive(pid); known {
+			if alive {
+				s.setStateLocked(cycle, StateLive, fmt.Sprintf("pid %d alive", pid))
+			} else {
+				s.setStateLocked(cycle, StateDead, fmt.Sprintf("pid %d gone", pid))
+				s.salvageLocked(cycle)
+				return 0
+			}
+		}
+	}
+	s.attachGen = s.log.AttachGen()
+
+	drained := s.drainLocked()
+	s.scrapes++
+	if tab, ok := s.syms.Load(); ok {
+		s.adoptTableLocked(cycle, tab)
+	}
+
+	// Rates for the dashboard; guarded so sub-millisecond windows don't
+	// amplify scheduling noise.
+	if !s.lastScrape.IsZero() {
+		if dt := now.Sub(s.lastScrape).Seconds(); dt >= 0.001 {
+			s.entriesRate = float64(s.entries-s.lastEntries) / dt
+		}
+	}
+	s.lastScrape = now
+	s.lastEntries = s.entries
+
+	// Back-pressure bookkeeping.
+	switch {
+	case drained > budget:
+		s.overBudget++
+		if !s.degraded && s.overBudget >= 2 {
+			s.degraded = true
+			s.traceLocked(cycle, "degraded: %d entries > budget %d twice", drained, budget)
+		}
+	case drained < budget/2:
+		s.overBudget = 0
+		if s.degraded {
+			s.degraded = false
+			s.traceLocked(cycle, "recovered: %d entries < half budget", drained)
+		}
+	default:
+		s.overBudget = 0
+	}
+	return drained
+}
+
+// attachLocked tries to establish the observer mapping. Failure is normal
+// while the creator is still laying out the header; the session just stays
+// discovered until a later cycle.
+func (s *Session) attachLocked(cycle uint64) bool {
+	log, err := shmlog.ObserveFile(s.path)
+	if err != nil {
+		return false
+	}
+	s.log = log
+	s.cur = log.Cursor()
+	s.tab = symtab.New()
+	if addr := log.ProfilerAddr(); addr != 0 {
+		s.tab.SetLoadBias(addr)
+	}
+	s.inc = analyzer.NewIncremental(s.tab)
+	s.syms = recorder.NewSymsLoader(s.path)
+	s.attachGen = log.AttachGen()
+	s.setStateLocked(cycle, StateAttached, "observer mapped")
+	return true
+}
+
+// remap points the session at a fresh file under the same name — a
+// re-registration. The old mapping is closed, the analyzer state reset
+// (it described the old log), and cumulative entry accounting continues.
+func (s *Session) remap(cycle uint64, path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		_ = s.log.Close()
+		s.log, s.cur, s.inc, s.tab, s.syms = nil, nil, nil, nil, nil
+	}
+	s.path = path
+	s.salvage = nil
+	s.degraded = false
+	s.overBudget = 0
+	s.appPID = 0
+	s.setStateLocked(cycle, StateDiscovered, "re-registered "+path)
+}
+
+func (s *Session) drainLocked() int {
+	s.buf = s.cur.Next(s.buf[:0])
+	s.inc.FeedAll(s.buf)
+	s.entries += uint64(len(s.buf))
+	return len(s.buf)
+}
+
+// salvageLocked is the dead → salvaged transition: one final cursor drain
+// (committed entries are in the mapping regardless of how the app died),
+// then a lenient raw-file read whose recovery report becomes the session's
+// salvage record.
+func (s *Session) salvageLocked(cycle uint64) {
+	drained := s.drainLocked()
+	if tab, ok := s.syms.Load(); ok {
+		s.adoptTableLocked(cycle, tab)
+	}
+	f, err := os.Open(s.path)
+	if err != nil {
+		s.traceLocked(cycle, "salvage: open: %v", err)
+		s.setStateLocked(cycle, StateSalvaged, "salvage failed")
+		return
+	}
+	_, rep, err := shmlog.ReadLenient(f)
+	f.Close()
+	if err != nil {
+		s.traceLocked(cycle, "salvage: read: %v", err)
+		s.setStateLocked(cycle, StateSalvaged, "salvage failed")
+		return
+	}
+	s.salvage = rep
+	s.traceLocked(cycle, "salvage: final drain %d, file holds %d committed entries (%d dropped in flight)",
+		drained, rep.EntriesSalvaged, rep.DroppedInFlight)
+	s.setStateLocked(cycle, StateSalvaged, "recovery complete")
+}
+
+// adoptTableLocked installs a freshly published symbol table. The
+// incremental analyzer resolves names at snapshot time through the table
+// pointer it was built with, so the new table's contents are copied in via
+// the load-bias anchor and a rebuilt Incremental fed from scratch is not
+// needed: names attach to addresses, and addresses were already folded.
+func (s *Session) adoptTableLocked(cycle uint64, tab *symtab.Table) {
+	if addr := s.log.ProfilerAddr(); addr != 0 {
+		tab.SetLoadBias(addr)
+	}
+	s.tab = tab
+	s.inc.SetTable(tab)
+	s.traceLocked(cycle, "symbols: adopted %s", s.syms.Path())
+}
+
+// close releases the observer mapping.
+func (s *Session) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		_ = s.log.Close()
+		s.log = nil
+	}
+}

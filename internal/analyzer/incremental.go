@@ -57,6 +57,10 @@ type LiveFunc struct {
 	Calls uint64
 	// Incl and Self are total inclusive and exclusive ticks.
 	Incl, Self uint64
+
+	// addr remembers one runtime address of the function so SetTable can
+	// re-resolve accumulated totals when symbols arrive mid-stream.
+	addr uint64
 }
 
 // LiveTable is a point-in-time view of the live profile.
@@ -188,18 +192,49 @@ func (inc *Incremental) closeTop(ts *incThread, now uint64) {
 		inc.totalTicks += incl
 	}
 	inc.calls++
-	inc.bump(f.name, incl, self)
+	inc.bump(f.addr, f.name, incl, self)
 }
 
-func (inc *Incremental) bump(name string, incl, self uint64) {
+func (inc *Incremental) bump(addr uint64, name string, incl, self uint64) {
 	lf, ok := inc.funcs[name]
 	if !ok {
-		lf = &LiveFunc{Name: name}
+		lf = &LiveFunc{Name: name, addr: addr}
 		inc.funcs[name] = lf
 	}
 	lf.Calls++
 	lf.Incl += incl
 	lf.Self += self
+}
+
+// SetTable swaps the resolution table and retroactively re-resolves every
+// accumulated name — the open stacks and the per-function totals. This is
+// how an external observer (the fleet agent) handles symbols that arrive
+// after entries were already folded: addresses were accumulated under
+// their placeholder "0x…" names, and the fresh table gives them real ones.
+// Totals that re-resolve to the same name are merged.
+func (inc *Incremental) SetTable(tab *symtab.Table) {
+	if tab == nil || tab == inc.tab {
+		return
+	}
+	inc.tab = tab
+	for _, ts := range inc.threads {
+		for i := range ts.stack {
+			ts.stack[i].name = tab.Name(ts.stack[i].addr)
+		}
+	}
+	funcs := make(map[string]*LiveFunc, len(inc.funcs))
+	for _, lf := range inc.funcs {
+		name := tab.Name(lf.addr)
+		lf.Name = name
+		if prev, ok := funcs[name]; ok {
+			prev.Calls += lf.Calls
+			prev.Incl += lf.Incl
+			prev.Self += lf.Self
+		} else {
+			funcs[name] = lf
+		}
+	}
+	inc.funcs = funcs
 }
 
 // Snapshot returns the current live table. Frames still open are

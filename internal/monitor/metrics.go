@@ -1,0 +1,71 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Metric is one exported Prometheus series: a metric name with metadata,
+// an optional ordered label set, and the sample value. The single-session
+// monitor and the fleet agent share this type (and WriteMetrics) so both
+// expose the same metric schema — the fleet view is the single-session
+// view plus more `session` label values and rollups, never a parallel
+// namespace of diverging names.
+type Metric struct {
+	Name, Help, Kind string
+	Labels           []Label
+	Value            float64
+}
+
+// Label is one key="value" pair of a metric's label set.
+type Label struct{ Key, Value string }
+
+// SessionLabel builds the canonical per-session label set.
+func SessionLabel(session string) []Label {
+	return []Label{{Key: "session", Value: session}}
+}
+
+// Series renders the metric's series identity (name plus label set) in
+// Prometheus exposition syntax, e.g. `teeperf_log_fill_percent` or
+// `teeperf_log_fill_percent{session="db"}`. It is also the /vars JSON key.
+func (m Metric) Series() string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	var b strings.Builder
+	b.WriteString(m.Name)
+	b.WriteByte('{')
+	for i, l := range m.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslash, double quote and newline exactly as the
+		// Prometheus text format requires.
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteMetrics renders metrics in the Prometheus text exposition format.
+// Series are grouped by metric name (first-appearance order) so the HELP
+// and TYPE headers are emitted exactly once per name even when many
+// sessions share it.
+func WriteMetrics(w io.Writer, metrics []Metric) {
+	order := make([]string, 0, len(metrics))
+	groups := make(map[string][]Metric, len(metrics))
+	for _, m := range metrics {
+		if _, ok := groups[m.Name]; !ok {
+			order = append(order, m.Name)
+		}
+		groups[m.Name] = append(groups[m.Name], m)
+	}
+	for _, name := range order {
+		g := groups[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, g[0].Help, name, g[0].Kind)
+		for _, m := range g {
+			fmt.Fprintf(w, "%s %g\n", m.Series(), m.Value)
+		}
+	}
+}

@@ -79,6 +79,17 @@ func WithHistorySize(n int) Option {
 	})
 }
 
+// WithSessionLabel sets the value of the `session` label on every exported
+// metric (default "main"). Single-session serving and the fleet agent share
+// one metric schema; the label is what tells their series apart.
+func WithSessionLabel(name string) Option {
+	return optionFunc(func(m *Monitor) {
+		if name != "" {
+			m.session = name
+		}
+	})
+}
+
 // retireGrace is how many polls a rotated-out segment's cursor is kept
 // around: probes that loaded the log pointer just before the swap may still
 // commit entries into the old segment shortly after it.
@@ -94,6 +105,7 @@ type Monitor struct {
 	rec      *recorder.Recorder
 	interval time.Duration
 	histCap  int
+	session  string
 
 	// pendMu is a leaf lock shared with the recorder's rotation hook; it
 	// must never be held while taking mu or calling into the recorder.
@@ -125,6 +137,7 @@ func New(rec *recorder.Recorder, opts ...Option) *Monitor {
 		rec:      rec,
 		interval: 250 * time.Millisecond,
 		histCap:  512,
+		session:  "main",
 	}
 	for _, opt := range opts {
 		opt.apply(m)

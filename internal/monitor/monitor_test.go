@@ -247,11 +247,11 @@ func TestServerEndpoints(t *testing.T) {
 
 	metrics := fetch(t, srv.URL()+"/metrics")
 	for _, w := range []string{
-		"teeperf_entries_committed_total 1600",
-		"teeperf_entries_dropped_total 0",
+		`teeperf_entries_committed_total{session="main"} 1600`,
+		`teeperf_entries_dropped_total{session="main"} 0`,
 		"teeperf_log_fill_percent",
 		"teeperf_counter_ticks_total",
-		"teeperf_log_rotations_total 0",
+		`teeperf_log_rotations_total{session="main"} 0`,
 		"# TYPE teeperf_log_fill_percent gauge",
 		"# HELP teeperf_entries_committed_total",
 	} {
@@ -328,7 +328,7 @@ func TestHandlerDirect(t *testing.T) {
 	mon := New(rig.rec)
 	rr := httptest.NewRecorder()
 	mon.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
-	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "teeperf_entries_committed_total 80") {
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), `teeperf_entries_committed_total{session="main"} 80`) {
 		t.Errorf("direct /metrics = %d\n%s", rr.Code, rr.Body.String())
 	}
 }
@@ -371,5 +371,60 @@ func TestMonitorStopIdempotent(t *testing.T) {
 	mon.Stop() // no-op
 	if err := rig.rec.Stop(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSessionLabelAndCheckpointMetrics covers the fleet-schema contract:
+// every per-session series carries the configured session label, checkpoint
+// gauges appear once checkpointing is configured, and /vars exposes the
+// same values under bare names.
+func TestSessionLabelAndCheckpointMetrics(t *testing.T) {
+	rig := newRig(t, 1<<12, "main", "work", "leaf", "work2")
+	if err := rig.rec.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rig.runNested(10)
+	out := t.TempDir() + "/ckpt.teeperf"
+	if err := rig.rec.StartCheckpoint(out, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.rec.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	mon := New(rig.rec, WithSessionLabel("db-bench"))
+	rr := httptest.NewRecorder()
+	mon.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+	for _, w := range []string{
+		`teeperf_entries_committed_total{session="db-bench"} 80`,
+		`teeperf_checkpoint_passes_total{session="db-bench"}`,
+		`teeperf_checkpoint_consecutive_failures{session="db-bench"} 0`,
+		`teeperf_checkpoint_bytes_written_total{session="db-bench"}`,
+		`teeperf_checkpoint_last_success_age_seconds{session="db-bench"}`,
+		"# TYPE teeperf_checkpoint_passes_total counter",
+	} {
+		if !strings.Contains(body, w) {
+			t.Errorf("/metrics missing %q\n%s", w, body)
+		}
+	}
+
+	rr = httptest.NewRecorder()
+	mon.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/vars", nil))
+	var vars map[string]float64
+	if err := json.Unmarshal(rr.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/vars is not JSON: %v", err)
+	}
+	if vars["teeperf_checkpoint_passes_total"] < 1 {
+		t.Errorf("/vars checkpoint passes = %f, want >= 1", vars["teeperf_checkpoint_passes_total"])
+	}
+	if vars["teeperf_checkpoint_bytes_written_total"] <= 0 {
+		t.Errorf("/vars checkpoint bytes = %f, want > 0", vars["teeperf_checkpoint_bytes_written_total"])
+	}
+	if age := vars["teeperf_checkpoint_last_success_age_seconds"]; age < 0 {
+		t.Errorf("/vars checkpoint age = %f, want >= 0 after a pass", age)
 	}
 }

@@ -29,46 +29,74 @@ func (m *Monitor) Handler() http.Handler {
 	return mux
 }
 
-// metric is one exported gauge/counter with its Prometheus metadata.
-type metric struct {
-	name, help, kind string
-	value            float64
+// SessionMetrics builds the canonical per-session metric list from one
+// sample — the shared schema between `teeperf serve` (one session) and the
+// fleet agent (many sessions): identical names, distinguished only by the
+// `session` label value.
+func SessionMetrics(session string, s Sample, openFrames, funcs int) []Metric {
+	lbl := SessionLabel(session)
+	return []Metric{
+		{"teeperf_entries_committed_total", "Committed log entries observed across all segments.", "counter", lbl, float64(s.Entries)},
+		{"teeperf_entries_dropped_total", "Probe events lost to log overflow.", "counter", lbl, float64(s.Dropped)},
+		{"teeperf_counter_ticks_total", "Software/TSC counter value.", "counter", lbl, float64(s.CounterTicks)},
+		{"teeperf_log_fill_percent", "Active log segment fill level (0-100).", "gauge", lbl, s.FillPercent},
+		{"teeperf_log_capacity_entries", "Active log segment capacity.", "gauge", lbl, float64(s.Capacity)},
+		{"teeperf_log_rotations_total", "Completed log segment rotations.", "counter", lbl, float64(s.Rotations)},
+		{"teeperf_entries_per_second", "Entry commit rate over the last sample window.", "gauge", lbl, s.EntriesPerSec},
+		{"teeperf_counter_ticks_per_second", "Counter tick rate over the last sample window.", "gauge", lbl, s.TicksPerSec},
+		{"teeperf_drops_per_second", "Drop rate over the last sample window.", "gauge", lbl, s.DropsPerSec},
+		{"teeperf_run_duration_seconds", "Wall-clock run duration.", "gauge", lbl, s.Elapsed.Seconds()},
+		{"teeperf_open_frames", "Calls currently in flight (entered, not yet returned).", "gauge", lbl, float64(openFrames)},
+		{"teeperf_profile_functions", "Distinct functions in the live profile.", "gauge", lbl, float64(funcs)},
+	}
 }
 
-func (m *Monitor) metrics() []metric {
+// CheckpointMetrics builds the per-session checkpoint gauges from the
+// recorder's CheckpointStats — the crash-consistency health signals. Before
+// the first successful pass the age gauge reports -1.
+func CheckpointMetrics(session string, cs recorder.CheckpointStats, now time.Time) []Metric {
+	lbl := SessionLabel(session)
+	age := -1.0
+	if !cs.LastSuccess.IsZero() {
+		age = now.Sub(cs.LastSuccess).Seconds()
+	}
+	return []Metric{
+		{"teeperf_checkpoint_passes_total", "Completed checkpoint passes (reached the atomic rename).", "counter", lbl, float64(cs.Passes)},
+		{"teeperf_checkpoint_consecutive_failures", "Failed checkpoint passes since the last clean one.", "gauge", lbl, float64(cs.ConsecutiveFailures)},
+		{"teeperf_checkpoint_bytes_written_total", "Bundle bytes written by completed checkpoint passes.", "counter", lbl, float64(cs.BytesWritten)},
+		{"teeperf_checkpoint_last_success_age_seconds", "Seconds since the last successful checkpoint pass (-1 before the first).", "gauge", lbl, age},
+	}
+}
+
+func (m *Monitor) metrics() []Metric {
 	m.mu.Lock()
 	s := m.pollLocked(time.Now(), false)
 	open := m.inc.OpenFrames()
 	funcs := len(m.inc.Snapshot(0).Funcs)
+	session := m.session
 	m.mu.Unlock()
 
-	return []metric{
-		{"teeperf_entries_committed_total", "Committed log entries observed across all segments.", "counter", float64(s.Entries)},
-		{"teeperf_entries_dropped_total", "Probe events lost to log overflow.", "counter", float64(s.Dropped)},
-		{"teeperf_counter_ticks_total", "Software/TSC counter value.", "counter", float64(s.CounterTicks)},
-		{"teeperf_log_fill_percent", "Active log segment fill level (0-100).", "gauge", s.FillPercent},
-		{"teeperf_log_capacity_entries", "Active log segment capacity.", "gauge", float64(s.Capacity)},
-		{"teeperf_log_rotations_total", "Completed log segment rotations.", "counter", float64(s.Rotations)},
-		{"teeperf_entries_per_second", "Entry commit rate over the last sample window.", "gauge", s.EntriesPerSec},
-		{"teeperf_counter_ticks_per_second", "Counter tick rate over the last sample window.", "gauge", s.TicksPerSec},
-		{"teeperf_drops_per_second", "Drop rate over the last sample window.", "gauge", s.DropsPerSec},
-		{"teeperf_run_duration_seconds", "Wall-clock run duration.", "gauge", s.Elapsed.Seconds()},
-		{"teeperf_open_frames", "Calls currently in flight (entered, not yet returned).", "gauge", float64(open)},
-		{"teeperf_profile_functions", "Distinct functions in the live profile.", "gauge", float64(funcs)},
+	out := SessionMetrics(session, s, open, funcs)
+	// Checkpoint statistics ride along once checkpointing is configured;
+	// before that the gauges would be meaningless zeros.
+	if cs := m.rec.CheckpointStats(); cs.Configured {
+		out = append(out, CheckpointMetrics(session, cs, time.Now())...)
 	}
+	return out
 }
 
 func (m *Monitor) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	for _, mt := range m.metrics() {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", mt.name, mt.help, mt.name, mt.kind, mt.name, mt.value)
-	}
+	WriteMetrics(w, m.metrics())
 }
 
 func (m *Monitor) serveVars(w http.ResponseWriter, r *http.Request) {
 	vars := make(map[string]float64)
 	for _, mt := range m.metrics() {
-		vars[mt.name] = mt.value
+		// Bare names keep single-session /vars keys stable; the label only
+		// disambiguates when several sessions share one exposition, which
+		// /vars of a single-session monitor never has.
+		vars[mt.Name] = mt.Value
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)

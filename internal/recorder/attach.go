@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"teeperf/internal/shmlog"
 	"teeperf/internal/symtab"
@@ -111,6 +112,85 @@ func WriteSymsFile(path string, tab *symtab.Table) error {
 		return fmt.Errorf("recorder: publish syms side file: %w", err)
 	}
 	return nil
+}
+
+// SymsLoader incrementally adopts a symbol side file: Load returns a fresh
+// table only when the file appeared or was republished since the previous
+// successful call, so pollers (the `teeperf run` wrapper, the fleet
+// agent's per-session scrape) re-parse the table once per publication
+// instead of once per poll.
+type SymsLoader struct {
+	path string
+	seen time.Time
+}
+
+// NewSymsLoader watches the side file of the shared mapping at shmPath.
+func NewSymsLoader(shmPath string) *SymsLoader {
+	return &SymsLoader{path: SymsPath(shmPath)}
+}
+
+// Path returns the watched side-file path.
+func (s *SymsLoader) Path() string { return s.path }
+
+// Load returns the freshly parsed table and true when the side file has a
+// newer modification time than the last successful Load; otherwise
+// (missing file, unchanged file, parse error on a torn concurrent write)
+// it returns nil and false.
+func (s *SymsLoader) Load() (*symtab.Table, bool) {
+	st, err := os.Stat(s.path)
+	if err != nil || !st.ModTime().After(s.seen) {
+		return nil, false
+	}
+	tab, err := ReadSymsFile(s.path)
+	if err != nil {
+		return nil, false
+	}
+	s.seen = st.ModTime()
+	return tab, true
+}
+
+// WatchSyms launches a background poller that installs each fresh
+// publication of the shared mapping's symbol side file into the recorder
+// via SetTable, so mid-run checkpoints and live monitors resolve names
+// instead of raw addresses. The returned stop function halts the poller,
+// performs one final unconditional read (the application may publish right
+// before exiting), and returns that read's error — except os.ErrNotExist,
+// which just means the application never published.
+func (r *Recorder) WatchSyms(shmPath string, interval time.Duration) (stop func() error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	loader := NewSymsLoader(shmPath)
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-ticker.C:
+			}
+			if tab, ok := loader.Load(); ok {
+				r.SetTable(tab)
+			}
+		}
+	}()
+	return func() error {
+		close(stopCh)
+		<-done
+		tab, err := ReadSymsFile(loader.Path())
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		r.SetTable(tab)
+		return nil
+	}
 }
 
 // ReadSymsFile loads the application's symbol table from its side file.

@@ -2,6 +2,7 @@ package recorder
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -44,6 +45,7 @@ func (r *Recorder) StartCheckpoint(path string, interval time.Duration) error {
 		return fmt.Errorf("recorder: checkpointing already running")
 	}
 	r.ckptPath = path
+	r.ckptStats.Configured = true
 	c := &checkpointer{stop: make(chan struct{}), done: make(chan struct{})}
 	r.ckpt = c
 	go r.checkpointLoop(c, interval)
@@ -66,13 +68,34 @@ func (r *Recorder) StopCheckpoint() error {
 	return r.CheckpointNow()
 }
 
-// CheckpointStats reports how many checkpoint passes completed (reached
-// the atomic rename) and the most recent pass error (nil after a clean
-// pass).
-func (r *Recorder) CheckpointStats() (passes int, lastErr error) {
+// CheckpointStats is the checkpointer's self-accounting, sampled by the
+// live monitor and exported as Prometheus gauges: how healthy is the
+// crash-consistency mechanism right now, and how stale would a recovered
+// profile be.
+type CheckpointStats struct {
+	// Configured reports whether checkpointing was ever started (the other
+	// fields are meaningful only when true).
+	Configured bool
+	// Passes counts completed passes (reached the atomic rename).
+	Passes int
+	// LastSuccess is the completion time of the most recent clean pass
+	// (zero before the first).
+	LastSuccess time.Time
+	// ConsecutiveFailures counts failed passes since the last clean one;
+	// it resets to zero on every success.
+	ConsecutiveFailures int
+	// BytesWritten is the cumulative bundle bytes written by completed
+	// passes (failed passes do not count — their .part is discarded).
+	BytesWritten uint64
+	// LastErr is the most recent pass error (nil after a clean pass).
+	LastErr error
+}
+
+// CheckpointStats reports the checkpointer's self-accounting.
+func (r *Recorder) CheckpointStats() CheckpointStats {
 	r.ckptMu.Lock()
 	defer r.ckptMu.Unlock()
-	return r.ckptPasses, r.ckptErr
+	return r.ckptStats
 }
 
 // CheckpointNow performs one synchronous checkpoint pass against the
@@ -85,12 +108,17 @@ func (r *Recorder) CheckpointNow() error {
 	if path == "" {
 		return fmt.Errorf("recorder: no checkpoint path configured (StartCheckpoint first)")
 	}
-	err := r.checkpointPass(path)
+	written, err := r.checkpointPass(path)
 	r.ckptMu.Lock()
 	if err == nil {
-		r.ckptPasses++
+		r.ckptStats.Passes++
+		r.ckptStats.LastSuccess = time.Now()
+		r.ckptStats.ConsecutiveFailures = 0
+		r.ckptStats.BytesWritten += written
+	} else {
+		r.ckptStats.ConsecutiveFailures++
 	}
-	r.ckptErr = err
+	r.ckptStats.LastErr = err
 	r.ckptMu.Unlock()
 	return err
 }
@@ -115,44 +143,57 @@ func (r *Recorder) checkpointLoop(c *checkpointer, interval time.Duration) {
 // checkpointPass runs one checkpoint: create <path>.part, stream the
 // bundle through the (normally no-op) fault-injecting writer, fsync, and
 // atomically rename onto <path>. Each step boundary is a registered fault
-// point.
-func (r *Recorder) checkpointPass(path string) error {
+// point. It returns the bundle bytes written (meaningful on success).
+func (r *Recorder) checkpointPass(path string) (uint64, error) {
 	inj := r.injector()
 	if err := inj.Hit(faultinject.CheckpointBegin); err != nil {
-		return fmt.Errorf("recorder: checkpoint: %w", err)
+		return 0, fmt.Errorf("recorder: checkpoint: %w", err)
 	}
 	part := path + ".part"
 	f, err := os.Create(part)
 	if err != nil {
-		return fmt.Errorf("recorder: checkpoint create: %w", err)
+		return 0, fmt.Errorf("recorder: checkpoint create: %w", err)
 	}
 	// The bundle streams through the fault-injection writer wrapper so an
 	// armed CheckpointWrite point can shorten, fail, delay or kill any
 	// individual Write; a disabled injector adds one atomic load per
-	// Write.
-	if err := WriteBundle(inj.Writer(f, faultinject.CheckpointWrite), r.Table(), r.Log()); err != nil {
+	// Write. The counting wrapper feeds CheckpointStats.BytesWritten.
+	cw := &countingWriter{w: inj.Writer(f, faultinject.CheckpointWrite)}
+	if err := WriteBundle(cw, r.Table(), r.Log()); err != nil {
 		f.Close()
-		return fmt.Errorf("recorder: checkpoint write: %w", err)
+		return 0, fmt.Errorf("recorder: checkpoint write: %w", err)
 	}
 	if err := inj.Hit(faultinject.CheckpointBeforeSync); err != nil {
 		f.Close()
-		return fmt.Errorf("recorder: checkpoint: %w", err)
+		return 0, fmt.Errorf("recorder: checkpoint: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("recorder: checkpoint sync: %w", err)
+		return 0, fmt.Errorf("recorder: checkpoint sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("recorder: checkpoint close: %w", err)
+		return 0, fmt.Errorf("recorder: checkpoint close: %w", err)
 	}
 	if err := inj.Hit(faultinject.CheckpointBeforeRename); err != nil {
-		return fmt.Errorf("recorder: checkpoint: %w", err)
+		return 0, fmt.Errorf("recorder: checkpoint: %w", err)
 	}
 	if err := os.Rename(part, path); err != nil {
-		return fmt.Errorf("recorder: checkpoint rename: %w", err)
+		return 0, fmt.Errorf("recorder: checkpoint rename: %w", err)
 	}
 	if err := inj.Hit(faultinject.CheckpointAfterRename); err != nil {
-		return fmt.Errorf("recorder: checkpoint: %w", err)
+		return 0, fmt.Errorf("recorder: checkpoint: %w", err)
 	}
-	return nil
+	return cw.n, nil
+}
+
+// countingWriter tallies bytes accepted by the wrapped writer.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
 }

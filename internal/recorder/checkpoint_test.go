@@ -245,7 +245,7 @@ func TestCheckpointLifecycle(t *testing.T) {
 	// Wait for at least one background pass.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if passes, _ := r.CheckpointStats(); passes > 0 {
+		if r.CheckpointStats().Passes > 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -257,12 +257,15 @@ func TestCheckpointLifecycle(t *testing.T) {
 	if err := r.Stop(); err != nil {
 		t.Fatal(err)
 	}
-	passes, lastErr := r.CheckpointStats()
-	if lastErr != nil {
-		t.Fatalf("last pass error: %v", lastErr)
+	cs := r.CheckpointStats()
+	if cs.LastErr != nil {
+		t.Fatalf("last pass error: %v", cs.LastErr)
 	}
-	if passes < 2 {
-		t.Fatalf("passes = %d, want >= 2 (background + final)", passes)
+	if cs.Passes < 2 {
+		t.Fatalf("passes = %d, want >= 2 (background + final)", cs.Passes)
+	}
+	if !cs.Configured || cs.LastSuccess.IsZero() || cs.BytesWritten == 0 || cs.ConsecutiveFailures != 0 {
+		t.Fatalf("stats not accounted: %+v", cs)
 	}
 	if err := r.StopCheckpoint(); err != nil {
 		t.Fatalf("StopCheckpoint after Stop: %v", err)
@@ -304,14 +307,14 @@ func TestCheckpointPassErrorIsStickyButRetried(t *testing.T) {
 	if err := r.CheckpointNow(); !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("injected pass: err = %v", err)
 	}
-	if passes, lastErr := r.CheckpointStats(); passes != 0 || lastErr == nil {
-		t.Fatalf("after failed pass: passes=%d lastErr=%v", passes, lastErr)
+	if cs := r.CheckpointStats(); cs.Passes != 0 || cs.LastErr == nil || cs.ConsecutiveFailures != 1 {
+		t.Fatalf("after failed pass: %+v", cs)
 	}
 	if err := r.CheckpointNow(); err != nil {
 		t.Fatalf("clean retry failed: %v", err)
 	}
-	if passes, lastErr := r.CheckpointStats(); passes != 1 || lastErr != nil {
-		t.Fatalf("after clean pass: passes=%d lastErr=%v", passes, lastErr)
+	if cs := r.CheckpointStats(); cs.Passes != 1 || cs.LastErr != nil || cs.ConsecutiveFailures != 0 {
+		t.Fatalf("after clean pass: %+v", cs)
 	}
 	if _, _, err := ReadBundleFile(path); err != nil {
 		t.Fatal(err)

@@ -78,11 +78,10 @@ type Recorder struct {
 
 	// Checkpointing state (checkpoint.go). ckptMu is separate from
 	// stateMu so checkpoint passes never contend with Stats sampling.
-	ckptMu     sync.Mutex
-	ckpt       *checkpointer
-	ckptPath   string
-	ckptPasses int
-	ckptErr    error
+	ckptMu    sync.Mutex
+	ckpt      *checkpointer
+	ckptPath  string
+	ckptStats CheckpointStats
 
 	inject *faultinject.Injector
 }

@@ -17,5 +17,10 @@ func OpenFile(path string) (*Log, error) {
 	return nil, ErrMmapUnsupported
 }
 
+// ObserveFile is unavailable on this platform.
+func ObserveFile(path string) (*Log, error) {
+	return nil, ErrMmapUnsupported
+}
+
 func msync(data []byte) error  { return nil }
 func munmap(data []byte) error { return nil }

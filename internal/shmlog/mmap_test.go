@@ -280,3 +280,83 @@ func TestMmapCreateRejections(t *testing.T) {
 		t.Fatal("zero capacity accepted")
 	}
 }
+
+// TestMmapObserveFile: a read-only observer mapping sees entries committed
+// by a writer mapping without bumping the attach generation or otherwise
+// touching the shared region, and its cursor tails new commits live.
+func TestMmapObserveFile(t *testing.T) {
+	path := mmapPath(t)
+	creator, err := CreateFile(path, 32, WithPID(77), WithProfilerAddr(0x2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer creator.Close()
+	if err := creator.Append(Entry{Kind: KindCall, Counter: 3, Addr: 0xC, ThreadID: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	obs, err := ObserveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	if !obs.ReadOnly() || !obs.Mapped() {
+		t.Fatalf("observer: ReadOnly=%v Mapped=%v, want true/true", obs.ReadOnly(), obs.Mapped())
+	}
+	if got := creator.AttachGen(); got != 0 {
+		t.Fatalf("observer bumped attach generation to %d; observers must be invisible", got)
+	}
+	if obs.PID() != 77 || obs.Capacity() != 32 {
+		t.Fatalf("observer header: pid=%d cap=%d", obs.PID(), obs.Capacity())
+	}
+
+	// Live tailing: entries committed after the observer attached appear
+	// through its cursor.
+	cur := obs.Cursor()
+	if got := cur.Next(nil); len(got) != 1 || got[0].Addr != 0xC {
+		t.Fatalf("first drain = %+v, want the pre-attach entry", got)
+	}
+	if err := creator.Append(Entry{Kind: KindReturn, Counter: 9, Addr: 0xC, ThreadID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cur.Next(nil); len(got) != 1 || got[0].Kind != KindReturn {
+		t.Fatalf("live drain = %+v, want the post-attach return", got)
+	}
+
+	// A writer attach still bumps the generation — only observers are
+	// exempt.
+	w, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := obs.AttachGen(); got != 1 {
+		t.Fatalf("attach generation through observer = %d, want 1", got)
+	}
+	if err := obs.Msync(); err != nil {
+		t.Fatalf("observer Msync: %v", err)
+	}
+}
+
+// TestMmapObserveValidation: observers reject missing, truncated and
+// non-teeperf files with the same typed errors as OpenFile.
+func TestMmapObserveValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ObserveFile(filepath.Join(dir, "absent.shm")); err == nil {
+		t.Fatal("observing a missing file succeeded")
+	}
+	small := filepath.Join(dir, "small.shm")
+	if err := os.WriteFile(small, make([]byte, HeaderSize-8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ObserveFile(small); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short file: err = %v, want ErrTruncated", err)
+	}
+	junk := filepath.Join(dir, "junk.shm")
+	if err := os.WriteFile(junk, bytes.Repeat([]byte{0xEE}, HeaderSize+EntrySize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ObserveFile(junk); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("junk file: err = %v, want ErrBadMagic", err)
+	}
+}

@@ -115,10 +115,65 @@ func OpenFile(path string) (*Log, error) {
 	return l, nil
 }
 
-// mapFile maps size bytes of f MAP_SHARED and lays the word array over the
-// mapping. size must be a multiple of 8 and at least HeaderSize.
+// ObserveFile maps an existing file-backed log MAP_SHARED but read-only:
+// PROT_READ, no attach-generation bump, no header writes. It is the
+// multi-attach path for passive observers (the fleet agent): any number of
+// observer mappings can coexist with the hosting recorder and the
+// instrumented application without either noticing, because an observer
+// never stores to the shared region — cursors, header accessors and stats
+// are all atomic loads. Mutating a log returned by ObserveFile (SetPID,
+// Append, ...) faults; ReadOnly reports the restriction.
+func ObserveFile(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("shmlog: open mapping file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shmlog: stat mapping file: %w", err)
+	}
+	size := st.Size()
+	if size < HeaderSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: mapping file %q is %d bytes, below the %d-byte header", ErrTruncatedHeader, path, size, HeaderSize)
+	}
+	if size > int64(int(^uint(0)>>1)) {
+		f.Close()
+		return nil, fmt.Errorf("shmlog: mapping file %q too large (%d bytes)", path, size)
+	}
+	l, err := mapFileProt(f, path, int(size), syscall.PROT_READ)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.readOnly = true
+	if got := atomic.LoadUint64(&l.words[wordMagic]); got != Magic {
+		l.Close()
+		return nil, fmt.Errorf("%w: mapping file %q", ErrBadMagic, path)
+	}
+	if got := atomic.LoadUint64(&l.words[wordVersion]); got != Version {
+		l.Close()
+		return nil, fmt.Errorf("%w: %d in mapping file %q", ErrBadVersion, got, path)
+	}
+	capacity := atomic.LoadUint64(&l.words[wordCapacity])
+	if want := int64(HeaderSize) + int64(capacity)*EntrySize; want > size {
+		l.Close()
+		return nil, fmt.Errorf("%w: mapping file %q holds %d bytes but header claims capacity %d (%d bytes)",
+			ErrTruncated, path, size, capacity, want)
+	}
+	return l, nil
+}
+
+// mapFile maps size bytes of f MAP_SHARED read-write and lays the word
+// array over the mapping. size must be a multiple of 8 and at least
+// HeaderSize.
 func mapFile(f *os.File, path string, size int) (*Log, error) {
-	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	return mapFileProt(f, path, size, syscall.PROT_READ|syscall.PROT_WRITE)
+}
+
+func mapFileProt(f *os.File, path string, size, prot int) (*Log, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, prot, syscall.MAP_SHARED)
 	if err != nil {
 		return nil, fmt.Errorf("shmlog: mmap %q: %w", path, err)
 	}

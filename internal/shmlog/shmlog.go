@@ -254,6 +254,11 @@ type Log struct {
 	mapped []byte
 	file   *os.File
 	path   string
+
+	// readOnly marks an observer mapping (ObserveFile): PROT_READ only, so
+	// any store to the shared region would fault. Observers must restrict
+	// themselves to loads — cursors, header accessors, stats.
+	readOnly bool
 }
 
 // Option configures New.
@@ -475,13 +480,19 @@ func (l *Log) WaitReady(timeout time.Duration) bool {
 // Mapped reports whether the log is a file-backed shared mapping.
 func (l *Log) Mapped() bool { return l.mapped != nil }
 
+// ReadOnly reports whether the log is a read-only observer mapping
+// (ObserveFile). Mutating a read-only mapping faults; callers that might
+// hold either kind check here first.
+func (l *Log) ReadOnly() bool { return l.readOnly }
+
 // Path returns the backing file path of a mapped log ("" for heap logs).
 func (l *Log) Path() string { return l.path }
 
 // Msync flushes the mapped region to the backing file (MS_SYNC). It is a
-// no-op for heap logs.
+// no-op for heap logs and read-only observer mappings (which have nothing
+// of their own to flush).
 func (l *Log) Msync() error {
-	if l.mapped == nil {
+	if l.mapped == nil || l.readOnly {
 		return nil
 	}
 	return msync(l.mapped)

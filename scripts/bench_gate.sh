@@ -16,7 +16,7 @@ trap 'rm -f "$out"' EXIT
 
 # -run matches nothing so only benchmarks execute; -json gives a stable,
 # machine-checkable record of which benchmarks actually ran.
-go test -json -run='^$' -bench='Append|Analyzer|WriteTo' -benchtime=1x -count=1 ./... >"$out" || {
+go test -json -run='^$' -bench='Append|Analyzer|WriteTo|LogRead|AgentScrape' -benchtime=1x -count=1 ./... >"$out" || {
     echo "bench gate: benchmark run failed" >&2
     grep -E '"Action":"(fail|build-fail)"' "$out" >&2 || true
     exit 1
@@ -26,9 +26,11 @@ go test -json -run='^$' -bench='Append|Analyzer|WriteTo' -benchtime=1x -count=1 
 # bench suite does not touch this list; removing or renaming a seed
 # benchmark must update it deliberately.
 required=(
+    BenchmarkAgentScrape
     BenchmarkAnalyzer
     BenchmarkAnalyzerParallel
     BenchmarkAppendParallel
+    BenchmarkLogRead
     BenchmarkLogWriteTo
 )
 
@@ -47,3 +49,12 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 echo "bench gate: all ${#required[@]} seed benchmarks ran"
+
+# The committed perf-trajectory file must parse and name every benchmark in
+# the recorded suite (regenerate with scripts/bench_record.sh).
+go run ./scripts/benchjson -check BENCH_agent.json \
+    BenchmarkAppendParallel \
+    BenchmarkLogWriteTo \
+    BenchmarkLogRead \
+    BenchmarkAnalyzerParallel \
+    BenchmarkAgentScrape

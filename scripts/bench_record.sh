@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Record the perf trajectory: run the seed hot-path benchmarks plus the
+# fleet-agent scrape benchmark and write the results as BENCH_agent.json.
+# Numbers are machine-dependent — regenerate on quiet hardware and commit
+# the file; scripts/bench_gate.sh only checks it parses and names every
+# required benchmark, never thresholds.
+#
+#   BENCHTIME=1s ./scripts/bench_record.sh     # default 300ms per benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-300ms}"
+pattern='^(BenchmarkAppendParallel|BenchmarkLogWriteTo|BenchmarkLogRead|BenchmarkAnalyzerParallel|BenchmarkAgentScrape)$'
+
+go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -count=1 \
+    . ./internal/agent |
+    tee /dev/stderr |
+    go run ./scripts/benchjson > BENCH_agent.json
+echo "wrote BENCH_agent.json" >&2

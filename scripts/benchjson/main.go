@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` text output into a small,
+// stable JSON perf-trajectory file, and validates such files in CI.
+//
+// Emit (reads bench output on stdin):
+//
+//	go test -run='^$' -bench=... ./... | go run ./scripts/benchjson > BENCH_agent.json
+//
+// Check (parses the file and requires every listed benchmark to appear):
+//
+//	go run ./scripts/benchjson -check BENCH_agent.json BenchmarkAppendParallel ...
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark output line. Name keeps the full sub-benchmark
+// path and the -GOMAXPROCS suffix exactly as `go test` printed it; Metrics
+// holds every reported "value unit" pair (ns/op, B/op, allocs/op, and any
+// b.ReportMetric extras such as entries/op).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the committed trajectory document.
+type File struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	check := flag.Bool("check", false, "validate: args are <file> <required bench name>...")
+	flag.Parse()
+	if *check {
+		if flag.NArg() < 2 {
+			fatalf("usage: benchjson -check <file> <BenchmarkName>...")
+		}
+		if err := checkFile(flag.Arg(0), flag.Args()[1:]); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("benchjson: %s names all %d required benchmarks\n", flag.Arg(0), flag.NArg()-1)
+		return
+	}
+	f, err := parseBenchOutput(os.Stdin)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(f.Benchmarks) == 0 {
+		fatalf("no benchmark result lines on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseBenchOutput(r *os.File) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: ") && f.Goos == "":
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: ") && f.Goarch == "":
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: ") && f.CPU == "":
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "Name iterations value unit [value unit ...]";
+		// a bare "BenchmarkFoo" announcement before sub-benchmarks is not.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %v", line, err)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		f.Benchmarks = append(f.Benchmarks, res)
+	}
+	return f, sc.Err()
+}
+
+func checkFile(path string, required []string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return fmt.Errorf("%s does not parse: %v", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("%s has no benchmarks", path)
+	}
+	for _, want := range required {
+		found := false
+		for _, r := range f.Benchmarks {
+			// Match the benchmark base name: exact, a sub-benchmark
+			// ("Name/sub"), or with the -GOMAXPROCS suffix ("Name-8").
+			rest, ok := strings.CutPrefix(r.Name, want)
+			if ok && (rest == "" || rest[0] == '/' || rest[0] == '-') {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s missing results for %s", path, want)
+		}
+	}
+	return nil
+}

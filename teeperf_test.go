@@ -327,7 +327,7 @@ func TestSessionMonitorFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(body), "teeperf_entries_committed_total 2") {
+	if !strings.Contains(string(body), `teeperf_entries_committed_total{session="main"} 2`) {
 		t.Errorf("facade /metrics missing entry count:\n%s", body)
 	}
 }
