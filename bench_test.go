@@ -447,10 +447,15 @@ func BenchmarkRecorderSession(b *testing.B) {
 
 // benchAppendParallel records b.N probe events spread over a fixed number
 // of goroutines, each with its own thread handle, reserving log slots in
-// blocks of k. ns/op is therefore ns per event; the byte rate is event
-// payload throughput.
-func benchAppendParallel(b *testing.B, goroutines, batch int) {
-	log, err := shmlog.New(b.N + goroutines*(batch+1))
+// blocks of k in a log split into s per-thread tail shards. ns/op is
+// therefore ns per event; the byte rate is event payload throughput.
+func benchAppendParallel(b *testing.B, goroutines, batch, shards int) {
+	// Sized so the fullest shard fits every thread that hashes onto it:
+	// at most ceil(g/s) threads per shard, each reserving at most its
+	// share of b.N plus one partial batch.
+	perThread := b.N/goroutines + b.N%goroutines + batch + 1
+	threadsPerShard := (goroutines + shards - 1) / shards
+	log, err := shmlog.New(shards*threadsPerShard*perThread, shmlog.WithShards(shards))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -489,14 +494,17 @@ func benchAppendParallel(b *testing.B, goroutines, batch int) {
 }
 
 // BenchmarkAppendParallel sweeps writer count against reservation batch
-// size: the contended tail fetch-and-add is paid once per k events, so
-// larger k should win exactly where writers collide.
+// size and shard count: the contended tail fetch-and-add is paid once per
+// k events on one of s independent tail words, so batching should win
+// where writers collide and sharding where they collide on the same word.
 func BenchmarkAppendParallel(b *testing.B) {
-	for _, goroutines := range []int{1, 4, 16} {
+	for _, goroutines := range []int{1, 4, 32} {
 		for _, batch := range []int{1, 16, 64} {
-			b.Run(fmt.Sprintf("g%d/k%d", goroutines, batch), func(b *testing.B) {
-				benchAppendParallel(b, goroutines, batch)
-			})
+			for _, shards := range []int{1, 8, 32} {
+				b.Run(fmt.Sprintf("g%d/k%d/s%d", goroutines, batch, shards), func(b *testing.B) {
+					benchAppendParallel(b, goroutines, batch, shards)
+				})
+			}
 		}
 	}
 }

@@ -22,6 +22,7 @@ type liveFlags struct {
 	ops      int
 	repeat   int
 	capacity int
+	shards   int
 	batch    int
 	interval time.Duration
 }
@@ -33,6 +34,7 @@ func (lf *liveFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&lf.ops, "ops", 5000, "operations (dbbench/spdk only)")
 	fs.IntVar(&lf.repeat, "repeat", 1, "run the workload this many times back to back")
 	fs.IntVar(&lf.capacity, "capacity", 1<<22, "log capacity in entries")
+	fs.IntVar(&lf.shards, "shards", 1, "log shard count (per-thread tail segments; threads hash to shards by ID)")
 	fs.IntVar(&lf.batch, "batch", 1, "probe slot-reservation batch size (events per tail fetch-and-add)")
 	fs.DurationVar(&lf.interval, "interval", 500*time.Millisecond, "sampling/refresh interval")
 }
@@ -53,7 +55,7 @@ func startLiveRun(lf *liveFlags) (*recorder.Recorder, <-chan error, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	rec, err := buildRecorder(tab, lf.capacity, lf.batch, "")
+	rec, err := buildRecorder(tab, lf.capacity, lf.shards, lf.batch, "")
 	if err != nil {
 		return nil, nil, err
 	}

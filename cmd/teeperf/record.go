@@ -33,6 +33,7 @@ func cmdRecord(args []string) error {
 	scale := fs.Int("scale", 1, "workload scale (phoenix only)")
 	ops := fs.Int("ops", 5000, "operations (dbbench/spdk only)")
 	capacity := fs.Int("capacity", 1<<22, "log capacity in entries")
+	shards := fs.Int("shards", 1, "log shard count (per-thread tail segments; threads hash to shards by ID)")
 	batch := fs.Int("batch", 1, "probe slot-reservation batch size (events per tail fetch-and-add)")
 	selective := fs.String("only", "", "substring filter for selective profiling")
 	transitions := fs.Bool("transitions", false, "also print a transition-level (sgx-perf style) report")
@@ -59,7 +60,7 @@ func cmdRecord(args []string) error {
 		return err
 	}
 
-	rec, err := buildRecorder(tab, *capacity, *batch, *selective)
+	rec, err := buildRecorder(tab, *capacity, *shards, *batch, *selective)
 	if err != nil {
 		return err
 	}
@@ -100,13 +101,16 @@ func cmdRecord(args []string) error {
 }
 
 // buildRecorder assembles the recorder used by record, monitor and serve:
-// fixed capacity, optional batched slot reservation, optional
-// selective-profiling filter, and the single-CPU fallback from the software
-// counter to the TSC source.
-func buildRecorder(tab *symtab.Table, capacity, batch int, selective string) (*recorder.Recorder, error) {
+// fixed capacity, optional log sharding, optional batched slot reservation,
+// optional selective-profiling filter, and the single-CPU fallback from the
+// software counter to the TSC source.
+func buildRecorder(tab *symtab.Table, capacity, shards, batch int, selective string) (*recorder.Recorder, error) {
 	recOpts := []recorder.Option{
 		recorder.WithCapacity(capacity),
 		recorder.WithPID(uint64(os.Getpid())),
+	}
+	if shards > 1 {
+		recOpts = append(recOpts, recorder.WithShards(shards))
 	}
 	if batch > 1 {
 		recOpts = append(recOpts, recorder.WithBatch(batch))

@@ -27,6 +27,7 @@ func cmdRun(args []string) error {
 	output := fs.String("o", "run.teeperf", "output bundle path")
 	shm := fs.String("shm", "", "shared mapping path (default <output>.shm)")
 	capacity := fs.Int("capacity", 1<<20, "log capacity in entries")
+	shards := fs.Int("shards", 1, "log shard count (per-thread tail segments; threads hash to shards by ID)")
 	checkpoint := fs.Duration("checkpoint", 0, "crash-consistent checkpoint interval (0 disables)")
 	keepShm := fs.Bool("keep-shm", false, "keep the mapping and symbol side file after persisting")
 	addr := fs.String("addr", "", "serve live metrics over HTTP on this address while the command runs")
@@ -54,7 +55,7 @@ func cmdRun(args []string) error {
 		*shm = *output + ".shm"
 	}
 
-	rec, err := recorder.Create(*shm, recorder.WithCapacity(*capacity))
+	rec, err := recorder.Create(*shm, recorder.WithCapacity(*capacity), recorder.WithShards(*shards))
 	if err != nil {
 		return err
 	}

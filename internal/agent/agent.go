@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"teeperf/internal/monitor"
+	"teeperf/internal/shmlog"
 )
 
 // Config parameterizes an Agent.
@@ -264,8 +265,10 @@ func (a *Agent) Metrics() []monitor.Metric {
 		state := s.state
 		var ticks uint64
 		var open, funcs int
+		var segs []shmlog.SegmentStat
 		if s.log != nil {
 			ticks = s.log.LoadCounter()
+			segs = s.log.SegmentStats()
 		}
 		if s.inc != nil {
 			open = s.inc.OpenFrames()
@@ -280,6 +283,7 @@ func (a *Agent) Metrics() []monitor.Metric {
 			FillPercent:   info.FillPct,
 			Capacity:      info.Capacity,
 			EntriesPerSec: info.Rate,
+			Shards:        monitor.ShardSamples(segs),
 		}
 		out = append(out, monitor.SessionMetrics(info.Name, sample, open, funcs)...)
 		lbl := monitor.SessionLabel(info.Name)

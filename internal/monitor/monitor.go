@@ -50,6 +50,40 @@ type Sample struct {
 	EntriesPerSec float64 `json:"entries_per_sec"`
 	TicksPerSec   float64 `json:"ticks_per_sec"`
 	DropsPerSec   float64 `json:"drops_per_sec"`
+	// Shards is the active segment's per-shard breakdown (one element per
+	// shard, index = shard id). Omitted for single-shard logs, where it
+	// would duplicate FillPercent/Dropped.
+	Shards []ShardSample `json:"shards,omitempty"`
+}
+
+// ShardSample is one shard's fill and drop accounting inside a sample —
+// the signal that tells a skewed thread-to-shard distribution (one hot
+// shard dropping while others sit empty) apart from global overload.
+type ShardSample struct {
+	FillPercent float64 `json:"fill_percent"`
+	Dropped     uint64  `json:"dropped"`
+}
+
+// ShardSamples converts a SegmentStats snapshot into the sample form.
+// Single-shard logs return nil: their one shard is the whole log. Shared
+// with the fleet agent, which builds Samples from observed mappings.
+func ShardSamples(stats []shmlog.SegmentStat) []ShardSample {
+	if len(stats) <= 1 {
+		return nil
+	}
+	out := make([]ShardSample, len(stats))
+	for i, st := range stats {
+		fill := 0.0
+		if st.Capacity > 0 {
+			t := st.Tail
+			if t > st.Capacity { // transient overshoot under overload
+				t = st.Capacity
+			}
+			fill = float64(t) / float64(st.Capacity) * 100
+		}
+		out[i] = ShardSample{FillPercent: fill, Dropped: st.Dropped}
+	}
+	return out
 }
 
 // Option configures New.
@@ -282,6 +316,7 @@ func (m *Monitor) pollLocked(now time.Time, record bool) Sample {
 		FillPercent:  st.FillPercent,
 		Capacity:     st.Capacity,
 		Rotations:    st.Rotations,
+		Shards:       ShardSamples(current.SegmentStats()),
 	}
 	if m.haveLast {
 		dt := now.Sub(m.lastPoll).Seconds()

@@ -35,7 +35,7 @@ func (m *Monitor) Handler() http.Handler {
 // `session` label value.
 func SessionMetrics(session string, s Sample, openFrames, funcs int) []Metric {
 	lbl := SessionLabel(session)
-	return []Metric{
+	out := []Metric{
 		{"teeperf_entries_committed_total", "Committed log entries observed across all segments.", "counter", lbl, float64(s.Entries)},
 		{"teeperf_entries_dropped_total", "Probe events lost to log overflow.", "counter", lbl, float64(s.Dropped)},
 		{"teeperf_counter_ticks_total", "Software/TSC counter value.", "counter", lbl, float64(s.CounterTicks)},
@@ -49,6 +49,17 @@ func SessionMetrics(session string, s Sample, openFrames, funcs int) []Metric {
 		{"teeperf_open_frames", "Calls currently in flight (entered, not yet returned).", "gauge", lbl, float64(openFrames)},
 		{"teeperf_profile_functions", "Distinct functions in the live profile.", "gauge", lbl, float64(funcs)},
 	}
+	// Sharded logs additionally break fill and drops down per shard, so a
+	// skewed thread distribution (one shard saturated, the rest idle) is
+	// visible where the aggregate gauges would hide it.
+	for i, sh := range s.Shards {
+		slbl := append(SessionLabel(session), Label{Key: "shard", Value: fmt.Sprintf("%d", i)})
+		out = append(out,
+			Metric{"teeperf_shard_fill_percent", "Per-shard log segment fill level (0-100).", "gauge", slbl, sh.FillPercent},
+			Metric{"teeperf_shard_dropped_total", "Probe events lost to overflow of this shard's segment.", "counter", slbl, float64(sh.Dropped)},
+		)
+	}
+	return out
 }
 
 // CheckpointMetrics builds the per-session checkpoint gauges from the

@@ -183,10 +183,11 @@ func (rt *Runtime) snapshotThreads() []*Thread {
 
 // block is a thread's current reserved slot range in one log segment.
 type block struct {
-	log  *shmlog.Log
-	next uint64 // next slot to fill
-	end  uint64 // one past the last usable reserved slot
-	full bool   // the segment was full at the last reservation attempt
+	log   *shmlog.Log
+	shard int    // the log segment this thread's ID hashes onto
+	next  uint64 // next slot to fill
+	end   uint64 // one past the last usable reserved slot
+	full  bool   // the segment was full at the last reservation attempt
 }
 
 // Thread is the per-application-thread probe handle. Enter/Exit/Span/record
@@ -260,10 +261,10 @@ func (t *Thread) record(kind shmlog.Kind, addr uint64) {
 	// holes — before reserving from the new one.
 	if t.blk.log != log {
 		t.releaseBlock()
-		t.blk = block{log: log}
+		t.blk = block{log: log, shard: log.ShardOf(t.id)}
 	}
 	if t.blk.next == t.blk.end && !t.blk.full {
-		start, n := log.Reserve(t.rt.batch)
+		start, n := log.ReserveShard(t.blk.shard, t.rt.batch)
 		if n == 0 {
 			t.blk.full = true
 		} else {
@@ -272,7 +273,7 @@ func (t *Thread) record(kind shmlog.Kind, addr uint64) {
 	}
 	if t.blk.next == t.blk.end {
 		// Segment full: same accounting as the ErrFull path of Append.
-		log.NoteDropped(1)
+		log.NoteDroppedShard(t.blk.shard, 1)
 		t.rt.drops.Add(1)
 		t.busy.Store(false)
 		return

@@ -40,6 +40,7 @@ func Create(path string, opts ...Option) (*Recorder, error) {
 	cfg := hostConfig(opts)
 	log, err := shmlog.CreateFile(path, cfg.capacity,
 		shmlog.WithPID(cfg.pid),
+		shmlog.WithShards(cfg.logShards()),
 		shmlog.WithFlags(shmlog.EventCall|shmlog.EventReturn), // inactive until Start
 	)
 	if err != nil {

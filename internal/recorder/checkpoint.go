@@ -150,7 +150,7 @@ func (r *Recorder) checkpointPass(path string) (uint64, error) {
 		return 0, fmt.Errorf("recorder: checkpoint: %w", err)
 	}
 	part := path + ".part"
-	f, err := os.Create(part)
+	f, err := createDataFile(part)
 	if err != nil {
 		return 0, fmt.Errorf("recorder: checkpoint create: %w", err)
 	}

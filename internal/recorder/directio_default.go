@@ -1,0 +1,26 @@
+//go:build !linux || !directio
+
+package recorder
+
+import (
+	"io"
+	"os"
+)
+
+// dataFile is the destination a checkpoint pass streams its bundle into:
+// plain buffered file I/O by default, direct I/O when built with the
+// `directio` tag on linux. Sync must make the written bytes durable before
+// the atomic rename commits the checkpoint.
+type dataFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// createDataFile creates (truncating) the checkpoint data file. The
+// default build uses the page cache — os.Create — which is right for
+// normal workloads; the directio build variant bypasses it so large
+// checkpoint streams do not evict the application's working set.
+func createDataFile(path string) (dataFile, error) {
+	return os.Create(path)
+}

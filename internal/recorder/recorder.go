@@ -93,6 +93,7 @@ type Option interface {
 
 type config struct {
 	capacity int
+	shards   int
 	pid      uint64
 	mode     CounterMode
 	source   counter.Source
@@ -109,9 +110,26 @@ type optionFunc func(*config)
 
 func (f optionFunc) apply(c *config) { f(c) }
 
+// logShards normalizes the configured shard count for log creation: zero
+// (unset) means a single segment.
+func (c *config) logShards() int {
+	if c.shards < 1 {
+		return 1
+	}
+	return c.shards
+}
+
 // WithCapacity sets the log capacity in entries (default 1<<20).
 func WithCapacity(entries int) Option {
 	return optionFunc(func(c *config) { c.capacity = entries })
+}
+
+// WithShards splits the log's entry region into n independent per-thread
+// segments (hashed by thread ID), each with its own cache-line-aligned
+// tail, so many writer threads append without contending on one
+// fetch-and-add word (default 1).
+func WithShards(n int) Option {
+	return optionFunc(func(c *config) { c.shards = n })
 }
 
 // WithPID records the profiled process ID in the log header.
@@ -219,6 +237,7 @@ func New(tab *symtab.Table, opts ...Option) (*Recorder, error) {
 			shmlog.WithPID(cfg.pid),
 			shmlog.WithProfilerAddr(anchorRuntime),
 			shmlog.WithSync(cfg.sync),
+			shmlog.WithShards(cfg.logShards()),
 			shmlog.WithFlags(shmlog.EventCall|shmlog.EventReturn), // inactive until Start
 		)
 		if err != nil {

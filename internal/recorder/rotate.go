@@ -44,6 +44,7 @@ func (r *Recorder) Rotate() (*shmlog.Log, error) {
 		shmlog.WithPID(r.cfg.pid),
 		shmlog.WithProfilerAddr(anchorRuntime),
 		shmlog.WithSync(r.cfg.sync),
+		shmlog.WithShards(r.cfg.logShards()),
 		shmlog.WithFlags(flags),
 	)
 	if err != nil {

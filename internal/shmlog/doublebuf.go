@@ -1,0 +1,185 @@
+package shmlog
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// SwapWriter is a double-buffered writer: Write fills the active buffer in
+// the caller's goroutine, and whenever the buffer fills it is swapped with
+// a free one and handed to a single background flusher goroutine that
+// drains it into the underlying writer. The producer therefore keeps
+// encoding while the previous buffer is in flight — the asynclogger
+// swap-and-flush shape — so persisting a large log overlaps encoding with
+// I/O instead of alternating, and a slow disk no longer stalls the
+// appenders a checkpoint pass snapshots around.
+//
+// Buffers are handed over in order through an unbuffered channel, so
+// writes reach the underlying writer in order and memory use is bounded at
+// two buffers: one filling, one draining. The flusher's first error is
+// sticky: subsequent Writes fail fast with it, and Flush/Close return it.
+//
+// SwapWriter is not safe for concurrent Write calls; it has exactly one
+// producer (the encoder) and owns exactly one consumer (the flusher).
+type SwapWriter struct {
+	w       io.Writer
+	active  []byte // buffer being filled by Write
+	fill    int
+	written int64
+
+	ch   chan swapChunk // filled buffers / barriers, in order
+	free chan []byte    // drained buffers coming back from the flusher
+	done chan struct{}
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// swapChunk is one handover to the flusher: a filled buffer and/or a
+// barrier to close once everything enqueued so far has reached the
+// underlying writer.
+type swapChunk struct {
+	buf     []byte
+	barrier chan struct{}
+}
+
+// swapBufSize is the default buffer size: matches the bulk encoder chunking
+// and is a multiple of the 4096-byte direct-I/O block size.
+const swapBufSize = bulkBufSize
+
+// NewSwapWriter returns a SwapWriter over w with two size-byte buffers
+// (size <= 0 selects the 64 KiB default) and starts its flusher goroutine.
+// Callers must Close it to stop the flusher and surface trailing errors.
+func NewSwapWriter(w io.Writer, size int) *SwapWriter {
+	if size <= 0 {
+		size = swapBufSize
+	}
+	sw := &SwapWriter{
+		w:      w,
+		active: make([]byte, size),
+		ch:     make(chan swapChunk),
+		free:   make(chan []byte, 1),
+		done:   make(chan struct{}),
+	}
+	sw.free <- make([]byte, size) // the second buffer starts out free
+	go sw.flusher()
+	return sw
+}
+
+// flusher drains handed-over buffers into the underlying writer in order.
+// After an error it keeps consuming (so the producer never blocks) but
+// stops writing; the error is surfaced through loadErr.
+func (sw *SwapWriter) flusher() {
+	defer close(sw.done)
+	for chunk := range sw.ch {
+		if chunk.buf != nil {
+			if sw.loadErr() == nil {
+				n, err := sw.w.Write(chunk.buf)
+				if err == nil && n < len(chunk.buf) {
+					err = io.ErrShortWrite
+				}
+				if err != nil {
+					sw.storeErr(err)
+				}
+			}
+			sw.free <- chunk.buf[:cap(chunk.buf)]
+		}
+		if chunk.barrier != nil {
+			close(chunk.barrier)
+		}
+	}
+}
+
+func (sw *SwapWriter) loadErr() error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.err
+}
+
+func (sw *SwapWriter) storeErr(err error) {
+	sw.mu.Lock()
+	if sw.err == nil {
+		sw.err = err
+	}
+	sw.mu.Unlock()
+}
+
+// Write fills the active buffer, swapping it to the flusher whenever it
+// fills up. The only wait is for the flusher to hand back the other
+// buffer — bounded by one buffer's drain — so encoding overlaps I/O.
+func (sw *SwapWriter) Write(p []byte) (int, error) {
+	if sw.closed {
+		return 0, fmt.Errorf("shmlog: write on closed SwapWriter")
+	}
+	if err := sw.loadErr(); err != nil {
+		return 0, err
+	}
+	total := len(p)
+	for len(p) > 0 {
+		n := copy(sw.active[sw.fill:], p)
+		sw.fill += n
+		p = p[n:]
+		if sw.fill == len(sw.active) {
+			if err := sw.swap(nil); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	sw.written += int64(total)
+	return total, nil
+}
+
+// swap hands the active buffer (and an optional barrier) to the flusher
+// and installs a drained buffer as the new active one, blocking until the
+// flusher returns it.
+func (sw *SwapWriter) swap(barrier chan struct{}) error {
+	chunk := swapChunk{buf: sw.active[:sw.fill], barrier: barrier}
+	if sw.fill == 0 {
+		chunk.buf = nil
+	}
+	sw.ch <- chunk
+	if chunk.buf != nil {
+		sw.active = <-sw.free
+		sw.fill = 0
+	}
+	return sw.loadErr()
+}
+
+// Flush hands any buffered bytes to the flusher and blocks until every byte
+// written so far has reached the underlying writer, returning the sticky
+// error if any write failed.
+func (sw *SwapWriter) Flush() error {
+	if sw.closed {
+		return sw.loadErr()
+	}
+	barrier := make(chan struct{})
+	err := sw.swap(barrier)
+	<-barrier
+	if ferr := sw.loadErr(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// Written returns how many bytes have been accepted by Write (buffered or
+// flushed). After a successful Flush or Close, all of them have reached the
+// underlying writer.
+func (sw *SwapWriter) Written() int64 { return sw.written }
+
+// Close flushes remaining bytes, stops the flusher goroutine and returns
+// the first error encountered. Close is idempotent.
+func (sw *SwapWriter) Close() error {
+	if sw.closed {
+		return sw.loadErr()
+	}
+	err := sw.Flush()
+	sw.closed = true
+	close(sw.ch)
+	<-sw.done
+	if ferr := sw.loadErr(); err == nil {
+		err = ferr
+	}
+	return err
+}

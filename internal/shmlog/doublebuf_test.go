@@ -1,0 +1,160 @@
+package shmlog
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// TestSwapWriterContentAndOrder: arbitrary-length writes through the
+// double buffer must reach the underlying writer byte-identical and in
+// order, regardless of how they straddle buffer boundaries.
+func TestSwapWriterContentAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	want := make([]byte, 10_000)
+	rng.Read(want)
+
+	var out bytes.Buffer
+	sw := NewSwapWriter(&out, 256)
+	for off := 0; off < len(want); {
+		n := 1 + rng.Intn(700) // spans sub-buffer and multi-buffer writes
+		if off+n > len(want) {
+			n = len(want) - off
+		}
+		wrote, err := sw.Write(want[off : off+n])
+		if err != nil || wrote != n {
+			t.Fatalf("Write = %d, %v; want %d, nil", wrote, err, n)
+		}
+		off += n
+	}
+	if sw.Written() != int64(len(want)) {
+		t.Fatalf("Written = %d, want %d", sw.Written(), len(want))
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output diverges from input (%d vs %d bytes)", out.Len(), len(want))
+	}
+}
+
+// TestSwapWriterFlushBarrier: Flush must not return before every byte
+// written so far is visible in the underlying writer, and writing must
+// keep working afterwards.
+func TestSwapWriterFlushBarrier(t *testing.T) {
+	var out bytes.Buffer
+	sw := NewSwapWriter(&out, 1024) // nothing would auto-swap at this size
+	payload := []byte("well before the buffer fills")
+	if _, err := sw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("bytes reached the writer before any flush (%d)", out.Len())
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatalf("after Flush the writer holds %q, want %q", out.Bytes(), payload)
+	}
+	if _, err := sw.Write([]byte("!")); err != nil {
+		t.Fatalf("Write after Flush: %v", err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := out.String(); got != string(payload)+"!" {
+		t.Fatalf("final output %q", got)
+	}
+}
+
+// failAfterWriter accepts the first n bytes, then fails every write.
+type failAfterWriter struct {
+	n   int
+	got int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.got+len(p) > w.n {
+		return 0, w.err
+	}
+	w.got += len(p)
+	return len(p), nil
+}
+
+// TestSwapWriterStickyError: a failing underlying writer must surface its
+// error to the producer — at the latest on Close, and on every Write once
+// observed — without deadlocking the flusher handoff.
+func TestSwapWriterStickyError(t *testing.T) {
+	boom := errors.New("disk gone")
+	sw := NewSwapWriter(&failAfterWriter{n: 512, err: boom}, 256)
+	var werr error
+	for i := 0; i < 64 && werr == nil; i++ {
+		_, werr = sw.Write(make([]byte, 128))
+	}
+	if cerr := sw.Close(); !errors.Is(cerr, boom) {
+		t.Fatalf("Close = %v, want the flusher's error %v", cerr, boom)
+	}
+	if werr != nil && !errors.Is(werr, boom) {
+		t.Fatalf("Write surfaced %v, want %v", werr, boom)
+	}
+	// After Close with a sticky error, further writes fail fast.
+	if _, err := sw.Write([]byte("x")); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+}
+
+// shortWriter claims fewer bytes than handed to it.
+type shortWriter struct{}
+
+func (shortWriter) Write(p []byte) (int, error) {
+	if len(p) > 1 {
+		return len(p) - 1, nil
+	}
+	return len(p), nil
+}
+
+// TestSwapWriterShortWrite: a short write with a nil error must be
+// promoted to io.ErrShortWrite, never silently dropped bytes.
+func TestSwapWriterShortWrite(t *testing.T) {
+	sw := NewSwapWriter(shortWriter{}, 64)
+	if _, err := sw.Write(make([]byte, 300)); err != nil && !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Write = %v, want nil or ErrShortWrite", err)
+	}
+	if err := sw.Close(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Close = %v, want %v", err, io.ErrShortWrite)
+	}
+}
+
+// TestSwapWriterCloseIdempotent: Close twice is safe and stable.
+func TestSwapWriterCloseIdempotent(t *testing.T) {
+	var out bytes.Buffer
+	sw := NewSwapWriter(&out, 64)
+	if _, err := sw.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if out.String() != "abc" {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
+// TestSwapWriterEmptyClose: closing without writing is a no-op.
+func TestSwapWriterEmptyClose(t *testing.T) {
+	var out bytes.Buffer
+	sw := NewSwapWriter(&out, 64)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 || sw.Written() != 0 {
+		t.Fatalf("empty close wrote %d bytes, Written = %d", out.Len(), sw.Written())
+	}
+}

@@ -112,8 +112,8 @@ func TestReadV1RoundTripsToV2(t *testing.T) {
 	if _, err := v1.WriteTo(&out); err != nil {
 		t.Fatalf("WriteTo: %v", err)
 	}
-	if got := out.Len(); got != HeaderSize+len(entries)*EntrySize {
-		t.Fatalf("re-encoded size = %d, want v2 size %d", got, HeaderSize+len(entries)*EntrySize)
+	if got := out.Len(); got != HeaderSize+SegHeaderSize+len(entries)*EntrySize {
+		t.Fatalf("re-encoded size = %d, want current-format size %d", got, HeaderSize+SegHeaderSize+len(entries)*EntrySize)
 	}
 	if magic := binary.LittleEndian.Uint64(out.Bytes()); magic != Magic {
 		t.Fatalf("re-encoded word 0 = %#x, want v2 magic", magic)

@@ -1,0 +1,128 @@
+package shmlog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// encodeV2 renders entries in the version-2 persisted format: the 32-word
+// cache-line-padded header followed by one flat 3-word-entry region. The
+// current writer only emits version 3 (sharded segments), so this is the
+// reference encoder the decode-compatibility tests pin the retired layout
+// against — bundles persisted by v2 recorders must keep loading verbatim.
+func encodeV2(flags, pid, profilerAddr, counter uint64, entries []Entry) []byte {
+	var buf bytes.Buffer
+	put := func(v uint64) {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf.Write(w[:])
+	}
+	header := [HeaderWords]uint64{
+		wordMagic:        Magic,
+		wordVersion:      VersionV2,
+		wordPID:          pid,
+		wordCapacity:     uint64(len(entries)),
+		wordProfilerAddr: profilerAddr,
+		wordFlags:        flags,
+		wordTail:         uint64(len(entries)),
+		wordCounter:      counter,
+		// wordShards (7) stays zero: reserved padding in v2.
+	}
+	for _, w := range header {
+		put(w)
+	}
+	for _, e := range entries {
+		word0 := e.Counter & counterMask
+		if e.Kind == KindReturn {
+			word0 |= kindBit
+		}
+		put(word0)
+		put(e.Addr)
+		put(e.ThreadID)
+	}
+	return buf.Bytes()
+}
+
+// TestReadV2Golden pins the v2 byte layout and its decode-only status: a
+// hand-built v2 stream must load with the entries in slot order (no
+// counter merge — v2 has one tail), survive a re-encode into the current
+// format, and report its source version faithfully.
+func TestReadV2Golden(t *testing.T) {
+	entries := []Entry{
+		// Deliberately counter-disordered: a flat v2 body is slot-ordered,
+		// and the decoder must NOT re-sort it (only multi-segment v3
+		// bodies merge by counter).
+		{Kind: KindCall, Counter: 300, Addr: 0x400010, ThreadID: 2},
+		{Kind: KindCall, Counter: 100, Addr: 0x400020, ThreadID: 1},
+		{Kind: KindReturn, Counter: 200, Addr: 0x400020, ThreadID: 1},
+	}
+	raw := encodeV2(EventCall|EventReturn, 42, 0x400000, 999, entries)
+
+	if got, want := len(raw), HeaderSize+len(entries)*EntrySize; got != want {
+		t.Fatalf("fixture size = %d, want %d", got, want)
+	}
+	golden := map[int]uint64{
+		wordMagic:        Magic,
+		wordVersion:      2,
+		wordPID:          42,
+		wordCapacity:     3,
+		wordProfilerAddr: 0x400000,
+		wordShards:       0,
+		wordFlags:        EventCall | EventReturn,
+		wordTail:         3,
+		wordCounter:      999,
+	}
+	for i, want := range golden {
+		if got := binary.LittleEndian.Uint64(raw[i*8:]); got != want {
+			t.Fatalf("v2 header word %d = %#x, want %#x", i, got, want)
+		}
+	}
+
+	l, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Read v2: %v", err)
+	}
+	if l.SourceVersion() != VersionV2 {
+		t.Fatalf("SourceVersion = %d, want %d", l.SourceVersion(), VersionV2)
+	}
+	if l.Version() != Version {
+		t.Fatalf("decoded in-memory version = %d, want normalized %d", l.Version(), Version)
+	}
+	if l.PID() != 42 || l.ProfilerAddr() != 0x400000 || l.LoadCounter() != 999 {
+		t.Fatalf("metadata lost: pid %d addr %#x counter %d", l.PID(), l.ProfilerAddr(), l.LoadCounter())
+	}
+	if got := l.Entries(); !reflect.DeepEqual(got, entries) {
+		t.Fatalf("decoded entries reordered or damaged:\n%+v\nwant\n%+v", got, entries)
+	}
+
+	// Decode-only: re-persisting writes the current format, which must
+	// round-trip with identical entries and remember the v2 origin is gone.
+	var out bytes.Buffer
+	if _, err := l.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(out.Bytes()[wordVersion*8:]); got != Version {
+		t.Fatalf("re-encode version = %d, want %d", got, Version)
+	}
+	again, err := Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Entries(); !reflect.DeepEqual(got, entries) {
+		t.Fatalf("v2 -> v3 round trip changed entries:\n%+v\nwant\n%+v", got, entries)
+	}
+
+	// The lenient decoder agrees with the strict one on clean v2 input.
+	sal, rep, err := ReadLenient(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("lenient read of clean v2 flagged corruption: %+v", rep)
+	}
+	if got := sal.Entries(); !reflect.DeepEqual(got, entries) {
+		t.Fatalf("lenient v2 decode diverges:\n%+v\nwant\n%+v", got, entries)
+	}
+}

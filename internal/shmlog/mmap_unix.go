@@ -17,9 +17,10 @@ const MmapSupported = true
 
 // CreateFile creates (truncating) a file-backed log at path with room for
 // capacity entries and maps it MAP_SHARED. The header is initialised like
-// New's, plus the attach-handshake words: creator PID (this process) and a
-// zero attach generation. The recorder process calls this before spawning
-// the instrumented application.
+// New's — including the segment headers of a sharded log (WithShards) —
+// plus the attach-handshake words: creator PID (this process) and a zero
+// attach generation. The recorder process calls this before spawning the
+// instrumented application.
 //
 // SyncMutex is rejected: a Go mutex cannot synchronise writers in two
 // different processes. WithVersion is likewise rejected — a shared file is
@@ -32,6 +33,7 @@ func CreateFile(path string, capacity int, opts ...Option) (*Log, error) {
 		version: Version,
 		sync:    SyncAtomic,
 		flags:   FlagActive | EventCall | EventReturn,
+		shards:  1,
 	}
 	for _, opt := range opts {
 		opt.apply(&o)
@@ -42,8 +44,13 @@ func CreateFile(path string, capacity int, opts ...Option) (*Log, error) {
 	if o.version != Version {
 		return nil, fmt.Errorf("%w: file-backed logs are always version %d", ErrMapped, Version)
 	}
+	if o.shards < 1 || o.shards > MaxShards {
+		return nil, fmt.Errorf("%w: %d (want 1..%d)", ErrBadShards, o.shards, MaxShards)
+	}
 
-	size := HeaderSize + capacity*EntrySize
+	segCap := segCapFor(capacity, o.shards)
+	total := segCap * o.shards
+	size := HeaderSize + o.shards*(SegHeaderSize+segCap*EntrySize)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("shmlog: create mapping file: %w", err)
@@ -59,20 +66,69 @@ func CreateFile(path string, capacity int, opts ...Option) (*Log, error) {
 		os.Remove(path)
 		return nil, err
 	}
+	l.shards = o.shards
+	l.segCap = segCap
 	l.words[wordMagic] = Magic
 	l.words[wordVersion] = Version
 	l.words[wordPID] = o.pid
-	l.words[wordCapacity] = uint64(capacity)
+	l.words[wordCapacity] = uint64(total)
 	l.words[wordProfilerAddr] = o.profilerAddr
 	l.words[wordCreatorPID] = uint64(os.Getpid())
+	l.words[wordShards] = uint64(o.shards)
 	l.words[wordFlags] = o.flags
+	for s := 0; s < o.shards; s++ {
+		l.words[l.segHeaderIdx(s)+segWordCapacity] = uint64(segCap)
+	}
 	return l, nil
 }
 
+// validateMapped checks a freshly mapped log's header against the file size
+// and derives the cached shard layout (l.shards, l.segCap). Shared with
+// OpenFile and ObserveFile.
+func validateMapped(l *Log, path string, size int64) error {
+	if got := atomic.LoadUint64(&l.words[wordMagic]); got != Magic {
+		return fmt.Errorf("%w: mapping file %q", ErrBadMagic, path)
+	}
+	if got := atomic.LoadUint64(&l.words[wordVersion]); got != Version {
+		return fmt.Errorf("%w: %d in mapping file %q", ErrBadVersion, got, path)
+	}
+	shards := atomic.LoadUint64(&l.words[wordShards])
+	if shards < 1 || shards > MaxShards {
+		return fmt.Errorf("%w: %d in mapping file %q", ErrBadShards, shards, path)
+	}
+	capacity := atomic.LoadUint64(&l.words[wordCapacity])
+	if capacity > maxEntries {
+		return fmt.Errorf("shmlog: unreasonable capacity %d in mapping file %q", capacity, path)
+	}
+	if capacity%shards != 0 {
+		return fmt.Errorf("%w: capacity %d not divisible by %d shards in mapping file %q",
+			ErrTruncated, capacity, shards, path)
+	}
+	segCap := capacity / shards
+	want := int64(HeaderSize) + int64(shards)*(SegHeaderSize+int64(segCap)*EntrySize)
+	if want > size {
+		return fmt.Errorf("%w: mapping file %q holds %d bytes but header claims capacity %d over %d shards (%d bytes)",
+			ErrTruncated, path, size, capacity, shards, want)
+	}
+	l.shards = int(shards)
+	l.segCap = int(segCap)
+	// The per-segment capacity words must agree with the main header, or
+	// the segment arithmetic (and every writer mapping the file) would
+	// disagree about where segments start.
+	for s := 0; s < l.shards; s++ {
+		if got := atomic.LoadUint64(&l.words[l.segHeaderIdx(s)+segWordCapacity]); got != segCap {
+			return fmt.Errorf("%w: segment %d capacity %d disagrees with header segment capacity %d in mapping file %q",
+				ErrTruncated, s, got, segCap, path)
+		}
+	}
+	return nil
+}
+
 // OpenFile maps an existing file-backed log MAP_SHARED and validates its
-// header (magic, version, capacity vs file size). It atomically bumps the
-// attach generation so the creator can observe the attach. The instrumented
-// application calls this with the path handed over in TEEPERF_SHM.
+// header (magic, version, shard layout, capacity vs file size). It
+// atomically bumps the attach generation so the creator can observe the
+// attach. The instrumented application calls this with the path handed
+// over in TEEPERF_SHM.
 func OpenFile(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -97,19 +153,9 @@ func OpenFile(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	if got := atomic.LoadUint64(&l.words[wordMagic]); got != Magic {
+	if err := validateMapped(l, path, size); err != nil {
 		l.Close()
-		return nil, fmt.Errorf("%w: mapping file %q", ErrBadMagic, path)
-	}
-	if got := atomic.LoadUint64(&l.words[wordVersion]); got != Version {
-		l.Close()
-		return nil, fmt.Errorf("%w: %d in mapping file %q", ErrBadVersion, got, path)
-	}
-	capacity := atomic.LoadUint64(&l.words[wordCapacity])
-	if want := int64(HeaderSize) + int64(capacity)*EntrySize; want > size {
-		l.Close()
-		return nil, fmt.Errorf("%w: mapping file %q holds %d bytes but header claims capacity %d (%d bytes)",
-			ErrTruncated, path, size, capacity, want)
+		return nil, err
 	}
 	atomic.AddUint64(&l.words[wordAttachGen], 1)
 	return l, nil
@@ -148,19 +194,9 @@ func ObserveFile(path string) (*Log, error) {
 		return nil, err
 	}
 	l.readOnly = true
-	if got := atomic.LoadUint64(&l.words[wordMagic]); got != Magic {
+	if err := validateMapped(l, path, size); err != nil {
 		l.Close()
-		return nil, fmt.Errorf("%w: mapping file %q", ErrBadMagic, path)
-	}
-	if got := atomic.LoadUint64(&l.words[wordVersion]); got != Version {
-		l.Close()
-		return nil, fmt.Errorf("%w: %d in mapping file %q", ErrBadVersion, got, path)
-	}
-	capacity := atomic.LoadUint64(&l.words[wordCapacity])
-	if want := int64(HeaderSize) + int64(capacity)*EntrySize; want > size {
-		l.Close()
-		return nil, fmt.Errorf("%w: mapping file %q holds %d bytes but header claims capacity %d (%d bytes)",
-			ErrTruncated, path, size, capacity, want)
+		return nil, err
 	}
 	return l, nil
 }
@@ -181,6 +217,7 @@ func mapFileProt(f *os.File, path string, size, prot int) (*Log, error) {
 	return &Log{
 		words:      words,
 		sync:       SyncAtomic,
+		shards:     1,
 		srcVersion: Version,
 		mapped:     data,
 		file:       f,

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -18,12 +19,15 @@ const (
 	CorruptEmptyInput Corruption = "empty-input"
 	// CorruptBadMagic: no magic word found; nothing was salvageable.
 	CorruptBadMagic Corruption = "bad-magic"
-	// CorruptTruncatedHeader: the header ended early; missing words were
-	// taken as zero.
+	// CorruptTruncatedHeader: the header (or a segment header) ended early;
+	// missing words were taken as zero.
 	CorruptTruncatedHeader Corruption = "truncated-header"
 	// CorruptBadVersion: the version word matched no known format; the
-	// layout was inferred from the magic position.
+	// layout was inferred from the magic position and the shards word.
 	CorruptBadVersion Corruption = "bad-version"
+	// CorruptBadShards: a sharded header carried an implausible shard
+	// count; it was clamped.
+	CorruptBadShards Corruption = "bad-shard-count"
 	// CorruptTornEntry: the entry region ended mid-entry; the partial
 	// trailing record was dropped.
 	CorruptTornEntry Corruption = "torn-entry"
@@ -49,7 +53,8 @@ const maxPlausibleTID = uint64(1) << 32
 // analogue of the paper's analyzer dismissing possibly-wrong records.
 type RecoveryReport struct {
 	// SourceVersion is the format version the stream was decoded as
-	// (Version, VersionV1, or 0 when no header was recognizable).
+	// (Version, VersionV2, VersionV1, or 0 when no header was
+	// recognizable).
 	SourceVersion uint64
 	// BytesRead is the total input length.
 	BytesRead int64
@@ -73,7 +78,7 @@ type RecoveryReport struct {
 	// DroppedGarbage counts entries with implausible commit markers
 	// (bit-flip damage).
 	DroppedGarbage int
-	// TailClamped reports that the header tail was out of range and was
+	// TailClamped reports that a header tail was out of range and was
 	// clamped to the entries actually present.
 	TailClamped bool
 	// Corruption lists every damage class observed, in detection order.
@@ -126,101 +131,31 @@ func (r *RecoveryReport) String() string {
 // FlagRecorderReady appears in raw mmap files salvaged after a crash.
 const knownFlags = FlagActive | FlagMultithread | EventCall | EventReturn | FlagRecorderReady
 
-// ReadLenient decodes a persisted log salvaging whatever it can: a
-// truncated header is zero-filled, a tail pointing past EOF (or past the
-// capacity) is clamped to the last fully committed entry, a torn trailing
-// entry is dropped, and entries whose commit-marker word is zero
-// (in-flight), TombstoneTID (released) or implausible (bit-flipped) are
-// skipped. Damage is returned as a structured RecoveryReport rather than
-// an error; the only errors are real I/O failures from r.
-//
-// The recovered log is compacted — it contains exactly the salvaged
-// committed entries, in log order, with a fresh consistent header — so
-// Read, the analyzer and every downstream consumer accept it unmodified.
-// When the input is undamaged the result is entry-for-entry identical to
-// Read's and the report is Clean.
-//
-// The magic word is the one thing ReadLenient cannot do without: with
-// fewer than 8 input bytes, or a damaged magic in both the version-1 and
-// version-2 positions, nothing distinguishes a torn log from arbitrary
-// bytes, and the salvaged log is empty (class bad-magic).
-func ReadLenient(r io.Reader) (*Log, *RecoveryReport, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, nil, fmt.Errorf("shmlog: read: %w", err)
-	}
-	rep := &RecoveryReport{BytesRead: int64(len(data))}
+// lenientSalvage accumulates admitted entries and damage notes while a
+// lenient decode walks one or more entry regions.
+type lenientSalvage struct {
+	rep     *RecoveryReport
+	entries []Entry
+	// counters carries each admitted entry's raw counter value so sharded
+	// streams can be merged after all segments are walked.
+	counters []uint64
+	// segHeaderBytes counts the segment-header bytes actually read by the
+	// sharded walk, so BytesSalvaged accounts for them.
+	segHeaderBytes int64
+}
 
-	word := func(i int) uint64 {
-		if (i+1)*8 > len(data) {
-			return 0
-		}
-		return binary.LittleEndian.Uint64(data[i*8:])
-	}
-
-	// Locate the magic. v1 stores it in word 7, v2 in word 0; neither
-	// position can fake the other (v1 word 0 holds small flag bits, v2
-	// word 7 is reserved padding).
-	var headerLen int
-	var flags, pid, profilerAddr, counterVal, capacity, tail uint64
-	switch {
-	case len(data) == 0:
-		rep.note(CorruptEmptyInput)
-		return emptyRecovered(rep, 0, 0)
-	case len(data) >= HeaderSizeV1 && word(v1WordMagic) == Magic:
-		rep.SourceVersion = VersionV1
-		headerLen = HeaderSizeV1
-		if word(v1WordVersion) != VersionV1 {
-			rep.note(CorruptBadVersion)
-		}
-		flags = word(v1WordFlags)
-		pid = word(v1WordPID)
-		capacity = word(v1WordCapacity)
-		tail = word(v1WordTail)
-		profilerAddr = word(v1WordProfilerAddr)
-		counterVal = word(v1WordCounter)
-	case word(wordMagic) == Magic:
-		rep.SourceVersion = Version
-		headerLen = HeaderSize
-		if len(data) < HeaderSize {
-			rep.note(CorruptTruncatedHeader)
-			headerLen = len(data)
-		}
-		if v := word(wordVersion); v != Version && len(data) >= (wordVersion+1)*8 {
-			rep.note(CorruptBadVersion)
-		}
-		pid = word(wordPID)
-		capacity = word(wordCapacity)
-		profilerAddr = word(wordProfilerAddr)
-		flags = word(wordFlags)
-		tail = word(wordTail)
-		counterVal = word(wordCounter)
-	default:
-		rep.note(CorruptBadMagic)
-		if len(data) < HeaderSizeV1 {
-			rep.note(CorruptTruncatedHeader)
-		}
-		return emptyRecovered(rep, 0, 0)
-	}
-
-	if flags&^knownFlags != 0 {
-		rep.note(CorruptUnknownFlags)
-		flags &= knownFlags
-	}
-
-	// Entry region: everything after the header, whole entries only.
-	body := data[min(headerLen, len(data)):]
+// admitRegion scans one contiguous entry region (the flat v1/v2 body, or
+// one v3 segment) and admits committed entries, classifying everything
+// else. tail is the region's claimed reserved length, capacity its claimed
+// slot count; body holds the region's raw bytes (possibly truncated).
+// Regions persisted at full capacity (raw mmap files and v3 segments)
+// carry all-zero slots above the tail — never-reserved padding rather than
+// died-in-flight writers — which the trim below removes.
+func (ls *lenientSalvage) admitRegion(body []byte, tail, capacity uint64) {
+	rep := ls.rep
 	if len(body)%EntrySize != 0 {
 		rep.note(CorruptTornEntry)
 	}
-
-	// A raw mmap file (the crash-salvage input of cross-process mode)
-	// persists the whole fixed-capacity region, so every slot at or above
-	// the tail was simply never reserved. Trim trailing all-zero slots down
-	// to the tail before judging the tail against what is present — they
-	// are padding, not died-in-flight writers. The trim stops at the first
-	// non-zero slot, so a tail word bit-flipped downward still leaves the
-	// real entries above it in the scan.
 	slotZero := func(i int) bool {
 		for _, b := range body[i*EntrySize : (i+1)*EntrySize] {
 			if b != 0 {
@@ -230,29 +165,32 @@ func ReadLenient(r io.Reader) (*Log, *RecoveryReport, error) {
 		return true
 	}
 	present := len(body) / EntrySize
+	// Trim trailing all-zero slots down to the tail before judging the
+	// tail against what is present — they are padding, not died-in-flight
+	// writers. The trim stops at the first non-zero slot, so a tail word
+	// bit-flipped downward still leaves the real entries above it in the
+	// scan.
 	for present > 0 && uint64(present) > tail && slotZero(present-1) {
 		present--
 	}
-	rep.EntriesPresent = present
+	rep.EntriesPresent += present
 
-	// The header's tail and capacity may both be damaged or stale; the
+	// The region's tail and capacity may both be damaged or stale; the
 	// authoritative bound is the entries physically present. A tail that
 	// disagrees is clamped, never trusted past EOF.
 	switch {
 	case tail > capacity && capacity == uint64(present):
-		// A raw mmap region whose writers raced past the end: the tail
-		// fetch-and-add keeps climbing after the log fills, so a tail above
-		// the capacity of a physically full region is benign overflow, not
-		// damage. Clamp silently, exactly as the strict Read does.
+		// A raw region whose writers raced past the end: reservation
+		// normally parks the tail at the capacity, but a crash can
+		// persist the transient overshoot. A tail above the capacity of
+		// a physically full region is benign overflow, not damage. Clamp
+		// silently, exactly as the strict Read does.
 		tail = capacity
 	case tail > uint64(present) || tail > capacity || int(tail) != present:
 		rep.note(CorruptTailRange)
 		rep.TailClamped = true
 	}
 
-	// Salvage committed entries, skipping in-flight, released and
-	// garbage commit markers.
-	entries := make([]Entry, 0, present)
 	for i := 0; i < present; i++ {
 		word0 := binary.LittleEndian.Uint64(body[i*EntrySize:])
 		addr := binary.LittleEndian.Uint64(body[i*EntrySize+8:])
@@ -273,11 +211,136 @@ func ReadLenient(r io.Reader) (*Log, *RecoveryReport, error) {
 		if word0&kindBit != 0 {
 			e.Kind = KindReturn
 		}
-		entries = append(entries, e)
+		ls.entries = append(ls.entries, e)
+		ls.counters = append(ls.counters, word0&counterMask)
 	}
+}
+
+// ReadLenient decodes a persisted log salvaging whatever it can: a
+// truncated header is zero-filled, a tail pointing past EOF (or past the
+// capacity) is clamped to the last fully committed entry, a torn trailing
+// entry is dropped, and entries whose commit-marker word is zero
+// (in-flight), TombstoneTID (released) or implausible (bit-flipped) are
+// skipped. Sharded (version-3) streams are walked segment by segment with
+// the same per-region salvage rules, then merged by the global counter
+// value exactly as the strict Read merges them. Damage is returned as a
+// structured RecoveryReport rather than an error; the only errors are real
+// I/O failures from r.
+//
+// The recovered log is compacted — it contains exactly the salvaged
+// committed entries, in log order, with a fresh consistent header — so
+// Read, the analyzer and every downstream consumer accept it unmodified.
+// When the input is undamaged the result is entry-for-entry identical to
+// Read's and the report is Clean.
+//
+// The magic word is the one thing ReadLenient cannot do without: with
+// fewer than 8 input bytes, or a damaged magic in both the version-1 and
+// version-2/3 positions, nothing distinguishes a torn log from arbitrary
+// bytes, and the salvaged log is empty (class bad-magic).
+func ReadLenient(r io.Reader) (*Log, *RecoveryReport, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shmlog: read: %w", err)
+	}
+	rep := &RecoveryReport{BytesRead: int64(len(data))}
+
+	word := func(i int) uint64 {
+		if (i+1)*8 > len(data) {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(data[i*8:])
+	}
+
+	// Locate the magic. v1 stores it in word 7, v2/v3 in word 0; neither
+	// position can fake the other (v1 word 0 holds small flag bits, v2
+	// word 7 is reserved padding, v3 word 7 is a small shard count).
+	var headerLen int
+	var flags, pid, profilerAddr, counterVal, capacity, tail uint64
+	v1 := false
+	switch {
+	case len(data) == 0:
+		rep.note(CorruptEmptyInput)
+		return emptyRecovered(rep, 0, 0)
+	case len(data) >= HeaderSizeV1 && word(v1WordMagic) == Magic:
+		v1 = true
+		rep.SourceVersion = VersionV1
+		headerLen = HeaderSizeV1
+		if word(v1WordVersion) != VersionV1 {
+			rep.note(CorruptBadVersion)
+		}
+		flags = word(v1WordFlags)
+		pid = word(v1WordPID)
+		capacity = word(v1WordCapacity)
+		tail = word(v1WordTail)
+		profilerAddr = word(v1WordProfilerAddr)
+		counterVal = word(v1WordCounter)
+	case word(wordMagic) == Magic:
+		headerLen = HeaderSize
+		if len(data) < HeaderSize {
+			rep.note(CorruptTruncatedHeader)
+			headerLen = len(data)
+		}
+		pid = word(wordPID)
+		capacity = word(wordCapacity)
+		profilerAddr = word(wordProfilerAddr)
+		flags = word(wordFlags)
+		tail = word(wordTail)
+		counterVal = word(wordCounter)
+	default:
+		rep.note(CorruptBadMagic)
+		if len(data) < HeaderSizeV1 {
+			rep.note(CorruptTruncatedHeader)
+		}
+		return emptyRecovered(rep, 0, 0)
+	}
+
+	if flags&^knownFlags != 0 {
+		rep.note(CorruptUnknownFlags)
+		flags &= knownFlags
+	}
+
+	body := data[min(headerLen, len(data)):]
+	ls := &lenientSalvage{rep: rep}
+	switch v := word(wordVersion); {
+	case v1:
+		// Flat v1 entry region: everything after the packed header.
+		ls.admitRegion(body, tail, capacity)
+	case v == Version:
+		rep.SourceVersion = Version
+		salvageSharded(ls, body, capacity, word(wordShards))
+	case v == VersionV2:
+		rep.SourceVersion = VersionV2
+		ls.admitRegion(body, tail, capacity)
+	default:
+		if len(data) >= (wordVersion+1)*8 {
+			rep.note(CorruptBadVersion)
+		}
+		// The version word is unreadable, so the body's layout — sharded
+		// segment headers vs a flat entry region — is unknown. Parse it
+		// both ways into scratch reports and keep whichever salvages more
+		// entries; ties go to the layout the shards word suggests (a v2
+		// header reserves word 7 as zero, a v3 header sets a small
+		// positive count).
+		a := &lenientSalvage{rep: &RecoveryReport{}}
+		salvageSharded(a, body, capacity, word(wordShards))
+		b := &lenientSalvage{rep: &RecoveryReport{}}
+		b.admitRegion(body, tail, capacity)
+		shardsPlausible := word(wordShards) >= 1 && word(wordShards) <= MaxShards
+		if len(b.entries) > len(a.entries) || (len(b.entries) == len(a.entries) && !shardsPlausible) {
+			ls = b
+			rep.SourceVersion = VersionV2
+		} else {
+			ls = a
+			rep.SourceVersion = Version
+		}
+		mergeReport(rep, ls.rep)
+		ls.rep = rep
+	}
+
+	entries := ls.entries
 	rep.EntriesSalvaged = len(entries)
 	rep.EntriesDropped = rep.DroppedInFlight + rep.DroppedTombstone + rep.DroppedGarbage
-	rep.BytesSalvaged = int64(min(headerLen, len(data))) + int64(len(entries))*EntrySize
+	rep.BytesSalvaged = int64(min(headerLen, len(data))) + ls.segHeaderBytes + int64(len(entries))*EntrySize
 
 	if len(entries) == 0 {
 		return emptyRecovered(rep, pid, profilerAddr)
@@ -301,6 +364,104 @@ func ReadLenient(r io.Reader) (*Log, *RecoveryReport, error) {
 	}
 	out.AddCounter(counterVal)
 	return out, rep, nil
+}
+
+// salvageSharded salvages a v3 body: a self-synchronizing segment walk
+// (the shards word may itself be damaged, so the walk trusts the segment
+// headers tiling the body instead) followed by the counter merge. The
+// shards word is only cross-checked against the walked count.
+func salvageSharded(ls *lenientSalvage, body []byte, capacity, shardsWord uint64) {
+	if len(body) < SegHeaderSize && capacity > 0 {
+		// The main header promises entries but not even one segment header
+		// is present.
+		ls.rep.note(CorruptTruncatedHeader)
+	}
+	segs := walkSegments(ls, body)
+	if uint64(segs) != shardsWord {
+		ls.rep.note(CorruptBadShards)
+	}
+	// A single segment is already in slot order; only a multi-segment
+	// stream needs the counter merge.
+	if segs > 1 {
+		mergeSalvaged(ls)
+	}
+}
+
+// walkSegments walks a v3 body — per-segment headers followed by that
+// segment's entry slots — salvaging each segment with the shared
+// per-region rules, until the body is exhausted. A truncated stream simply
+// runs out of segments; a segment header cut short is zero-filled like the
+// main header. Returns the number of segments walked.
+func walkSegments(ls *lenientSalvage, body []byte) int {
+	off := 0
+	segs := 0
+	for off < len(body) && segs < MaxShards {
+		segWord := func(i int) uint64 {
+			at := off + i*8
+			if at+8 > len(body) {
+				return 0
+			}
+			return binary.LittleEndian.Uint64(body[at:])
+		}
+		if off+SegHeaderSize > len(body) {
+			ls.rep.note(CorruptTruncatedHeader)
+		}
+		segTail := segWord(segWordTail)
+		segCap := segWord(segWordCapacity)
+		headAvail := len(body) - off
+		if headAvail > SegHeaderSize {
+			headAvail = SegHeaderSize
+		}
+		ls.segHeaderBytes += int64(headAvail)
+		off += SegHeaderSize
+		if off > len(body) {
+			off = len(body)
+		}
+		if segCap > maxEntries {
+			ls.rep.note(CorruptTailRange)
+			segCap = maxEntries
+		}
+		regionLen := int64(segCap) * EntrySize
+		avail := int64(len(body) - off)
+		if regionLen > avail {
+			regionLen = avail
+		}
+		ls.admitRegion(body[off:off+int(regionLen)], segTail, segCap)
+		off += int(regionLen)
+		segs++
+	}
+	return segs
+}
+
+// mergeReport folds the counters and damage classes of a scratch report
+// (from the dual-layout parse of a damaged version word) into the main one.
+func mergeReport(dst, src *RecoveryReport) {
+	dst.EntriesPresent += src.EntriesPresent
+	dst.DroppedInFlight += src.DroppedInFlight
+	dst.DroppedTombstone += src.DroppedTombstone
+	dst.DroppedGarbage += src.DroppedGarbage
+	dst.TailClamped = dst.TailClamped || src.TailClamped
+	for _, c := range src.Corruption {
+		dst.note(c)
+	}
+}
+
+// mergeSalvaged orders the salvaged entries of a sharded stream by their
+// global counter values (stable over segment walk order), exactly as the
+// strict Read's segment merge — preserving per-thread order, since each
+// thread's entries live in one segment with nondecreasing counters.
+func mergeSalvaged(ls *lenientSalvage) {
+	entries, counters := ls.entries, ls.counters
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return counters[idx[a]] < counters[idx[b]] })
+	sorted := make([]Entry, len(entries))
+	for out, i := range idx {
+		sorted[out] = entries[i]
+	}
+	ls.entries = sorted
 }
 
 // emptyRecovered builds the zero-entry recovered log ReadLenient returns

@@ -9,9 +9,9 @@ import (
 	"teeperf/internal/faultinject"
 )
 
-// encodeV2 persists a small committed log in the current format and
+// encodeCurrent persists a small committed log in the current format and
 // returns the raw bytes plus the entries it carries.
-func encodeV2(t *testing.T, n int) ([]byte, []Entry) {
+func encodeCurrent(t *testing.T, n int) ([]byte, []Entry) {
 	t.Helper()
 	l, err := New(n, WithPID(42), WithProfilerAddr(0x400000))
 	if err != nil {
@@ -77,7 +77,7 @@ func hasClass(rep *RecoveryReport, c Corruption) bool {
 // TestReadLenientClean: an undamaged stream salvages everything and the
 // report is clean — lenient reading is a strict superset of Read.
 func TestReadLenientClean(t *testing.T) {
-	raw, want := encodeV2(t, 6)
+	raw, want := encodeCurrent(t, 6)
 	log, rep := readLenient(t, raw)
 	if !rep.Clean() {
 		t.Fatalf("clean input produced dirty report: %v", rep)
@@ -99,13 +99,14 @@ func TestReadLenientClean(t *testing.T) {
 	}
 }
 
-// TestReadLenientTruncationMatrix cuts a valid 2-entry v2 stream at every
-// 8-byte boundary of the header and the first two entries, asserting the
+// TestReadLenientTruncationMatrix cuts a valid 2-entry stream at every
+// 8-byte boundary of the headers and the first two entries, asserting the
 // exact salvage count at each cut — the crash-consistency contract that a
 // tear at any word boundary loses at most the uncommitted tail.
 func TestReadLenientTruncationMatrix(t *testing.T) {
-	raw, want := encodeV2(t, 2)
-	total := HeaderSize + 2*EntrySize // 304 bytes
+	raw, want := encodeCurrent(t, 2)
+	entriesStart := HeaderSize + SegHeaderSize
+	total := entriesStart + 2*EntrySize // 368 bytes
 	if len(raw) != total {
 		t.Fatalf("fixture is %d bytes, want %d", len(raw), total)
 	}
@@ -114,8 +115,8 @@ func TestReadLenientTruncationMatrix(t *testing.T) {
 		log, rep := readLenient(t, torn)
 
 		wantSalvaged := 0
-		if cut > HeaderSize {
-			wantSalvaged = (cut - HeaderSize) / EntrySize
+		if cut > entriesStart {
+			wantSalvaged = (cut - entriesStart) / EntrySize
 		}
 		if rep.EntriesSalvaged != wantSalvaged {
 			t.Errorf("cut %d: salvaged %d entries, want %d (report %v)", cut, rep.EntriesSalvaged, wantSalvaged, rep)
@@ -130,12 +131,14 @@ func TestReadLenientTruncationMatrix(t *testing.T) {
 			if !hasClass(rep, CorruptEmptyInput) {
 				t.Errorf("cut 0: classes %v, want empty-input", rep.Corruption)
 			}
-		case cut < HeaderSize:
+		case cut < entriesStart:
+			// Inside the main header or the segment header: both report
+			// a truncated header.
 			if !hasClass(rep, CorruptTruncatedHeader) {
 				t.Errorf("cut %d: classes %v, want truncated-header", cut, rep.Corruption)
 			}
 		case cut < total:
-			if (cut-HeaderSize)%EntrySize != 0 && !hasClass(rep, CorruptTornEntry) {
+			if (cut-entriesStart)%EntrySize != 0 && !hasClass(rep, CorruptTornEntry) {
 				t.Errorf("cut %d: classes %v, want torn-entry", cut, rep.Corruption)
 			}
 		default:
@@ -189,9 +192,12 @@ func TestReadLenientV1TornMidEntry(t *testing.T) {
 // more entries than the stream carries is clamped to the last fully
 // committed entry instead of being rejected.
 func TestReadLenientTailPastEOF(t *testing.T) {
-	raw, want := encodeV2(t, 4)
+	raw, want := encodeCurrent(t, 4)
 	binary.LittleEndian.PutUint64(raw[wordTail*8:], 4000)
 	binary.LittleEndian.PutUint64(raw[wordCapacity*8:], 4000)
+	// Since v3 the per-segment header is authoritative: inflate it too.
+	binary.LittleEndian.PutUint64(raw[(HeaderWords+segWordTail)*8:], 4000)
+	binary.LittleEndian.PutUint64(raw[(HeaderWords+segWordCapacity)*8:], 4000)
 
 	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("strict Read: err = %v, want ErrTruncated", err)
@@ -248,7 +254,7 @@ func TestReadLenientCommitMarkers(t *testing.T) {
 // header fields are either normalized or clamped against what is
 // physically present.
 func TestReadLenientBitFlippedHeader(t *testing.T) {
-	raw, _ := encodeV2(t, 8)
+	raw, _ := encodeCurrent(t, 8)
 	inj := faultinject.New(7)
 	// Flip bits across the mutable header region only: words 1.. (the
 	// magic in word 0 is the one unrecoverable anchor, by design).
@@ -273,7 +279,7 @@ func TestReadLenientBitFlippedHeader(t *testing.T) {
 // TestReadLenientBitFlippedEntries: bit flips confined to the entry region
 // never panic and drop at most the entries whose commit marker was hit.
 func TestReadLenientBitFlippedEntries(t *testing.T) {
-	raw, _ := encodeV2(t, 16)
+	raw, _ := encodeCurrent(t, 16)
 	inj := faultinject.New(11)
 	flipped := inj.FlipBits(raw, HeaderSize, len(raw), 48)
 
@@ -321,7 +327,7 @@ func TestReadTypedErrors(t *testing.T) {
 	if _, err := Read(bytes.NewReader(make([]byte, 32))); !errors.Is(err, ErrTruncatedHeader) || !errors.Is(err, ErrTruncated) {
 		t.Fatalf("short header: err = %v, want ErrTruncatedHeader wrapping ErrTruncated", err)
 	}
-	raw, _ := encodeV2(t, 1)
+	raw, _ := encodeCurrent(t, 1)
 	if _, err := Read(bytes.NewReader(raw[:HeaderSize-8])); !errors.Is(err, ErrTruncatedHeader) {
 		t.Fatalf("torn v2 header: err = %v, want ErrTruncatedHeader", err)
 	}

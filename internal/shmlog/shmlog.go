@@ -3,32 +3,48 @@
 // untrusted host memory and written lock-free from inside a trusted
 // execution environment.
 //
-// The log consists of a padded header followed by fixed-size entries.
-// Writers reserve entry slots with a single atomic fetch-and-add on the
-// tail index — one slot (Append) or a contiguous block of slots (Reserve,
-// the batched fast path) — and then own those slots exclusively, so no
-// locks are required and per-thread event order is preserved (the property
-// the analyzer relies on).
+// The log consists of a padded header followed by one or more entry
+// segments (shards). Writers reserve entry slots with a single atomic
+// fetch-and-add on their segment's tail index — one slot (Append) or a
+// contiguous block of slots (Reserve/ReserveShard, the batched fast path) —
+// and then own those slots exclusively, so no locks are required and
+// per-thread event order is preserved (the property the analyzer relies
+// on).
 //
-// Since format version 2 the header spreads its mutable words over
-// separate 64-byte cache lines so the three concurrent hot loops never
-// false-share:
+// Since format version 3 the entry region is sharded: each segment owns an
+// independent tail word on its own 64-byte cache line, and threads are
+// hashed onto segments by thread ID, so writer threads on different shards
+// never touch the same line. A single-shard log degenerates to the
+// version-2 behaviour (one tail, one entry region) with one extra segment
+// header between the main header and the entries:
 //
-//	line 0 (bytes   0..63):  magic, version, pid, capacity, profiler addr
+//	line 0 (bytes   0..63):  magic, version, pid, capacity, profiler addr,
+//	                         creator pid, attach gen, shard count
 //	                         — written once at setup, read-mostly.
 //	line 1 (bytes  64..127): flags — read by every probe, toggled rarely.
-//	line 2 (bytes 128..191): tail — fetch-and-add by every reservation.
+//	line 2 (bytes 128..191): legacy tail slot (persisted total), dropped
+//	                         counter (cold: touched only when a segment
+//	                         is full).
 //	line 3 (bytes 192..255): counter — the software-counter thread's
 //	                         tight-loop increment word.
-//	byte 256: first entry (a cache-line boundary).
+//	byte 256: segment 0 header (one cache line: tail, capacity, dropped),
+//	          then segment 0's entries, then segment 1's header, ...
 //
-// In version 1 all eight header words shared one cache line, so the counter
-// thread's increment loop, every probe's tail fetch-and-add and the flag
-// reads all contended on the same line. Read still decodes version-1
-// streams; in memory every Log uses the padded layout.
+// Per-segment capacities are padded so every segment header — and therefore
+// every tail word — starts on a 64-byte cache-line boundary.
+//
+// Readers merge the segments back into one stream: Entry/Entries/the
+// Cursor enumerate reserved slots segment-major (each thread lives on
+// exactly one segment, so per-thread order is intact), and Read merges
+// persisted segments by the global counter value, so analyzer output is
+// byte-identical to a single-segment recording of the same events.
+//
+// Version-1 (packed 8-word header) and version-2 (padded header, single
+// unsharded entry region) streams are decode-only: Read still accepts them
+// and normalizes to the in-memory layout.
 //
 // On Linux and macOS the same layout can back a real cross-process shared
-// region: CreateFile / OpenFile lay the header and entries over a
+// region: CreateFile / OpenFile lay the header and segments over a
 // MAP_SHARED file mapping, so a recorder process and the instrumented
 // application each map the file and communicate through the header's
 // handshake words (creator PID, attach generation, recorder-ready flag)
@@ -52,45 +68,60 @@ import (
 // Layout constants. The on-disk representation is little-endian 64-bit
 // words matching the in-memory word layout exactly.
 const (
-	// HeaderWords is the number of 64-bit words in the version-2 log
+	// HeaderWords is the number of 64-bit words in the version-2/3 main
 	// header: four 64-byte cache lines.
 	HeaderWords = 32
 	// HeaderWordsV1 is the number of header words in the legacy version-1
 	// format (decode-only support).
 	HeaderWordsV1 = 8
+	// SegHeaderWords is the number of 64-bit words in a version-3 segment
+	// header (one cache line): tail, capacity, dropped, five reserved.
+	SegHeaderWords = 8
 	// EntryWords is the number of 64-bit words per log entry:
 	// word 0: kind bit (bit 63) | counter value (bits 62..0)
 	// word 1: call/return target address
 	// word 2: thread ID (stored last: the commit marker)
 	EntryWords = 3
 
-	// HeaderSize, HeaderSizeV1 and EntrySize are the byte sizes of the
-	// corresponding structures in the persisted format.
-	HeaderSize   = HeaderWords * 8
-	HeaderSizeV1 = HeaderWordsV1 * 8
-	EntrySize    = EntryWords * 8
+	// HeaderSize, HeaderSizeV1, SegHeaderSize and EntrySize are the byte
+	// sizes of the corresponding structures in the persisted format.
+	HeaderSize    = HeaderWords * 8
+	HeaderSizeV1  = HeaderWordsV1 * 8
+	SegHeaderSize = SegHeaderWords * 8
+	EntrySize     = EntryWords * 8
 
 	// Magic identifies a persisted TEE-Perf log ("TEEPERF1").
 	Magic uint64 = 0x5445455045524631
 
-	// Version is the current log structure version: the cache-line-padded
-	// header. VersionV1 is the legacy packed-header format, still decoded
-	// by Read.
-	Version   uint64 = 2
+	// Version is the current log structure version: the sharded-segment
+	// layout. VersionV2 (padded header, single flat entry region) and
+	// VersionV1 (packed header) are legacy formats, still decoded by Read.
+	Version   uint64 = 3
+	VersionV2 uint64 = 2
 	VersionV1 uint64 = 1
+
+	// MaxShards bounds the shard count of one log. The probe runtime hashes
+	// thread IDs onto shards, so more shards than plausible threads is
+	// pure memory overhead; the bound also caps what decoders trust from a
+	// (possibly corrupt) header.
+	MaxShards = 1 << 12
 )
 
-// Header word indexes (version-2 layout). The mutable words — flags, tail,
-// counter — each sit on their own cache line (8 words apart); the remaining
-// words of each line are reserved padding, persisted as zero.
+// Header word indexes (version-2/3 main-header layout). The mutable words —
+// flags, counter — each sit on their own cache line (8 words apart); the
+// remaining words of each line are reserved padding, persisted as zero.
 //
 // File-backed (mmap) logs additionally use three handshake slots for the
 // cross-process attach protocol: the creator PID and attach generation live
 // in line 0 (written at setup / bumped once per attach), the recorder-ready
-// flag is a bit in the flags word, and the dropped-event counter shares the
-// tail's line (drops happen on the reservation path, and only when the log
-// is already full). All four persist as zero through WriteTo — they are
+// flag is a bit in the flags word, and the dropped-event counter sits on
+// line 2 (drops happen on the reservation path, and only when a segment is
+// already full). All four persist as zero through WriteTo — they are
 // runtime coordination state, not part of the recorded measurement.
+//
+// Since version 3 the per-writer tails live in the segment headers;
+// wordTail only carries the total reserved length in persisted streams
+// (zero in live logs).
 const (
 	wordMagic        = 0
 	wordVersion      = 1
@@ -99,10 +130,21 @@ const (
 	wordProfilerAddr = 4
 	wordCreatorPID   = 5  // attach handshake: PID of the creating process
 	wordAttachGen    = 6  // attach handshake: bumped once per OpenFile
+	wordShards       = 7  // segment (shard) count, >= 1
 	wordFlags        = 8  // cache line 1
-	wordTail         = 16 // cache line 2
+	wordTail         = 16 // v2 tail / v3 persisted total (cache line 2)
 	wordDropped      = 17 // drop counter (cold: touched only when full)
 	wordCounter      = 24 // cache line 3
+)
+
+// Segment-header word offsets (relative to the segment's first word). Each
+// live segment tail is fetch-and-added by the writers hashed onto that
+// segment; capacity is written once at setup; dropped counts events lost
+// because this segment was full.
+const (
+	segWordTail     = 0
+	segWordCapacity = 1
+	segWordDropped  = 2
 )
 
 // Version-1 header word indexes (decode-only).
@@ -176,7 +218,8 @@ const (
 
 // bulkBufSize is the scratch-buffer size shared by WriteTo and Read: big
 // enough to amortize Write/Read syscalls, small enough to stay cache- and
-// stack-friendly.
+// stack-friendly. It is a multiple of the direct-I/O block size so the
+// double-buffered writer can hand whole buffers to an O_DIRECT file.
 const bulkBufSize = 64 * 1024
 
 // Sync selects the slot-reservation strategy. The paper designs the log for
@@ -203,6 +246,9 @@ var (
 	ErrBadMagic = errors.New("shmlog: bad magic")
 	// ErrBadVersion is returned when decoding an unsupported log version.
 	ErrBadVersion = errors.New("shmlog: unsupported log version")
+	// ErrBadShards is returned when a version-3 stream carries an
+	// implausible shard count.
+	ErrBadShards = errors.New("shmlog: implausible shard count")
 	// ErrTruncated is returned when a persisted log ends prematurely.
 	ErrTruncated = errors.New("shmlog: truncated log")
 	// ErrEmptyLog is returned by Read for a zero-byte input. It wraps
@@ -244,6 +290,12 @@ type Log struct {
 	sync  Sync
 	mu    sync.Mutex // used only in SyncMutex mode
 
+	// shards/segCap mirror the header's shard count and the (uniform)
+	// per-segment capacity; they are fixed at setup and cached here so the
+	// hot paths never re-derive them from header words.
+	shards int
+	segCap int
+
 	// srcVersion is the format version the log was decoded from (Version
 	// for logs created by New).
 	srcVersion uint64
@@ -272,6 +324,7 @@ type options struct {
 	profilerAddr uint64
 	sync         Sync
 	flags        uint64
+	shards       int
 }
 
 type pidOption uint64
@@ -313,6 +366,34 @@ func (o versionOption) apply(opts *options) { opts.version = uint64(o) }
 // WithVersion overrides the log structure version (testing only).
 func WithVersion(v uint64) Option { return versionOption(v) }
 
+type shardsOption int
+
+func (o shardsOption) apply(opts *options) { opts.shards = int(o) }
+
+// WithShards splits the entry region into n independent segments, each with
+// its own cache-line-aligned tail, and hashes writer threads onto them by
+// thread ID — removing the single contended fetch-and-add word that caps
+// multi-writer append throughput. The default (n = 1) keeps one segment.
+//
+// The per-segment capacity is the requested capacity divided by n, rounded
+// up so every segment stays cache-line aligned; Capacity reports the actual
+// (possibly rounded-up) total.
+func WithShards(n int) Option { return shardsOption(n) }
+
+// segCapFor splits capacity over shards: ceil-divided, then padded to a
+// multiple of 8 entries so each segment's byte length (SegHeaderSize +
+// segCap*EntrySize) is a multiple of 64 — keeping every segment header, and
+// therefore every tail word, on its own cache-line boundary. Single-shard
+// logs skip the padding: nothing follows the only segment, and tests and
+// callers rely on New(n) holding exactly n entries.
+func segCapFor(capacity, shards int) int {
+	segCap := (capacity + shards - 1) / shards
+	if shards > 1 {
+		segCap = (segCap + 7) &^ 7
+	}
+	return segCap
+}
+
 // New allocates a log with room for capacity entries.
 func New(capacity int, opts ...Option) (*Log, error) {
 	if capacity <= 0 {
@@ -322,6 +403,7 @@ func New(capacity int, opts ...Option) (*Log, error) {
 		version: Version,
 		sync:    SyncAtomic,
 		flags:   FlagActive | EventCall | EventReturn,
+		shards:  1,
 	}
 	for _, opt := range opts {
 		opt.apply(&o)
@@ -329,18 +411,105 @@ func New(capacity int, opts ...Option) (*Log, error) {
 	if o.sync != SyncAtomic && o.sync != SyncMutex {
 		return nil, fmt.Errorf("shmlog: unknown sync mode %d", o.sync)
 	}
+	if o.shards < 1 || o.shards > MaxShards {
+		return nil, fmt.Errorf("%w: %d (want 1..%d)", ErrBadShards, o.shards, MaxShards)
+	}
+	segCap := segCapFor(capacity, o.shards)
+	total := segCap * o.shards
 	l := &Log{
-		words:      make([]uint64, HeaderWords+capacity*EntryWords),
+		words:      make([]uint64, HeaderWords+o.shards*(SegHeaderWords+segCap*EntryWords)),
 		sync:       o.sync,
+		shards:     o.shards,
+		segCap:     segCap,
 		srcVersion: o.version,
 	}
 	l.words[wordMagic] = Magic
 	l.words[wordVersion] = o.version
 	l.words[wordPID] = o.pid
-	l.words[wordCapacity] = uint64(capacity)
+	l.words[wordCapacity] = uint64(total)
 	l.words[wordProfilerAddr] = o.profilerAddr
+	l.words[wordShards] = uint64(o.shards)
 	l.words[wordFlags] = o.flags
+	for s := 0; s < o.shards; s++ {
+		l.words[l.segHeaderIdx(s)+segWordCapacity] = uint64(segCap)
+	}
 	return l, nil
+}
+
+// segWords is the stride of one segment (header plus entries) in words.
+func (l *Log) segWords() int { return SegHeaderWords + l.segCap*EntryWords }
+
+// segHeaderIdx returns the word index of segment s's header.
+func (l *Log) segHeaderIdx(s int) int { return HeaderWords + s*l.segWords() }
+
+// segEntryIdx returns the word index of local entry slot i of segment s.
+func (l *Log) segEntryIdx(s, i int) int {
+	return l.segHeaderIdx(s) + SegHeaderWords + i*EntryWords
+}
+
+// slotWordIdx returns the word index of the global slot id (segment-strided:
+// slot = segment*segCap + local).
+func (l *Log) slotWordIdx(slot uint64) int {
+	if l.shards == 1 {
+		return HeaderWords + SegHeaderWords + int(slot)*EntryWords
+	}
+	s := int(slot) / l.segCap
+	return l.segEntryIdx(s, int(slot)%l.segCap)
+}
+
+// segTail returns segment s's raw tail word.
+func (l *Log) segTail(s int) uint64 {
+	return atomic.LoadUint64(&l.words[l.segHeaderIdx(s)+segWordTail])
+}
+
+// segLen returns segment s's reserved length, clamped to the segment
+// capacity.
+func (l *Log) segLen(s int) int {
+	t := l.segTail(s)
+	if c := uint64(l.segCap); t > c {
+		t = c
+	}
+	return int(t)
+}
+
+// Shards returns the number of independent entry segments.
+func (l *Log) Shards() int { return l.shards }
+
+// ShardOf returns the segment a writer thread with the given ID reserves
+// from. The mapping is deterministic — a thread always lands on the same
+// segment — which is what keeps per-thread order intact under the
+// segment-major readers.
+func (l *Log) ShardOf(tid uint64) int {
+	if l.shards == 1 {
+		return 0
+	}
+	return int(tid % uint64(l.shards))
+}
+
+// SegmentStat is one segment's live accounting, surfaced per shard by the
+// monitor and the fleet agent.
+type SegmentStat struct {
+	// Tail is the segment's raw tail word (may transiently exceed Capacity
+	// by in-flight overshoot under overload; see ReserveShard).
+	Tail uint64
+	// Capacity is the segment's slot count.
+	Capacity uint64
+	// Dropped counts events lost because this segment was full.
+	Dropped uint64
+}
+
+// SegmentStats snapshots every segment's tail, capacity and drop counter.
+func (l *Log) SegmentStats() []SegmentStat {
+	out := make([]SegmentStat, l.shards)
+	for s := 0; s < l.shards; s++ {
+		h := l.segHeaderIdx(s)
+		out[s] = SegmentStat{
+			Tail:     atomic.LoadUint64(&l.words[h+segWordTail]),
+			Capacity: atomic.LoadUint64(&l.words[h+segWordCapacity]),
+			Dropped:  atomic.LoadUint64(&l.words[h+segWordDropped]),
+		}
+	}
+	return out
 }
 
 // Capacity returns the maximum number of entries the log can hold. The
@@ -362,8 +531,8 @@ func (l *Log) SetPID(pid uint64) { atomic.StoreUint64(&l.words[wordPID], pid) }
 func (l *Log) Version() uint64 { return atomic.LoadUint64(&l.words[wordVersion]) }
 
 // SourceVersion returns the format version the log was decoded from: for
-// logs decoded by Read it may be VersionV1; for logs created by New it is
-// the configured (normally current) version.
+// logs decoded by Read it may be VersionV1 or VersionV2; for logs created
+// by New it is the configured (normally current) version.
 func (l *Log) SourceVersion() uint64 { return l.srcVersion }
 
 // ProfilerAddr returns the recorded profiler anchor address.
@@ -499,15 +668,17 @@ func (l *Log) Msync() error {
 }
 
 // Close unmaps a file-backed log and closes the backing file. The words
-// slice is repointed at a zeroed header-only region first, so a straggler
-// touching the log after Close reads harmless zeros (inactive, empty)
-// instead of faulting on unmapped memory. Heap logs are unaffected. Close
-// is not safe to call concurrently with writers still appending.
+// slice is repointed at a zeroed region covering the header and the segment
+// headers (with zero segment capacity) first, so a straggler touching the
+// log after Close reads harmless zeros (inactive, empty) instead of
+// faulting on unmapped memory. Heap logs are unaffected. Close is not safe
+// to call concurrently with writers still appending.
 func (l *Log) Close() error {
 	if l.mapped == nil {
 		return nil
 	}
-	l.words = make([]uint64, HeaderWords)
+	l.segCap = 0
+	l.words = make([]uint64, HeaderWords+l.shards*SegHeaderWords)
 	mapped := l.mapped
 	l.mapped = nil
 	err := munmap(mapped)
@@ -533,20 +704,30 @@ func (l *Log) LoadCounter() uint64 {
 	return atomic.LoadUint64(&l.words[wordCounter])
 }
 
-// Tail returns the raw tail index. It can exceed Capacity when writers
-// raced past the end; Len clamps it.
-func (l *Log) Tail() uint64 { return atomic.LoadUint64(&l.words[wordTail]) }
-
-// Len returns the number of reserved entry slots, clamped to the capacity.
-// With single-slot writers every slot below Len is committed; with batched
-// writers (Reserve) slots below Len may still be in flight (zero thread-ID
-// word) or released (TombstoneTID) — readers dismiss those.
-func (l *Log) Len() int {
-	tail := l.Tail()
-	if c := uint64(l.Capacity()); tail > c {
-		tail = c
+// Tail returns the summed raw tail indexes of all segments. Reservation
+// clamps each segment tail back to the segment capacity when writers race
+// past the end, so the sum exceeds Capacity only transiently (by at most
+// one in-flight batch per concurrently overflowing writer); Len clamps
+// per segment.
+func (l *Log) Tail() uint64 {
+	var t uint64
+	for s := 0; s < l.shards; s++ {
+		t += l.segTail(s)
 	}
-	return int(tail)
+	return t
+}
+
+// Len returns the number of reserved entry slots, summed over segments and
+// clamped to each segment's capacity. With single-slot writers every
+// reserved slot is committed; with batched writers (Reserve) reserved slots
+// may still be in flight (zero thread-ID word) or released (TombstoneTID) —
+// readers dismiss those.
+func (l *Log) Len() int {
+	n := 0
+	for s := 0; s < l.shards; s++ {
+		n += l.segLen(s)
+	}
+	return n
 }
 
 // Dropped returns how many entries were rejected because the log was full.
@@ -555,41 +736,88 @@ func (l *Log) Len() int {
 // attached application.
 func (l *Log) Dropped() uint64 { return atomic.LoadUint64(&l.words[wordDropped]) }
 
-// NoteDropped adds n to the drop counter. Batched writers call it when an
-// event arrives and no slot can be reserved, so drop accounting matches the
-// single-slot Append path.
+// NoteDropped adds n to the global drop counter. Batched writers call it
+// (via NoteDroppedShard) when an event arrives and no slot can be reserved,
+// so drop accounting matches the single-slot Append path.
 func (l *Log) NoteDropped(n uint64) { atomic.AddUint64(&l.words[wordDropped], n) }
 
-// Reserve claims up to n contiguous entry slots with a single fetch-and-add
-// on the tail and returns the first slot index and the number of usable
-// slots (0 when the log is full). The caller owns slots
-// [start, start+count) exclusively and must either Commit or Release every
-// one of them; a slot left untouched is indistinguishable from an in-flight
-// write and is dismissed by readers.
+// NoteDroppedShard charges n dropped events to one segment's counter as
+// well as the global one, so per-shard overload is observable (the
+// monitor's per-segment drop series).
+func (l *Log) NoteDroppedShard(shard int, n uint64) {
+	if shard >= 0 && shard < l.shards {
+		atomic.AddUint64(&l.words[l.segHeaderIdx(shard)+segWordDropped], n)
+	}
+	atomic.AddUint64(&l.words[wordDropped], n)
+}
+
+// Reserve claims up to n contiguous entry slots from segment 0 — the whole
+// log when unsharded. Sharded writers use ReserveShard with their thread's
+// ShardOf segment; Reserve remains the single-segment compatibility path
+// (and the recovery rebuild path).
 func (l *Log) Reserve(n int) (start uint64, count int) {
-	if n <= 0 {
+	return l.ReserveShard(0, n)
+}
+
+// ReserveShard claims up to n contiguous entry slots in the given segment
+// with a single fetch-and-add on that segment's tail, returning the first
+// global slot id and the number of usable slots (0 when the segment is
+// full). The caller owns slots [start, start+count) exclusively and must
+// either Commit or Release every one of them; a slot left untouched is
+// indistinguishable from an in-flight write and is dismissed by readers.
+//
+// When the fetch-and-add overshoots the segment capacity — the segment is
+// full, or the batch straddles the end — the tail is parked back at the
+// capacity with a CAS loop, so the shared tail word stays meaningful under
+// sustained overload (readers, FillPercent and lenient recovery all clamp
+// against capacity) instead of growing without bound. Between a writer's
+// overshoot and its park, concurrent readers can observe the tail above
+// the capacity by at most the sum of in-flight reservation batches.
+func (l *Log) ReserveShard(shard, n int) (start uint64, count int) {
+	if n <= 0 || shard < 0 || shard >= l.shards {
 		return 0, 0
 	}
+	tailIdx := l.segHeaderIdx(shard) + segWordTail
+	segCap := uint64(l.segCap)
+	var local uint64
 	if l.sync == SyncAtomic {
-		start = atomic.AddUint64(&l.words[wordTail], uint64(n)) - uint64(n)
+		local = atomic.AddUint64(&l.words[tailIdx], uint64(n)) - uint64(n)
+		if local+uint64(n) > segCap {
+			// Overload: park the tail at the capacity boundary. The CAS
+			// only ever moves the word down to segCap — never below — so
+			// reservations that did land usable slots stay accounted.
+			for {
+				t := atomic.LoadUint64(&l.words[tailIdx])
+				if t <= segCap || atomic.CompareAndSwapUint64(&l.words[tailIdx], t, segCap) {
+					break
+				}
+			}
+		}
 	} else {
 		// The stores stay atomic even under the mutex so concurrent
 		// atomic readers (Tail, Len, cursors) never mix a plain write
-		// with an atomic load on the same word.
+		// with an atomic load on the same word. The mutex serializes
+		// reservations, so the tail can be clamped exactly — it never
+		// overshoots at all in this mode.
 		l.mu.Lock()
-		start = atomic.LoadUint64(&l.words[wordTail])
-		atomic.StoreUint64(&l.words[wordTail], start+uint64(n))
+		local = atomic.LoadUint64(&l.words[tailIdx])
+		end := local + uint64(n)
+		if end > segCap {
+			end = segCap
+		}
+		if end > local {
+			atomic.StoreUint64(&l.words[tailIdx], end)
+		}
 		l.mu.Unlock()
 	}
-	capacity := uint64(l.Capacity())
-	if start >= capacity {
-		return start, 0
+	if local >= segCap {
+		return uint64(shard)*segCap + segCap, 0
 	}
-	usable := capacity - start
+	usable := segCap - local
 	if usable > uint64(n) {
 		usable = uint64(n)
 	}
-	return start, int(usable)
+	return uint64(shard)*segCap + local, int(usable)
 }
 
 // Commit writes e into a reserved slot the caller owns exclusively.
@@ -600,7 +828,7 @@ func (l *Log) Reserve(n int) (start uint64, count int) {
 // non-tombstone thread ID is guaranteed to see the final counter and
 // address words too.
 func (l *Log) Commit(slot uint64, e Entry) {
-	base := HeaderWords + int(slot)*EntryWords
+	base := l.slotWordIdx(slot)
 	word0 := e.Counter & counterMask
 	if e.Kind == KindReturn {
 		word0 |= kindBit
@@ -615,13 +843,14 @@ func (l *Log) Commit(slot uint64, e Entry) {
 // rotation or stop, so readers can tell "never coming" from "still in
 // flight".
 func (l *Log) Release(slot uint64) {
-	base := HeaderWords + int(slot)*EntryWords
+	base := l.slotWordIdx(slot)
 	atomic.StoreUint64(&l.words[base+2], TombstoneTID)
 }
 
 // Append records one entry. It checks the active flag and the event mask,
-// reserves a slot (fetch-and-add in SyncAtomic mode), and commits the entry
-// into the reserved slot, which it owns exclusively.
+// reserves a slot in the segment the entry's thread hashes onto
+// (fetch-and-add in SyncAtomic mode), and commits the entry into the
+// reserved slot, which it owns exclusively.
 func (l *Log) Append(e Entry) error {
 	flags := l.Flags()
 	if flags&FlagActive == 0 {
@@ -640,24 +869,51 @@ func (l *Log) Append(e Entry) error {
 		return fmt.Errorf("shmlog: invalid entry kind %d", e.Kind)
 	}
 
-	slot, n := l.Reserve(1)
+	shard := l.ShardOf(e.ThreadID)
+	slot, n := l.ReserveShard(shard, 1)
 	if n == 0 {
-		atomic.AddUint64(&l.words[wordDropped], 1)
+		l.NoteDroppedShard(shard, 1)
 		return ErrFull
 	}
 	l.Commit(slot, e)
 	return nil
 }
 
-// Entry decodes the raw entry at index i. Under batched writers a slot
-// below Len may be reserved-in-flight (ThreadID 0) or released
+// readerSlot maps a reader index i (0 <= i < Len()) onto the word index of
+// the i-th reserved slot in segment-major order: segment 0's reserved
+// prefix, then segment 1's, and so on. Each thread's entries live in one
+// segment in increasing slot order, so this enumeration preserves
+// per-thread order — the only order downstream readers rely on.
+func (l *Log) readerSlot(i int) (base int, ok bool) {
+	if l.shards == 1 {
+		if i >= l.segLen(0) {
+			return 0, false
+		}
+		return HeaderWords + SegHeaderWords + i*EntryWords, true
+	}
+	for s := 0; s < l.shards; s++ {
+		n := l.segLen(s)
+		if i < n {
+			return l.segEntryIdx(s, i), true
+		}
+		i -= n
+	}
+	return 0, false
+}
+
+// Entry decodes the raw entry at reader index i (segment-major over the
+// reserved slots; identical to slot order on a single-segment log). Under
+// batched writers a reserved slot may be in flight (ThreadID 0) or released
 // (ThreadID TombstoneTID); Entry returns those raw words and the caller
 // dismisses them (as Entries and the analyzer do).
 func (l *Log) Entry(i int) (Entry, error) {
-	if i < 0 || i >= l.Len() {
+	if i < 0 {
 		return Entry{}, fmt.Errorf("%w: %d (len %d)", ErrRange, i, l.Len())
 	}
-	base := HeaderWords + i*EntryWords
+	base, ok := l.readerSlot(i)
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %d (len %d)", ErrRange, i, l.Len())
+	}
 	word0 := atomic.LoadUint64(&l.words[base])
 	e := Entry{
 		Kind:     KindCall,
@@ -671,9 +927,9 @@ func (l *Log) Entry(i int) (Entry, error) {
 	return e, nil
 }
 
-// Entries decodes all committed entries in log order, dismissing released
-// (tombstoned) slots. Slots still in flight decode as zero-thread entries,
-// exactly as they are persisted.
+// Entries decodes all committed entries in reader order, dismissing
+// released (tombstoned) slots. Slots still in flight decode as zero-thread
+// entries, exactly as they are persisted.
 func (l *Log) Entries() []Entry {
 	n := l.Len()
 	if n == 0 {
@@ -693,45 +949,72 @@ func (l *Log) Entries() []Entry {
 	return out
 }
 
-// Reset clears the tail, counter and drop count, keeping configuration
-// (capacity, pid, flags) intact. Not safe to call concurrently with Append,
-// Reserve or a live Cursor; batched writers must Flush (releasing their
-// blocks) before a Reset, or their stale blocks would commit into the
-// recycled region.
+// Reset clears every segment tail and drop counter plus the shared counter,
+// keeping configuration (capacity, shards, pid, flags) intact. Not safe to
+// call concurrently with Append, Reserve or a live Cursor; batched writers
+// must Flush (releasing their blocks) before a Reset, or their stale blocks
+// would commit into the recycled region.
 func (l *Log) Reset() {
+	for s := 0; s < l.shards; s++ {
+		h := l.segHeaderIdx(s)
+		atomic.StoreUint64(&l.words[h+segWordTail], 0)
+		atomic.StoreUint64(&l.words[h+segWordDropped], 0)
+	}
 	atomic.StoreUint64(&l.words[wordTail], 0)
 	atomic.StoreUint64(&l.words[wordCounter], 0)
 	atomic.StoreUint64(&l.words[wordDropped], 0)
 }
 
-// WriteTo persists the header and all reserved entries in the binary
-// format, re-encoding the word array through a reused 64 KiB buffer (one
-// Write per buffer-full rather than one per word). It implements
-// io.WriterTo.
+// WriteTo persists the header and all reserved entries in the version-3
+// binary format: the 32-word main header (capacity and tail both set to the
+// total persisted length), then each segment compacted — an 8-word segment
+// header whose tail and capacity equal the segment's persisted entry count,
+// followed by exactly those entries.
+//
+// The encoding streams through a double-buffered SwapWriter: while the
+// encoder fills one buffer, a background flusher drains the previously
+// filled one into w, so persistence of a large log overlaps encoding with
+// I/O instead of alternating between them. It implements io.WriterTo.
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
-	n := l.Len()
+	sw := NewSwapWriter(w, bulkBufSize)
+	err := l.encodeTo(sw)
+	if cerr := sw.Close(); err == nil {
+		err = cerr
+	}
+	return sw.Written(), err
+}
+
+// encodeTo streams the v3 encoding into w in 4 KiB chunks. The per-segment
+// reserved lengths are snapshotted once up front so the header totals and
+// the segment bodies agree even if writers are still appending.
+func (l *Log) encodeTo(w io.Writer) error {
+	segLens := make([]int, l.shards)
+	total := 0
+	for s := 0; s < l.shards; s++ {
+		segLens[s] = l.segLen(s)
+		total += segLens[s]
+	}
 	header := [HeaderWords]uint64{
 		wordMagic:        Magic,
 		wordVersion:      l.Version(),
 		wordPID:          l.PID(),
-		wordCapacity:     uint64(n), // persisted capacity == reserved length
-		wordTail:         uint64(n),
+		wordCapacity:     uint64(total), // persisted capacity == reserved length
+		wordTail:         uint64(total),
+		wordShards:       uint64(l.shards),
 		wordProfilerAddr: l.ProfilerAddr(),
 		wordFlags:        l.Flags(),
 		wordCounter:      l.LoadCounter(),
 	}
 
 	var (
-		buf     [bulkBufSize]byte
-		off     int
-		written int64
+		buf [4096]byte
+		off int
 	)
 	flush := func() error {
 		if off == 0 {
 			return nil
 		}
-		m, err := w.Write(buf[:off])
-		written += int64(m)
+		_, err := w.Write(buf[:off])
 		off = 0
 		return err
 	}
@@ -748,30 +1031,109 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 
 	for _, word := range header {
 		if err := put(word); err != nil {
-			return written, err
+			return err
 		}
 	}
-	for i := 0; i < n*EntryWords; i++ {
-		if err := put(atomic.LoadUint64(&l.words[HeaderWords+i])); err != nil {
-			return written, err
+	for s := 0; s < l.shards; s++ {
+		n := segLens[s]
+		// Segment header: tail == capacity == persisted length; the drop
+		// counter persists as zero like the main header's (runtime
+		// coordination state, not measurement).
+		seg := [SegHeaderWords]uint64{
+			segWordTail:     uint64(n),
+			segWordCapacity: uint64(n),
+		}
+		for _, word := range seg {
+			if err := put(word); err != nil {
+				return err
+			}
+		}
+		entryBase := l.segHeaderIdx(s) + SegHeaderWords
+		for i := 0; i < n*EntryWords; i++ {
+			if err := put(atomic.LoadUint64(&l.words[entryBase+i])); err != nil {
+				return err
+			}
 		}
 	}
-	return written, flush()
+	return flush()
 }
 
 var _ io.WriterTo = (*Log)(nil)
 
-// Read decodes a persisted log, accepting both the current padded format
-// and legacy version-1 streams (packed 64-byte header). The returned log is
-// inactive (read-only use), always uses the in-memory version-2 layout, and
-// still supports Entry/Entries/Len and header accessors; SourceVersion
-// reports the format it was decoded from.
+// rawSlot is one persisted slot's raw words plus its merge key, used while
+// decoding a sharded stream.
+type rawSlot struct {
+	w0, w1, w2 uint64
+	seg        int
+	local      int
+}
+
+// buildDecoded assembles a decoded single-segment log from raw slot words.
+// The result is normalized to the current in-memory layout (one segment
+// whose tail and capacity equal the slot count) with recording disabled.
+func buildDecoded(slots []rawSlot, srcVersion, pid, profilerAddr, flags, counter uint64) *Log {
+	n := len(slots)
+	l := &Log{
+		words:      make([]uint64, HeaderWords+SegHeaderWords+n*EntryWords),
+		sync:       SyncAtomic,
+		shards:     1,
+		segCap:     n,
+		srcVersion: srcVersion,
+	}
+	l.words[wordMagic] = Magic
+	// Decoded logs are normalized to the current in-memory layout and
+	// version; SourceVersion keeps the origin.
+	l.words[wordVersion] = Version
+	l.words[wordPID] = pid
+	l.words[wordProfilerAddr] = profilerAddr
+	l.words[wordShards] = 1
+	l.words[wordFlags] = flags &^ FlagActive // read-only
+	l.words[wordCapacity] = uint64(n)
+	l.words[wordCounter] = counter
+	h := HeaderWords
+	l.words[h+segWordTail] = uint64(n)
+	l.words[h+segWordCapacity] = uint64(n)
+	for i, s := range slots {
+		base := h + SegHeaderWords + i*EntryWords
+		l.words[base] = s.w0
+		l.words[base+1] = s.w1
+		l.words[base+2] = s.w2
+	}
+	return l
+}
+
+// mergeSlots orders persisted slots by the global counter value, breaking
+// ties by (segment, local slot). Collection order is (segment, local), so a
+// stable sort by counter alone yields exactly that key. Each thread's
+// entries live in one segment with nondecreasing counters in local-slot
+// order, so the merged stream preserves per-thread order — analyzer output
+// over the merged stream is byte-identical to a single-segment recording.
+// Slots that never committed (zero or tombstone markers, counter word 0 or
+// stale) ride along and are dismissed by readers exactly as in a
+// single-segment log.
+func mergeSlots(slots []rawSlot) {
+	sort.SliceStable(slots, func(i, j int) bool {
+		return slots[i].w0&counterMask < slots[j].w0&counterMask
+	})
+}
+
+// maxEntries bounds the entry counts decoders trust from a header before
+// the body bytes back them up.
+const maxEntries = 1 << 32
+
+// Read decodes a persisted log, accepting the current sharded format plus
+// legacy version-2 (padded header, flat entry region) and version-1 (packed
+// 64-byte header) streams. The returned log is inactive (read-only use),
+// always uses the in-memory single-segment layout — a sharded stream is
+// merged at read time by the global counter value — and still supports
+// Entry/Entries/Len and header accessors; SourceVersion reports the format
+// it was decoded from.
 func Read(r io.Reader) (*Log, error) {
-	// Both formats share a 64-byte prefix length: v1 is exactly 64 bytes
-	// of header, v2 begins with its first cache line. The magic word
-	// disambiguates: v1 stores it in word 7, v2 in word 0, and neither
+	// All formats share a 64-byte prefix length: v1 is exactly 64 bytes
+	// of header, v2/v3 begin with their first cache line. The magic word
+	// disambiguates: v1 stores it in word 7, v2/v3 in word 0, and neither
 	// position can fake the other (v1 word 0 holds small flag bits, v2
-	// word 7 is reserved padding).
+	// word 7 is reserved padding, v3 word 7 is a small shard count).
 	head := make([]byte, HeaderSizeV1)
 	if _, err := io.ReadFull(r, head); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -787,28 +1149,16 @@ func Read(r io.Reader) (*Log, error) {
 		prefix[i] = binary.LittleEndian.Uint64(head[i*8:])
 	}
 
-	var (
-		flags, pid, profilerAddr, counter uint64
-		capacity, tail                    uint64
-		srcVersion                        uint64
-	)
 	switch {
 	case prefix[v1WordMagic] == Magic:
 		if prefix[v1WordVersion] != VersionV1 {
 			return nil, fmt.Errorf("%w: %d", ErrBadVersion, prefix[v1WordVersion])
 		}
-		srcVersion = VersionV1
-		flags = prefix[v1WordFlags]
-		pid = prefix[v1WordPID]
-		capacity = prefix[v1WordCapacity]
-		tail = prefix[v1WordTail]
-		profilerAddr = prefix[v1WordProfilerAddr]
-		counter = prefix[v1WordCounter]
+		return readFlat(r, VersionV1,
+			prefix[v1WordFlags], prefix[v1WordPID], prefix[v1WordProfilerAddr],
+			prefix[v1WordCounter], prefix[v1WordCapacity], prefix[v1WordTail])
 	case prefix[wordMagic] == Magic:
-		if prefix[wordVersion] != Version {
-			return nil, fmt.Errorf("%w: %d", ErrBadVersion, prefix[wordVersion])
-		}
-		srcVersion = Version
+		// v2 and v3 share the 32-word main header; read the rest.
 		rest := make([]byte, HeaderSize-HeaderSizeV1)
 		if _, err := io.ReadFull(r, rest); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
@@ -822,92 +1172,151 @@ func Read(r io.Reader) (*Log, error) {
 			}
 			return binary.LittleEndian.Uint64(rest[(i-HeaderWordsV1)*8:])
 		}
-		pid = prefix[wordPID]
-		capacity = prefix[wordCapacity]
-		profilerAddr = prefix[wordProfilerAddr]
-		flags = word(wordFlags)
-		tail = word(wordTail)
-		counter = word(wordCounter)
+		switch v := prefix[wordVersion]; v {
+		case VersionV2:
+			return readFlat(r, VersionV2,
+				word(wordFlags), word(wordPID), word(wordProfilerAddr),
+				word(wordCounter), word(wordCapacity), word(wordTail))
+		case Version:
+			return readSharded(r, word)
+		default:
+			return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		}
 	default:
 		return nil, ErrBadMagic
 	}
+}
 
+// readFlat decodes the entry body of a legacy v1/v2 stream: tail entries
+// immediately following the header, one flat region.
+func readFlat(r io.Reader, srcVersion, flags, pid, profilerAddr, counter, capacity, tail uint64) (*Log, error) {
 	if tail > capacity {
 		tail = capacity
 	}
-	const maxEntries = 1 << 32
 	if capacity > maxEntries {
 		return nil, fmt.Errorf("shmlog: unreasonable capacity %d", capacity)
 	}
+	slots := make([]rawSlot, 0, clampEntries(tail))
+	if err := readSlots(r, &slots, int(tail), 0); err != nil {
+		return nil, err
+	}
+	return buildDecoded(slots, srcVersion, pid, profilerAddr, flags, counter), nil
+}
 
-	// Read the body incrementally so a forged header claiming billions of
-	// entries fails at the first missing byte instead of pre-allocating
-	// the claimed size. Each chunk is bulk-converted: the slice is grown
-	// once per chunk and the words decoded by index, not appended one by
-	// one.
-	words := make([]uint64, HeaderWords, HeaderWords+clampEntries(tail)*EntryWords)
-	chunk := make([]byte, bulkBufSize)
-	remaining := int64(tail) * EntrySize
-	for remaining > 0 {
-		n := int64(len(chunk))
-		if remaining < n {
-			n = remaining
-		}
-		if _, err := io.ReadFull(r, chunk[:n]); err != nil {
+// readSharded decodes a v3 body: per-segment headers and compacted entry
+// regions, merged into one stream by the global counter value.
+func readSharded(r io.Reader, word func(int) uint64) (*Log, error) {
+	shards := word(wordShards)
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("%w: %d", ErrBadShards, shards)
+	}
+	if word(wordCapacity) > maxEntries {
+		return nil, fmt.Errorf("shmlog: unreasonable capacity %d", word(wordCapacity))
+	}
+	var slots []rawSlot
+	segHead := make([]byte, SegHeaderSize)
+	total := uint64(0)
+	for s := 0; s < int(shards); s++ {
+		if _, err := io.ReadFull(r, segHead); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return nil, ErrTruncated
 			}
-			return nil, fmt.Errorf("shmlog: read entries: %w", err)
+			return nil, fmt.Errorf("shmlog: read segment header: %w", err)
 		}
-		base := len(words)
-		words = append(words, make([]uint64, n/8)...)
-		dst := words[base:]
-		for i := range dst {
-			dst[i] = binary.LittleEndian.Uint64(chunk[i*8:])
+		segTail := binary.LittleEndian.Uint64(segHead[segWordTail*8:])
+		segCap := binary.LittleEndian.Uint64(segHead[segWordCapacity*8:])
+		if segCap > maxEntries || total+segCap > maxEntries {
+			return nil, fmt.Errorf("shmlog: unreasonable segment capacity %d", segCap)
 		}
-		remaining -= n
+		total += segCap
+		if segTail > segCap {
+			// A raw (uncompacted) region whose writers raced past the end;
+			// the reservation clamp normally parks the tail, but trust the
+			// physical bound regardless.
+			segTail = segCap
+		}
+		// The persisted segment body holds segCap slots (compacted streams
+		// have segCap == segTail); only the reserved prefix carries data.
+		if err := readSlots(r, &slots, int(segCap), s); err != nil {
+			return nil, err
+		}
+		// Drop never-reserved slots above the tail from the decoded view.
+		keep := len(slots) - (int(segCap) - int(segTail))
+		slots = slots[:keep]
 	}
+	// A single segment is already in slot order; only a multi-segment
+	// stream needs the counter merge.
+	if shards > 1 {
+		mergeSlots(slots)
+	}
+	return buildDecoded(slots, Version,
+		word(wordPID), word(wordProfilerAddr), word(wordFlags), word(wordCounter)), nil
+}
 
-	l := &Log{words: words, sync: SyncAtomic, srcVersion: srcVersion}
-	l.words[wordMagic] = Magic
-	// Decoded logs are normalized to the current in-memory layout and
-	// version; SourceVersion keeps the origin.
-	l.words[wordVersion] = Version
-	l.words[wordPID] = pid
-	l.words[wordProfilerAddr] = profilerAddr
-	l.words[wordFlags] = flags &^ FlagActive // read-only
-	// The decoded log is immutable: its capacity is what was persisted.
-	l.words[wordCapacity] = tail
-	l.words[wordTail] = tail
-	l.words[wordCounter] = counter
-	return l, nil
+// readSlots reads n entry slots from r and appends them to *slots tagged
+// with their segment and local index. It reads incrementally so a forged
+// header claiming billions of entries fails at the first missing byte
+// instead of pre-allocating the claimed size.
+func readSlots(r io.Reader, slots *[]rawSlot, n, seg int) error {
+	// Whole entries per chunk: 64 KiB is not a multiple of the 24-byte
+	// entry size, so round down.
+	chunk := make([]byte, (bulkBufSize/EntrySize)*EntrySize)
+	remaining := int64(n) * EntrySize
+	local := 0
+	for remaining > 0 {
+		want := int64(len(chunk))
+		if remaining < want {
+			want = remaining
+		}
+		if _, err := io.ReadFull(r, chunk[:want]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return ErrTruncated
+			}
+			return fmt.Errorf("shmlog: read entries: %w", err)
+		}
+		for off := int64(0); off < want; off += EntrySize {
+			*slots = append(*slots, rawSlot{
+				w0:    binary.LittleEndian.Uint64(chunk[off:]),
+				w1:    binary.LittleEndian.Uint64(chunk[off+8:]),
+				w2:    binary.LittleEndian.Uint64(chunk[off+16:]),
+				seg:   seg,
+				local: local,
+			})
+			local++
+		}
+		remaining -= want
+	}
+	return nil
 }
 
 // Cursor is an incremental reader over a live log: each Next call returns
 // the entries committed since the previous call, letting a monitor tail the
 // log concurrently with running probes without reparsing from the start.
 //
-// A slot below the tail may be reserved but still in flight: the writer
-// sits between the fetch-and-add and the entry stores, or — under batched
-// reservation — holds the slot in its current block and will fill it with
-// one of its next events. The cursor uses the thread-ID word, stored last
-// by Commit, as the commit marker. Instead of stopping at the first zero
-// thread-ID word it records such slots as holes, keeps scanning, and
-// re-examines the holes on every subsequent Next: a hole that commits is
-// emitted exactly once, a hole that is released (TombstoneTID) is dropped.
+// A slot below a segment's tail may be reserved but still in flight: the
+// writer sits between the fetch-and-add and the entry stores, or — under
+// batched reservation — holds the slot in its current block and will fill
+// it with one of its next events. The cursor uses the thread-ID word,
+// stored last by Commit, as the commit marker. Instead of stopping at the
+// first zero thread-ID word it records such slots as holes, keeps scanning,
+// and re-examines the holes on every subsequent Next: a hole that commits
+// is emitted exactly once, a hole that is released (TombstoneTID) is
+// dropped.
 //
-// Within one Next call entries are emitted in slot order, and a writer
-// thread always commits its slots in increasing slot order, so emitted
-// entries are per-thread ordered — the only order the analyzer relies on.
-// The subtle case is a hole left behind across calls: a single scan could
-// read slot i as in-flight, then read a later slot j of the same thread as
-// committed (the writer committed both in between), emit j now and backfill
-// i on a later call — out of per-thread order. Next therefore rescans the
-// remaining holes until a pass resolves no new commit: any hole ordered
-// before an entry observed committed this call was itself committed first
-// (increasing-slot commit order), so the rescan is guaranteed to observe it
-// and splice it in. When Next returns, no tracked hole was committed before
-// any entry it emitted.
+// The cursor tracks each segment independently and emits segment-major
+// within one Next call. Entries of one segment are emitted in slot order,
+// and a writer thread — pinned to one segment by the shard hash — always
+// commits its slots in increasing slot order, so emitted entries are
+// per-thread ordered — the only order the analyzer relies on. The subtle
+// case is a hole left behind across calls: a single scan could read slot i
+// as in-flight, then read a later slot j of the same thread as committed
+// (the writer committed both in between), emit j now and backfill i on a
+// later call — out of per-thread order. Next therefore rescans each
+// segment's remaining holes until a pass resolves no new commit: any hole
+// ordered before an entry observed committed this call was itself committed
+// first (increasing-slot commit order), so the rescan is guaranteed to
+// observe it and splice it in. When Next returns, no tracked hole was
+// committed before any entry it emitted.
 //
 // Consequently the cursor requires non-zero thread IDs: an entry committed
 // with ThreadID 0 is indistinguishable from an in-flight slot and is
@@ -917,47 +1326,78 @@ func Read(r io.Reader) (*Log, error) {
 // A cursor is not safe for concurrent use by multiple goroutines, and
 // Log.Reset must not be called while a cursor is live.
 type Cursor struct {
-	log   *Log
+	log  *Log
+	segs []segCursor
+	// scratch holds the local slot indexes observed committed during one
+	// segment's scan, reused across segments and calls to avoid per-call
+	// allocation.
+	scratch []int
+}
+
+// segCursor is the cursor's per-segment frontier state.
+type segCursor struct {
 	pos   int
 	holes []int
-	// scratch holds the slot indexes observed committed during one Next
-	// call, reused across calls to avoid per-call allocation.
-	scratch []int
 }
 
 // Cursor returns a new incremental reader positioned at the start of the
 // log.
-func (l *Log) Cursor() *Cursor { return &Cursor{log: l} }
+func (l *Log) Cursor() *Cursor {
+	return &Cursor{log: l, segs: make([]segCursor, l.shards)}
+}
 
 // Log returns the log this cursor reads.
 func (c *Cursor) Log() *Log { return c.log }
 
-// Pos returns the index of the next entry the cursor's frontier will
-// examine. Entries returned so far equal Pos minus Pending (holes below the
-// frontier still awaiting their commit or release).
-func (c *Cursor) Pos() int { return c.pos }
+// Pos returns the summed per-segment frontier: the total number of slots
+// the cursor has examined. Entries returned so far equal Pos minus Pending
+// (holes below the frontiers still awaiting their commit or release).
+func (c *Cursor) Pos() int {
+	n := 0
+	for s := range c.segs {
+		n += c.segs[s].pos
+	}
+	return n
+}
 
 // Pending returns how many reserved-but-unresolved holes the cursor is
-// tracking below its frontier.
-func (c *Cursor) Pending() int { return len(c.holes) }
+// tracking below its frontiers, summed over segments.
+func (c *Cursor) Pending() int {
+	n := 0
+	for s := range c.segs {
+		n += len(c.segs[s].holes)
+	}
+	return n
+}
 
-// Next appends every newly committed entry to dst in slot order and
-// returns the extended slice. It returns dst unchanged when nothing new has
-// committed.
+// Next appends every newly committed entry to dst — segment-major, in slot
+// order within each segment — and returns the extended slice. It returns
+// dst unchanged when nothing new has committed.
 func (c *Cursor) Next(dst []Entry) []Entry {
-	n := c.log.Len()
-	if len(c.holes) == 0 && c.pos >= n {
+	for s := range c.segs {
+		dst = c.nextSeg(s, dst)
+	}
+	return dst
+}
+
+// nextSeg advances one segment's frontier, resolving holes to a fixpoint
+// (see the Cursor doc comment), and appends that segment's newly committed
+// entries to dst in slot order.
+func (c *Cursor) nextSeg(s int, dst []Entry) []Entry {
+	sc := &c.segs[s]
+	n := c.log.segLen(s)
+	if len(sc.holes) == 0 && sc.pos >= n {
 		return dst
 	}
 
 	// Candidate slots for this call, in increasing slot order: previously
 	// tracked holes (all below the frontier) followed by the new frontier
 	// region.
-	pending := c.holes
-	for i := c.pos; i < n; i++ {
+	pending := sc.holes
+	for i := sc.pos; i < n; i++ {
 		pending = append(pending, i)
 	}
-	c.pos = n
+	sc.pos = n
 
 	// Resolve to a fixpoint. A single pass is racy: it can read slot i as
 	// in-flight, then read a later slot j of the same thread as committed
@@ -975,7 +1415,7 @@ func (c *Cursor) Next(dst []Entry) []Entry {
 		resolved := false
 		kept := pending[:0]
 		for _, i := range pending {
-			switch tid := atomic.LoadUint64(&c.log.words[HeaderWords+i*EntryWords+2]); tid {
+			switch tid := atomic.LoadUint64(&c.log.words[c.log.segEntryIdx(s, i)+2]); tid {
 			case 0:
 				kept = append(kept, i) // still in flight
 			case TombstoneTID:
@@ -990,7 +1430,7 @@ func (c *Cursor) Next(dst []Entry) []Entry {
 			break
 		}
 	}
-	c.holes = pending
+	sc.holes = pending
 
 	// Later passes append holes that sit between earlier passes' slots;
 	// restore slot order (== per-thread commit order) before emitting.
@@ -998,17 +1438,17 @@ func (c *Cursor) Next(dst []Entry) []Entry {
 		sort.Ints(committed)
 	}
 	for _, i := range committed {
-		tid := atomic.LoadUint64(&c.log.words[HeaderWords+i*EntryWords+2])
-		dst = append(dst, c.decode(i, tid))
+		tid := atomic.LoadUint64(&c.log.words[c.log.segEntryIdx(s, i)+2])
+		dst = append(dst, c.decode(s, i, tid))
 	}
 	c.scratch = committed[:0]
 	return dst
 }
 
-// decode reads the committed entry at slot i; tid is the already-loaded
-// commit marker.
-func (c *Cursor) decode(i int, tid uint64) Entry {
-	base := HeaderWords + i*EntryWords
+// decode reads the committed entry at local slot i of segment s; tid is the
+// already-loaded commit marker.
+func (c *Cursor) decode(s, i int, tid uint64) Entry {
+	base := c.log.segEntryIdx(s, i)
 	word0 := atomic.LoadUint64(&c.log.words[base])
 	e := Entry{
 		Kind:     KindCall,

@@ -383,7 +383,7 @@ func TestRoundTripPersistence(t *testing.T) {
 	if _, err := l.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	wantSize := int64(HeaderSize + 40*EntrySize)
+	wantSize := int64(HeaderSize + SegHeaderSize + 40*EntrySize)
 	if int64(buf.Len()) != wantSize {
 		t.Fatalf("persisted size = %d, want %d", buf.Len(), wantSize)
 	}

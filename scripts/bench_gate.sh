@@ -1,60 +1,49 @@
 #!/usr/bin/env bash
 # Bench-regression smoke gate.
 #
-# Runs the hot-path benchmarks (log append, bundle write-out, analyzer) for
-# a single iteration and fails if any of the seed benchmarks no longer
-# compiles, runs, or reports a result. This is an EXISTENCE gate, not a
-# threshold gate: single-iteration numbers on shared CI runners are noise,
-# but a benchmark that silently stopped running means a refactor unhooked
-# the perf suite — exactly the regression this catches. Real numbers live
-# in EXPERIMENTS.md, measured on quiet hardware.
+# Runs the recorded benchmark suite (defined once in bench_suite.sh, shared
+# with bench_record.sh) for a single iteration and fails if any benchmark
+# no longer compiles, runs, or reports a result. This is an EXISTENCE gate,
+# not a threshold gate: single-iteration numbers on shared CI runners are
+# noise, but a benchmark that silently stopped running means a refactor
+# unhooked the perf suite — exactly the regression this catches. Real
+# numbers live in EXPERIMENTS.md and the BENCH_*.json trajectory files,
+# measured on quiet hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. scripts/bench_suite.sh
+
+required=("${SHMLOG_BENCHES[@]}" "${AGENT_BENCHES[@]}")
 
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
 # -run matches nothing so only benchmarks execute; -json gives a stable,
 # machine-checkable record of which benchmarks actually ran.
-go test -json -run='^$' -bench='Append|Analyzer|WriteTo|LogRead|AgentScrape' -benchtime=1x -count=1 ./... >"$out" || {
+go test -json -run='^$' -bench="$(bench_pattern "${required[@]}")" \
+    -benchtime=1x -count=1 ./... >"$out" || {
     echo "bench gate: benchmark run failed" >&2
     grep -E '"Action":"(fail|build-fail)"' "$out" >&2 || true
     exit 1
 }
-
-# Every seed benchmark must have produced an output line. Extending the
-# bench suite does not touch this list; removing or renaming a seed
-# benchmark must update it deliberately.
-required=(
-    BenchmarkAgentScrape
-    BenchmarkAnalyzer
-    BenchmarkAnalyzerParallel
-    BenchmarkAppendParallel
-    BenchmarkLogRead
-    BenchmarkLogWriteTo
-)
 
 missing=0
 for b in "${required[@]}"; do
     # A benchmark that ran emits its name in an Output event — either a
     # result line ("BenchmarkLogWriteTo-8 ...") or, for benchmarks with
     # sub-benchmarks, the bare announcement ("BenchmarkAppendParallel\n")
-    # followed by "BenchmarkAppendParallel/g1/k1-8 ..." lines.
+    # followed by "BenchmarkAppendParallel/g1/k1/s1-8 ..." lines.
     if ! grep -qE "\"Output\":\"${b}(-|/| |\\\\n)" "$out"; then
-        echo "bench gate: seed benchmark ${b} did not run" >&2
+        echo "bench gate: suite benchmark ${b} did not run" >&2
         missing=1
     fi
 done
 if [ "$missing" -ne 0 ]; then
     exit 1
 fi
-echo "bench gate: all ${#required[@]} seed benchmarks ran"
+echo "bench gate: all ${#required[@]} suite benchmarks ran"
 
-# The committed perf-trajectory file must parse and name every benchmark in
-# the recorded suite (regenerate with scripts/bench_record.sh).
-go run ./scripts/benchjson -check BENCH_agent.json \
-    BenchmarkAppendParallel \
-    BenchmarkLogWriteTo \
-    BenchmarkLogRead \
-    BenchmarkAnalyzerParallel \
-    BenchmarkAgentScrape
+# The committed perf-trajectory files must parse and name every benchmark
+# in their half of the suite (regenerate with scripts/bench_record.sh).
+go run ./scripts/benchjson -check BENCH_shmlog.json "${SHMLOG_BENCHES[@]}"
+go run ./scripts/benchjson -check BENCH_agent.json "${AGENT_BENCHES[@]}"

@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
-# Record the perf trajectory: run the seed hot-path benchmarks plus the
-# fleet-agent scrape benchmark and write the results as BENCH_agent.json.
-# Numbers are machine-dependent — regenerate on quiet hardware and commit
-# the file; scripts/bench_gate.sh only checks it parses and names every
-# required benchmark, never thresholds.
+# Record the perf trajectory: run the recorded benchmark suite (defined
+# once in bench_suite.sh) and write the results as BENCH_shmlog.json (log
+# hot paths) and BENCH_agent.json (analyzer + fleet agent). Numbers are
+# machine-dependent — regenerate on quiet hardware and commit the files;
+# scripts/bench_gate.sh only checks they parse and name every required
+# benchmark, never thresholds.
 #
 #   BENCHTIME=1s ./scripts/bench_record.sh     # default 300ms per benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. scripts/bench_suite.sh
 
 benchtime="${BENCHTIME:-300ms}"
-pattern='^(BenchmarkAppendParallel|BenchmarkLogWriteTo|BenchmarkLogRead|BenchmarkAnalyzerParallel|BenchmarkAgentScrape)$'
 
-go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -count=1 \
-    . ./internal/agent |
+go test -run='^$' -bench="$(bench_pattern "${SHMLOG_BENCHES[@]}")" \
+    -benchtime="$benchtime" -count=1 . |
+    tee /dev/stderr |
+    go run ./scripts/benchjson > BENCH_shmlog.json
+echo "wrote BENCH_shmlog.json" >&2
+
+go test -run='^$' -bench="$(bench_pattern "${AGENT_BENCHES[@]}")" \
+    -benchtime="$benchtime" -count=1 . ./internal/agent |
     tee /dev/stderr |
     go run ./scripts/benchjson > BENCH_agent.json
 echo "wrote BENCH_agent.json" >&2

@@ -1,0 +1,28 @@
+# Single source of truth for the recorded benchmark suite. Sourced by
+# bench_record.sh (which runs the benchmarks and writes the trajectory
+# files) and bench_gate.sh (which requires every listed benchmark to have
+# run AND to appear in the committed file), so the two can no longer
+# drift: the gate previously kept its own copy of this list and required
+# BenchmarkAnalyzer while the recorder never captured it.
+#
+# SHMLOG_BENCHES cover the shared-memory log hot paths (recorded to
+# BENCH_shmlog.json); AGENT_BENCHES cover the analyzer and fleet-agent
+# paths (recorded to BENCH_agent.json).
+
+SHMLOG_BENCHES=(
+    BenchmarkAppendParallel
+    BenchmarkLogWriteTo
+    BenchmarkLogRead
+)
+
+AGENT_BENCHES=(
+    BenchmarkAnalyzer
+    BenchmarkAnalyzerParallel
+    BenchmarkAgentScrape
+)
+
+# bench_pattern NAME... -> anchored go-test -bench regex for the names.
+bench_pattern() {
+    local IFS='|'
+    printf '^(%s)$' "$*"
+}

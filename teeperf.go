@@ -98,6 +98,15 @@ func WithCapacity(entries int) Option {
 	})
 }
 
+// WithShards splits the log into n per-thread tail segments (threads hash
+// to shards by ID), removing tail contention under many writers
+// (default 1).
+func WithShards(n int) Option {
+	return optionFunc(func(s *Session) {
+		s.recOpts = append(s.recOpts, recorder.WithShards(n))
+	})
+}
+
 // WithCounter selects the time source (default CounterSoftware).
 func WithCounter(mode CounterMode) Option {
 	return optionFunc(func(s *Session) {
