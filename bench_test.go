@@ -509,6 +509,118 @@ func BenchmarkAppendParallel(b *testing.B) {
 	}
 }
 
+// benchAppendSampled is BenchmarkAppendParallel-style load (several
+// goroutines, own thread handles) recording full call PAIRS under a sampling
+// period: suppressed pairs skip the counter read and the reservation
+// entirely, so ns/op (per pair) should fall steeply as the period grows.
+func benchAppendSampled(b *testing.B, goroutines int, period uint64) {
+	perThread := 2 * (b.N/goroutines + b.N%goroutines + 2)
+	log, err := shmlog.New(goroutines*perThread+64, shmlog.WithSamplePeriod(period))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := probe.New(log, counter.NewTSC())
+	if err != nil {
+		b.Fatal(err)
+	}
+	threads := make([]*probe.Thread, goroutines)
+	for i := range threads {
+		threads[i] = rt.Thread()
+	}
+	counts := make([]int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		counts[i] = b.N / goroutines
+	}
+	counts[0] += b.N % goroutines
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(th *probe.Thread, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				th.Enter(0x400100)
+				th.Exit(0x400100)
+			}
+		}(threads[g], counts[g])
+	}
+	wg.Wait()
+	b.StopTimer()
+	rt.Flush()
+	if dropped := rt.Dropped(); dropped != 0 {
+		b.Fatalf("%d events dropped — capacity sizing bug", dropped)
+	}
+	b.ReportMetric(float64(rt.Masked()), "masked")
+}
+
+// BenchmarkAppendSampled sweeps the sampling period on a parallel pair
+// workload. The bench gate holds the p64/p1 ratio: period-64 sampling must
+// keep at least its 5x probe-side win.
+func BenchmarkAppendSampled(b *testing.B) {
+	for _, period := range []uint64{1, 8, 64} {
+		b.Run(fmt.Sprintf("p%d", period), func(b *testing.B) {
+			benchAppendSampled(b, 4, period)
+		})
+	}
+}
+
+// BenchmarkProbeAdaptive compares a fixed batch of 1 against the self-tuning
+// controller on the same parallel pair workload: the controller pays a
+// latency probe around each reservation but may grow the batch to amortize
+// the tail fetch-and-add.
+func BenchmarkProbeAdaptive(b *testing.B) {
+	for _, mode := range []string{"static", "adaptive"} {
+		b.Run(mode, func(b *testing.B) {
+			const goroutines = 4
+			perThread := 2*(b.N/goroutines+b.N%goroutines) + 64 + 2
+			log, err := shmlog.New(goroutines * perThread)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := []probe.Option{probe.WithBatch(1)}
+			if mode == "adaptive" {
+				opts = []probe.Option{probe.WithAdaptiveBatch(1, 64)}
+			}
+			rt, err := probe.New(log, counter.NewTSC(), opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			threads := make([]*probe.Thread, goroutines)
+			for i := range threads {
+				threads[i] = rt.Thread()
+			}
+			counts := make([]int, goroutines)
+			for i := 0; i < goroutines; i++ {
+				counts[i] = b.N / goroutines
+			}
+			counts[0] += b.N % goroutines
+
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(th *probe.Thread, n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						th.Enter(0x400100)
+						th.Exit(0x400100)
+					}
+				}(threads[g], counts[g])
+			}
+			wg.Wait()
+			b.StopTimer()
+			rt.Flush()
+			if mode == "adaptive" {
+				grows, shrinks := rt.BatchAdjustments()
+				b.ReportMetric(float64(rt.Batch()), "final-batch")
+				b.ReportMetric(float64(grows), "grows")
+				b.ReportMetric(float64(shrinks), "shrinks")
+			}
+		})
+	}
+}
+
 // newFilledLog builds a committed log of exactly entries events.
 func newFilledLog(b *testing.B, entries int) *shmlog.Log {
 	b.Helper()

@@ -27,6 +27,8 @@ func cmdAgent(args []string) error {
 	interval := fs.Duration("interval", 250*time.Millisecond, "scrape interval")
 	budget := fs.Int("budget", 1<<16, "per-session entry budget of one scrape; exceeding it twice degrades the session to sampled scraping")
 	degradedEvery := fs.Int("degraded-every", 4, "scrape degraded sessions every Nth cycle")
+	autoThrottle := fs.Bool("auto-throttle", false, "push a sampling period into flooding sessions' shared headers (live recording-side throttle), restored on recovery")
+	throttlePeriod := fs.Uint64("throttle-period", 8, "sampling period pushed by -auto-throttle")
 	once := fs.Bool("once", false, "run a single scrape cycle, print the fleet summary, and exit")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file (for scripts)")
 	if err := fs.Parse(args); err != nil {
@@ -40,10 +42,12 @@ func cmdAgent(args []string) error {
 	}
 
 	a := agent.New(agent.Config{
-		Spool:         *spool,
-		Interval:      *interval,
-		ScrapeBudget:  *budget,
-		DegradedEvery: *degradedEvery,
+		Spool:          *spool,
+		Interval:       *interval,
+		ScrapeBudget:   *budget,
+		DegradedEvery:  *degradedEvery,
+		AutoThrottle:   *autoThrottle,
+		ThrottlePeriod: *throttlePeriod,
 	})
 	defer a.Close()
 	for _, path := range fs.Args() {

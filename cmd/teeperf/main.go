@@ -57,6 +57,7 @@ var commandGroups = []string{"record", "monitor", "analyze", "visualize"}
 var commands = []command{
 	{"record", "record", "run a built-in workload under the profiler and persist a bundle", cmdRecord},
 	{"run", "record", "profile an external command through a shared-memory mapping (cross-process)", cmdRun},
+	{"overhead", "record", "sweep instrumented-vs-native runtime across sampling periods", cmdOverhead},
 	{"monitor", "monitor", "record a workload with a live hot-methods view in the terminal", cmdMonitor},
 	{"serve", "monitor", "record a workload while serving live metrics and profile over HTTP", cmdServe},
 	{"agent", "monitor", "observe many concurrent recordings with fleet-wide metrics over HTTP", cmdAgent},

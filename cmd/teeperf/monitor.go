@@ -24,6 +24,7 @@ type liveFlags struct {
 	capacity int
 	shards   int
 	batch    int
+	sample   uint64
 	interval time.Duration
 }
 
@@ -36,6 +37,7 @@ func (lf *liveFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&lf.capacity, "capacity", 1<<22, "log capacity in entries")
 	fs.IntVar(&lf.shards, "shards", 1, "log shard count (per-thread tail segments; threads hash to shards by ID)")
 	fs.IntVar(&lf.batch, "batch", 1, "probe slot-reservation batch size (events per tail fetch-and-add)")
+	fs.Uint64Var(&lf.sample, "sample", 1, "record one call pair in N (1 = every pair); analyzers scale weights back up by N")
 	fs.DurationVar(&lf.interval, "interval", 500*time.Millisecond, "sampling/refresh interval")
 }
 
@@ -55,7 +57,7 @@ func startLiveRun(lf *liveFlags) (*recorder.Recorder, <-chan error, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	rec, err := buildRecorder(tab, lf.capacity, lf.shards, lf.batch, "")
+	rec, err := buildRecorder(tab, lf.capacity, lf.shards, lf.batch, "", lf.sample)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"teeperf/internal/experiments"
+	"teeperf/internal/tee"
+)
+
+// cmdOverhead sweeps the probes' cost: each workload runs uninstrumented
+// (the native baseline) and then instrumented at every sampling period, so
+// the ratio column is the paper's Fig 4 y-axis generalized over `-sample`.
+func cmdOverhead(args []string) error {
+	fs := flag.NewFlagSet("overhead", flag.ContinueOnError)
+	platformName := fs.String("platform", "sgx-v1", "TEE platform: "+strings.Join(tee.PlatformNames(), ", "))
+	periods := fs.String("periods", "1,8,64", "comma-separated sampling periods to sweep")
+	runs := fs.Int("runs", 5, "measured runs per configuration (geometric mean)")
+	warmups := fs.Int("warmups", 1, "warmup runs per configuration")
+	scale := fs.Int("scale", 2, "Phoenix workload scale")
+	ops := fs.Int("ops", 10000, "kvstore db_bench operations")
+	workloads := fs.String("workloads", "", "comma-separated Phoenix subset (default: word_count,string_match)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	platform, err := tee.ByName(*platformName)
+	if err != nil {
+		return err
+	}
+	var ps []uint64
+	for _, f := range strings.Split(*periods, ",") {
+		p, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil || p == 0 {
+			return usageErr{fmt.Errorf("bad -periods entry %q (positive integers)", f)}
+		}
+		ps = append(ps, p)
+	}
+	cfg := experiments.SamplingOverheadConfig{
+		Platform: platform,
+		Periods:  ps,
+		Runs:     *runs,
+		Warmups:  *warmups,
+		Scale:    *scale,
+		Ops:      *ops,
+	}
+	if *workloads != "" {
+		cfg.PhoenixWorkloads = strings.Split(*workloads, ",")
+	}
+	rows, err := experiments.RunSamplingOverhead(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.WriteSamplingOverhead(os.Stdout, rows)
+}

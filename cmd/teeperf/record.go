@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 
 	"teeperf/internal/analyzer"
@@ -35,6 +36,8 @@ func cmdRecord(args []string) error {
 	capacity := fs.Int("capacity", 1<<22, "log capacity in entries")
 	shards := fs.Int("shards", 1, "log shard count (per-thread tail segments; threads hash to shards by ID)")
 	batch := fs.Int("batch", 1, "probe slot-reservation batch size (events per tail fetch-and-add)")
+	sample := fs.Uint64("sample", 1, "record one call pair in N (1 = every pair); analyzers scale weights back up by N")
+	mask := fs.String("mask", "", "thread deny bitmask (e.g. 0x2): threads whose (id-1)%64 bit is set record nothing")
 	selective := fs.String("only", "", "substring filter for selective profiling")
 	transitions := fs.Bool("transitions", false, "also print a transition-level (sgx-perf style) report")
 	checkpoint := fs.Duration("checkpoint", 0, "crash-consistent checkpoint interval (0 disables); snapshots the bundle to <output> periodically so a killed run stays recoverable")
@@ -60,9 +63,16 @@ func cmdRecord(args []string) error {
 		return err
 	}
 
-	rec, err := buildRecorder(tab, *capacity, *shards, *batch, *selective)
+	rec, err := buildRecorder(tab, *capacity, *shards, *batch, *selective, *sample)
 	if err != nil {
 		return err
+	}
+	if *mask != "" {
+		m, err := strconv.ParseUint(*mask, 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad -mask %q: %w", *mask, err)
+		}
+		rec.SetThreadMask(m)
 	}
 	if err := rec.Start(); err != nil {
 		return err
@@ -102,9 +112,9 @@ func cmdRecord(args []string) error {
 
 // buildRecorder assembles the recorder used by record, monitor and serve:
 // fixed capacity, optional log sharding, optional batched slot reservation,
-// optional selective-profiling filter, and the single-CPU fallback from the
-// software counter to the TSC source.
-func buildRecorder(tab *symtab.Table, capacity, shards, batch int, selective string) (*recorder.Recorder, error) {
+// optional call-pair sampling, optional selective-profiling filter, and the
+// single-CPU fallback from the software counter to the TSC source.
+func buildRecorder(tab *symtab.Table, capacity, shards, batch int, selective string, sample uint64) (*recorder.Recorder, error) {
 	recOpts := []recorder.Option{
 		recorder.WithCapacity(capacity),
 		recorder.WithPID(uint64(os.Getpid())),
@@ -114,6 +124,9 @@ func buildRecorder(tab *symtab.Table, capacity, shards, batch int, selective str
 	}
 	if batch > 1 {
 		recOpts = append(recOpts, recorder.WithBatch(batch))
+	}
+	if sample > 1 {
+		recOpts = append(recOpts, recorder.WithSamplePeriod(sample))
 	}
 	// The software counter needs a spare core for its spin thread; on a
 	// single-CPU machine fall back to the TSC source (and say so).

@@ -52,6 +52,8 @@ func childFail(format string, args ...any) {
 //	                (the host process's spinning thread).
 //	spin          — deterministic workload, then print WORKLOAD-DONE and
 //	                block until the parent SIGKILLs us (salvage test).
+//	spinrecord    — print SPINNING, then record call pairs forever (the
+//	                live-mask throttle test; parent SIGKILLs us).
 //	recorder      — host the mapping: Attach, Start, checkpoint, print
 //	                RECORDER-READY, block until SIGKILL.
 func crossprocChild(mode string) {
@@ -118,6 +120,18 @@ func crossprocChild(mode string) {
 	th, err := s.Thread()
 	if err != nil {
 		childFail("thread: %v", err)
+	}
+	if mode == "spinrecord" {
+		// Record call pairs forever (gently rate-limited so the parent's
+		// observation window cannot overflow the log). The parent pushes a
+		// deny mask through a control mapping and watches recording stop —
+		// this process is never told anything and never restarts.
+		fmt.Println("SPINNING")
+		for {
+			th.Enter(addrs.alpha)
+			th.Exit(addrs.alpha)
+			time.Sleep(200 * time.Microsecond)
+		}
 	}
 	runCrossprocWorkload(th, addrs)
 	if mode == "live" {
@@ -580,5 +594,102 @@ func TestCrossProcKillRecorderSalvage(t *testing.T) {
 		if _, err := LoadLenient(path); err != nil && !errors.Is(err, recorder.ErrBadBundle) {
 			t.Fatalf("checkpoint remnant %s: %v", path, err)
 		}
+	}
+}
+
+// TestCrossProcLiveMaskStopsRecording is the adaptive-probe acceptance: a
+// deny mask pushed through a writable control mapping stops a spinning
+// child's recording live — no restart, no signal, no cooperation from the
+// child beyond the generation check built into every probe event — and
+// clearing the mask resumes it.
+func TestCrossProcLiveMaskStopsRecording(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	shm := filepath.Join(dir, "run.shm")
+
+	host, err := recorder.Create(shm, recorder.WithCapacity(1<<18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Log().Close()
+	if err := host.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := spawnCrossprocChild(t, "spinrecord", shm)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitForLine(t, bufio.NewScanner(stdout), "SPINNING")
+
+	log := host.Log()
+	waitGrowth := func(past int, what string) int {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if n := log.Len(); n > past {
+				return n
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s (stuck at %d entries)", what, past)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitGrowth(0, "spinning child never recorded")
+
+	// Push the mask the way the fleet agent does: through a separate
+	// writable control mapping, not the host's own handle.
+	ctl, err := shmlog.ControlFile(shm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	ctl.SetThreadMask(^uint64(0))
+
+	// The child notices on its next event; wait for the tail to settle,
+	// then hold it still across a generous window.
+	prev := log.Len()
+	deadline := time.Now().Add(10 * time.Second)
+	var frozen int
+	for {
+		time.Sleep(150 * time.Millisecond)
+		cur := log.Len()
+		if cur == prev {
+			frozen = cur
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recording never stopped under an all-ones thread mask")
+		}
+		prev = cur
+	}
+	time.Sleep(300 * time.Millisecond)
+	if got := log.Len(); got != frozen {
+		t.Fatalf("recording continued under an all-ones mask: %d -> %d entries", frozen, got)
+	}
+
+	// The suppressed events surface in the shared masked counter (the child
+	// flushes it in bulk, so allow it a moment).
+	deadline = time.Now().Add(10 * time.Second)
+	for log.Masked() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("masked counter never moved while the child spun against the mask")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Clearing the mask resumes recording in the same still-running child.
+	ctl.SetThreadMask(0)
+	waitGrowth(frozen, "recording did not resume after the mask cleared")
+
+	assertKilled(t, cmd)
+	if err := host.Stop(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -28,6 +28,16 @@ type Config struct {
 	// DegradedEvery is how often degraded sessions are still scraped: every
 	// N-th cycle (default 4).
 	DegradedEvery int
+	// AutoThrottle upgrades back-pressure from a scrape-side remedy to a
+	// recording-side one: when a session degrades, the agent opens a control
+	// mapping over its shared file and pushes ThrottlePeriod into the
+	// sampling-period header word, so the flooding tenant's probes stop
+	// *recording* most events (not just the agent reading them). The
+	// previous period is restored when the session recovers.
+	AutoThrottle bool
+	// ThrottlePeriod is the sampling period pushed by AutoThrottle
+	// (default 8 — one call pair in eight recorded).
+	ThrottlePeriod uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -39,6 +49,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DegradedEvery < 2 {
 		c.DegradedEvery = 4
+	}
+	if c.ThrottlePeriod == 0 {
+		c.ThrottlePeriod = 8
 	}
 	return c
 }
@@ -167,7 +180,7 @@ func (a *Agent) ScrapeOnce() int {
 
 	total := 0
 	for _, s := range list {
-		total += s.scrape(cycle, a.cfg.ScrapeBudget, a.cfg.DegradedEvery, start)
+		total += s.scrape(cycle, a.cfg, start)
 	}
 
 	dur := time.Since(start).Seconds()
@@ -263,12 +276,15 @@ func (a *Agent) Metrics() []monitor.Metric {
 		s.mu.Lock()
 		info := s.snapshotLocked()
 		state := s.state
-		var ticks uint64
+		var ticks, period, masked, batch uint64
 		var open, funcs int
 		var segs []shmlog.SegmentStat
 		if s.log != nil {
 			ticks = s.log.LoadCounter()
 			segs = s.log.SegmentStats()
+			period = s.log.SamplePeriod()
+			masked = s.log.Masked()
+			batch = s.log.BatchSize()
 		}
 		if s.inc != nil {
 			open = s.inc.OpenFrames()
@@ -283,6 +299,9 @@ func (a *Agent) Metrics() []monitor.Metric {
 			FillPercent:   info.FillPct,
 			Capacity:      info.Capacity,
 			EntriesPerSec: info.Rate,
+			SamplePeriod:  period,
+			Masked:        masked,
+			BatchSize:     int(batch),
 			Shards:        monitor.ShardSamples(segs),
 		}
 		out = append(out, monitor.SessionMetrics(info.Name, sample, open, funcs)...)
@@ -298,13 +317,17 @@ func (a *Agent) Metrics() []monitor.Metric {
 				Value:  v,
 			})
 		}
-		deg := 0.0
+		deg, thr := 0.0, 0.0
 		if info.Degraded {
 			deg = 1
+		}
+		if info.Throttled {
+			thr = 1
 		}
 		out = append(out,
 			monitor.Metric{Name: "teeperf_session_attach_generation", Help: "Attach generation of the observed mapping.", Kind: "gauge", Labels: lbl, Value: float64(info.AttachGen)},
 			monitor.Metric{Name: "teeperf_session_degraded", Help: "1 while the session is back-pressure degraded to sampled scraping.", Kind: "gauge", Labels: lbl, Value: deg},
+			monitor.Metric{Name: "teeperf_session_throttled", Help: "1 while the agent holds a pushed sampling period on this session.", Kind: "gauge", Labels: lbl, Value: thr},
 			monitor.Metric{Name: "teeperf_session_scrapes_total", Help: "Scrapes performed on this session (skipped degraded cycles excluded).", Kind: "counter", Labels: lbl, Value: float64(info.Scrapes)},
 			monitor.Metric{Name: "teeperf_session_salvaged_entries", Help: "Committed entries recovered by the salvage pass (0 before salvage).", Kind: "gauge", Labels: lbl, Value: float64(info.Salvaged)},
 		)

@@ -293,6 +293,69 @@ func TestBackPressureDegradesAndRecovers(t *testing.T) {
 	}
 }
 
+// TestAutoThrottlePushesPeriod: with AutoThrottle on, the back-pressure
+// detector does more than degrade its own scraping — it pushes a sampling
+// period into the flooding session's shared header (live recording-side
+// throttle) and restores the previous period on recovery.
+func TestAutoThrottlePushesPeriod(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	path := makeSessionFile(t, dir, "flood", 0, 0)
+	a := New(Config{Spool: dir, ScrapeBudget: 10, AutoThrottle: true, ThrottlePeriod: 8})
+	defer a.Close()
+	a.ScrapeOnce() // attach
+
+	flood := func(pairs int) {
+		log, err := shmlog.OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writePairs(t, log, pairs)
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := a.Session("flood")
+	headerPeriod := func() uint64 {
+		t.Helper()
+		obs, err := shmlog.ObserveFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer obs.Close()
+		return obs.SamplePeriod()
+	}
+
+	flood(20)
+	a.ScrapeOnce()
+	if s.Snapshot().Throttled {
+		t.Fatal("throttled after one over-budget scrape; needs two consecutive")
+	}
+	if got := headerPeriod(); got != 0 {
+		t.Fatalf("period pushed early: %d", got)
+	}
+	flood(20)
+	a.ScrapeOnce()
+	if !s.Snapshot().Throttled {
+		t.Fatal("not throttled after two consecutive over-budget scrapes")
+	}
+	if got := headerPeriod(); got != 8 {
+		t.Fatalf("header sample period = %d, want 8", got)
+	}
+
+	// The pushed period rides the ordinary degrade/recover state machine:
+	// once the flood subsides, recovery restores what was there before.
+	for i := 0; i < 16 && s.Snapshot().Degraded; i++ {
+		a.ScrapeOnce()
+	}
+	if s.Snapshot().Throttled {
+		t.Error("session still throttled after flood subsided")
+	}
+	if got := headerPeriod(); got != 0 {
+		t.Errorf("restored sample period = %d, want 0 (the pre-throttle value)", got)
+	}
+}
+
 func TestSymbolAdoption(t *testing.T) {
 	requireMmap(t)
 	dir := t.TempDir()

@@ -113,6 +113,14 @@ type Session struct {
 	overBudget int
 	degraded   bool
 
+	// Auto-throttle: with Config.AutoThrottle, degradation also pushes a
+	// sampling period into the session's shared header through a writable
+	// control mapping (ctl), live-throttling the tenant's *recording*;
+	// prevPeriod is what recovery restores.
+	ctl        *shmlog.Log
+	throttled  bool
+	prevPeriod uint64
+
 	// lastEntries/lastScrape feed the per-session rate gauges.
 	lastEntries uint64
 	lastScrape  time.Time
@@ -152,6 +160,7 @@ type Info struct {
 	AppPID    uint64  `json:"app_pid"`
 	AttachGen uint64  `json:"attach_gen"`
 	Degraded  bool    `json:"degraded"`
+	Throttled bool    `json:"throttled"`
 	Scrapes   uint64  `json:"scrapes"`
 	Salvaged  uint64  `json:"salvaged_entries"`
 	Rate      float64 `json:"entries_per_second"`
@@ -174,6 +183,7 @@ func (s *Session) snapshotLocked() Info {
 		AppPID:    s.appPID,
 		AttachGen: s.attachGen,
 		Degraded:  s.degraded,
+		Throttled: s.throttled,
 		Scrapes:   s.scrapes,
 		Rate:      s.entriesRate,
 	}
@@ -240,10 +250,11 @@ func (s *Session) setStateLocked(cycle uint64, next State, why string) {
 // scrape advances the session one observation cycle: attach if not yet
 // mapped, probe application liveness, drain newly committed entries into
 // the incremental analyzer, adopt a republished symbol side file, and run
-// the back-pressure accounting. It returns the number of entries drained.
-// budget/degradedEvery come from the agent's config; now is the scrape
-// instant (for rate computation only — lifecycle decisions never read it).
-func (s *Session) scrape(cycle uint64, budget, degradedEvery int, now time.Time) int {
+// the back-pressure accounting (with the optional recording-side throttle).
+// It returns the number of entries drained. cfg is the agent's (defaulted)
+// config; now is the scrape instant (for rate computation only — lifecycle
+// decisions never read it).
+func (s *Session) scrape(cycle uint64, cfg Config, now time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -256,10 +267,10 @@ func (s *Session) scrape(cycle uint64, budget, degradedEvery int, now time.Time)
 		}
 	}
 
-	// Degraded sessions are sampled: only every degradedEvery-th cycle
+	// Degraded sessions are sampled: only every DegradedEvery-th cycle
 	// touches the mapping, so one flooding tenant cannot starve the rest
 	// of the fleet's scrape interval.
-	if s.degraded && cycle%uint64(degradedEvery) != 0 {
+	if s.degraded && cycle%uint64(cfg.DegradedEvery) != 0 {
 		return 0
 	}
 
@@ -299,22 +310,57 @@ func (s *Session) scrape(cycle uint64, budget, degradedEvery int, now time.Time)
 
 	// Back-pressure bookkeeping.
 	switch {
-	case drained > budget:
+	case drained > cfg.ScrapeBudget:
 		s.overBudget++
 		if !s.degraded && s.overBudget >= 2 {
 			s.degraded = true
-			s.traceLocked(cycle, "degraded: %d entries > budget %d twice", drained, budget)
+			s.traceLocked(cycle, "degraded: %d entries > budget %d twice", drained, cfg.ScrapeBudget)
+			if cfg.AutoThrottle {
+				s.throttleLocked(cycle, cfg.ThrottlePeriod)
+			}
 		}
-	case drained < budget/2:
+	case drained < cfg.ScrapeBudget/2:
 		s.overBudget = 0
 		if s.degraded {
 			s.degraded = false
 			s.traceLocked(cycle, "recovered: %d entries < half budget", drained)
+			s.unthrottleLocked(cycle)
 		}
 	default:
 		s.overBudget = 0
 	}
 	return drained
+}
+
+// throttleLocked pushes a sampling period into the session's shared header.
+// The observer mapping is read-only, so the first throttle opens a second,
+// writable control mapping over the same file (shmlog.ControlFile — no
+// attach-generation bump, stores restricted to the control words); the
+// tenant's probes pick the new period up on the generation bump without any
+// restart. Failures are traced and left for the next degrade to retry.
+func (s *Session) throttleLocked(cycle uint64, period uint64) {
+	if s.ctl == nil {
+		ctl, err := shmlog.ControlFile(s.path)
+		if err != nil {
+			s.traceLocked(cycle, "throttle: control map: %v", err)
+			return
+		}
+		s.ctl = ctl
+	}
+	s.prevPeriod = s.ctl.SamplePeriod()
+	s.ctl.SetSamplePeriod(period)
+	s.throttled = true
+	s.traceLocked(cycle, "throttle: pushed sample period %d (was %d)", period, s.prevPeriod)
+}
+
+// unthrottleLocked restores the sampling period the throttle displaced.
+func (s *Session) unthrottleLocked(cycle uint64) {
+	if !s.throttled || s.ctl == nil {
+		return
+	}
+	s.ctl.SetSamplePeriod(s.prevPeriod)
+	s.throttled = false
+	s.traceLocked(cycle, "throttle: restored sample period %d", s.prevPeriod)
 }
 
 // attachLocked tries to establish the observer mapping. Failure is normal
@@ -348,15 +394,23 @@ func (s *Session) remap(cycle uint64, path string) {
 		_ = s.log.Close()
 		s.log, s.cur, s.inc, s.tab, s.syms = nil, nil, nil, nil, nil
 	}
+	if s.ctl != nil {
+		_ = s.ctl.Close()
+		s.ctl = nil
+	}
 	s.path = path
 	s.salvage = nil
 	s.degraded = false
+	s.throttled = false
 	s.overBudget = 0
 	s.appPID = 0
 	s.setStateLocked(cycle, StateDiscovered, "re-registered "+path)
 }
 
 func (s *Session) drainLocked() int {
+	// The recording may be sampled (by the recorder, or by this agent's own
+	// throttle); weigh entries by the period in effect when they drain.
+	s.inc.SetSamplePeriod(s.log.SamplePeriod())
 	s.buf = s.cur.Next(s.buf[:0])
 	s.inc.FeedAll(s.buf)
 	s.entries += uint64(len(s.buf))
@@ -405,12 +459,17 @@ func (s *Session) adoptTableLocked(cycle uint64, tab *symtab.Table) {
 	s.traceLocked(cycle, "symbols: adopted %s", s.syms.Path())
 }
 
-// close releases the observer mapping.
+// close releases the observer mapping (and the control mapping, if a
+// throttle ever opened one).
 func (s *Session) close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.log != nil {
 		_ = s.log.Close()
 		s.log = nil
+	}
+	if s.ctl != nil {
+		_ = s.ctl.Close()
+		s.ctl = nil
 	}
 }

@@ -31,10 +31,12 @@ type Record struct {
 	Caller string
 	// Depth is the stack depth (0 for roots).
 	Depth int
-	// Start and End are the counter values at entry and exit.
+	// Start and End are the counter values at entry and exit (always raw,
+	// even in sampled logs).
 	Start, End uint64
 	// Incl is End-Start; Self is Incl minus the inclusive time of
-	// children (never negative).
+	// children (never negative). In a sampled log (header sampling period
+	// N > 1) both are scaled by N, so totals estimate the full profile.
 	Incl, Self uint64
 	// Truncated marks frames force-closed at the end of the log.
 	Truncated bool
@@ -73,6 +75,11 @@ type ThreadStat struct {
 type Profile struct {
 	// PID is the process ID recorded in the log header.
 	PID uint64
+	// SamplePeriod is the sampling period recorded in the log header (1 for
+	// full recordings; the header's 0 normalizes to 1). When above 1, every
+	// weight in the profile — tick totals, folded stacks, call counts — has
+	// been scaled by it, so the profile estimates the full recording.
+	SamplePeriod uint64
 	// TotalTicks is the sum of root-frame inclusive ticks over all
 	// threads — the denominator for percentages.
 	TotalTicks uint64
@@ -200,13 +207,22 @@ func AnalyzeWith(log *shmlog.Log, tab *symtab.Table, opts Options) (*Profile, er
 		tab.SetLoadBias(log.ProfilerAddr())
 	}
 
+	// The sampling period scales every weight at the phase-3 merge below.
+	// Reconstruction (phase 2) stays raw: the childTicks arithmetic must
+	// subtract like from like, and integer-multiplying only the finished
+	// records keeps serial, parallel and incremental results exactly equal.
+	period := log.SamplePeriod()
+	if period == 0 {
+		period = 1
+	}
 	p := &Profile{
-		PID:       log.PID(),
-		byName:    make(map[string]int),
-		folded:    make(map[string]uint64),
-		pathStats: make(map[string]*pathAccum),
-		Dropped:   log.Dropped(),
-		Recovery:  opts.Recovery,
+		PID:          log.PID(),
+		SamplePeriod: period,
+		byName:       make(map[string]int),
+		folded:       make(map[string]uint64),
+		pathStats:    make(map[string]*pathAccum),
+		Dropped:      log.Dropped(),
+		Recovery:     opts.Recovery,
 	}
 	lenient := opts.Recovery != nil
 
@@ -273,8 +289,11 @@ func AnalyzeWith(log *shmlog.Log, tab *symtab.Table, opts Options) (*Profile, er
 	total := 0
 	for oi := range results {
 		r := &results[oi]
-		p.threads = append(p.threads, r.stat)
-		p.TotalTicks += r.stat.Ticks
+		stat := r.stat
+		stat.Ticks *= period
+		stat.Calls *= period
+		p.threads = append(p.threads, stat)
+		p.TotalTicks += stat.Ticks
 		p.Truncated += r.truncated
 		p.Unmatched += r.unmatched
 		total += len(r.recs)
@@ -287,6 +306,8 @@ func AnalyzeWith(log *shmlog.Log, tab *symtab.Table, opts Options) (*Profile, er
 	p.records = make([]Record, 0, len(merged))
 	for i := range merged {
 		cr := &merged[i]
+		cr.rec.Incl *= period
+		cr.rec.Self *= period
 		p.records = append(p.records, cr.rec)
 		if cr.rec.Self > 0 {
 			p.folded[cr.stackKey] += cr.rec.Self
@@ -301,10 +322,10 @@ func AnalyzeWith(log *shmlog.Log, tab *symtab.Table, opts Options) (*Profile, er
 			pa = &pathAccum{}
 			p.pathStats[cr.stackKey] = pa
 		}
-		pa.calls++
+		pa.calls += period
 		pa.incl += cr.rec.Incl
 		pa.self += cr.rec.Self
-		p.accumulate(cr.rec)
+		p.accumulate(cr.rec, period)
 	}
 
 	sort.Slice(p.threads, func(i, j int) bool { return p.threads[i].ID < p.threads[j].ID })
@@ -457,7 +478,9 @@ func analyzeThread(g *threadEntries, tab *symtab.Table, forceAt int, lenient boo
 	return res
 }
 
-func (p *Profile) accumulate(rec Record) {
+// accumulate folds one (already weight-scaled) record into the per-function
+// table; period scales the call counts, matching the record's tick scaling.
+func (p *Profile) accumulate(rec Record, period uint64) {
 	i, ok := p.byName[rec.Name]
 	if !ok {
 		i = len(p.funcs)
@@ -473,11 +496,11 @@ func (p *Profile) accumulate(rec Record) {
 	if f.Addr == 0 {
 		f.Addr = rec.Addr
 	}
-	f.Calls++
+	f.Calls += period
 	f.Incl += rec.Incl
 	f.Self += rec.Self
 	if rec.Caller != "" {
-		f.Callers[rec.Caller]++
+		f.Callers[rec.Caller] += period
 		// Register the callee edge on the caller as well.
 		j, ok := p.byName[rec.Caller]
 		if !ok {
@@ -490,7 +513,7 @@ func (p *Profile) accumulate(rec Record) {
 			})
 			f = &p.funcs[i] // re-take: append may have moved the slice
 		}
-		p.funcs[j].Callees[rec.Name]++
+		p.funcs[j].Callees[rec.Name] += period
 	}
 }
 

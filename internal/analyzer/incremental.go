@@ -34,6 +34,12 @@ type Incremental struct {
 	order   []uint64
 	funcs   map[string]*LiveFunc
 
+	// period is the sampling-period weight multiplier (>= 1). Stack
+	// reconstruction stays raw; the period scales ticks and call counts at
+	// aggregation time, exactly like the offline analyzer's phase-3 merge,
+	// so a drained snapshot still equals Analyze's result on sampled logs.
+	period uint64
+
 	entries    int
 	unmatched  int
 	calls      uint64
@@ -101,8 +107,24 @@ func NewIncremental(tab *symtab.Table) *Incremental {
 		tab:     tab,
 		threads: make(map[uint64]*incThread),
 		funcs:   make(map[string]*LiveFunc),
+		period:  1,
 	}
 }
+
+// SetSamplePeriod sets the weight multiplier for a sampled stream (the
+// log header's sampling period; 0 and 1 both mean unscaled). Entries fed
+// after the call are aggregated at the new weight — live monitors refresh
+// it from the header each poll, so a mid-run throttle scales the entries
+// recorded under it.
+func (inc *Incremental) SetSamplePeriod(n uint64) {
+	if n == 0 {
+		n = 1
+	}
+	inc.period = n
+}
+
+// SamplePeriod returns the current weight multiplier.
+func (inc *Incremental) SamplePeriod() uint64 { return inc.period }
 
 // Feed folds one log entry into the live table.
 func (inc *Incremental) Feed(e shmlog.Entry) {
@@ -186,13 +208,15 @@ func (inc *Incremental) closeTop(ts *incThread, now uint64) {
 	if incl > f.childTicks {
 		self = incl - f.childTicks
 	}
+	// Stack arithmetic stays raw (childTicks subtracts like from like);
+	// the sampling period scales only the aggregated weights below.
 	if len(ts.stack) > 0 {
 		ts.stack[len(ts.stack)-1].childTicks += incl
 	} else {
-		inc.totalTicks += incl
+		inc.totalTicks += incl * inc.period
 	}
-	inc.calls++
-	inc.bump(f.addr, f.name, incl, self)
+	inc.calls += inc.period
+	inc.bump(f.addr, f.name, incl*inc.period, self*inc.period)
 }
 
 func (inc *Incremental) bump(addr uint64, name string, incl, self uint64) {
@@ -201,7 +225,7 @@ func (inc *Incremental) bump(addr uint64, name string, incl, self uint64) {
 		lf = &LiveFunc{Name: name, addr: addr}
 		inc.funcs[name] = lf
 	}
-	lf.Calls++
+	lf.Calls += inc.period
 	lf.Incl += incl
 	lf.Self += self
 }
@@ -276,15 +300,15 @@ func (inc *Incremental) Snapshot(top int) LiveTable {
 			}
 			lf := merged[f.name]
 			lf.Name = f.name
-			lf.Calls++
-			lf.Incl += incl
-			lf.Self += self
+			lf.Calls += inc.period
+			lf.Incl += incl * inc.period
+			lf.Self += self * inc.period
 			merged[f.name] = lf
 			childIncl = incl
 			t.OpenFrames++
-			t.Calls++
+			t.Calls += inc.period
 			if i == 0 {
-				t.TotalTicks += incl
+				t.TotalTicks += incl * inc.period
 			}
 		}
 	}

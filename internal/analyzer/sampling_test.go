@@ -1,0 +1,235 @@
+package analyzer
+
+// Satellite property test for the sampling plane: a period-N sampled
+// profile's scaled weights must converge to the full profile, all three
+// analyzers (serial, parallel, incremental) must agree exactly on a sampled
+// log, and an explicit period of 1 must be byte-identical to a default
+// recording at every shard count.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"teeperf/internal/probe"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+// samplingFixtureTab registers a small function set and returns it with the
+// assigned addresses.
+func samplingFixtureTab(t *testing.T) (*symtab.Table, []uint64) {
+	t.Helper()
+	tab := symtab.New()
+	names := []string{"sp_root", "sp_map", "sp_reduce", "sp_hash", "sp_emit", "sp_sort"}
+	addrs := make([]uint64, len(names))
+	for i, n := range names {
+		a, err := tab.Register(n, 16, "sampling.go", i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+	}
+	return tab, addrs
+}
+
+// logicalClock is a counter source the workload driver advances by hand —
+// one tick per logical event whether or not the probe records it. Sampled
+// frames therefore carry their TRUE durations (as a hardware counter would),
+// and only the 1-in-N thinning needs the analyzer's ×period scaling. A
+// commit-driven counter like counter.Virtual would shrink durations AND
+// counts under sampling, which a single scale factor cannot undo.
+type logicalClock struct{ n uint64 }
+
+func (c *logicalClock) Now() uint64 { return c.n }
+
+// driveSamplingWorkload replays the same deterministic balanced workload
+// (fixed seed, threads driven sequentially) through a probe runtime: random
+// nested call trees, depth-bounded, every call matched by its return. Each
+// log gets its own clock advanced identically, so the entry streams of two
+// identically driven logs are fully comparable.
+func driveSamplingWorkload(t *testing.T, log *shmlog.Log, addrs []uint64, iters int) {
+	t.Helper()
+	clock := &logicalClock{}
+	rt, err := probe.New(log, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for tid := 0; tid < 3; tid++ {
+		th := rt.Thread()
+		var walk func(depth int)
+		walk = func(depth int) {
+			a := addrs[rng.Intn(len(addrs))]
+			clock.n++
+			th.Enter(a)
+			for depth < 6 && rng.Intn(3) == 0 {
+				walk(depth + 1)
+			}
+			clock.n++
+			th.Exit(a)
+		}
+		for i := 0; i < iters; i++ {
+			walk(0)
+		}
+	}
+	rt.Flush()
+	if rt.Dropped() != 0 {
+		t.Fatalf("fixture dropped %d events; raise the capacity", rt.Dropped())
+	}
+}
+
+const samplingFixtureIters = 30_000 // per thread; ~2 pairs per walk, 3 threads
+
+func newSamplingLog(t *testing.T, opts ...shmlog.Option) *shmlog.Log {
+	t.Helper()
+	log, err := shmlog.New(1<<19, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestSampledProfileConvergesToFull: scaling a period-N profile's weights by
+// N (which the analyzer does internally) estimates the full profile. The
+// workload is deterministic, so the tolerances are pinned, not flaky.
+func TestSampledProfileConvergesToFull(t *testing.T) {
+	tab, addrs := samplingFixtureTab(t)
+	fullLog := newSamplingLog(t)
+	driveSamplingWorkload(t, fullLog, addrs, samplingFixtureIters)
+	full, err := Analyze(fullLog, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.SamplePeriod != 1 {
+		t.Fatalf("full profile period = %d, want 1", full.SamplePeriod)
+	}
+
+	for _, tc := range []struct {
+		period uint64
+		tol    float64
+	}{
+		{8, 0.06},
+		{64, 0.15},
+	} {
+		t.Run(fmt.Sprintf("period=%d", tc.period), func(t *testing.T) {
+			log := newSamplingLog(t, shmlog.WithSamplePeriod(tc.period))
+			driveSamplingWorkload(t, log, addrs, samplingFixtureIters)
+			p, err := Analyze(log, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.SamplePeriod != tc.period {
+				t.Fatalf("profile period = %d, want %d", p.SamplePeriod, tc.period)
+			}
+			within := func(what string, got, want uint64) {
+				t.Helper()
+				if want == 0 {
+					return
+				}
+				if rel := math.Abs(float64(got)-float64(want)) / float64(want); rel > tc.tol {
+					t.Errorf("%s: sampled %d vs full %d (%.1f%% off, tolerance %.0f%%)",
+						what, got, want, rel*100, tc.tol*100)
+				}
+			}
+			// Per-function inclusive ticks and call counts are the weights
+			// sampling preserves: each recorded frame carries its true span,
+			// thinned 1-in-N and scaled back by N. TotalTicks (the sum of
+			// ROOT spans) is deliberately not asserted — a sampled frame
+			// whose ancestors were all skipped is promoted to root, so the
+			// scaled root-span sum estimates a different quantity on nested
+			// workloads.
+			for _, of := range full.Funcs() {
+				sf, ok := p.Func(of.Name)
+				if !ok {
+					t.Errorf("func %s missing from sampled profile", of.Name)
+					continue
+				}
+				within(of.Name+" calls", sf.Calls, of.Calls)
+				within(of.Name+" incl", sf.Incl, of.Incl)
+			}
+		})
+	}
+}
+
+// TestSampledLogAnalyzersAgree: on the same sampled log, the serial
+// analyzer, the parallel analyzer at several worker counts, and the
+// incremental analyzer (fed through a cursor with the header's period) must
+// produce exactly the same scaled result — not merely converging estimates.
+func TestSampledLogAnalyzersAgree(t *testing.T) {
+	tab, addrs := samplingFixtureTab(t)
+	log := newSamplingLog(t, shmlog.WithSamplePeriod(8))
+	driveSamplingWorkload(t, log, addrs, samplingFixtureIters)
+
+	serial, err := AnalyzeWith(log, tab, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		p, err := AnalyzeWith(log, tab, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p.Funcs(), serial.Funcs()) {
+			t.Fatalf("parallelism %d: function tables differ", workers)
+		}
+		if !reflect.DeepEqual(p.Folded(), serial.Folded()) {
+			t.Fatalf("parallelism %d: folded stacks differ", workers)
+		}
+		if p.TotalTicks != serial.TotalTicks || p.SamplePeriod != serial.SamplePeriod {
+			t.Fatalf("parallelism %d: totals differ: %d/%d vs %d/%d",
+				workers, p.TotalTicks, p.SamplePeriod, serial.TotalTicks, serial.SamplePeriod)
+		}
+	}
+
+	inc := NewIncremental(tab)
+	inc.SetSamplePeriod(log.SamplePeriod())
+	inc.FeedAll(log.Cursor().Next(nil))
+	assertTablesMatch(t, inc.Snapshot(0), serial)
+}
+
+// TestSamplingPeriodOneFoldedByteIdentical is the compatibility acceptance:
+// at period 1 the sampling plane must be invisible — the raw entry stream,
+// the folded output, and the rendered table all match a default recording
+// bit for bit, at every shard count.
+func TestSamplingPeriodOneFoldedByteIdentical(t *testing.T) {
+	tab, addrs := samplingFixtureTab(t)
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			plain := newSamplingLog(t, shmlog.WithShards(shards))
+			sampled := newSamplingLog(t, shmlog.WithShards(shards), shmlog.WithSamplePeriod(1))
+			driveSamplingWorkload(t, plain, addrs, 2000)
+			driveSamplingWorkload(t, sampled, addrs, 2000)
+
+			a, b := plain.Entries(), sampled.Entries()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("entry streams differ: %d vs %d entries", len(a), len(b))
+			}
+
+			pp, err := Analyze(plain, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := Analyze(sampled, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pp.Folded(), ps.Folded()) {
+				t.Fatal("folded outputs differ at period 1")
+			}
+			var tblP, tblS bytes.Buffer
+			if err := pp.WriteTable(&tblP, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := ps.WriteTable(&tblS, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(tblP.Bytes(), tblS.Bytes()) {
+				t.Fatal("rendered tables differ at period 1")
+			}
+		})
+	}
+}

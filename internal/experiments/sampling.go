@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"teeperf/internal/fex"
+	"teeperf/internal/kvstore"
+	"teeperf/internal/phoenix"
+	"teeperf/internal/probe"
+	"teeperf/internal/recorder"
+	"teeperf/internal/symtab"
+	"teeperf/internal/tee"
+)
+
+// SamplingOverheadConfig parameterizes the sampled-probe overhead sweep:
+// each workload runs uninstrumented (probe.Nop, the native baseline) and
+// then fully instrumented at every sampling period, so the ratio column
+// isolates what the probes themselves cost at each thinning level.
+type SamplingOverheadConfig struct {
+	// Platform is the TEE model (default SGXv1).
+	Platform tee.Platform
+	// Periods are the sampling periods to sweep (default 1, 8, 64).
+	Periods []uint64
+	// Runs and Warmups follow the Fex methodology (defaults 5 and 1).
+	Runs    int
+	Warmups int
+	// Scale is the Phoenix input scale (default 2).
+	Scale int
+	// Ops is the kvstore db_bench operation count (default 10000).
+	Ops int
+	// PhoenixWorkloads restricts the Phoenix half of the sweep (default
+	// word_count and string_match — the paper's median and worst case).
+	PhoenixWorkloads []string
+	// Counter picks the TEE-Perf time source (default: software counter
+	// when a spare core exists, TSC otherwise, as in Fig 4).
+	Counter recorder.CounterMode
+}
+
+func (c SamplingOverheadConfig) withDefaults() SamplingOverheadConfig {
+	if c.Platform.Name == "" {
+		c.Platform = tee.SGXv1()
+	}
+	if len(c.Periods) == 0 {
+		c.Periods = []uint64{1, 8, 64}
+	}
+	if c.Runs <= 0 {
+		c.Runs = 5
+	}
+	if c.Warmups < 0 {
+		c.Warmups = 0
+	}
+	if c.Scale <= 0 {
+		c.Scale = 2
+	}
+	if c.Ops <= 0 {
+		c.Ops = 10000
+	}
+	if len(c.PhoenixWorkloads) == 0 {
+		c.PhoenixWorkloads = []string{"word_count", "string_match"}
+	}
+	if c.Counter == 0 {
+		c.Counter = recorder.CounterSoftware
+		if runtime.NumCPU() < 2 {
+			c.Counter = recorder.CounterTSC
+		}
+	}
+	return c
+}
+
+// SamplingOverheadRow is one (workload, period) measurement. Period 0 is
+// the uninstrumented baseline the ratios divide by.
+type SamplingOverheadRow struct {
+	Workload string
+	Period   uint64
+	// Time is the geometric-mean runtime.
+	Time time.Duration
+	// Ratio is Time over the workload's uninstrumented baseline.
+	Ratio float64
+	// Events is the committed entry count of one run; Masked the events
+	// suppressed by sampling across the measured runs.
+	Events int
+	Masked uint64
+}
+
+// RunSamplingOverhead measures instrumented-vs-uninstrumented runtime at
+// each sampling period on the Phoenix workloads and the kvstore db_bench.
+func RunSamplingOverhead(cfg SamplingOverheadConfig) ([]SamplingOverheadRow, error) {
+	c := cfg.withDefaults()
+	var rows []SamplingOverheadRow
+	for _, name := range c.PhoenixWorkloads {
+		w, err := phoenix.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		wr, err := sweepWorkload(c, "phoenix/"+name, func(hooks probe.Hooks, tab *symtab.Table, addrOf func(string) uint64) (func() error, error) {
+			if err := w.RegisterSymbols(tab); err != nil {
+				return nil, err
+			}
+			encl, err := tee.NewEnclave(c.Platform, tee.NewHost(1))
+			if err != nil {
+				return nil, err
+			}
+			runner, err := w.New(phoenix.Config{Enclave: encl, Hooks: hooks, AddrOf: addrOf}, c.Scale)
+			if err != nil {
+				return nil, err
+			}
+			th := encl.Thread()
+			return func() error { _, err := runner(th); return err }, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sampling overhead %s: %w", name, err)
+		}
+		rows = append(rows, wr...)
+	}
+
+	wr, err := sweepWorkload(c, "kvstore/db_bench", func(hooks probe.Hooks, tab *symtab.Table, addrOf func(string) uint64) (func() error, error) {
+		if err := kvstore.RegisterBenchSymbols(tab); err != nil {
+			return nil, err
+		}
+		host := tee.NewHost(4321)
+		encl, err := tee.NewEnclave(c.Platform, host)
+		if err != nil {
+			return nil, err
+		}
+		th := encl.Thread()
+		db, err := kvstore.Open(host, th, "sampling-overhead", nil)
+		if err != nil {
+			return nil, err
+		}
+		bench := &kvstore.BenchConfig{
+			DB: db, Hooks: hooks, AddrOf: addrOf,
+			Ops: c.Ops, Seed: 7,
+		}
+		return func() error { _, err := kvstore.RunDBBench(th, bench); return err }, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sampling overhead db_bench: %w", err)
+	}
+	return append(rows, wr...), nil
+}
+
+// sweepWorkload measures one workload's baseline plus every period. build
+// wires the workload to the given hooks and returns one run of it; it is
+// called once per configuration so each measurement gets fresh state.
+func sweepWorkload(c SamplingOverheadConfig, label string,
+	build func(probe.Hooks, *symtab.Table, func(string) uint64) (func() error, error)) ([]SamplingOverheadRow, error) {
+
+	tab := symtab.New()
+	run, err := build(probe.Nop{}, tab, tab.Addr)
+	if err != nil {
+		return nil, err
+	}
+	base, err := fex.Run(label+"/native", c.Warmups, c.Runs, run)
+	if err != nil {
+		return nil, err
+	}
+	rows := []SamplingOverheadRow{{Workload: label, Period: 0, Time: base.GeoMean(), Ratio: 1}}
+
+	for _, period := range c.Periods {
+		tab = symtab.New()
+		rec, err := recorder.New(tab,
+			recorder.WithCapacity(1<<23),
+			recorder.WithCounterMode(c.Counter),
+			recorder.WithSamplePeriod(period))
+		if err != nil {
+			return nil, err
+		}
+		run, err := build(rec.Thread(), tab, rec.AddrOf)
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.Start(); err != nil {
+			return nil, err
+		}
+		res, err := fex.Run(fmt.Sprintf("%s/p%d", label, period), c.Warmups, c.Runs, func() error {
+			rec.Log().Reset() // fresh log per run, as in Fig 4
+			return run()
+		})
+		if err != nil {
+			_ = rec.Stop()
+			return nil, err
+		}
+		events := rec.Log().Len()
+		if err := rec.Stop(); err != nil {
+			return nil, err
+		}
+		rows = append(rows, SamplingOverheadRow{
+			Workload: label,
+			Period:   period,
+			Time:     res.GeoMean(),
+			Ratio:    float64(res.GeoMean()) / float64(base.GeoMean()),
+			Events:   events,
+			Masked:   rec.Stats().Masked,
+		})
+	}
+	return rows, nil
+}
+
+// WriteSamplingOverhead renders the sweep as a text table, one row per
+// (workload, period), ratios relative to each workload's native baseline.
+func WriteSamplingOverhead(w io.Writer, rows []SamplingOverheadRow) error {
+	out := make([]fex.Row, 0, len(rows))
+	for _, r := range rows {
+		name := r.Workload + "/native"
+		if r.Period > 0 {
+			name = fmt.Sprintf("%s/p%d", r.Workload, r.Period)
+		}
+		out = append(out, fex.Row{
+			Name: name,
+			Values: map[string]float64{
+				"time_ms": float64(r.Time) / 1e6,
+				"ratio":   r.Ratio,
+				"events":  float64(r.Events),
+				"masked":  float64(r.Masked),
+			},
+		})
+	}
+	return fex.WriteTable(w, out, []string{"time_ms", "ratio", "events", "masked"}, "%.3f")
+}

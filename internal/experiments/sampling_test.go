@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRunSamplingOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real workloads")
+	}
+	cfg := SamplingOverheadConfig{
+		Periods:          []uint64{1, 8},
+		Runs:             2,
+		Warmups:          1,
+		Scale:            1,
+		Ops:              500,
+		PhoenixWorkloads: []string{"word_count"},
+	}
+	rows, err := RunSamplingOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two workloads x (native + 2 periods).
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byKey := map[string]SamplingOverheadRow{}
+	for _, r := range rows {
+		if r.Time <= 0 || r.Ratio <= 0 {
+			t.Errorf("%s p%d: non-positive time %v / ratio %f", r.Workload, r.Period, r.Time, r.Ratio)
+		}
+		byKey[r.Workload+"/"+periodKey(r.Period)] = r
+	}
+	for _, wl := range []string{"phoenix/word_count", "kvstore/db_bench"} {
+		p1, p8 := byKey[wl+"/p1"], byKey[wl+"/p8"]
+		if p1.Events == 0 {
+			t.Errorf("%s p1 recorded no events", wl)
+		}
+		if p8.Masked == 0 {
+			t.Errorf("%s p8 masked nothing", wl)
+		}
+		// Thinning must hold regardless of timing noise: period 8 keeps
+		// roughly 1-in-8 of the pairs period 1 records.
+		if p8.Events >= p1.Events/2 {
+			t.Errorf("%s: p8 events %d not thinned vs p1 events %d", wl, p8.Events, p1.Events)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSamplingOverhead(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phoenix/word_count/native", "kvstore/db_bench/p8", "RATIO"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report lacks %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func periodKey(p uint64) string {
+	if p == 0 {
+		return "native"
+	}
+	return fmt.Sprintf("p%d", p)
+}

@@ -50,6 +50,13 @@ type Sample struct {
 	EntriesPerSec float64 `json:"entries_per_sec"`
 	TicksPerSec   float64 `json:"ticks_per_sec"`
 	DropsPerSec   float64 `json:"drops_per_sec"`
+	// SamplePeriod is the probe sampling period in effect (1 = every call
+	// pair recorded). Masked is the cumulative count of probe events
+	// suppressed by sampling or deny masks, and BatchSize is the current
+	// per-thread reservation batch (static or adaptive).
+	SamplePeriod uint64 `json:"sample_period"`
+	Masked       uint64 `json:"masked"`
+	BatchSize    int    `json:"batch_size"`
 	// Shards is the active segment's per-shard breakdown (one element per
 	// shard, index = shard id). Omitted for single-shard logs, where it
 	// would duplicate FillPercent/Dropped.
@@ -307,6 +314,11 @@ func (m *Monitor) pollLocked(now time.Time, record bool) Sample {
 	m.drainLocked(m.cur)
 
 	st := m.rec.Stats()
+	// A live throttle (sample period pushed through the shared header)
+	// changes the weight of entries recorded after it; refreshing the
+	// incremental analyzer's period each poll keeps the live table's
+	// scaling in step with the recorder's.
+	m.inc.SetSamplePeriod(st.SamplePeriod)
 	s := Sample{
 		When:         now,
 		Elapsed:      st.Duration,
@@ -316,6 +328,9 @@ func (m *Monitor) pollLocked(now time.Time, record bool) Sample {
 		FillPercent:  st.FillPercent,
 		Capacity:     st.Capacity,
 		Rotations:    st.Rotations,
+		SamplePeriod: st.SamplePeriod,
+		Masked:       st.Masked,
+		BatchSize:    st.BatchSize,
 		Shards:       ShardSamples(current.SegmentStats()),
 	}
 	if m.haveLast {

@@ -29,6 +29,15 @@ func (m *Monitor) Handler() http.Handler {
 	return mux
 }
 
+// normPeriod maps the header's 0 ("unset") to the effective period 1, so
+// the gauge always reports the weight actually applied to entries.
+func normPeriod(p uint64) uint64 {
+	if p == 0 {
+		return 1
+	}
+	return p
+}
+
 // SessionMetrics builds the canonical per-session metric list from one
 // sample — the shared schema between `teeperf serve` (one session) and the
 // fleet agent (many sessions): identical names, distinguished only by the
@@ -48,6 +57,9 @@ func SessionMetrics(session string, s Sample, openFrames, funcs int) []Metric {
 		{"teeperf_run_duration_seconds", "Wall-clock run duration.", "gauge", lbl, s.Elapsed.Seconds()},
 		{"teeperf_open_frames", "Calls currently in flight (entered, not yet returned).", "gauge", lbl, float64(openFrames)},
 		{"teeperf_profile_functions", "Distinct functions in the live profile.", "gauge", lbl, float64(funcs)},
+		{"teeperf_probe_sample_period", "Probe sampling period (1 = every call pair recorded).", "gauge", lbl, float64(normPeriod(s.SamplePeriod))},
+		{"teeperf_probe_batch_size", "Per-thread slot reservation batch size (adaptive controllers move it live).", "gauge", lbl, float64(s.BatchSize)},
+		{"teeperf_probe_masked_total", "Probe events suppressed by sampling or deny masks.", "counter", lbl, float64(s.Masked)},
 	}
 	// Sharded logs additionally break fill and drops down per shard, so a
 	// skewed thread distribution (one shard saturated, the rest idle) is

@@ -2,6 +2,7 @@ package probe
 
 import (
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -192,6 +193,11 @@ func TestFlushConcurrentWithProbe(t *testing.T) {
 	for flushing := true; flushing; {
 		rt.Flush()
 		rt.FlushLog(rt.Log())
+		// Yield between flush rounds: on a single-CPU box a saturating
+		// flusher can hold the busy flag whenever the probing goroutine is
+		// scheduled, starving every event into the drop path and leaving
+		// nothing for the integrity assertions below.
+		runtime.Gosched()
 		select {
 		case <-done:
 			flushing = false

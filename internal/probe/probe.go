@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"teeperf/internal/counter"
 	"teeperf/internal/shmlog"
@@ -52,8 +53,16 @@ type Runtime struct {
 	filter *Filter
 	batch  int
 
+	// adaptive is non-nil when WithAdaptiveBatch is configured; threads then
+	// reserve adaptive.cur slots per block instead of the fixed batch size.
+	adaptive *adaptiveBatch
+
 	nextTID atomic.Uint64
 	drops   atomic.Uint64
+	// masked counts events suppressed by the sampling period or a deny
+	// mask, accumulated across log rotations (threads flush their local
+	// tallies here and into the current log's shared header word).
+	masked atomic.Uint64
 
 	threadsMu sync.Mutex
 	threads   []*Thread
@@ -65,8 +74,9 @@ type Option interface {
 }
 
 type runtimeOptions struct {
-	filter *Filter
-	batch  int
+	filter   *Filter
+	batch    int
+	adaptive *adaptiveBatch
 }
 
 type filterOption struct{ f *Filter }
@@ -89,6 +99,88 @@ func (o batchOption) apply(opts *runtimeOptions) { opts.batch = int(o) }
 // rotation, or the runtime stops.
 func WithBatch(k int) Option { return batchOption(k) }
 
+// adaptiveBatch is the self-tuning batch controller: the live batch size
+// plus the pressure signals it steers by. Decisions are made on the
+// reservation path (once per block, so the cost is amortized over the batch)
+// every evalEvery reservations: new drops since the last evaluation halve
+// the batch (a big block parked on a full segment wastes slots other
+// threads could have used), while high reservation latency or a segment
+// filling past the high-water mark double it (amortize the contended
+// fetch-and-add over more events). The current size is mirrored into the
+// log header (shmlog.SetBatchSize) so external observers can export it.
+type adaptiveBatch struct {
+	min, max int64
+	cur      atomic.Int64
+
+	resv      atomic.Uint64 // reservations since start (eval trigger)
+	latSum    atomic.Int64  // summed reservation latency this window (ns)
+	lastDrops atomic.Uint64 // drop count at the last evaluation
+	grows     atomic.Uint64
+	shrinks   atomic.Uint64
+}
+
+const (
+	// adaptiveEvalEvery is the evaluation cadence in reservations.
+	adaptiveEvalEvery = 32
+	// adaptiveLatencyNS is the per-reservation latency (window average)
+	// above which the controller grows the batch.
+	adaptiveLatencyNS = 1000
+	// adaptiveFillHigh is the segment fill fraction above which the
+	// controller grows the batch.
+	adaptiveFillHigh = 0.5
+)
+
+// note records one reservation's latency and runs the controller every
+// adaptiveEvalEvery reservations. log/shard identify the segment just
+// reserved from (its fill is the pressure signal).
+func (ad *adaptiveBatch) note(rt *Runtime, log *shmlog.Log, shard int, lat time.Duration) {
+	ad.latSum.Add(int64(lat))
+	if ad.resv.Add(1)%adaptiveEvalEvery != 0 {
+		return
+	}
+	avgLat := ad.latSum.Swap(0) / adaptiveEvalEvery
+	drops := rt.drops.Load()
+	cur := ad.cur.Load()
+	switch {
+	case drops > ad.lastDrops.Swap(drops):
+		// Drop rate climbed: shrink so a writer parked on a full segment
+		// holds fewer wasted slots and overflow is spread more fairly.
+		if next := cur / 2; next >= ad.min {
+			ad.cur.Store(next)
+			log.SetBatchSize(uint64(next))
+			ad.shrinks.Add(1)
+		} else if cur != ad.min {
+			ad.cur.Store(ad.min)
+			log.SetBatchSize(uint64(ad.min))
+			ad.shrinks.Add(1)
+		}
+	case avgLat > adaptiveLatencyNS || log.ShardFill(shard) > adaptiveFillHigh:
+		// Reservation latency or fill pressure rose: grow so each contended
+		// fetch-and-add buys more locally-owned slots.
+		if next := cur * 2; next <= ad.max {
+			ad.cur.Store(next)
+			log.SetBatchSize(uint64(next))
+			ad.grows.Add(1)
+		}
+	}
+}
+
+type adaptiveOption struct{ min, max int }
+
+func (o adaptiveOption) apply(opts *runtimeOptions) {
+	opts.adaptive = &adaptiveBatch{min: int64(o.min), max: int64(o.max)}
+}
+
+// WithAdaptiveBatch makes the per-thread reservation batch size self-tuning
+// within [min, max]: the controller grows it when reservation latency or
+// segment fill rises and shrinks it when the drop rate climbs, re-evaluating
+// every few reservations so the cost stays off the per-event path. The
+// starting size is WithBatch's k clamped into [min, max] (min when WithBatch
+// is not given). The live size is exported via Runtime.Batch, mirrored into
+// the log header for external observers, and surfaced as the
+// teeperf_probe_batch_size gauge.
+func WithAdaptiveBatch(min, max int) Option { return adaptiveOption{min: min, max: max} }
+
 // New creates a probe runtime writing to log with timestamps from src.
 func New(log *shmlog.Log, src counter.Source, opts ...Option) (*Runtime, error) {
 	if log == nil {
@@ -107,13 +199,47 @@ func New(log *shmlog.Log, src counter.Source, opts ...Option) (*Runtime, error) 
 	if o.batch == 0 {
 		o.batch = 1
 	}
-	rt := &Runtime{src: src, filter: o.filter, batch: o.batch}
+	if ad := o.adaptive; ad != nil {
+		if ad.min < 1 || ad.max < ad.min {
+			return nil, fmt.Errorf("probe: adaptive batch bounds must satisfy 1 <= min <= max, got [%d, %d]", ad.min, ad.max)
+		}
+		start := int64(o.batch)
+		if start < ad.min {
+			start = ad.min
+		}
+		if start > ad.max {
+			start = ad.max
+		}
+		ad.cur.Store(start)
+		log.SetBatchSize(uint64(start))
+	}
+	rt := &Runtime{src: src, filter: o.filter, batch: o.batch, adaptive: o.adaptive}
 	rt.log.Store(log)
 	return rt, nil
 }
 
-// Batch returns the configured slot-reservation batch size.
-func (rt *Runtime) Batch() int { return rt.batch }
+// Batch returns the slot-reservation batch size: the live controller value
+// under WithAdaptiveBatch, the configured constant otherwise.
+func (rt *Runtime) Batch() int {
+	if rt.adaptive != nil {
+		return int(rt.adaptive.cur.Load())
+	}
+	return rt.batch
+}
+
+// BatchAdjustments returns how many times the adaptive controller grew and
+// shrank the batch size (both zero with a fixed batch).
+func (rt *Runtime) BatchAdjustments() (grows, shrinks uint64) {
+	if rt.adaptive == nil {
+		return 0, 0
+	}
+	return rt.adaptive.grows.Load(), rt.adaptive.shrinks.Load()
+}
+
+// Masked returns how many events were suppressed by the sampling period or
+// a deny mask, accumulated across log rotations. Threads flush their local
+// tallies in bulk, so the value can trail by a few events until Flush.
+func (rt *Runtime) Masked() uint64 { return rt.masked.Load() }
 
 // Log returns the current shared-memory log.
 func (rt *Runtime) Log() *shmlog.Log { return rt.log.Load() }
@@ -199,6 +325,37 @@ type Thread struct {
 	id  uint64
 	blk block
 
+	// Adaptive-probe state, owned exclusively by the probing thread — a
+	// concurrent Flush touches only blk (under busy) and the atomic masked
+	// tally, never these fields, which is what lets the suppressed fast
+	// path in record skip the busy CAS entirely. ctl caches the log's
+	// control snapshot and ctlSrc the log it was read from; the record path
+	// rereads it when the header's generation word moves or the log was
+	// rotated. ctlActive short-circuits the sampling/mask logic when the
+	// controls are all-default, keeping the record-everything path identical
+	// to pre-sampling builds.
+	ctl       shmlog.Controls
+	ctlSrc    *shmlog.Log
+	ctlActive bool
+	// tick counts call events; at sampling period N, calls with
+	// tick%N == 0 are sampled.
+	tick uint64
+	// depth and bits form the sampled-decision stack: bit depth of bits
+	// remembers whether the open frame at that depth was recorded, so the
+	// matching return makes the same decision and stacks stay balanced even
+	// when the period or masks change mid-frame. Maintained unconditionally
+	// (one index write per event) so toggling controls on mid-run finds
+	// consistent state.
+	depth int
+	bits  []uint64
+	// maskedLocal tallies suppressed events, flushed to the shared header
+	// word in bulk (maskedFlushEvery) so suppression never pays a per-event
+	// shared atomic add — that contention would defeat the point of
+	// sampling. It is itself atomic (uncontended in steady state) because
+	// the suppressed fast path increments it outside the busy guard while
+	// Flush may be draining it.
+	maskedLocal atomic.Uint64
+
 	// busy is the reentrancy guard (the paper's no_instrument_function
 	// rule: injected code must never measure itself) and, since block
 	// state must survive a concurrent Flush from the recorder's Stop or
@@ -209,6 +366,10 @@ type Thread struct {
 	// stop/rotation boundaries where that race can occur.
 	busy atomic.Bool
 }
+
+// maskedFlushEvery is how many locally-tallied suppressed events accumulate
+// before a thread flushes them to the shared masked counter.
+const maskedFlushEvery = 256
 
 var _ Hooks = (*Thread)(nil)
 
@@ -230,14 +391,9 @@ func (t *Thread) Span(addr uint64) func() {
 }
 
 func (t *Thread) record(kind shmlog.Kind, addr uint64) {
-	// One CAS guards both reentrancy (a nested probe sees busy and bails)
-	// and concurrent flushes (see Thread.busy). The flag lives on the
-	// thread-local handle, so the CAS never contends in steady state.
-	if !t.busy.CompareAndSwap(false, true) {
-		return
-	}
+	// The filter is immutable after New, so it needs no guard and runs
+	// before everything else: filtered functions cost one map probe.
 	if t.rt.filter != nil && !t.rt.filter.Allow(addr) {
-		t.busy.Store(false)
 		return
 	}
 
@@ -247,28 +403,111 @@ func (t *Thread) record(kind shmlog.Kind, addr uint64) {
 	flags := log.Flags()
 	switch {
 	case flags&shmlog.FlagActive == 0:
-		t.busy.Store(false)
 		return
 	case kind == shmlog.KindCall && flags&shmlog.EventCall == 0,
 		kind == shmlog.KindReturn && flags&shmlog.EventReturn == 0:
-		t.busy.Store(false)
+		return
+	}
+
+	// Suppressed fast path: when the cached control snapshot is current —
+	// same log, same generation — and it says this event is sampled out or
+	// masked, the probe returns before taking the busy CAS, reserving a
+	// slot, or reading the counter. Everything it touches (tick, the
+	// decision stack, the cached snapshot) is owned by the probing thread;
+	// a concurrent Flush touches only blk (under busy) and the atomic
+	// masked tally. This is what makes high sampling periods cheap: a
+	// suppressed pair costs a few thread-local loads instead of two CASes.
+	// Recording decisions fall through and are re-derived under the guard,
+	// which is also where stale snapshots reload.
+	if t.ctlActive && log == t.ctlSrc && log.CtlGen() == t.ctl.Gen {
+		switch {
+		case kind == shmlog.KindCall:
+			if !t.decideCall(addr) {
+				t.pushDecision(false)
+				t.noteMasked(log)
+				return
+			}
+		case t.depth > 0:
+			if t.bits[(t.depth-1)>>6]&(1<<((t.depth-1)&63)) == 0 {
+				t.depth--
+				t.noteMasked(log)
+				return
+			}
+		default:
+			if t.ctl.Denies(t.id, addr) {
+				t.noteMasked(log)
+				return
+			}
+		}
+	}
+
+	// One CAS guards both reentrancy (a nested probe sees busy and bails)
+	// and concurrent flushes (see Thread.busy). The flag lives on the
+	// thread-local handle, so the CAS never contends in steady state.
+	if !t.busy.CompareAndSwap(false, true) {
 		return
 	}
 
 	// Block maintenance. A rotation (the runtime's log pointer moved)
 	// releases the remainder of the block held in the old segment — the
 	// persisted segment then carries tombstones instead of permanent
-	// holes — before reserving from the new one.
+	// holes — before reserving from the new one. A rotation also reloads
+	// the control snapshot (the next segment carries the controls over);
+	// otherwise the generation word — on the same cache line as the flags
+	// word loaded above — is compared per event and the snapshot rereads
+	// only when a controller bumped it.
 	if t.blk.log != log {
 		t.releaseBlock()
 		t.blk = block{log: log, shard: log.ShardOf(t.id)}
+		t.reloadCtl(log)
+	} else if log.CtlGen() != t.ctl.Gen {
+		t.reloadCtl(log)
 	}
+
+	// Sampling and mask decision. The decision is taken at call entry and
+	// pushed on the per-frame bit stack; the matching return pops it and
+	// follows it, so recorded stacks stay balanced whatever the controls
+	// did in between. With all-default controls every decision is "record",
+	// and the log is byte-identical to a pre-sampling recording.
+	suppress := false
+	if kind == shmlog.KindCall {
+		rec := !t.ctlActive || t.decideCall(addr)
+		t.pushDecision(rec)
+		suppress = !rec
+	} else if t.depth > 0 {
+		t.depth--
+		suppress = t.bits[t.depth>>6]&(1<<(t.depth&63)) == 0
+	} else if t.ctlActive {
+		// An unmatched return (no open frame: recording toggled mid-call)
+		// has no call-side decision to follow; suppress it only when the
+		// masks deny it outright.
+		suppress = t.ctl.Denies(t.id, addr)
+	}
+	if suppress {
+		t.noteMasked(log)
+		t.busy.Store(false)
+		return
+	}
+
 	if t.blk.next == t.blk.end && !t.blk.full {
-		start, n := log.ReserveShard(t.blk.shard, t.rt.batch)
-		if n == 0 {
-			t.blk.full = true
+		batch := t.rt.batch
+		if ad := t.rt.adaptive; ad != nil {
+			batch = int(ad.cur.Load())
+			begin := time.Now()
+			start, n := log.ReserveShard(t.blk.shard, batch)
+			ad.note(t.rt, log, t.blk.shard, time.Since(begin))
+			if n == 0 {
+				t.blk.full = true
+			} else {
+				t.blk.next, t.blk.end = start, start+uint64(n)
+			}
 		} else {
-			t.blk.next, t.blk.end = start, start+uint64(n)
+			start, n := log.ReserveShard(t.blk.shard, batch)
+			if n == 0 {
+				t.blk.full = true
+			} else {
+				t.blk.next, t.blk.end = start, start+uint64(n)
+			}
 		}
 	}
 	if t.blk.next == t.blk.end {
@@ -299,6 +538,65 @@ func (t *Thread) acquire() {
 	}
 }
 
+// reloadCtl rereads the control snapshot from log (generation handshake in
+// shmlog.Controls) and precomputes whether any control deviates from
+// record-everything. Called with busy held.
+func (t *Thread) reloadCtl(log *shmlog.Log) {
+	t.ctl = log.Controls()
+	t.ctlSrc = log
+	t.ctlActive = t.ctl.Period > 1 || t.ctl.ThreadMask != 0 || t.ctl.AddrHi > t.ctl.AddrLo
+}
+
+// decideCall reports whether the call event arriving at the current tick
+// should be recorded under the cached controls. Pure read of owner-thread
+// state; mutates nothing, so both the fast path and the guarded path can
+// evaluate it and arrive at the same answer.
+func (t *Thread) decideCall(addr uint64) bool {
+	if p := t.ctl.Period; p > 1 && t.tick%p != 0 {
+		return false
+	}
+	return !t.ctl.Denies(t.id, addr)
+}
+
+// pushDecision advances the call tick and pushes the record/suppress
+// decision for the opening frame onto the per-frame bit stack, where the
+// matching return will find it. Owner-thread state only.
+func (t *Thread) pushDecision(rec bool) {
+	t.tick++
+	w, b := t.depth>>6, uint64(1)<<(t.depth&63)
+	if w == len(t.bits) {
+		t.bits = append(t.bits, 0)
+	}
+	if rec {
+		t.bits[w] |= b
+	} else {
+		t.bits[w] &^= b
+	}
+	t.depth++
+}
+
+// noteMasked tallies one suppressed event and flushes the tally to the
+// shared header word in bulk. Runs outside the busy guard on the fast path;
+// the swap keeps a concurrent flushMasked from losing or double-counting.
+func (t *Thread) noteMasked(log *shmlog.Log) {
+	if t.maskedLocal.Add(1) < maskedFlushEvery {
+		return
+	}
+	if n := t.maskedLocal.Swap(0); n != 0 {
+		log.NoteMasked(n)
+		t.rt.masked.Add(n)
+	}
+}
+
+// flushMasked pushes the thread's local suppressed-event tally to the
+// shared counter. Called with busy held.
+func (t *Thread) flushMasked() {
+	if n := t.maskedLocal.Swap(0); n != 0 {
+		t.rt.log.Load().NoteMasked(n)
+		t.rt.masked.Add(n)
+	}
+}
+
 // releaseBlock tombstones the unfilled remainder of the current block.
 func (t *Thread) releaseBlock() {
 	for s := t.blk.next; s < t.blk.end; s++ {
@@ -318,6 +616,7 @@ func (t *Thread) Flush() {
 	t.acquire()
 	t.releaseBlock()
 	t.blk = block{}
+	t.flushMasked()
 	t.busy.Store(false)
 }
 

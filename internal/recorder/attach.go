@@ -41,6 +41,7 @@ func Create(path string, opts ...Option) (*Recorder, error) {
 	log, err := shmlog.CreateFile(path, cfg.capacity,
 		shmlog.WithPID(cfg.pid),
 		shmlog.WithShards(cfg.logShards()),
+		shmlog.WithSamplePeriod(cfg.samplePeriod),
 		shmlog.WithFlags(shmlog.EventCall|shmlog.EventReturn), // inactive until Start
 	)
 	if err != nil {

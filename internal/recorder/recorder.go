@@ -92,18 +92,21 @@ type Option interface {
 }
 
 type config struct {
-	capacity int
-	shards   int
-	pid      uint64
-	mode     CounterMode
-	source   counter.Source
-	filter   *probe.Filter
-	bias     int64
-	sync     shmlog.Sync
-	batch    int
-	inject   *faultinject.Injector
-	shared   string
-	table    *symtab.Table
+	capacity     int
+	shards       int
+	pid          uint64
+	mode         CounterMode
+	source       counter.Source
+	filter       *probe.Filter
+	bias         int64
+	sync         shmlog.Sync
+	batch        int
+	samplePeriod uint64
+	adaptMin     int
+	adaptMax     int
+	inject       *faultinject.Injector
+	shared       string
+	table        *symtab.Table
 }
 
 type optionFunc func(*config)
@@ -172,6 +175,21 @@ func WithBatch(k int) Option {
 	return optionFunc(func(c *config) { c.batch = k })
 }
 
+// WithSamplePeriod makes probes record 1-in-n call pairs (0 and 1 both mean
+// every pair). The period is published in the log header so analyzers scale
+// folded weights back up, and can be changed live with SetSamplePeriod.
+func WithSamplePeriod(n uint64) Option {
+	return optionFunc(func(c *config) { c.samplePeriod = n })
+}
+
+// WithAdaptiveBatch makes the probe batch size self-tuning within [min, max]
+// (see probe.WithAdaptiveBatch): it grows under reservation latency or fill
+// pressure and shrinks when the drop rate climbs. The live size and the
+// controller's decisions are exported through Stats.
+func WithAdaptiveBatch(min, max int) Option {
+	return optionFunc(func(c *config) { c.adaptMin, c.adaptMax = min, max })
+}
+
 // WithFaultInjector installs a fault injector on the recorder's
 // persistence and counter paths (tests and chaos runs). The default is
 // the disabled package injector, whose fault points cost one atomic load.
@@ -230,6 +248,12 @@ func New(tab *symtab.Table, opts ...Option) (*Recorder, error) {
 		}
 		l.SetPID(pid)
 		l.SetProfilerAddr(uint64(int64(tab.AnchorAddr()) + cfg.bias))
+		if cfg.samplePeriod > 0 {
+			// The creator fixed capacity and layout, but the sampling period
+			// is this process's recording decision: publish it through the
+			// shared control words.
+			l.SetSamplePeriod(cfg.samplePeriod)
+		}
 		log = l
 	} else {
 		anchorRuntime := uint64(int64(tab.AnchorAddr()) + cfg.bias)
@@ -238,6 +262,7 @@ func New(tab *symtab.Table, opts ...Option) (*Recorder, error) {
 			shmlog.WithProfilerAddr(anchorRuntime),
 			shmlog.WithSync(cfg.sync),
 			shmlog.WithShards(cfg.logShards()),
+			shmlog.WithSamplePeriod(cfg.samplePeriod),
 			shmlog.WithFlags(shmlog.EventCall|shmlog.EventReturn), // inactive until Start
 		)
 		if err != nil {
@@ -301,6 +326,9 @@ func newRecorder(tab *symtab.Table, log *shmlog.Log, cfg config, host bool) (*Re
 	}
 	if cfg.batch > 0 {
 		probeOpts = append(probeOpts, probe.WithBatch(cfg.batch))
+	}
+	if cfg.adaptMax > 0 {
+		probeOpts = append(probeOpts, probe.WithAdaptiveBatch(cfg.adaptMin, cfg.adaptMax))
 	}
 	rt, err := probe.New(log, r.src, probeOpts...)
 	if err != nil {
@@ -430,6 +458,21 @@ func (r *Recorder) Enable() { r.Log().SetActive(true) }
 // Disable pauses recording mid-run without stopping the counter.
 func (r *Recorder) Disable() { r.Log().SetActive(false) }
 
+// SetSamplePeriod changes the sampling period live (record 1-in-n call
+// pairs; 0 and 1 restore full recording). Probes pick the change up on
+// their next event via the control-generation handshake; rotation carries
+// it into subsequent segments.
+func (r *Recorder) SetSamplePeriod(n uint64) { r.Log().SetSamplePeriod(n) }
+
+// SetThreadMask replaces the live thread deny-mask (bit (tid-1)%64
+// suppresses matching threads; all-ones stops every thread, zero records
+// everything).
+func (r *Recorder) SetThreadMask(mask uint64) { r.Log().SetThreadMask(mask) }
+
+// SetAddrMask replaces the live address deny-range [lo, hi): events whose
+// target address falls inside are suppressed. lo == hi disables the range.
+func (r *Recorder) SetAddrMask(lo, hi uint64) { r.Log().SetAddrMask(lo, hi) }
+
 // Stats summarizes the run. It is shared by the post-run CLI summary and
 // the live monitor, which samples it while the run is still in progress.
 type Stats struct {
@@ -451,6 +494,18 @@ type Stats struct {
 	Rotations int
 	// DropRate is drops per second of run (0 before Start).
 	DropRate float64
+	// SamplePeriod is the live sampling period (1 when recording every
+	// call pair).
+	SamplePeriod uint64
+	// Masked counts events suppressed by the sampling period or a deny
+	// mask (accumulated across rotations).
+	Masked uint64
+	// BatchSize is the probe runtime's live reservation batch size — the
+	// adaptive controller's current value, or the configured constant.
+	BatchSize int
+	// BatchGrows and BatchShrinks count the adaptive batch controller's
+	// decisions (zero with a fixed batch).
+	BatchGrows, BatchShrinks uint64
 }
 
 // Stats returns the run summary.
@@ -477,6 +532,18 @@ func (r *Recorder) Stats() Stats {
 	if ld := log.Dropped(); ld > dropped {
 		dropped = ld
 	}
+	// Like drops, the masked count spans every rotated segment via the
+	// probe runtime, while the header word additionally sees suppression in
+	// another process sharing the mapping.
+	masked := r.rt.Masked()
+	if lm := log.Masked(); lm > masked {
+		masked = lm
+	}
+	period := log.SamplePeriod()
+	if period == 0 {
+		period = 1
+	}
+	grows, shrinks := r.rt.BatchAdjustments()
 	st := Stats{
 		Entries:      log.Len(),
 		Dropped:      dropped,
@@ -484,6 +551,11 @@ func (r *Recorder) Stats() Stats {
 		Duration:     duration,
 		Capacity:     log.Capacity(),
 		Rotations:    r.Segments(),
+		SamplePeriod: period,
+		Masked:       masked,
+		BatchSize:    r.rt.Batch(),
+		BatchGrows:   grows,
+		BatchShrinks: shrinks,
 	}
 	if st.Capacity > 0 {
 		st.FillPercent = 100 * float64(st.Entries) / float64(st.Capacity)

@@ -50,6 +50,10 @@ func (r *Recorder) Rotate() (*shmlog.Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("recorder: rotate: %w", err)
 	}
+	// Carry the adaptive-probe controls (sampling period, deny masks) into
+	// the next segment, so a live throttle survives rotation; the flags
+	// copy above already carried FlagSampled.
+	next.CopyControls(old)
 
 	// Rebind the software counter to the new segment's header word; the
 	// counter pauses, seeds the new word from the old one (tick

@@ -1,0 +1,211 @@
+package shmlog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestControlsDenies(t *testing.T) {
+	cases := []struct {
+		name      string
+		c         Controls
+		tid, addr uint64
+		want      bool
+	}{
+		{"zero allows", Controls{}, 1, 0x100, false},
+		{"thread bit 0 denies tid 1", Controls{ThreadMask: 1 << 0}, 1, 0x100, true},
+		{"thread bit 0 allows tid 2", Controls{ThreadMask: 1 << 0}, 2, 0x100, false},
+		{"tid 65 wraps onto bit 0", Controls{ThreadMask: 1 << 0}, 65, 0x100, true},
+		{"all-ones denies any thread", Controls{ThreadMask: ^uint64(0)}, 7, 0x100, true},
+		{"addr inside range", Controls{AddrLo: 0x200, AddrHi: 0x300}, 1, 0x240, true},
+		{"addr at lo", Controls{AddrLo: 0x200, AddrHi: 0x300}, 1, 0x200, true},
+		{"addr at hi is exclusive", Controls{AddrLo: 0x200, AddrHi: 0x300}, 1, 0x300, false},
+		{"empty range inactive", Controls{AddrLo: 0x200, AddrHi: 0x200}, 1, 0x200, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Denies(tc.tid, tc.addr); got != tc.want {
+			t.Errorf("%s: Denies(%d, %#x) = %v, want %v", tc.name, tc.tid, tc.addr, got, tc.want)
+		}
+	}
+}
+
+// TestControlSettersBumpGen: every control setter must publish through the
+// generation word, and the snapshot read back must carry the new values.
+func TestControlSettersBumpGen(t *testing.T) {
+	log, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := log.CtlGen()
+
+	log.SetSamplePeriod(8)
+	if g := log.CtlGen(); g != gen+1 {
+		t.Fatalf("SetSamplePeriod bumped gen to %d, want %d", g, gen+1)
+	}
+	log.SetThreadMask(0b10)
+	if g := log.CtlGen(); g != gen+2 {
+		t.Fatalf("SetThreadMask bumped gen to %d, want %d", g, gen+2)
+	}
+	log.SetAddrMask(0x1000, 0x2000)
+	if g := log.CtlGen(); g != gen+3 {
+		t.Fatalf("SetAddrMask bumped gen to %d, want %d", g, gen+3)
+	}
+
+	c := log.Controls()
+	if c.Gen != gen+3 || c.Period != 8 || c.ThreadMask != 0b10 || c.AddrLo != 0x1000 || c.AddrHi != 0x2000 {
+		t.Fatalf("snapshot = %+v", c)
+	}
+	if log.Flags()&FlagSampled == 0 {
+		t.Error("period > 1 did not set FlagSampled")
+	}
+
+	// Periods of 0 and 1 restore record-everything but never clear the
+	// sticky sampled flag: entries recorded while throttled stay scaled.
+	log.SetSamplePeriod(1)
+	if log.Flags()&FlagSampled == 0 {
+		t.Error("FlagSampled must be sticky across SetSamplePeriod(1)")
+	}
+}
+
+func TestCopyControls(t *testing.T) {
+	src, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.SetSamplePeriod(16)
+	src.SetThreadMask(0b101)
+	src.SetAddrMask(0x10, 0x20)
+
+	dst, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := dst.CtlGen()
+	dst.CopyControls(src)
+	if g := dst.CtlGen(); g != gen+1 {
+		t.Fatalf("CopyControls bumped gen %d times, want 1", g-gen)
+	}
+	c := dst.Controls()
+	if c.Period != 16 || c.ThreadMask != 0b101 || c.AddrLo != 0x10 || c.AddrHi != 0x20 {
+		t.Fatalf("copied snapshot = %+v", c)
+	}
+	if dst.Flags()&FlagSampled == 0 {
+		t.Error("copying a period > 1 did not set FlagSampled")
+	}
+}
+
+// TestSamplePeriodPersists: the sampling period and the sampled flag are
+// part of the profile's meaning (analyzers scale by them), so they round-trip
+// through the v3 encoding. The live controls — masks, generation, masked
+// counter, batch mirror — are runtime state and decode to zero.
+func TestSamplePeriodPersists(t *testing.T) {
+	log, err := New(16, WithSamplePeriod(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(Entry{Kind: KindCall, Addr: 0x1, ThreadID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	log.SetThreadMask(0b1)
+	log.SetAddrMask(0x100, 0x200)
+	log.NoteMasked(9)
+	log.SetBatchSize(32)
+
+	var buf bytes.Buffer
+	if _, err := log.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := got.SamplePeriod(); p != 4 {
+		t.Fatalf("decoded sample period %d, want 4", p)
+	}
+	if got.Flags()&FlagSampled == 0 {
+		t.Error("decoded log lost FlagSampled")
+	}
+	if m := got.ThreadMask(); m != 0 {
+		t.Errorf("thread mask persisted as %#x, want 0", m)
+	}
+	if lo, hi := got.AddrMask(); lo != 0 || hi != 0 {
+		t.Errorf("addr mask persisted as [%#x, %#x), want zero", lo, hi)
+	}
+	if g := got.CtlGen(); g != 0 {
+		t.Errorf("control generation persisted as %d, want 0", g)
+	}
+	if m := got.Masked(); m != 0 {
+		t.Errorf("masked counter persisted as %d, want 0", m)
+	}
+	if b := got.BatchSize(); b != 0 {
+		t.Errorf("batch mirror persisted as %d, want 0", b)
+	}
+}
+
+// TestResetKeepsControls: Reset clears entries and drop counters but leaves
+// the control plane alone — a throttle pushed by an operator must survive a
+// log reset.
+func TestResetKeepsControls(t *testing.T) {
+	log, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.SetSamplePeriod(8)
+	log.SetThreadMask(0b11)
+	if err := log.Append(Entry{Kind: KindCall, Addr: 0x1, ThreadID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	if log.Len() != 0 {
+		t.Fatalf("reset left %d entries", log.Len())
+	}
+	c := log.Controls()
+	if c.Period != 8 || c.ThreadMask != 0b11 {
+		t.Fatalf("reset dropped controls: %+v", c)
+	}
+}
+
+// TestControlFile: the writable control mapping lets an external process
+// (the fleet agent) push controls into a live header, without bumping the
+// attach generation the way OpenFile (an adopting attach) does.
+func TestControlFile(t *testing.T) {
+	if !MmapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	path := filepath.Join(t.TempDir(), "ctl.shm")
+	log, err := CreateFile(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	gen := log.AttachGen()
+
+	ctl, err := ControlFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	if g := log.AttachGen(); g != gen {
+		t.Fatalf("ControlFile bumped attach gen %d -> %d", gen, g)
+	}
+	ctl.SetSamplePeriod(8)
+	ctl.SetThreadMask(0b100)
+
+	obs, err := ObserveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	c := obs.Controls()
+	if c.Period != 8 || c.ThreadMask != 0b100 {
+		t.Fatalf("pushed controls not visible through observer: %+v", c)
+	}
+	if c.Gen != log.CtlGen() {
+		t.Fatalf("observer gen %d != creator gen %d", c.Gen, log.CtlGen())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,5 +22,10 @@ func ObserveFile(path string) (*Log, error) {
 	return nil, ErrMmapUnsupported
 }
 
+// ControlFile is unavailable on this platform.
+func ControlFile(path string) (*Log, error) {
+	return nil, ErrMmapUnsupported
+}
+
 func msync(data []byte) error  { return nil }
 func munmap(data []byte) error { return nil }

@@ -76,6 +76,10 @@ func CreateFile(path string, capacity int, opts ...Option) (*Log, error) {
 	l.words[wordCreatorPID] = uint64(os.Getpid())
 	l.words[wordShards] = uint64(o.shards)
 	l.words[wordFlags] = o.flags
+	l.words[wordSamplePeriod] = o.samplePeriod
+	if o.samplePeriod > 1 {
+		l.words[wordFlags] |= FlagSampled
+	}
 	for s := 0; s < o.shards; s++ {
 		l.words[l.segHeaderIdx(s)+segWordCapacity] = uint64(segCap)
 	}
@@ -194,6 +198,45 @@ func ObserveFile(path string) (*Log, error) {
 		return nil, err
 	}
 	l.readOnly = true
+	if err := validateMapped(l, path, size); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// ControlFile maps an existing file-backed log MAP_SHARED read-write for a
+// controller: unlike OpenFile it does NOT bump the attach generation (the
+// creator must not mistake a throttling agent for the instrumented
+// application attaching), and unlike ObserveFile the mapping is writable so
+// the caller can drive the adaptive-probe control words (SetSamplePeriod,
+// SetThreadMask, SetAddrMask) live. Controllers must restrict their stores
+// to the control words; everything else belongs to the recorder and the
+// application.
+func ControlFile(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("shmlog: open mapping file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shmlog: stat mapping file: %w", err)
+	}
+	size := st.Size()
+	if size < HeaderSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: mapping file %q is %d bytes, below the %d-byte header", ErrTruncatedHeader, path, size, HeaderSize)
+	}
+	if size > int64(int(^uint(0)>>1)) {
+		f.Close()
+		return nil, fmt.Errorf("shmlog: mapping file %q too large (%d bytes)", path, size)
+	}
+	l, err := mapFile(f, path, int(size))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
 	if err := validateMapped(l, path, size); err != nil {
 		l.Close()
 		return nil, err

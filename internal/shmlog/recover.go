@@ -126,9 +126,12 @@ func (r *RecoveryReport) String() string {
 	return b.String()
 }
 
-// knownFlags is every flag bit a valid header may carry; lenient decoding
-// masks everything else off (bit-flip damage in the flags word).
-// FlagRecorderReady appears in raw mmap files salvaged after a crash.
+// knownFlags is every flag bit a valid header may carry regardless of
+// format version; lenient decoding masks everything else off (bit-flip
+// damage in the flags word). FlagRecorderReady appears in raw mmap files
+// salvaged after a crash. FlagSampled is NOT here: sampling arrived with
+// the version-3 control words, so it is admitted per-version (v3 only —
+// on v1/v2 headers it can only be damage).
 const knownFlags = FlagActive | FlagMultithread | EventCall | EventReturn | FlagRecorderReady
 
 // lenientSalvage accumulates admitted entries and damage notes while a
@@ -294,9 +297,29 @@ func ReadLenient(r io.Reader) (*Log, *RecoveryReport, error) {
 		return emptyRecovered(rep, 0, 0)
 	}
 
-	if flags&^knownFlags != 0 {
+	// Flag admission is version-dependent: FlagSampled (and the sampling
+	// period it describes) exists only in version-3 headers. On v3 both are
+	// admitted — a salvaged sampled log must keep its period or the analyzer
+	// under-weighs every entry — while on v1/v2 a set FlagSampled bit or a
+	// nonzero byte in the reserved control-word region is bit-flip damage.
+	isV3 := !v1 && word(wordVersion) == Version
+	known := uint64(knownFlags)
+	var samplePeriod uint64
+	if isV3 {
+		known |= FlagSampled
+		samplePeriod = word(wordSamplePeriod)
+	} else if !v1 && len(data) >= HeaderSize {
+		// v2 reserves words 9-13 (the v3 control words) as zero padding.
+		for w := wordSamplePeriod; w <= wordAddrMaskHi; w++ {
+			if word(w) != 0 {
+				rep.note(CorruptUnknownFlags)
+				break
+			}
+		}
+	}
+	if flags&^known != 0 {
 		rep.note(CorruptUnknownFlags)
-		flags &= knownFlags
+		flags &= known
 	}
 
 	body := data[min(headerLen, len(data)):]
@@ -349,7 +372,8 @@ func ReadLenient(r io.Reader) (*Log, *RecoveryReport, error) {
 	out, err := New(len(entries),
 		WithPID(pid),
 		WithProfilerAddr(profilerAddr),
-		WithFlags(flags&^FlagActive), // recovered logs are read-only
+		WithFlags(flags&^FlagActive),   // recovered logs are read-only
+		WithSamplePeriod(samplePeriod), // 0 on v1/v2 (they predate sampling)
 	)
 	if err != nil {
 		return nil, nil, err

@@ -21,10 +21,14 @@
 //	line 0 (bytes   0..63):  magic, version, pid, capacity, profiler addr,
 //	                         creator pid, attach gen, shard count
 //	                         — written once at setup, read-mostly.
-//	line 1 (bytes  64..127): flags — read by every probe, toggled rarely.
+//	line 1 (bytes  64..127): flags plus the adaptive-probe control words —
+//	                         sample period, control generation, thread and
+//	                         address deny masks — read by every probe,
+//	                         written rarely by the controlling side.
 //	line 2 (bytes 128..191): legacy tail slot (persisted total), dropped
-//	                         counter (cold: touched only when a segment
-//	                         is full).
+//	                         counter, masked-event counter, current batch
+//	                         size (cold: touched only on overflow or by
+//	                         the batch controller).
 //	line 3 (bytes 192..255): counter — the software-counter thread's
 //	                         tight-loop increment word.
 //	byte 256: segment 0 header (one cache line: tail, capacity, dropped),
@@ -128,13 +132,30 @@ const (
 	wordPID          = 2
 	wordCapacity     = 3
 	wordProfilerAddr = 4
-	wordCreatorPID   = 5  // attach handshake: PID of the creating process
-	wordAttachGen    = 6  // attach handshake: bumped once per OpenFile
-	wordShards       = 7  // segment (shard) count, >= 1
-	wordFlags        = 8  // cache line 1
-	wordTail         = 16 // v2 tail / v3 persisted total (cache line 2)
-	wordDropped      = 17 // drop counter (cold: touched only when full)
-	wordCounter      = 24 // cache line 3
+	wordCreatorPID   = 5 // attach handshake: PID of the creating process
+	wordAttachGen    = 6 // attach handshake: bumped once per OpenFile
+	wordShards       = 7 // segment (shard) count, >= 1
+	wordFlags        = 8 // cache line 1
+
+	// Adaptive-probe control words. They share cache line 1 with the flags
+	// word, which every probe already loads per event, so the per-event
+	// generation check is effectively free. The controlling side (recorder,
+	// monitor, fleet agent) writes the value words first and bumps the
+	// generation word last; probes reread the values when they observe the
+	// generation change (see Controls). All deny semantics: zero means
+	// "record everything", so legacy writers and period-1 logs behave
+	// byte-identically to pre-sampling builds.
+	wordSamplePeriod = 9  // record 1-in-N call pairs; 0 and 1 mean every pair
+	wordCtlGen       = 10 // control generation: bumped after every mask write
+	wordThreadMask   = 11 // deny bitmask over (tid-1)%64; all-ones stops all threads
+	wordAddrMaskLo   = 12 // deny address range [lo, hi): suppressed when hi > lo
+	wordAddrMaskHi   = 13
+
+	wordTail      = 16 // v2 tail / v3 persisted total (cache line 2)
+	wordDropped   = 17 // drop counter (cold: touched only when full)
+	wordMasked    = 18 // events suppressed by sampling/masks (cold, flushed in bulk)
+	wordBatchSize = 19 // live batch size mirrored by the adaptive controller
+	wordCounter   = 24 // cache line 3
 )
 
 // Segment-header word offsets (relative to the segment's first word). Each
@@ -177,6 +198,12 @@ const (
 	// application knows the shared counter word is live before it starts
 	// sampling (cross-process mode).
 	FlagRecorderReady uint64 = 1 << 4
+
+	// FlagSampled marks a log recorded (at least partly) with a sampling
+	// period above 1: folded weights must be scaled by the period word to
+	// estimate the full profile. Introduced with format v3's control words;
+	// unknown to v1/v2 decoders.
+	FlagSampled uint64 = 1 << 5
 
 	// EventMask covers all event-selection bits.
 	EventMask = EventCall | EventReturn
@@ -325,6 +352,7 @@ type options struct {
 	sync         Sync
 	flags        uint64
 	shards       int
+	samplePeriod uint64
 }
 
 type pidOption uint64
@@ -369,6 +397,16 @@ func WithVersion(v uint64) Option { return versionOption(v) }
 type shardsOption int
 
 func (o shardsOption) apply(opts *options) { opts.shards = int(o) }
+
+type samplePeriodOption uint64
+
+func (o samplePeriodOption) apply(opts *options) { opts.samplePeriod = uint64(o) }
+
+// WithSamplePeriod sets the initial sampling period: probes record 1-in-n
+// call pairs. 0 and 1 both mean "record every pair" (the default) and leave
+// the log byte-identical to an unsampled recording; n > 1 additionally sets
+// FlagSampled so analyzers know to scale folded weights by n.
+func WithSamplePeriod(n uint64) Option { return samplePeriodOption(n) }
 
 // WithShards splits the entry region into n independent segments, each with
 // its own cache-line-aligned tail, and hashes writer threads onto them by
@@ -430,6 +468,10 @@ func New(capacity int, opts ...Option) (*Log, error) {
 	l.words[wordProfilerAddr] = o.profilerAddr
 	l.words[wordShards] = uint64(o.shards)
 	l.words[wordFlags] = o.flags
+	l.words[wordSamplePeriod] = o.samplePeriod
+	if o.samplePeriod > 1 {
+		l.words[wordFlags] |= FlagSampled
+	}
 	for s := 0; s < o.shards; s++ {
 		l.words[l.segHeaderIdx(s)+segWordCapacity] = uint64(segCap)
 	}
@@ -644,6 +686,152 @@ func (l *Log) WaitReady(timeout time.Duration) bool {
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
+}
+
+// Controls is a consistent snapshot of the adaptive-probe control words:
+// the sampling period and the deny masks, tagged with the generation they
+// were read at. All fields use deny semantics — the zero value records
+// everything.
+type Controls struct {
+	// Gen is the control generation the snapshot was taken at. Probes cache
+	// it and reread the snapshot when the header's generation differs.
+	Gen uint64
+	// Period is the sampling period: record 1-in-Period call pairs. 0 and 1
+	// both mean every pair.
+	Period uint64
+	// ThreadMask is a deny bitmask over (tid-1)%64: a set bit suppresses
+	// recording for threads hashing onto it. All-ones stops every thread.
+	ThreadMask uint64
+	// AddrLo/AddrHi deny the address range [AddrLo, AddrHi); the range is
+	// active only when AddrHi > AddrLo.
+	AddrLo, AddrHi uint64
+}
+
+// Denies reports whether the snapshot suppresses the given thread/address.
+func (c Controls) Denies(tid, addr uint64) bool {
+	if c.ThreadMask != 0 && c.ThreadMask&(1<<((tid-1)%64)) != 0 {
+		return true
+	}
+	return c.AddrHi > c.AddrLo && addr >= c.AddrLo && addr < c.AddrHi
+}
+
+// CtlGen returns the current control generation. Probes compare it against
+// their cached snapshot's Gen on every event (the word shares a cache line
+// with flags, so the extra load is effectively free) and call Controls again
+// when it moved.
+func (l *Log) CtlGen() uint64 { return atomic.LoadUint64(&l.words[wordCtlGen]) }
+
+// Controls reads a consistent snapshot of the control words using the
+// generation handshake: read the generation, read the values, reread the
+// generation, and retry if a writer bumped it in between. Writers bump the
+// generation only after all value words are stored, so a stable generation
+// brackets a consistent value set.
+func (l *Log) Controls() Controls {
+	for {
+		gen := atomic.LoadUint64(&l.words[wordCtlGen])
+		c := Controls{
+			Gen:        gen,
+			Period:     atomic.LoadUint64(&l.words[wordSamplePeriod]),
+			ThreadMask: atomic.LoadUint64(&l.words[wordThreadMask]),
+			AddrLo:     atomic.LoadUint64(&l.words[wordAddrMaskLo]),
+			AddrHi:     atomic.LoadUint64(&l.words[wordAddrMaskHi]),
+		}
+		if atomic.LoadUint64(&l.words[wordCtlGen]) == gen {
+			return c
+		}
+	}
+}
+
+// bumpCtlGen publishes a control-word change: value stores above must
+// already be visible (they are atomic stores on the same cache line).
+func (l *Log) bumpCtlGen() { atomic.AddUint64(&l.words[wordCtlGen], 1) }
+
+// SamplePeriod returns the live sampling period word (0 or 1: every pair).
+func (l *Log) SamplePeriod() uint64 { return atomic.LoadUint64(&l.words[wordSamplePeriod]) }
+
+// SetSamplePeriod changes the sampling period live: probes pick it up on the
+// next generation check. Periods above 1 set FlagSampled (sticky — once any
+// part of the log was sampled, analyzers must scale); 0 and 1 restore
+// record-everything without clearing the flag.
+func (l *Log) SetSamplePeriod(n uint64) {
+	atomic.StoreUint64(&l.words[wordSamplePeriod], n)
+	if n > 1 {
+		l.SetFlag(FlagSampled)
+	}
+	l.bumpCtlGen()
+}
+
+// ThreadMask returns the live thread deny-mask word.
+func (l *Log) ThreadMask() uint64 { return atomic.LoadUint64(&l.words[wordThreadMask]) }
+
+// SetThreadMask replaces the thread deny-mask: bit (tid-1)%64 suppresses the
+// matching threads, all-ones stops every thread, zero records everything.
+func (l *Log) SetThreadMask(mask uint64) {
+	atomic.StoreUint64(&l.words[wordThreadMask], mask)
+	l.bumpCtlGen()
+}
+
+// AddrMask returns the live address deny-range [lo, hi) (inactive unless
+// hi > lo).
+func (l *Log) AddrMask() (lo, hi uint64) {
+	return atomic.LoadUint64(&l.words[wordAddrMaskLo]), atomic.LoadUint64(&l.words[wordAddrMaskHi])
+}
+
+// SetAddrMask replaces the address deny-range: events whose target address
+// falls in [lo, hi) are suppressed. lo == hi (e.g. both zero) disables the
+// range.
+func (l *Log) SetAddrMask(lo, hi uint64) {
+	atomic.StoreUint64(&l.words[wordAddrMaskLo], lo)
+	atomic.StoreUint64(&l.words[wordAddrMaskHi], hi)
+	l.bumpCtlGen()
+}
+
+// CopyControls carries another log's control words (sampling period and
+// deny masks) into this one with a single generation bump — the rotation
+// path uses it so a live throttle survives segment rotation.
+func (l *Log) CopyControls(from *Log) {
+	c := from.Controls()
+	atomic.StoreUint64(&l.words[wordSamplePeriod], c.Period)
+	atomic.StoreUint64(&l.words[wordThreadMask], c.ThreadMask)
+	atomic.StoreUint64(&l.words[wordAddrMaskLo], c.AddrLo)
+	atomic.StoreUint64(&l.words[wordAddrMaskHi], c.AddrHi)
+	if c.Period > 1 {
+		l.SetFlag(FlagSampled)
+	}
+	l.bumpCtlGen()
+}
+
+// Masked returns how many events probes suppressed because of the sampling
+// period or a deny mask. Like the drop counter it lives in a shared header
+// word so cross-process observers see it; probes accumulate locally and
+// flush in bulk, so the value trails the truth by at most one batch per
+// thread.
+func (l *Log) Masked() uint64 { return atomic.LoadUint64(&l.words[wordMasked]) }
+
+// NoteMasked adds n to the shared masked-event counter.
+func (l *Log) NoteMasked(n uint64) {
+	if n != 0 {
+		atomic.AddUint64(&l.words[wordMasked], n)
+	}
+}
+
+// BatchSize returns the live batch size mirrored into the header by the
+// adaptive batch controller (zero when no controller ever wrote it).
+func (l *Log) BatchSize() uint64 { return atomic.LoadUint64(&l.words[wordBatchSize]) }
+
+// SetBatchSize mirrors the probe runtime's current batch size into the
+// header so external observers (the fleet agent's read-only mapping) can
+// export it without an in-process channel.
+func (l *Log) SetBatchSize(n uint64) { atomic.StoreUint64(&l.words[wordBatchSize], n) }
+
+// ShardFill returns one segment's fill fraction in [0, 1] (reserved slots
+// over capacity). The adaptive batch controller samples it on the
+// reservation path.
+func (l *Log) ShardFill(shard int) float64 {
+	if shard < 0 || shard >= l.shards || l.segCap == 0 {
+		return 0
+	}
+	return float64(l.segLen(shard)) / float64(l.segCap)
 }
 
 // Mapped reports whether the log is a file-backed shared mapping.
@@ -1003,6 +1191,10 @@ func (l *Log) encodeTo(w io.Writer) error {
 		wordShards:       uint64(l.shards),
 		wordProfilerAddr: l.ProfilerAddr(),
 		wordFlags:        l.Flags(),
+		// The sampling period is measurement state — analyzers scale folded
+		// weights by it — so it persists; the mask/generation/batch words are
+		// runtime coordination and persist as zero like the handshake words.
+		wordSamplePeriod: l.SamplePeriod(),
 		wordCounter:      l.LoadCounter(),
 	}
 
@@ -1071,7 +1263,7 @@ type rawSlot struct {
 // buildDecoded assembles a decoded single-segment log from raw slot words.
 // The result is normalized to the current in-memory layout (one segment
 // whose tail and capacity equal the slot count) with recording disabled.
-func buildDecoded(slots []rawSlot, srcVersion, pid, profilerAddr, flags, counter uint64) *Log {
+func buildDecoded(slots []rawSlot, srcVersion, pid, profilerAddr, flags, counter, samplePeriod uint64) *Log {
 	n := len(slots)
 	l := &Log{
 		words:      make([]uint64, HeaderWords+SegHeaderWords+n*EntryWords),
@@ -1090,6 +1282,7 @@ func buildDecoded(slots []rawSlot, srcVersion, pid, profilerAddr, flags, counter
 	l.words[wordFlags] = flags &^ FlagActive // read-only
 	l.words[wordCapacity] = uint64(n)
 	l.words[wordCounter] = counter
+	l.words[wordSamplePeriod] = samplePeriod
 	h := HeaderWords
 	l.words[h+segWordTail] = uint64(n)
 	l.words[h+segWordCapacity] = uint64(n)
@@ -1200,7 +1393,8 @@ func readFlat(r io.Reader, srcVersion, flags, pid, profilerAddr, counter, capaci
 	if err := readSlots(r, &slots, int(tail), 0); err != nil {
 		return nil, err
 	}
-	return buildDecoded(slots, srcVersion, pid, profilerAddr, flags, counter), nil
+	// v1/v2 predate the sampling-period word: always a full recording.
+	return buildDecoded(slots, srcVersion, pid, profilerAddr, flags, counter, 0), nil
 }
 
 // readSharded decodes a v3 body: per-segment headers and compacted entry
@@ -1250,7 +1444,8 @@ func readSharded(r io.Reader, word func(int) uint64) (*Log, error) {
 		mergeSlots(slots)
 	}
 	return buildDecoded(slots, Version,
-		word(wordPID), word(wordProfilerAddr), word(wordFlags), word(wordCounter)), nil
+		word(wordPID), word(wordProfilerAddr), word(wordFlags), word(wordCounter),
+		word(wordSamplePeriod)), nil
 }
 
 // readSlots reads n entry slots from r and appends them to *slots tagged

@@ -49,6 +49,11 @@ type Config struct {
 	Counter CounterMode
 	// PID is recorded in the log header.
 	PID uint64
+	// SamplePeriod records one call pair in N (0 and 1 both record
+	// everything). The period is published in the log header, so analyzers
+	// scale the sampled weights back up and external controllers can move
+	// it live.
+	SamplePeriod uint64
 }
 
 var global struct {
@@ -121,6 +126,9 @@ func ensureLocked() error {
 	}
 	if cfg.Counter != 0 {
 		opts = append(opts, recorder.WithCounterMode(cfg.Counter))
+	}
+	if cfg.SamplePeriod > 1 {
+		opts = append(opts, recorder.WithSamplePeriod(cfg.SamplePeriod))
 	}
 	// A wrapper recorder process (`teeperf run`) hands its shared mapping
 	// over via the environment; attach to it instead of allocating a heap

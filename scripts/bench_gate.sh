@@ -47,3 +47,29 @@ echo "bench gate: all ${#required[@]} suite benchmarks ran"
 # in their half of the suite (regenerate with scripts/bench_record.sh).
 go run ./scripts/benchjson -check BENCH_shmlog.json "${SHMLOG_BENCHES[@]}"
 go run ./scripts/benchjson -check BENCH_agent.json "${AGENT_BENCHES[@]}"
+
+# Sampling-overhead THRESHOLD gate — the one place a number is checked.
+# Absolute ns/op is machine noise, but the p64/p1 ratio within a single
+# run is not: both halves execute back to back on the same core. A ratio
+# below SAMPLING_GATE_MIN means suppressed events regressed onto the
+# guarded slow path (the whole point of sampling mode is that they don't),
+# so it fails the gate. Enough iterations to settle the ratio, still <1s.
+ratio_out="$(go test -run='^$' -bench='^BenchmarkAppendSampled$' \
+    -benchtime=200000x -count=1 .)"
+# The -GOMAXPROCS name suffix is absent when GOMAXPROCS=1.
+p1="$(awk '$1 ~ /^BenchmarkAppendSampled\/p1(-[0-9]+)?$/  {print $3; exit}' <<<"$ratio_out")"
+p64="$(awk '$1 ~ /^BenchmarkAppendSampled\/p64(-[0-9]+)?$/ {print $3; exit}' <<<"$ratio_out")"
+if [ -z "$p1" ] || [ -z "$p64" ]; then
+    echo "bench gate: BenchmarkAppendSampled produced no p1/p64 results" >&2
+    echo "$ratio_out" >&2
+    exit 1
+fi
+awk -v p1="$p1" -v p64="$p64" -v min="$SAMPLING_GATE_MIN" 'BEGIN {
+    ratio = p1 / p64
+    printf "bench gate: sampling p64 speedup %.1fx (p1 %.1f ns/op, p64 %.1f ns/op, floor %sx)\n",
+        ratio, p1, p64, min
+    exit !(ratio >= min)
+}' || {
+    echo "bench gate: sampling-mode overhead regressed past ${SAMPLING_GATE_MIN}x floor" >&2
+    exit 1
+}

@@ -13,14 +13,20 @@ cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-300ms}"
 
+# Pin the measuring host's parallelism into the files: numbers from a
+# 1-CPU runner and a 64-way box are different experiments.
+ncpu="$(nproc)"
+maxprocs="${GOMAXPROCS:-$ncpu}"
+meta=(-numcpu "$ncpu" -gomaxprocs "$maxprocs")
+
 go test -run='^$' -bench="$(bench_pattern "${SHMLOG_BENCHES[@]}")" \
     -benchtime="$benchtime" -count=1 . |
     tee /dev/stderr |
-    go run ./scripts/benchjson > BENCH_shmlog.json
+    go run ./scripts/benchjson "${meta[@]}" > BENCH_shmlog.json
 echo "wrote BENCH_shmlog.json" >&2
 
 go test -run='^$' -bench="$(bench_pattern "${AGENT_BENCHES[@]}")" \
     -benchtime="$benchtime" -count=1 . ./internal/agent |
     tee /dev/stderr |
-    go run ./scripts/benchjson > BENCH_agent.json
+    go run ./scripts/benchjson "${meta[@]}" > BENCH_agent.json
 echo "wrote BENCH_agent.json" >&2

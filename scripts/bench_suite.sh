@@ -11,9 +11,18 @@
 
 SHMLOG_BENCHES=(
     BenchmarkAppendParallel
+    BenchmarkAppendSampled
+    BenchmarkProbeAdaptive
     BenchmarkLogWriteTo
     BenchmarkLogRead
 )
+
+# The sampling fast path must keep suppressed events cheap: the gate
+# requires BenchmarkAppendSampled/p64 to be at least this many times
+# faster (ns/op) than .../p1 in the same run. Measured headroom on the
+# reference box is ~6.7-8x; a drop below 5x means the suppressed path
+# regressed back onto the guarded slow path.
+SAMPLING_GATE_MIN="${SAMPLING_GATE_MIN:-5.0}"
 
 AGENT_BENCHES=(
     BenchmarkAnalyzer

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -30,16 +31,23 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// File is the committed trajectory document.
+// File is the committed trajectory document. NumCPU and Gomaxprocs pin the
+// parallelism the numbers were measured under — a BenchmarkAppendParallel
+// figure from a 64-way box is not comparable to one from a 1-CPU runner,
+// and without these fields the files silently invited that comparison.
 type File struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
+	Gomaxprocs int      `json:"gomaxprocs,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
 func main() {
 	check := flag.Bool("check", false, "validate: args are <file> <required bench name>...")
+	numCPU := flag.Int("numcpu", runtime.NumCPU(), "CPUs of the measuring host (recorded in the file)")
+	maxprocs := flag.Int("gomaxprocs", runtime.GOMAXPROCS(0), "GOMAXPROCS the benchmarks ran under")
 	flag.Parse()
 	if *check {
 		if flag.NArg() < 2 {
@@ -57,6 +65,11 @@ func main() {
 	}
 	if len(f.Benchmarks) == 0 {
 		fatalf("no benchmark result lines on stdin")
+	}
+	f.NumCPU = *numCPU
+	f.Gomaxprocs = *maxprocs
+	if f.Goos == "" {
+		f.Goos = runtime.GOOS
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

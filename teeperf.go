@@ -145,6 +145,24 @@ func WithBatch(k int) Option {
 	})
 }
 
+// WithSample records one call pair in n (0 and 1 both record everything).
+// The period is published in the log header, so analyzers scale the
+// sampled weights back up and external controllers can move it live.
+func WithSample(n uint64) Option {
+	return optionFunc(func(s *Session) {
+		s.recOpts = append(s.recOpts, recorder.WithSamplePeriod(n))
+	})
+}
+
+// WithAdaptiveBatch replaces the fixed reservation batch with a
+// self-tuning controller bounded by [min, max]: the batch grows when
+// reservation latency or shard fill rises and shrinks when drops climb.
+func WithAdaptiveBatch(min, max int) Option {
+	return optionFunc(func(s *Session) {
+		s.recOpts = append(s.recOpts, recorder.WithAdaptiveBatch(min, max))
+	})
+}
+
 // WithSelective restricts recording to functions whose registered name
 // satisfies pred — selective code profiling.
 func WithSelective(pred func(name string) bool) Option {
