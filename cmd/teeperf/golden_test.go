@@ -201,6 +201,22 @@ func TestGoldenAgentOnce(t *testing.T) {
 	checkGolden(t, "testdata/agent_once.golden", []byte(stdout))
 }
 
+// TestGoldenStressTable pins the deterministic surface of the overhead
+// gauntlet: -det prints only the timing-free columns (events, masked
+// totals, workload checksums) under the virtual counter, so the exact
+// bytes are stable across machines. Wall-clock and ratio columns are
+// deliberately absent — those are gated by scripts/bench_gate.sh, not
+// pinned here.
+func TestGoldenStressTable(t *testing.T) {
+	stdout, stderr, code := runCLI(t, nil, "stress",
+		"-quick", "-det", "-counter", "virtual",
+		"-shards", "1", "-runs", "1", "-warmups", "0", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("stress -det exited %d\nstderr: %s", code, stderr)
+	}
+	checkGolden(t, "testdata/stress_table.golden", []byte(stdout))
+}
+
 func TestGoldenRecoverReport(t *testing.T) {
 	ensureFixtures(t)
 	stdout, stderr, code := runCLI(t, nil, "recover", "-i", "testdata/torn.teeperf.part", "-top", "3")

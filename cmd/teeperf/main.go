@@ -7,6 +7,7 @@
 // Usage:
 //
 //	teeperf record   -workload phoenix/word_count -platform sgx-v1 -o run.teeperf [-checkpoint 500ms]
+//	teeperf stress   [-quick] [-periods 1,8,64] [-shards 1,8] [-bench|-det]
 //	teeperf run      -o run.teeperf [-shm run.teeperf.shm] -- <cmd> [args...]
 //	teeperf monitor  -workload dbbench -interval 500ms [-top 10]
 //	teeperf serve    -workload dbbench -addr :7070 [-linger 1m]
@@ -58,6 +59,7 @@ var commands = []command{
 	{"record", "record", "run a built-in workload under the profiler and persist a bundle", cmdRecord},
 	{"run", "record", "profile an external command through a shared-memory mapping (cross-process)", cmdRun},
 	{"overhead", "record", "sweep instrumented-vs-native runtime across sampling periods", cmdOverhead},
+	{"stress", "record", "run the overhead gauntlet: stress personalities instrumented vs native", cmdStress},
 	{"monitor", "monitor", "record a workload with a live hot-methods view in the terminal", cmdMonitor},
 	{"serve", "monitor", "record a workload while serving live metrics and profile over HTTP", cmdServe},
 	{"agent", "monitor", "observe many concurrent recordings with fleet-wide metrics over HTTP", cmdAgent},

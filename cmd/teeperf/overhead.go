@@ -2,9 +2,7 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"teeperf/internal/experiments"
@@ -30,13 +28,9 @@ func cmdOverhead(args []string) error {
 	if err != nil {
 		return err
 	}
-	var ps []uint64
-	for _, f := range strings.Split(*periods, ",") {
-		p, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
-		if err != nil || p == 0 {
-			return usageErr{fmt.Errorf("bad -periods entry %q (positive integers)", f)}
-		}
-		ps = append(ps, p)
+	ps, err := parseUints(*periods, "-periods")
+	if err != nil {
+		return err
 	}
 	cfg := experiments.SamplingOverheadConfig{
 		Platform: platform,

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"teeperf/internal/recorder"
+	"teeperf/internal/stress"
+)
+
+// cmdStress runs the overhead gauntlet: every stress personality measured
+// uninstrumented and then instrumented across the sampling-period × shard
+// grid. The default output is a human table; -bench emits go-bench-style
+// rows for scripts/benchjson (the BENCH_overhead.json pipeline), and -det
+// prints only the timing-free columns the golden test pins.
+func cmdStress(args []string) error {
+	fs := flag.NewFlagSet("stress", flag.ContinueOnError)
+	personalities := fs.String("personalities", "all", "comma-separated personalities (see -list)")
+	periods := fs.String("periods", "1,8,64", "comma-separated sampling periods to sweep")
+	shards := fs.String("shards", "1,8", "comma-separated log shard counts to sweep")
+	runs := fs.Int("runs", 3, "measured runs per configuration (geometric mean)")
+	warmups := fs.Int("warmups", 1, "warmup runs per configuration")
+	quick := fs.Bool("quick", false, "CI-smoke tunings: tiny iteration budgets")
+	seed := fs.Uint64("seed", 42, "deterministic input seed")
+	counterName := fs.String("counter", "auto", "time source: auto, software, tsc, virtual")
+	capacity := fs.Int("capacity", 0, "per-shard log capacity in entries (0 = default)")
+	cpus := fs.Int("cpus", 0, "assume this many CPUs for the contention skip rule (0 = runtime.NumCPU)")
+	depth := fs.Int("depth", 0, "override tree/recursion depth (0 = personality default)")
+	fanout := fs.Int("fanout", 0, "override call-tree fan-out")
+	goroutines := fs.Int("goroutines", 0, "override churn goroutines per wave")
+	allocBytes := fs.Int("alloc", 0, "override allocation/slab/IO-chunk bytes")
+	iters := fs.Int("iters", 0, "override iteration budget")
+	bench := fs.Bool("bench", false, "emit go-bench result lines for scripts/benchjson")
+	det := fs.Bool("det", false, "emit only deterministic columns (events, masked, checksum)")
+	list := fs.Bool("list", false, "list personalities and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, p := range stress.All() {
+			fmt.Printf("%-10s %-6s %s\n", p.Name, p.Profile, p.Summary)
+		}
+		return nil
+	}
+	cfg := stress.SweepConfig{
+		Periods:     nil,
+		Runs:        *runs,
+		Warmups:     *warmups,
+		Quick:       *quick,
+		Seed:        *seed,
+		Capacity:    *capacity,
+		NumCPU:      *cpus,
+		Tune:        stress.Tuning{Depth: *depth, FanOut: *fanout, Goroutines: *goroutines, AllocBytes: *allocBytes, Iterations: *iters},
+		Counter:     0,
+		ShardCounts: nil,
+	}
+	if *personalities != "" && *personalities != "all" {
+		for _, n := range strings.Split(*personalities, ",") {
+			n = strings.TrimSpace(n)
+			if _, err := stress.ByName(n); err != nil {
+				return usageErr{err}
+			}
+			cfg.Personalities = append(cfg.Personalities, n)
+		}
+	}
+	var err error
+	if cfg.Periods, err = parseUints(*periods, "-periods"); err != nil {
+		return err
+	}
+	shardCounts, err := parseUints(*shards, "-shards")
+	if err != nil {
+		return err
+	}
+	for _, s := range shardCounts {
+		cfg.ShardCounts = append(cfg.ShardCounts, int(s))
+	}
+	switch *counterName {
+	case "auto":
+	case "software":
+		cfg.Counter = recorder.CounterSoftware
+	case "tsc":
+		cfg.Counter = recorder.CounterTSC
+	case "virtual":
+		cfg.Counter = recorder.CounterVirtual
+	default:
+		return usageErr{fmt.Errorf("bad -counter %q (auto, software, tsc, virtual)", *counterName)}
+	}
+
+	res, err := stress.Sweep(cfg)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *bench:
+		// Skip notes go to stderr so stdout stays pure bench lines for
+		// the benchjson pipeline; the gate relies on skips being loud.
+		for _, s := range res.Skipped {
+			fmt.Fprintf(os.Stderr, "stress: skipped %s\n", s)
+		}
+		return stress.WriteBench(os.Stdout, res, *runs)
+	case *det:
+		for _, s := range res.Skipped {
+			fmt.Fprintf(os.Stderr, "stress: skipped %s\n", s)
+		}
+		return stress.WriteDeterministic(os.Stdout, res)
+	default:
+		fmt.Printf("overhead gauntlet: %d CPUs, GOMAXPROCS %d\n", res.NumCPU, runtime.GOMAXPROCS(0))
+		return stress.WriteTable(os.Stdout, res)
+	}
+}
+
+// parseUints parses a comma-separated list of positive integers.
+func parseUints(s, flagName string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil || v == 0 {
+			return nil, usageErr{fmt.Errorf("bad %s entry %q (positive integers)", flagName, f)}
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package stress
+
+// allocLive is how many allocations stay reachable at once, forcing the
+// buffers onto the heap and giving the collector standing work.
+const allocLive = 8
+
+// AllocHeavy stresses the allocator and collector alongside the probes:
+// each iteration allocates an AllocBytes buffer, fills it
+// deterministically and folds it into the checksum, keeping a small ring
+// of allocations live so the memory is heap-resident and GC cycles run
+// concurrently with probe recording. GC assists and write barriers are
+// runtime work a call-count profiler never sees directly — this
+// personality checks they do not distort the measured ratio. Knobs:
+// AllocBytes, Iterations, Seed.
+func AllocHeavy() Personality {
+	return Personality{
+		Name:    "alloc",
+		Profile: "mem",
+		Summary: "allocation-heavy path: per-iteration heap buffers with a live ring",
+		Symbols: []string{"alloc_new", "alloc_fill", "alloc_sum"},
+		Default: Tuning{AllocBytes: 16 << 10, Iterations: 2048},
+		Quick:   Tuning{AllocBytes: 4 << 10, Iterations: 512},
+		New: func(cfg Config, tn Tuning) (Runner, error) {
+			if err := cfg.validate(); err != nil {
+				return nil, err
+			}
+			addr, err := cfg.resolve("alloc_new", "alloc_fill", "alloc_sum")
+			if err != nil {
+				return nil, err
+			}
+			h := cfg.Hooks
+			newA, fill, sum := addr["alloc_new"], addr["alloc_fill"], addr["alloc_sum"]
+			return func() (uint64, error) {
+				live := make([][]byte, allocLive)
+				var acc uint64
+				seedState := tn.Seed
+				for it := 0; it < tn.Iterations; it++ {
+					fillSeed := splitmix64(&seedState)
+					h.Enter(newA)
+					buf := make([]byte, tn.AllocBytes)
+					live[it%allocLive] = buf
+					h.Exit(newA)
+
+					h.Enter(fill)
+					fillBytes(buf, fillSeed)
+					h.Exit(fill)
+
+					h.Enter(sum)
+					acc += sumBytes(buf)
+					h.Exit(sum)
+				}
+				return acc, nil
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,70 @@
+package stress
+
+import "sync"
+
+// churnTasks is the probe-visible task count each churn worker runs; the
+// event volume scales through the Goroutines and Iterations knobs.
+const churnTasks = 24
+
+// Churn stresses thread registration and cross-goroutine log contention:
+// every iteration ("wave") spawns Goroutines fresh workers, each of which
+// registers its own probe thread, runs a fixed batch of small tasks and
+// exits. Short-lived threads are the worst case for per-thread log shards
+// (every wave lands on new TIDs) and for the runtime's thread registry.
+// Per-worker checksums are combined commutatively, so the result is
+// deterministic whatever the scheduler does. Knobs: Goroutines,
+// Iterations (waves), Seed.
+func Churn() Personality {
+	return Personality{
+		Name:      "churn",
+		Profile:   "sched",
+		Summary:   "goroutine churn: waves of short-lived workers, each a fresh probe thread",
+		Symbols:   []string{"churn_spawn", "churn_worker", "churn_task"},
+		Contended: true,
+		Default:   Tuning{Goroutines: 16, Iterations: 16},
+		Quick:     Tuning{Goroutines: 8, Iterations: 32},
+		New: func(cfg Config, tn Tuning) (Runner, error) {
+			if err := cfg.validate(); err != nil {
+				return nil, err
+			}
+			addr, err := cfg.resolve("churn_spawn", "churn_worker", "churn_task")
+			if err != nil {
+				return nil, err
+			}
+			h := cfg.Hooks
+			newThread := cfg.newThread()
+			spawn, worker, task := addr["churn_spawn"], addr["churn_worker"], addr["churn_task"]
+			return func() (uint64, error) {
+				var sum uint64
+				for wave := 0; wave < tn.Iterations; wave++ {
+					h.Enter(spawn)
+					sums := make([]uint64, tn.Goroutines)
+					var wg sync.WaitGroup
+					for g := 0; g < tn.Goroutines; g++ {
+						wg.Add(1)
+						go func(g int) {
+							defer wg.Done()
+							th := newThread()
+							th.Enter(worker)
+							state := (tn.Seed ^ uint64(wave)<<32 ^ uint64(g)) * 0x9e3779b97f4a7c15
+							var s uint64
+							for t := 0; t < churnTasks; t++ {
+								th.Enter(task)
+								s += splitmix64(&state)
+								th.Exit(task)
+							}
+							sums[g] = s
+							th.Exit(worker)
+						}(g)
+					}
+					wg.Wait()
+					for _, s := range sums {
+						sum += s
+					}
+					h.Exit(spawn)
+				}
+				return sum, nil
+			}, nil
+		},
+	}
+}

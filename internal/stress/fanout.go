@@ -1,0 +1,56 @@
+package stress
+
+// FanOutTree stresses wide call trees: every node of a Depth-level tree
+// visits FanOut children, and every leaf does a small amount of arithmetic.
+// This is the shape the paper's string_match approximates by accident —
+// call count grows geometrically with fan-out while per-call work stays
+// tiny, so the probe's fixed cost dominates. Knobs: Depth, FanOut,
+// Iterations, Seed.
+func FanOutTree() Personality {
+	return Personality{
+		Name:    "fanout",
+		Profile: "cpu",
+		Summary: "high fan-out call trees: FanOut^Depth probe-visible calls per iteration",
+		Symbols: []string{"fan_root", "fan_node", "fan_leaf"},
+		Default: Tuning{Depth: 4, FanOut: 8, Iterations: 8},
+		Quick:   Tuning{Depth: 3, FanOut: 8, Iterations: 32},
+		New: func(cfg Config, tn Tuning) (Runner, error) {
+			if err := cfg.validate(); err != nil {
+				return nil, err
+			}
+			addr, err := cfg.resolve("fan_root", "fan_node", "fan_leaf")
+			if err != nil {
+				return nil, err
+			}
+			h := cfg.Hooks
+			root, node, leaf := addr["fan_root"], addr["fan_node"], addr["fan_leaf"]
+			var visit func(depth int, state *uint64) uint64
+			visit = func(depth int, state *uint64) uint64 {
+				h.Enter(node)
+				var sum uint64
+				if depth == 0 {
+					h.Enter(leaf)
+					sum = splitmix64(state) ^ splitmix64(state)
+					h.Exit(leaf)
+				} else {
+					for c := 0; c < tn.FanOut; c++ {
+						sum += visit(depth-1, state)
+					}
+				}
+				h.Exit(node)
+				return sum
+			}
+			return func() (uint64, error) {
+				var sum uint64
+				seedState := tn.Seed
+				for it := 0; it < tn.Iterations; it++ {
+					state := splitmix64(&seedState)
+					h.Enter(root)
+					sum += visit(tn.Depth, &state)
+					h.Exit(root)
+				}
+				return sum, nil
+			}, nil
+		},
+	}
+}

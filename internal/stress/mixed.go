@@ -1,0 +1,93 @@
+package stress
+
+import (
+	"fmt"
+	"os"
+)
+
+// mixWalkStride is the byte stride of the memory-walk phase: larger than a
+// cache line so the walk misses rather than streams.
+const mixWalkStride = 128
+
+// Mixed interleaves the three pressure axes in one profile: a CPU phase
+// (splitmix rounds), a memory phase (strided walk over a slab sized by
+// AllocBytes), and a real-IO phase (write the slab to a scratch file, read
+// it back, delete it — genuine syscalls, not io.Discard). This is the
+// closest personality to a production request loop, where probe overhead
+// must be judged against work that regularly leaves userspace. Knobs:
+// AllocBytes (slab and IO chunk size), Iterations, Seed.
+func Mixed() Personality {
+	return Personality{
+		Name:    "mixed",
+		Profile: "mixed",
+		Summary: "mixed CPU/memory/IO profile: compute, strided slab walk, scratch-file IO",
+		Symbols: []string{"mix_compute", "mix_walk", "mix_io"},
+		Default: Tuning{AllocBytes: 64 << 10, Iterations: 128},
+		Quick:   Tuning{AllocBytes: 16 << 10, Iterations: 32},
+		New: func(cfg Config, tn Tuning) (Runner, error) {
+			if err := cfg.validate(); err != nil {
+				return nil, err
+			}
+			addr, err := cfg.resolve("mix_compute", "mix_walk", "mix_io")
+			if err != nil {
+				return nil, err
+			}
+			h := cfg.Hooks
+			compute, walk, ioAddr := addr["mix_compute"], addr["mix_walk"], addr["mix_io"]
+			dir := cfg.scratchDir()
+			slab := make([]byte, tn.AllocBytes)
+			back := make([]byte, tn.AllocBytes)
+			return func() (uint64, error) {
+				var acc uint64
+				seedState := tn.Seed
+				for it := 0; it < tn.Iterations; it++ {
+					iterSeed := splitmix64(&seedState)
+					h.Enter(compute)
+					state := iterSeed
+					var v uint64
+					for r := 0; r < 64; r++ {
+						v ^= splitmix64(&state)
+					}
+					acc += v
+					h.Exit(compute)
+
+					h.Enter(walk)
+					fillBytes(slab, iterSeed)
+					for off := 0; off < len(slab); off += mixWalkStride {
+						acc += uint64(slab[off])
+					}
+					h.Exit(walk)
+
+					h.Enter(ioAddr)
+					f, err := os.CreateTemp(dir, "teeperf-stress-mixed-*.tmp")
+					if err != nil {
+						h.Exit(ioAddr)
+						return 0, fmt.Errorf("stress: mixed io: %w", err)
+					}
+					name := f.Name()
+					_, werr := f.Write(slab)
+					if werr == nil {
+						_, werr = f.Seek(0, 0)
+					}
+					if werr == nil {
+						_, werr = f.Read(back)
+					}
+					cerr := f.Close()
+					rerr := os.Remove(name)
+					h.Exit(ioAddr)
+					if werr != nil {
+						return 0, fmt.Errorf("stress: mixed io: %w", werr)
+					}
+					if cerr != nil {
+						return 0, fmt.Errorf("stress: mixed io: %w", cerr)
+					}
+					if rerr != nil {
+						return 0, fmt.Errorf("stress: mixed io: %w", rerr)
+					}
+					acc += sumBytes(back)
+				}
+				return acc, nil
+			}, nil
+		},
+	}
+}

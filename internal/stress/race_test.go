@@ -1,0 +1,45 @@
+package stress
+
+import (
+	"testing"
+
+	"teeperf/internal/recorder"
+)
+
+// TestStressRaceSmoke runs the two scheduler-hostile personalities —
+// goroutine churn (fresh probe threads every wave) and the tiny-function
+// storm (maximum probe call rate) — under a real attached recorder with a
+// bounded iteration budget. Its job is to give the race detector
+// concurrent probe registration, batched reservation and sampling-mask
+// reads to chew on; the CI race job runs it explicitly.
+func TestStressRaceSmoke(t *testing.T) {
+	cfg := SweepConfig{
+		Personalities: []string{"churn", "storm"},
+		Periods:       []uint64{1, 8},
+		ShardCounts:   []int{1, 4},
+		Runs:          1,
+		Warmups:       0,
+		Quick:         true,
+		Seed:          3,
+		Counter:       recorder.CounterVirtual,
+		// Force the contended shard rows on: under -race we want the
+		// concurrency exercised even on a single-core runner, and the
+		// numbers are discarded anyway.
+		NumCPU: 8,
+		Dir:    t.TempDir(),
+		// Keep the budget bounded under the race detector's ~10x slowdown:
+		// quick tunings plus a reduced churn wave width.
+		Tune: Tuning{Goroutines: 4},
+	}
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skipped) != 0 {
+		t.Fatalf("race smoke skipped rows: %q", res.Skipped)
+	}
+	// 2 personalities x (native + 2 periods x 2 shard counts).
+	if want := 2 * 5; len(res.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), want)
+	}
+}

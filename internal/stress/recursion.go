@@ -1,0 +1,51 @@
+package stress
+
+// Recursion stresses deep call stacks: one chain of Depth nested calls per
+// iteration with a tiny mixing step at the base. Deep recursion exercises
+// the probe's per-frame decision stack (the sampled-bit stack grows one
+// bit per live frame) and the analyzer's stack reconstruction at depths
+// the Phoenix workloads never reach. Knobs: Depth, Iterations, Seed.
+func Recursion() Personality {
+	return Personality{
+		Name:    "recursion",
+		Profile: "cpu",
+		Summary: "deep recursion: one Depth-frame chain per iteration",
+		Symbols: []string{"rec_descend", "rec_base"},
+		Default: Tuning{Depth: 512, Iterations: 64},
+		Quick:   Tuning{Depth: 256, Iterations: 128},
+		New: func(cfg Config, tn Tuning) (Runner, error) {
+			if err := cfg.validate(); err != nil {
+				return nil, err
+			}
+			addr, err := cfg.resolve("rec_descend", "rec_base")
+			if err != nil {
+				return nil, err
+			}
+			h := cfg.Hooks
+			descend, base := addr["rec_descend"], addr["rec_base"]
+			var down func(depth int, state *uint64) uint64
+			down = func(depth int, state *uint64) uint64 {
+				h.Enter(descend)
+				var v uint64
+				if depth == 0 {
+					h.Enter(base)
+					v = splitmix64(state)
+					h.Exit(base)
+				} else {
+					v = down(depth-1, state) ^ splitmix64(state)
+				}
+				h.Exit(descend)
+				return v
+			}
+			return func() (uint64, error) {
+				var sum uint64
+				seedState := tn.Seed
+				for it := 0; it < tn.Iterations; it++ {
+					state := splitmix64(&seedState)
+					sum += down(tn.Depth, &state)
+				}
+				return sum, nil
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,52 @@
+package stress
+
+// stormChunk is how many tiny calls each storm_loop frame issues; keeps
+// the loop/tiny event mix constant while Iterations scales total volume.
+const stormChunk = 256
+
+// Storm is the probe worst case the paper's Fig 4 bounds with
+// string_match's 5.7x: functions whose bodies are a single arithmetic
+// step, called as fast as possible, so almost all of the instrumented
+// runtime IS the probe pair. Iterations counts tiny calls; they are
+// issued in fixed-size chunks under storm_loop frames. Knobs:
+// Iterations, Seed.
+func Storm() Personality {
+	return Personality{
+		Name:    "storm",
+		Profile: "cpu",
+		Summary: "tiny-function storm: one-instruction bodies, probe cost dominates",
+		Symbols: []string{"storm_loop", "storm_tiny"},
+		Default: Tuning{Iterations: 100000},
+		Quick:   Tuning{Iterations: 32768},
+		New: func(cfg Config, tn Tuning) (Runner, error) {
+			if err := cfg.validate(); err != nil {
+				return nil, err
+			}
+			addr, err := cfg.resolve("storm_loop", "storm_tiny")
+			if err != nil {
+				return nil, err
+			}
+			h := cfg.Hooks
+			loop, tiny := addr["storm_loop"], addr["storm_tiny"]
+			return func() (uint64, error) {
+				state := tn.Seed
+				var sum uint64
+				for done := 0; done < tn.Iterations; {
+					n := stormChunk
+					if rest := tn.Iterations - done; n > rest {
+						n = rest
+					}
+					h.Enter(loop)
+					for i := 0; i < n; i++ {
+						h.Enter(tiny)
+						sum += splitmix64(&state)
+						h.Exit(tiny)
+					}
+					h.Exit(loop)
+					done += n
+				}
+				return sum, nil
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,252 @@
+// Package stress is the overhead gauntlet's workload generator: a set of
+// deterministic stress personalities that exercise the probe hot path from
+// directions the Phoenix/kvstore/spdknvme workloads do not. Following
+// Stress-SGX's argument that a profiler's overhead claim must be validated
+// against controllable CPU/memory/IO-bound stressors rather than a handful
+// of benchmarks, each personality isolates one pressure axis — call-tree
+// fan-out, recursion depth, goroutine churn, tiny-function call rate,
+// allocation pressure, or a mixed CPU/memory/IO profile — behind tunable
+// intensity knobs.
+//
+// Personalities are self-validating: every run returns a checksum that
+// depends only on the tuning (knobs + seed), never on timing or on the
+// attached instrumentation, so an instrumented run is checked against the
+// native baseline and a probe that perturbs workload behavior is caught,
+// not silently measured. Determinism also extends to the event stream:
+// for a fixed tuning the number of Enter/Exit events is exact, which is
+// what makes the `teeperf stress` golden test and the CI ratio gate
+// possible.
+package stress
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"teeperf/internal/probe"
+	"teeperf/internal/symtab"
+)
+
+// Tuning is the intensity-knob set. The zero value of any field means
+// "use the personality's default"; Seed 0 means seed 42. Not every
+// personality reads every knob — each documents the ones it honors.
+type Tuning struct {
+	// Depth is the call-tree or recursion depth.
+	Depth int
+	// FanOut is the child count per call-tree node.
+	FanOut int
+	// Goroutines is the concurrent worker count per churn wave.
+	Goroutines int
+	// AllocBytes sizes allocations, memory slabs and IO chunks.
+	AllocBytes int
+	// Iterations is the top-level iteration budget.
+	Iterations int
+	// Seed drives all deterministic input generation.
+	Seed uint64
+}
+
+// merged fills t's zero fields from def.
+func (t Tuning) merged(def Tuning) Tuning {
+	if t.Depth == 0 {
+		t.Depth = def.Depth
+	}
+	if t.FanOut == 0 {
+		t.FanOut = def.FanOut
+	}
+	if t.Goroutines == 0 {
+		t.Goroutines = def.Goroutines
+	}
+	if t.AllocBytes == 0 {
+		t.AllocBytes = def.AllocBytes
+	}
+	if t.Iterations == 0 {
+		t.Iterations = def.Iterations
+	}
+	if t.Seed == 0 {
+		t.Seed = def.Seed
+	}
+	if t.Seed == 0 {
+		t.Seed = 42
+	}
+	return t
+}
+
+// Config wires a personality instance to its measurement environment.
+type Config struct {
+	// Hooks receives the main goroutine's entry/exit events (a TEE-Perf
+	// probe thread, or probe.Nop for the native baseline).
+	Hooks probe.Hooks
+	// NewThread returns a fresh Hooks for each spawned goroutine — a
+	// probe.Thread models a thread-local and must not be shared across
+	// goroutines. Nil defaults to reusing Hooks, which is only correct
+	// for stateless hooks such as probe.Nop.
+	NewThread func() probe.Hooks
+	// AddrOf resolves a registered symbol name to its runtime address.
+	AddrOf func(name string) uint64
+	// Dir is the scratch directory for IO-bound personalities (default
+	// os.TempDir()).
+	Dir string
+}
+
+func (c Config) validate() error {
+	if c.Hooks == nil {
+		return errors.New("stress: nil hooks")
+	}
+	if c.AddrOf == nil {
+		return errors.New("stress: nil AddrOf")
+	}
+	return nil
+}
+
+// newThread returns the per-goroutine hooks factory (see Config.NewThread).
+func (c Config) newThread() func() probe.Hooks {
+	if c.NewThread != nil {
+		return c.NewThread
+	}
+	return func() probe.Hooks { return c.Hooks }
+}
+
+// scratchDir returns the IO scratch directory.
+func (c Config) scratchDir() string {
+	if c.Dir != "" {
+		return c.Dir
+	}
+	return os.TempDir()
+}
+
+// resolve maps each name through AddrOf, failing on unregistered symbols.
+func (c Config) resolve(names ...string) (map[string]uint64, error) {
+	out := make(map[string]uint64, len(names))
+	for _, n := range names {
+		a := c.AddrOf(n)
+		if a == 0 {
+			return nil, fmt.Errorf("stress: symbol %q not registered", n)
+		}
+		out[n] = a
+	}
+	return out, nil
+}
+
+// Runner executes one measured run and returns the workload checksum. A
+// Runner is bound to one goroutine at a time (it may spawn more itself).
+type Runner func() (uint64, error)
+
+// Personality is one stress workload.
+type Personality struct {
+	// Name identifies the personality in sweeps, tables and BENCH rows.
+	Name string
+	// Profile classifies the pressure axis: cpu, sched, mem, io or mixed.
+	Profile string
+	// Summary is the one-line description shown by `teeperf stress -list`.
+	Summary string
+	// Symbols are the function names the personality's probes reference.
+	Symbols []string
+	// Contended marks personalities whose numbers are only meaningful
+	// with real parallelism (skipped at shard counts > 1 on single-core
+	// runners rather than measured as garbage).
+	Contended bool
+	// Default and Quick are the full-measurement and CI-smoke tunings.
+	Default Tuning
+	Quick   Tuning
+	// New binds a Runner to cfg at tuning tn (merged over Default).
+	New func(cfg Config, tn Tuning) (Runner, error)
+}
+
+// Tuning merges tn over the personality's default (Quick's when quick).
+func (p Personality) Tuning(tn Tuning, quick bool) Tuning {
+	def := p.Default
+	if quick {
+		def = p.Quick
+	}
+	return tn.merged(def)
+}
+
+// RegisterSymbols adds the personality's functions to the symbol table.
+// Already-registered symbols are left untouched.
+func (p Personality) RegisterSymbols(tab *symtab.Table) error {
+	for i, name := range p.Symbols {
+		if _, ok := tab.Lookup(name); ok {
+			continue
+		}
+		if _, err := tab.Register(name, 64, "stress/"+p.Name+".go", (i+1)*10); err != nil {
+			return fmt.Errorf("stress: register %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// All returns the gauntlet in sweep order.
+func All() []Personality {
+	return []Personality{
+		FanOutTree(),
+		Recursion(),
+		Churn(),
+		Storm(),
+		AllocHeavy(),
+		Mixed(),
+	}
+}
+
+// ByName returns the named personality.
+func ByName(name string) (Personality, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Personality{}, fmt.Errorf("stress: unknown personality %q", name)
+}
+
+// Names lists the personalities in sweep order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// splitmix64 is the deterministic generator used for all workload inputs
+// and checksums (same construction as the phoenix suite).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fillBytes deterministically fills buf from seed.
+func fillBytes(buf []byte, seed uint64) {
+	state := seed
+	i := 0
+	for ; i+8 <= len(buf); i += 8 {
+		v := splitmix64(&state)
+		buf[i] = byte(v)
+		buf[i+1] = byte(v >> 8)
+		buf[i+2] = byte(v >> 16)
+		buf[i+3] = byte(v >> 24)
+		buf[i+4] = byte(v >> 32)
+		buf[i+5] = byte(v >> 40)
+		buf[i+6] = byte(v >> 48)
+		buf[i+7] = byte(v >> 56)
+	}
+	for ; i < len(buf); i++ {
+		buf[i] = byte(splitmix64(&state))
+	}
+}
+
+// sumBytes folds buf into a 64-bit checksum (FNV-1a).
+func sumBytes(buf []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

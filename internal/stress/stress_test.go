@@ -1,0 +1,165 @@
+package stress
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"teeperf/internal/probe"
+	"teeperf/internal/symtab"
+)
+
+// countHooks counts Enter/Exit events. Atomic so one instance can be
+// shared across churn workers.
+type countHooks struct {
+	enters atomic.Uint64
+	exits  atomic.Uint64
+}
+
+func (h *countHooks) Enter(uint64) { h.enters.Add(1) }
+func (h *countHooks) Exit(uint64)  { h.exits.Add(1) }
+
+func (h *countHooks) total() uint64 { return h.enters.Load() + h.exits.Load() }
+
+// runCounted builds p at tn against counting hooks and runs it once.
+func runCounted(t *testing.T, p Personality, tn Tuning) (checksum, events uint64) {
+	t.Helper()
+	tab := symtab.New()
+	if err := p.RegisterSymbols(tab); err != nil {
+		t.Fatal(err)
+	}
+	h := &countHooks{}
+	run, err := p.New(Config{
+		Hooks:     h,
+		NewThread: func() probe.Hooks { return h },
+		AddrOf:    tab.Addr,
+		Dir:       t.TempDir(),
+	}, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.enters.Load() != h.exits.Load() {
+		t.Fatalf("unbalanced events: %d enters, %d exits", h.enters.Load(), h.exits.Load())
+	}
+	return sum, h.total()
+}
+
+// TestPersonalitiesDeterministic proves every personality yields the same
+// checksum AND the same event count for a fixed seed, run after run — the
+// property the golden test, the native-baseline validation and the ratio
+// gate all build on.
+func TestPersonalitiesDeterministic(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tn := p.Tuning(Tuning{Seed: 7}, true)
+			sum1, ev1 := runCounted(t, p, tn)
+			sum2, ev2 := runCounted(t, p, tn)
+			if sum1 != sum2 {
+				t.Errorf("checksum not deterministic: %#x vs %#x", sum1, sum2)
+			}
+			if ev1 != ev2 {
+				t.Errorf("event count not deterministic: %d vs %d", ev1, ev2)
+			}
+			if ev1 == 0 {
+				t.Error("personality produced no probe events")
+			}
+			// A different seed must change the result, or the checksum
+			// validates nothing.
+			sum3, _ := runCounted(t, p, p.Tuning(Tuning{Seed: 8}, true))
+			if sum3 == sum1 {
+				t.Errorf("checksum ignores the seed: %#x", sum1)
+			}
+		})
+	}
+}
+
+// TestPersonalitiesScaleWithKnob proves each personality's primary
+// intensity knob actually steers event volume: doubling it must produce
+// strictly more probe events.
+func TestPersonalitiesScaleWithKnob(t *testing.T) {
+	cases := []struct {
+		name string
+		knob string
+		bump func(*Tuning)
+	}{
+		{"fanout", "FanOut", func(tn *Tuning) { tn.FanOut *= 2 }},
+		{"recursion", "Depth", func(tn *Tuning) { tn.Depth *= 2 }},
+		{"churn", "Goroutines", func(tn *Tuning) { tn.Goroutines *= 2 }},
+		{"storm", "Iterations", func(tn *Tuning) { tn.Iterations *= 2 }},
+		{"alloc", "Iterations", func(tn *Tuning) { tn.Iterations *= 2 }},
+		{"mixed", "Iterations", func(tn *Tuning) { tn.Iterations *= 2 }},
+	}
+	if len(cases) != len(All()) {
+		t.Fatalf("knob table covers %d personalities, registry has %d", len(cases), len(All()))
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name+"/"+tc.knob, func(t *testing.T) {
+			p, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := p.Tuning(Tuning{Seed: 7}, true)
+			_, evBase := runCounted(t, p, base)
+			bumped := base
+			tc.bump(&bumped)
+			_, evBumped := runCounted(t, p, bumped)
+			if evBumped <= evBase {
+				t.Errorf("doubling %s did not raise events: %d -> %d", tc.knob, evBase, evBumped)
+			}
+		})
+	}
+}
+
+// TestChecksumHookIndependent proves instrumentation cannot change the
+// workload result: Nop hooks and counting hooks agree for every
+// personality. (The sweep re-checks this against real probes at runtime.)
+func TestChecksumHookIndependent(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tn := p.Tuning(Tuning{Seed: 11}, true)
+			tab := symtab.New()
+			if err := p.RegisterSymbols(tab); err != nil {
+				t.Fatal(err)
+			}
+			run, err := p.New(Config{Hooks: probe.Nop{}, AddrOf: tab.Addr, Dir: t.TempDir()}, tn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			native, err := run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			counted, _ := runCounted(t, p, tn)
+			if native != counted {
+				t.Errorf("checksum depends on hooks: nop %#x vs counted %#x", native, counted)
+			}
+		})
+	}
+}
+
+// TestPersonalityRegistry pins the gauntlet roster: the acceptance bar is
+// at least 6 personalities, and ByName must resolve every listed name.
+func TestPersonalityRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("gauntlet has %d personalities, want >= 6", len(names))
+	}
+	for _, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Summary == "" || p.Profile == "" || len(p.Symbols) == 0 {
+			t.Errorf("%s: incomplete personality metadata", n)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted an unknown personality")
+	}
+}

@@ -1,0 +1,361 @@
+package stress
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"teeperf/internal/fex"
+	"teeperf/internal/probe"
+	"teeperf/internal/recorder"
+	"teeperf/internal/symtab"
+)
+
+// BenchPrefix is the go-bench-style name under which sweep rows are
+// emitted; scripts/benchjson parses these lines into BENCH_overhead.json
+// and scripts/bench_gate.sh gates the ratio column against it.
+const BenchPrefix = "BenchmarkStressOverhead"
+
+// SweepConfig parameterizes the overhead gauntlet: every selected
+// personality runs uninstrumented (the native baseline) and then
+// instrumented at each (sample period, shard count) combination.
+type SweepConfig struct {
+	// Personalities restricts the sweep (default: the full gauntlet).
+	Personalities []string
+	// Periods are the probe sampling periods to sweep (default 1, 8, 64).
+	Periods []uint64
+	// ShardCounts are the log shard counts to sweep (default 1, 8).
+	ShardCounts []int
+	// Runs and Warmups follow the Fex methodology (defaults 3 and 1).
+	Runs    int
+	Warmups int
+	// Quick switches every personality to its CI-smoke tuning.
+	Quick bool
+	// Seed overrides the tuning seed for all personalities.
+	Seed uint64
+	// Tune overrides individual intensity knobs (zero fields keep the
+	// personality's default).
+	Tune Tuning
+	// Counter picks the probe time source (default: software counter
+	// when a spare core exists, TSC otherwise, as in Fig 4).
+	Counter recorder.CounterMode
+	// Capacity is the per-shard log capacity in entries (default 1<<19,
+	// quick 1<<16); the log is created with Capacity*shards total so a
+	// single-threaded personality cannot overflow its one segment.
+	Capacity int
+	// NumCPU is the measuring host's parallelism (default
+	// runtime.NumCPU()). On single-core hosts, contention-sensitive rows
+	// (shard counts > 1) are skipped rather than measured as garbage:
+	// with goroutines time-sliced onto one core there is no cache-line
+	// contention for sharding to relieve, so those ratios say nothing.
+	NumCPU int
+	// Dir is the scratch directory for IO-bound personalities.
+	Dir string
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if len(c.Personalities) == 0 {
+		c.Personalities = Names()
+	}
+	if len(c.Periods) == 0 {
+		c.Periods = []uint64{1, 8, 64}
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 8}
+	}
+	if c.Runs <= 0 {
+		c.Runs = 3
+	}
+	if c.Warmups < 0 {
+		c.Warmups = 0
+	}
+	if c.Seed != 0 && c.Tune.Seed == 0 {
+		c.Tune.Seed = c.Seed
+	}
+	if c.Counter == 0 {
+		c.Counter = recorder.CounterSoftware
+		if runtime.NumCPU() < 2 {
+			c.Counter = recorder.CounterTSC
+		}
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1 << 19
+		if c.Quick {
+			c.Capacity = 1 << 17
+		}
+	}
+	if c.NumCPU == 0 {
+		c.NumCPU = runtime.NumCPU()
+	}
+	return c
+}
+
+// Row is one (personality, period, shards) measurement. Period 0 is the
+// uninstrumented baseline the ratios divide by.
+type Row struct {
+	Personality string
+	// Period is the probe sampling period (0 for the native baseline).
+	Period uint64
+	// Shards is the log shard count (0 for the native baseline).
+	Shards int
+	// Time is the fastest measured run. Scheduler interference only ever
+	// adds time, so min-of-runs is the noise-robust statistic for the
+	// ratio trajectory the CI gate enforces; the paper's geometric means
+	// belong to the full experiments (internal/experiments), not this gate.
+	Time time.Duration
+	// Ratio is Time over the personality's native baseline.
+	Ratio float64
+	// Events is the committed entry count of one run; EventsPerSec is
+	// Events over Time.
+	Events       int
+	EventsPerSec float64
+	// Dropped and DropRate account events lost to a full log across the
+	// measured runs; Masked counts events suppressed by sampling.
+	Dropped  uint64
+	DropRate float64
+	Masked   uint64
+	// Checksum is the workload result, identical across native and every
+	// instrumented configuration (the sweep fails otherwise).
+	Checksum uint64
+}
+
+// Name renders the row's sweep coordinate ("fanout/native", "storm/p8/s1").
+func (r Row) Name() string {
+	if r.Period == 0 {
+		return r.Personality + "/native"
+	}
+	return fmt.Sprintf("%s/p%d/s%d", r.Personality, r.Period, r.Shards)
+}
+
+// SweepResult is the gauntlet outcome: the measured rows plus an explicit
+// record of every combination that was skipped and why — a bounded sweep
+// that silently drops rows would read as "covered everything".
+type SweepResult struct {
+	Rows    []Row
+	Skipped []string
+	// NumCPU is the parallelism the sweep ran under.
+	NumCPU int
+}
+
+// Sweep measures instrumented-vs-native runtime for every selected
+// personality across the period × shard grid. Every run's checksum is
+// validated against the native baseline, so a probe interaction that
+// changes workload behavior fails the sweep instead of skewing it.
+func Sweep(cfg SweepConfig) (*SweepResult, error) {
+	c := cfg.withDefaults()
+	res := &SweepResult{NumCPU: c.NumCPU}
+	for _, name := range c.Personalities {
+		p, err := ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		tn := p.Tuning(c.Tune, c.Quick)
+		base, err := runNative(c, p, tn)
+		if err != nil {
+			return nil, fmt.Errorf("stress: %s native: %w", p.Name, err)
+		}
+		res.Rows = append(res.Rows, base)
+		for _, shards := range c.ShardCounts {
+			if shards > 1 && c.NumCPU < 2 {
+				res.Skipped = append(res.Skipped, fmt.Sprintf(
+					"%s/p*/s%d: contention-sensitive, needs >= 2 CPUs (have %d)",
+					p.Name, shards, c.NumCPU))
+				continue
+			}
+			for _, period := range c.Periods {
+				row, err := runInstrumented(c, p, tn, period, shards, base)
+				if err != nil {
+					return nil, fmt.Errorf("stress: %s/p%d/s%d: %w", p.Name, period, shards, err)
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runNative measures the uninstrumented baseline and pins the checksum.
+func runNative(c SweepConfig, p Personality, tn Tuning) (Row, error) {
+	tab := symtab.New()
+	if err := p.RegisterSymbols(tab); err != nil {
+		return Row{}, err
+	}
+	run, err := p.New(Config{
+		Hooks:     probe.Nop{},
+		NewThread: func() probe.Hooks { return probe.Nop{} },
+		AddrOf:    tab.Addr,
+		Dir:       c.Dir,
+	}, tn)
+	if err != nil {
+		return Row{}, err
+	}
+	sum, fr, err := measure(p.Name+"/native", c, run)
+	if err != nil {
+		return Row{}, err
+	}
+	best := fr.Min()
+	return Row{Personality: p.Name, Time: best, Ratio: 1, Checksum: sum}, nil
+}
+
+// runInstrumented measures one (period, shards) cell against base.
+func runInstrumented(c SweepConfig, p Personality, tn Tuning, period uint64, shards int, base Row) (Row, error) {
+	tab := symtab.New()
+	rec, err := recorder.New(tab,
+		recorder.WithCapacity(c.Capacity*shards),
+		recorder.WithShards(shards),
+		recorder.WithCounterMode(c.Counter),
+		recorder.WithSamplePeriod(period))
+	if err != nil {
+		return Row{}, err
+	}
+	if err := p.RegisterSymbols(tab); err != nil {
+		return Row{}, err
+	}
+	run, err := p.New(Config{
+		Hooks:     rec.Thread(),
+		NewThread: func() probe.Hooks { return rec.Thread() },
+		AddrOf:    rec.AddrOf,
+		Dir:       c.Dir,
+	}, tn)
+	if err != nil {
+		return Row{}, err
+	}
+	if err := rec.Start(); err != nil {
+		return Row{}, err
+	}
+	log := rec.Log()
+	sum, fr, err := measure(fmt.Sprintf("%s/p%d/s%d", p.Name, period, shards), c, func() (uint64, error) {
+		log.Reset() // fresh log per run, as in Fig 4
+		return run()
+	})
+	if err != nil {
+		_ = rec.Stop()
+		return Row{}, err
+	}
+	events := log.Len()
+	if err := rec.Stop(); err != nil {
+		return Row{}, err
+	}
+	if sum != base.Checksum {
+		return Row{}, fmt.Errorf("instrumented checksum %#x != native %#x — probes perturbed the workload", sum, base.Checksum)
+	}
+	st := rec.Stats()
+	best := fr.Min()
+	row := Row{
+		Personality: p.Name,
+		Period:      period,
+		Shards:      shards,
+		Time:        best,
+		Events:      events,
+		Dropped:     st.Dropped,
+		DropRate:    st.DropRate,
+		Masked:      st.Masked,
+		Checksum:    sum,
+	}
+	if base.Time > 0 {
+		row.Ratio = float64(best) / float64(base.Time)
+	}
+	if best > 0 {
+		row.EventsPerSec = float64(events) / best.Seconds()
+	}
+	return row, nil
+}
+
+// measure wraps fex.Run around run, checking that every warmup and
+// measured run produces the same checksum (the personalities promise
+// determinism; a violation would invalidate the baseline comparison).
+func measure(label string, c SweepConfig, run Runner) (uint64, fex.Result, error) {
+	var (
+		sum   uint64
+		first = true
+	)
+	fr, err := fex.Run(label, c.Warmups, c.Runs, func() error {
+		s, err := run()
+		if err != nil {
+			return err
+		}
+		if first {
+			sum, first = s, false
+		} else if s != sum {
+			return fmt.Errorf("nondeterministic checksum: %#x then %#x", sum, s)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fex.Result{}, err
+	}
+	return sum, fr, nil
+}
+
+// WriteTable renders the sweep as a human-facing table, ratios relative to
+// each personality's native baseline, with skipped combinations listed
+// explicitly after the rows.
+func WriteTable(w io.Writer, res *SweepResult) error {
+	nameWidth := len("ROW")
+	for _, r := range res.Rows {
+		if n := len(r.Name()); n > nameWidth {
+			nameWidth = n
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %10s  %7s  %10s  %12s  %9s  %10s\n",
+		nameWidth, "ROW", "TIME_MS", "RATIO", "EVENTS", "EVENTS/S", "DROPS/S", "MASKED"); err != nil {
+		return err
+	}
+	for _, r := range res.Rows {
+		if _, err := fmt.Fprintf(w, "%-*s  %10.3f  %7.3f  %10d  %12.0f  %9.2f  %10d\n",
+			nameWidth, r.Name(), float64(r.Time)/1e6, r.Ratio, r.Events,
+			r.EventsPerSec, r.DropRate, r.Masked); err != nil {
+			return err
+		}
+	}
+	for _, s := range res.Skipped {
+		if _, err := fmt.Fprintf(w, "# skipped %s\n", s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBench emits the rows as `go test -bench`-style result lines under
+// BenchPrefix, the format scripts/benchjson converts into
+// BENCH_overhead.json: wall-clock as ns/op plus ratio, events/s, drops/s
+// and masked-total metric pairs. Iterations is the measured run count.
+func WriteBench(w io.Writer, res *SweepResult, runs int) error {
+	if runs <= 0 {
+		runs = 1
+	}
+	for _, r := range res.Rows {
+		if _, err := fmt.Fprintf(w, "%s/%s\t%d\t%d ns/op\t%.4f ratio\t%.0f events/s\t%.2f drops/s\t%d masked\n",
+			BenchPrefix, r.Name(), runs, r.Time.Nanoseconds(), r.Ratio,
+			r.EventsPerSec, r.DropRate, r.Masked); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDeterministic renders only the timing-free columns — committed
+// events, sampling-masked events and the workload checksum — which for a
+// fixed seed are exact whatever the host is doing. This is the golden-test
+// surface: it pins the event volume of every personality × period cell
+// without pinning a single nanosecond.
+func WriteDeterministic(w io.Writer, res *SweepResult) error {
+	nameWidth := len("ROW")
+	for _, r := range res.Rows {
+		if n := len(r.Name()); n > nameWidth {
+			nameWidth = n
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %10s  %10s  %16s\n",
+		nameWidth, "ROW", "EVENTS", "MASKED", "CHECKSUM"); err != nil {
+		return err
+	}
+	for _, r := range res.Rows {
+		if _, err := fmt.Fprintf(w, "%-*s  %10d  %10d  %016x\n",
+			nameWidth, r.Name(), r.Events, r.Masked, r.Checksum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

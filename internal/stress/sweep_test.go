@@ -1,0 +1,142 @@
+package stress
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"teeperf/internal/recorder"
+)
+
+// quickSweep is the shared test configuration: virtual counter (no spare
+// core needed, deterministic ticks), one run, tiny budgets.
+func quickSweep() SweepConfig {
+	return SweepConfig{
+		Periods:     []uint64{1, 8},
+		ShardCounts: []int{1},
+		Runs:        1,
+		Warmups:     0,
+		Quick:       true,
+		Seed:        7,
+		Counter:     recorder.CounterVirtual,
+	}
+}
+
+// TestSweepDeterministicColumns proves the timing-free columns of two
+// identical sweeps agree exactly — the property the CLI golden rests on.
+func TestSweepDeterministicColumns(t *testing.T) {
+	cfg := quickSweep()
+	cfg.Dir = t.TempDir()
+	a, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := WriteDeterministic(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDeterministic(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Errorf("deterministic output differs between sweeps\n--- a ---\n%s--- b ---\n%s", bufA.String(), bufB.String())
+	}
+	// 6 personalities x (native + 2 periods).
+	if want := len(Names()) * 3; len(a.Rows) != want {
+		t.Errorf("got %d rows, want %d", len(a.Rows), want)
+	}
+	for _, r := range a.Rows {
+		if r.Period > 0 && r.Ratio <= 0 {
+			t.Errorf("%s: non-positive ratio %f", r.Name(), r.Ratio)
+		}
+		if r.Period > 0 && r.Events == 0 {
+			t.Errorf("%s: no committed events", r.Name())
+		}
+		if r.Period > 1 && r.Masked == 0 {
+			t.Errorf("%s: sampling masked nothing", r.Name())
+		}
+		if r.Dropped != 0 {
+			t.Errorf("%s: %d dropped events — capacity sized wrong", r.Name(), r.Dropped)
+		}
+	}
+}
+
+// TestSweepSkipsContendedRowsOnSingleCPU proves the CPU-count awareness:
+// shard counts above 1 are contention experiments, and a single-core host
+// must skip them loudly instead of recording garbage.
+func TestSweepSkipsContendedRowsOnSingleCPU(t *testing.T) {
+	cfg := quickSweep()
+	cfg.Dir = t.TempDir()
+	cfg.Personalities = []string{"storm"}
+	cfg.ShardCounts = []int{1, 8}
+	cfg.NumCPU = 1
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Shards > 1 {
+			t.Errorf("single-CPU sweep measured contended row %s", r.Name())
+		}
+	}
+	if len(res.Skipped) != 1 || !strings.Contains(res.Skipped[0], "storm/p*/s8") {
+		t.Errorf("skip note missing or wrong: %q", res.Skipped)
+	}
+
+	// With parallelism available the same grid measures the s8 rows.
+	cfg.NumCPU = 8
+	res, err = Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s8 int
+	for _, r := range res.Rows {
+		if r.Shards == 8 {
+			s8++
+		}
+	}
+	if s8 != len(cfg.Periods) {
+		t.Errorf("multi-CPU sweep measured %d s8 rows, want %d", s8, len(cfg.Periods))
+	}
+	if len(res.Skipped) != 0 {
+		t.Errorf("unexpected skips: %q", res.Skipped)
+	}
+}
+
+// benchLine is the shape scripts/benchjson parses: a name starting with
+// Benchmark, an iteration count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^BenchmarkStressOverhead/[a-z]+(/native|/p\d+/s\d+)\t\d+\t\d+ ns/op\t\d+\.\d+ ratio\t\d+ events/s\t\d+\.\d+ drops/s\t\d+ masked$`)
+
+// TestWriteBenchEmitsParseableRows pins the go-bench line format the
+// BENCH_overhead.json pipeline depends on: every row one line, even
+// field count, all five metrics present.
+func TestWriteBenchEmitsParseableRows(t *testing.T) {
+	cfg := quickSweep()
+	cfg.Dir = t.TempDir()
+	cfg.Personalities = []string{"fanout", "storm"}
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, res, cfg.Runs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if want := len(res.Rows); len(lines) != want {
+		t.Fatalf("got %d bench lines, want %d", len(lines), want)
+	}
+	for _, l := range lines {
+		if !benchLine.MatchString(l) {
+			t.Errorf("bench line does not match the benchjson contract: %q", l)
+		}
+		if n := len(strings.Fields(l)); n < 4 || n%2 != 0 {
+			t.Errorf("bench line has %d fields (want even, >= 4): %q", n, l)
+		}
+	}
+}

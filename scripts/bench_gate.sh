@@ -1,75 +1,158 @@
 #!/usr/bin/env bash
-# Bench-regression smoke gate.
+# Bench-regression gate. Every gated metric prints exactly one
+# "bench gate: PASS <metric>" or "bench gate: FAIL <metric>: <reason>"
+# line; the first FAIL exits non-zero naming the offending metric.
 #
-# Runs the recorded benchmark suite (defined once in bench_suite.sh, shared
-# with bench_record.sh) for a single iteration and fails if any benchmark
-# no longer compiles, runs, or reports a result. This is an EXISTENCE gate,
-# not a threshold gate: single-iteration numbers on shared CI runners are
-# noise, but a benchmark that silently stopped running means a refactor
-# unhooked the perf suite — exactly the regression this catches. Real
-# numbers live in EXPERIMENTS.md and the BENCH_*.json trajectory files,
-# measured on quiet hardware.
+# Modes:
+#   bench_gate.sh                # all: suite + overhead
+#   bench_gate.sh suite          # existence gate + trajectory-file checks
+#                                # + sampling p64/p1 threshold
+#   bench_gate.sh overhead       # run the quick stress sweep and gate its
+#                                # ratio rows against BENCH_overhead.json
+#   bench_gate.sh overhead-compare <baseline.json> <current.json>
+#                                # gate two already-recorded trajectories
+#                                # (used by the benchjson script test)
+#
+# The suite gate is an EXISTENCE gate: single-iteration numbers on shared
+# CI runners are noise, but a benchmark that silently stopped running
+# means a refactor unhooked the perf suite. The two THRESHOLD gates check
+# ratios, not absolute times: the sampling p64/p1 speedup and the stress
+# instrumented/native overhead ratios are both computed within one run on
+# one core, so they survive machine-speed differences. Overhead thresholds
+# are env-tunable via OVERHEAD_GATE_PCT / OVERHEAD_GATE_SLACK.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 . scripts/bench_suite.sh
 
-required=("${SHMLOG_BENCHES[@]}" "${AGENT_BENCHES[@]}")
-
-out="$(mktemp)"
-trap 'rm -f "$out"' EXIT
-
-# -run matches nothing so only benchmarks execute; -json gives a stable,
-# machine-checkable record of which benchmarks actually ran.
-go test -json -run='^$' -bench="$(bench_pattern "${required[@]}")" \
-    -benchtime=1x -count=1 ./... >"$out" || {
-    echo "bench gate: benchmark run failed" >&2
-    grep -E '"Action":"(fail|build-fail)"' "$out" >&2 || true
+pass() { echo "bench gate: PASS $*"; }
+fail() {
+    echo "bench gate: FAIL $*" >&2
     exit 1
 }
 
-missing=0
-for b in "${required[@]}"; do
-    # A benchmark that ran emits its name in an Output event — either a
-    # result line ("BenchmarkLogWriteTo-8 ...") or, for benchmarks with
-    # sub-benchmarks, the bare announcement ("BenchmarkAppendParallel\n")
-    # followed by "BenchmarkAppendParallel/g1/k1/s1-8 ..." lines.
-    if ! grep -qE "\"Output\":\"${b}(-|/| |\\\\n)" "$out"; then
-        echo "bench gate: suite benchmark ${b} did not run" >&2
-        missing=1
+gate_suite() {
+    local required=("${SHMLOG_BENCHES[@]}" "${AGENT_BENCHES[@]}")
+    local out missing=0
+    out="$(mktemp)"
+    # shellcheck disable=SC2064 # expand $out now
+    trap "rm -f '$out'" RETURN
+
+    # -run matches nothing so only benchmarks execute; -json gives a
+    # stable, machine-checkable record of which benchmarks actually ran.
+    go test -json -run='^$' -bench="$(bench_pattern "${required[@]}")" \
+        -benchtime=1x -count=1 ./... >"$out" || {
+        grep -E '"Action":"(fail|build-fail)"' "$out" >&2 || true
+        fail "suite benchmarks: benchmark run failed"
+    }
+
+    local b
+    for b in "${required[@]}"; do
+        # A benchmark that ran emits its name in an Output event — either a
+        # result line ("BenchmarkLogWriteTo-8 ...") or, for benchmarks with
+        # sub-benchmarks, the bare announcement ("BenchmarkAppendParallel\n")
+        # followed by "BenchmarkAppendParallel/g1/k1/s1-8 ..." lines.
+        if ! grep -qE "\"Output\":\"${b}(-|/| |\\\\n)" "$out"; then
+            echo "bench gate: suite benchmark ${b} did not run" >&2
+            missing=1
+        fi
+    done
+    if [ "$missing" -ne 0 ]; then
+        fail "suite benchmarks: some did not run (named above)"
     fi
-done
-if [ "$missing" -ne 0 ]; then
-    exit 1
-fi
-echo "bench gate: all ${#required[@]} suite benchmarks ran"
+    pass "suite benchmarks: all ${#required[@]} ran"
 
-# The committed perf-trajectory files must parse and name every benchmark
-# in their half of the suite (regenerate with scripts/bench_record.sh).
-go run ./scripts/benchjson -check BENCH_shmlog.json "${SHMLOG_BENCHES[@]}"
-go run ./scripts/benchjson -check BENCH_agent.json "${AGENT_BENCHES[@]}"
+    # The committed perf-trajectory files must parse and name every
+    # benchmark in their half of the suite (scripts/bench_record.sh).
+    go run ./scripts/benchjson -check BENCH_shmlog.json "${SHMLOG_BENCHES[@]}" ||
+        fail "BENCH_shmlog.json: stale or unparseable (regenerate with scripts/bench_record.sh)"
+    pass "BENCH_shmlog.json names all ${#SHMLOG_BENCHES[@]} suite benchmarks"
+    go run ./scripts/benchjson -check BENCH_agent.json "${AGENT_BENCHES[@]}" ||
+        fail "BENCH_agent.json: stale or unparseable (regenerate with scripts/bench_record.sh)"
+    pass "BENCH_agent.json names all ${#AGENT_BENCHES[@]} suite benchmarks"
 
-# Sampling-overhead THRESHOLD gate — the one place a number is checked.
-# Absolute ns/op is machine noise, but the p64/p1 ratio within a single
-# run is not: both halves execute back to back on the same core. A ratio
-# below SAMPLING_GATE_MIN means suppressed events regressed onto the
-# guarded slow path (the whole point of sampling mode is that they don't),
-# so it fails the gate. Enough iterations to settle the ratio, still <1s.
-ratio_out="$(go test -run='^$' -bench='^BenchmarkAppendSampled$' \
-    -benchtime=200000x -count=1 .)"
-# The -GOMAXPROCS name suffix is absent when GOMAXPROCS=1.
-p1="$(awk '$1 ~ /^BenchmarkAppendSampled\/p1(-[0-9]+)?$/  {print $3; exit}' <<<"$ratio_out")"
-p64="$(awk '$1 ~ /^BenchmarkAppendSampled\/p64(-[0-9]+)?$/ {print $3; exit}' <<<"$ratio_out")"
-if [ -z "$p1" ] || [ -z "$p64" ]; then
-    echo "bench gate: BenchmarkAppendSampled produced no p1/p64 results" >&2
-    echo "$ratio_out" >&2
-    exit 1
-fi
-awk -v p1="$p1" -v p64="$p64" -v min="$SAMPLING_GATE_MIN" 'BEGIN {
-    ratio = p1 / p64
-    printf "bench gate: sampling p64 speedup %.1fx (p1 %.1f ns/op, p64 %.1f ns/op, floor %sx)\n",
-        ratio, p1, p64, min
-    exit !(ratio >= min)
-}' || {
-    echo "bench gate: sampling-mode overhead regressed past ${SAMPLING_GATE_MIN}x floor" >&2
-    exit 1
+    # Sampling-overhead THRESHOLD gate. Absolute ns/op is machine noise,
+    # but the p64/p1 ratio within a single run is not: both halves execute
+    # back to back on the same core. A ratio below SAMPLING_GATE_MIN means
+    # suppressed events regressed onto the guarded slow path (the whole
+    # point of sampling mode is that they don't).
+    local ratio_out p1 p64
+    ratio_out="$(go test -run='^$' -bench='^BenchmarkAppendSampled$' \
+        -benchtime=200000x -count=1 .)"
+    # The -GOMAXPROCS name suffix is absent when GOMAXPROCS=1.
+    p1="$(awk '$1 ~ /^BenchmarkAppendSampled\/p1(-[0-9]+)?$/  {print $3; exit}' <<<"$ratio_out")"
+    p64="$(awk '$1 ~ /^BenchmarkAppendSampled\/p64(-[0-9]+)?$/ {print $3; exit}' <<<"$ratio_out")"
+    if [ -z "$p1" ] || [ -z "$p64" ]; then
+        echo "$ratio_out" >&2
+        fail "sampling speedup: BenchmarkAppendSampled produced no p1/p64 results"
+    fi
+    if awk -v p1="$p1" -v p64="$p64" -v min="$SAMPLING_GATE_MIN" 'BEGIN {
+        ratio = p1 / p64
+        printf "bench gate: sampling p64 speedup %.1fx (p1 %.1f ns/op, p64 %.1f ns/op, floor %sx)\n",
+            ratio, p1, p64, min
+        exit !(ratio >= min)
+    }'; then
+        pass "sampling speedup: p64/p1 at or above ${SAMPLING_GATE_MIN}x floor"
+    else
+        fail "sampling speedup: p64/p1 regressed below ${SAMPLING_GATE_MIN}x floor"
+    fi
 }
+
+# gate_overhead_compare <baseline.json> <current.json>: threshold-gate the
+# overhead ratio rows of current against baseline. benchjson prints one
+# "benchjson gate: FAIL <row> ..." line per offending metric on stderr.
+gate_overhead_compare() {
+    local basefile="$1" curfile="$2"
+    if go run ./scripts/benchjson -gate -metric ratio \
+        -max-regress "$OVERHEAD_GATE_PCT" -slack "$OVERHEAD_GATE_SLACK" \
+        -prefix "BenchmarkStressOverhead/" "$basefile" "$curfile"; then
+        pass "overhead ratios: within +${OVERHEAD_GATE_PCT}% (+${OVERHEAD_GATE_SLACK} abs) of ${basefile}"
+    else
+        fail "overhead ratios: regressed vs ${basefile} (offending rows named above)"
+    fi
+}
+
+gate_overhead() {
+    go run ./scripts/benchjson -check BENCH_overhead.json "${OVERHEAD_BENCHES[@]}" ||
+        fail "BENCH_overhead.json: stale or unparseable (regenerate with scripts/bench_record.sh)"
+    pass "BENCH_overhead.json names all ${#OVERHEAD_BENCHES[@]} gauntlet rows"
+
+    # Record the host parallelism in the log: single-core runners measure
+    # only the s1 half of the shard grid, and the gate compares just the
+    # row intersection with the committed baseline.
+    echo "bench gate: overhead sweep on $(nproc) CPUs, GOMAXPROCS ${GOMAXPROCS:-$(nproc)}"
+    local raw cur
+    raw="$(mktemp)"
+    cur="$(mktemp)"
+    # shellcheck disable=SC2064 # expand now
+    trap "rm -f '$raw' '$cur'" RETURN
+    # Run the sweep to completion before converting: piping straight into
+    # `go run ./scripts/benchjson` would compile benchjson concurrently
+    # with the first personality's measurements, which on small runners
+    # inflates its ratios.
+    overhead_sweep >"$raw" ||
+        fail "overhead sweep: stress run failed"
+    go run ./scripts/benchjson <"$raw" >"$cur" ||
+        fail "overhead sweep: benchjson conversion failed"
+    gate_overhead_compare BENCH_overhead.json "$cur"
+}
+
+mode="${1:-all}"
+case "$mode" in
+all)
+    gate_suite
+    gate_overhead
+    ;;
+suite)
+    gate_suite
+    ;;
+overhead)
+    gate_overhead
+    ;;
+overhead-compare)
+    [ "$#" -eq 3 ] || fail "usage: bench_gate.sh overhead-compare <baseline.json> <current.json>"
+    gate_overhead_compare "$2" "$3"
+    ;;
+*)
+    fail "unknown mode '$mode' (want: all | suite | overhead | overhead-compare <base> <cur>)"
+    ;;
+esac

@@ -35,3 +35,35 @@ bench_pattern() {
     local IFS='|'
     printf '^(%s)$' "$*"
 }
+
+# Overhead gauntlet (BENCH_overhead.json): the stress-personality sweep
+# recorded by `teeperf stress -bench`. The personality and period lists
+# mirror the defaults baked into internal/stress; the gate requires every
+# personality x period ratio row plus the native baselines, whatever shard
+# counts the recording host could measure (single-core hosts skip s>1).
+STRESS_PERSONALITIES=(fanout recursion churn storm alloc mixed)
+OVERHEAD_PERIODS=(1 8 64)
+
+OVERHEAD_BENCHES=()
+for _pers in "${STRESS_PERSONALITIES[@]}"; do
+    OVERHEAD_BENCHES+=("BenchmarkStressOverhead/${_pers}/native")
+    for _p in "${OVERHEAD_PERIODS[@]}"; do
+        OVERHEAD_BENCHES+=("BenchmarkStressOverhead/${_pers}/p${_p}")
+    done
+done
+unset _pers _p
+
+# Ratio-trajectory gate thresholds: a row fails only when it exceeds BOTH
+# the relative and the absolute bound over the committed baseline, so
+# near-1.0 rows (alloc, mixed) are not failed by absolute noise and
+# large-ratio rows (storm) are not failed by relative noise.
+OVERHEAD_GATE_PCT="${OVERHEAD_GATE_PCT:-75}"
+OVERHEAD_GATE_SLACK="${OVERHEAD_GATE_SLACK:-1.0}"
+
+# overhead_sweep runs the gauntlet in the short CI mode and emits bench
+# lines on stdout (skip notes go to stderr). Used by both bench_record.sh
+# (to write BENCH_overhead.json) and bench_gate.sh (to measure the current
+# ratios), so the baseline and the gated run are always the same experiment.
+overhead_sweep() {
+    go run ./cmd/teeperf stress -quick -bench -seed 42 -runs 7 -warmups 2
+}

@@ -8,6 +8,15 @@
 // Check (parses the file and requires every listed benchmark to appear):
 //
 //	go run ./scripts/benchjson -check BENCH_agent.json BenchmarkAppendParallel ...
+//
+// Gate (fails when a metric regresses past the threshold vs a baseline):
+//
+//	go run ./scripts/benchjson -gate -metric ratio -max-regress 50 -slack 1.0 \
+//	    BENCH_overhead.json current.json
+//
+// Meta (prints the recorded host parallelism of a trajectory file):
+//
+//	go run ./scripts/benchjson -meta BENCH_overhead.json
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -46,6 +56,12 @@ type File struct {
 
 func main() {
 	check := flag.Bool("check", false, "validate: args are <file> <required bench name>...")
+	gate := flag.Bool("gate", false, "threshold gate: args are <baseline file> <current file>")
+	meta := flag.Bool("meta", false, "print num_cpu/gomaxprocs of <file> and exit")
+	metric := flag.String("metric", "ratio", "metric to gate on (with -gate)")
+	maxRegress := flag.Float64("max-regress", 50, "max allowed regression in percent (with -gate)")
+	slack := flag.Float64("slack", 1.0, "absolute metric slack also required before failing (with -gate)")
+	prefix := flag.String("prefix", "", "only gate benchmarks whose name starts with this (with -gate)")
 	numCPU := flag.Int("numcpu", runtime.NumCPU(), "CPUs of the measuring host (recorded in the file)")
 	maxprocs := flag.Int("gomaxprocs", runtime.GOMAXPROCS(0), "GOMAXPROCS the benchmarks ran under")
 	flag.Parse()
@@ -57,6 +73,26 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("benchjson: %s names all %d required benchmarks\n", flag.Arg(0), flag.NArg()-1)
+		return
+	}
+	if *meta {
+		if flag.NArg() != 1 {
+			fatalf("usage: benchjson -meta <file>")
+		}
+		f, err := loadFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("num_cpu=%d\ngomaxprocs=%d\n", f.NumCPU, f.Gomaxprocs)
+		return
+	}
+	if *gate {
+		if flag.NArg() != 2 {
+			fatalf("usage: benchjson -gate [-metric m] [-max-regress pct] [-slack s] [-prefix p] <baseline> <current>")
+		}
+		if err := gateFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *metric, *maxRegress, *slack, *prefix); err != nil {
+			fatalf("%v", err)
+		}
 		return
 	}
 	f, err := parseBenchOutput(os.Stdin)
@@ -126,14 +162,23 @@ func parseBenchOutput(r *os.File) (*File, error) {
 	return f, sc.Err()
 }
 
-func checkFile(path string, required []string) error {
+// loadFile parses one committed trajectory document.
+func loadFile(path string) (*File, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var f File
 	if err := json.Unmarshal(b, &f); err != nil {
-		return fmt.Errorf("%s does not parse: %v", path, err)
+		return nil, fmt.Errorf("%s does not parse: %v", path, err)
+	}
+	return &f, nil
+}
+
+func checkFile(path string, required []string) error {
+	f, err := loadFile(path)
+	if err != nil {
+		return err
 	}
 	if len(f.Benchmarks) == 0 {
 		return fmt.Errorf("%s has no benchmarks", path)
@@ -153,5 +198,83 @@ func checkFile(path string, required []string) error {
 			return fmt.Errorf("%s missing results for %s", path, want)
 		}
 	}
+	return nil
+}
+
+// gateFiles is the perf-trajectory threshold gate: every benchmark of
+// current that carries the metric (and matches prefix) is compared against
+// the same-named row of baseline. A row fails only when it exceeds BOTH
+// bounds — baseline*(1+maxRegressPct/100) and baseline+slack — so
+// near-1.0 ratio rows are protected from absolute noise and large-ratio
+// rows from relative noise. Rows present on one side only are skipped
+// with a note (machines with different CPU counts legitimately measure
+// different shard grids). Improvements always pass. Comparing zero rows
+// is itself a failure: a gate that silently matches nothing has been
+// unhooked by a rename.
+func gateFiles(w io.Writer, basePath, curPath, metric string, maxRegressPct, slack float64, prefix string) error {
+	base, err := loadFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadFile(curPath)
+	if err != nil {
+		return err
+	}
+	baseBy := make(map[string]float64, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		if v, ok := r.Metrics[metric]; ok {
+			baseBy[r.Name] = v
+		}
+	}
+	var (
+		compared, skipped int
+		failures          []string
+		worstPct          float64
+		worstName         string
+	)
+	for _, r := range cur.Benchmarks {
+		if prefix != "" && !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		c, ok := r.Metrics[metric]
+		if !ok {
+			continue
+		}
+		b, ok := baseBy[r.Name]
+		if !ok {
+			skipped++
+			fmt.Fprintf(w, "benchjson gate: note: %s not in baseline %s, skipped\n", r.Name, basePath)
+			continue
+		}
+		compared++
+		pct := 0.0
+		if b != 0 {
+			pct = (c - b) / b * 100
+		}
+		if pct > worstPct {
+			worstPct, worstName = pct, r.Name
+		}
+		if c > b*(1+maxRegressPct/100) && c > b+slack {
+			failures = append(failures, fmt.Sprintf(
+				"%s %s %.4f -> %.4f (%+.1f%%, limit +%.0f%% and +%.2f absolute)",
+				r.Name, metric, b, c, pct, maxRegressPct, slack))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("gate compared no %s rows between %s and %s — the sweep and the baseline no longer overlap", metric, basePath, curPath)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchjson gate: FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d of %d %s rows regressed past the threshold (first: %s)",
+			len(failures), compared, metric, failures[0])
+	}
+	fmt.Fprintf(w, "benchjson gate: %d %s rows within +%.0f%% of %s (worst %+.1f%%",
+		compared, metric, maxRegressPct, basePath, worstPct)
+	if worstName != "" {
+		fmt.Fprintf(w, " at %s", worstName)
+	}
+	fmt.Fprintf(w, "; %d skipped)\n", skipped)
 	return nil
 }
