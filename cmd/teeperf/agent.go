@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"teeperf/internal/agent"
+	"teeperf/internal/profilestore"
 	"teeperf/internal/shmlog"
 )
 
@@ -31,6 +32,7 @@ func cmdAgent(args []string) error {
 	throttlePeriod := fs.Uint64("throttle-period", 8, "sampling period pushed by -auto-throttle")
 	once := fs.Bool("once", false, "run a single scrape cycle, print the fleet summary, and exit")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file (for scripts)")
+	history := fs.String("history", "", "history store directory: dead sessions' drained logs are ingested as durable segments at salvage")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,14 +43,27 @@ func cmdAgent(args []string) error {
 		return usageErr{fmt.Errorf("agent needs -spool <dir> and/or mapping paths: teeperf agent [options] [mapping.shm ...]")}
 	}
 
-	a := agent.New(agent.Config{
+	cfg := agent.Config{
 		Spool:          *spool,
 		Interval:       *interval,
 		ScrapeBudget:   *budget,
 		DegradedEvery:  *degradedEvery,
 		AutoThrottle:   *autoThrottle,
 		ThrottlePeriod: *throttlePeriod,
-	})
+	}
+	if *history != "" {
+		st, err := profilestore.Open(*history, profilestore.Options{})
+		if err != nil {
+			return fmt.Errorf("open history store: %w", err)
+		}
+		defer st.Close()
+		if rep := st.Report(); !rep.Clean() {
+			fmt.Fprintf(os.Stderr, "agent: history store repaired on open: %+v\n", rep)
+		}
+		st.StartCompactor(*interval * 4)
+		cfg.HistoryStore = st
+	}
+	a := agent.New(cfg)
 	defer a.Close()
 	for _, path := range fs.Args() {
 		a.Register(path)

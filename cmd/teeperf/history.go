@@ -1,0 +1,231 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"teeperf/internal/flamegraph"
+	"teeperf/internal/profilestore"
+	"teeperf/internal/query"
+)
+
+// cmdHistory is the profile history store front end: finished segments
+// (bundles, or logs the agent salvaged) accumulate in an LSM-style store
+// that answers time-travel and differential queries long after the
+// recordings died.
+//
+//	teeperf history ingest  -store DIR bundle.teeperf [bundle2 ...]
+//	teeperf history query   -store DIR [-tid N] [-from C] [-to C] [-top 20]
+//	teeperf history diff    -store DIR -a FROM:TO -b FROM:TO [-top 20] [-svg diff.svg]
+//	teeperf history compact -store DIR
+func cmdHistory(args []string) error {
+	if len(args) < 1 {
+		return usageErr{fmt.Errorf("history needs a subcommand: ingest | query | diff | compact")}
+	}
+	switch args[0] {
+	case "ingest":
+		return historyIngest(args[1:])
+	case "query":
+		return historyQuery(args[1:])
+	case "diff":
+		return historyDiff(args[1:])
+	case "compact":
+		return historyCompact(args[1:])
+	default:
+		return usageErr{fmt.Errorf("unknown history subcommand %q (want ingest | query | diff | compact)", args[0])}
+	}
+}
+
+// openStore opens the history store, reporting any open-time repairs on
+// stderr so they are visible but do not pollute piped query output.
+func openStore(dir string) (*profilestore.Store, error) {
+	if dir == "" {
+		return nil, usageErr{fmt.Errorf("missing -store <dir>")}
+	}
+	st, err := profilestore.Open(dir, profilestore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if rep := st.Report(); !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "history: store repaired on open: %+v\n", rep)
+	}
+	return st, nil
+}
+
+func historyIngest(args []string) error {
+	fs := flag.NewFlagSet("history ingest", flag.ContinueOnError)
+	dir := fs.String("store", "", "history store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return usageErr{fmt.Errorf("history ingest needs bundle paths")}
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	for _, path := range fs.Args() {
+		res, err := st.IngestBundle(path, "")
+		if err != nil {
+			return fmt.Errorf("ingest %s: %w", path, err)
+		}
+		if res.Duplicate {
+			fmt.Printf("%s: already stored (segment %s, table %d)\n", path, res.Segment, res.TableSeq)
+		} else {
+			fmt.Printf("%s: stored as segment %s (%d entries, table %d)\n", path, res.Segment, res.Entries, res.TableSeq)
+		}
+	}
+	return nil
+}
+
+// windowFlags parses the shared query window flags.
+func windowFlags(fs *flag.FlagSet) (tid, from, to *uint64) {
+	tid = fs.Uint64("tid", 0, "restrict to one thread ID (0 = all threads)")
+	from = fs.Uint64("from", 0, "window start (counter ticks)")
+	to = fs.Uint64("to", 0, "window end (counter ticks, 0 = end of history)")
+	return
+}
+
+func normWindow(from, to uint64) (uint64, uint64) {
+	if to == 0 {
+		to = profilestore.FullWindow
+	}
+	return from, to
+}
+
+func historyQuery(args []string) error {
+	fs := flag.NewFlagSet("history query", flag.ContinueOnError)
+	dir := fs.String("store", "", "history store directory")
+	tid, from, to := windowFlags(fs)
+	top := fs.Int("top", 20, "number of functions to show")
+	folded := fs.Bool("folded", false, "emit folded stacks instead of the hot-methods table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	f, t := normWindow(*from, *to)
+	p, err := st.Profile(*tid, f, t)
+	if err != nil {
+		return err
+	}
+	if *folded {
+		return flamegraph.WriteFolded(os.Stdout, p.Folded())
+	}
+	min, max, ok := st.Bounds()
+	if ok {
+		fmt.Printf("history [%d, %d] of %d segments in %d tables\n\n", min, max, len(st.Segments()), st.Stats().Tables)
+	}
+	return p.WriteTable(os.Stdout, *top)
+}
+
+// parseWindow parses a FROM:TO counter window ("500:900"; an empty TO means
+// end of history).
+func parseWindow(s string) (uint64, uint64, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("window %q: want FROM:TO", s)
+	}
+	from, err := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("window %q: %v", s, err)
+	}
+	to := profilestore.FullWindow
+	if hi = strings.TrimSpace(hi); hi != "" {
+		if to, err = strconv.ParseUint(hi, 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("window %q: %v", s, err)
+		}
+	}
+	if from > to {
+		return 0, 0, fmt.Errorf("window %q is inverted", s)
+	}
+	return from, to, nil
+}
+
+func historyDiff(args []string) error {
+	fs := flag.NewFlagSet("history diff", flag.ContinueOnError)
+	dir := fs.String("store", "", "history store directory")
+	winA := fs.String("a", "", "baseline counter window FROM:TO")
+	winB := fs.String("b", "", "comparison counter window FROM:TO")
+	tid := fs.Uint64("tid", 0, "restrict to one thread ID (0 = all threads)")
+	top := fs.Int("top", 20, "rows to show")
+	svg := fs.String("svg", "", "also render a differential flame graph SVG here")
+	width := fs.Int("width", 1200, "SVG width in pixels")
+	asJSON := fs.Bool("json", false, "emit the diff rows as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *winA == "" || *winB == "" {
+		return usageErr{fmt.Errorf("history diff needs -a FROM:TO and -b FROM:TO")}
+	}
+	fromA, toA, err := parseWindow(*winA)
+	if err != nil {
+		return usageErr{err}
+	}
+	fromB, toB, err := parseWindow(*winB)
+	if err != nil {
+		return usageErr{err}
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	pa, pb, rows, err := st.Diff(*tid, fromA, toA, fromB, toB)
+	if err != nil {
+		return err
+	}
+
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			return err
+		}
+		err = flamegraph.RenderDiffSVG(f, pa.Folded(), pb.Folded(), flamegraph.SVGOptions{
+			Title: fmt.Sprintf("TEE-Perf history diff: [%s] vs [%s]", *winA, *winB),
+			Width: *width,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svg)
+	}
+
+	frame := query.DiffFrame(rows).Head(*top)
+	if *asJSON {
+		return frame.WriteJSON(os.Stdout)
+	}
+	return frame.WriteTable(os.Stdout)
+}
+
+func historyCompact(args []string) error {
+	fs := flag.NewFlagSet("history compact", flag.ContinueOnError)
+	dir := fs.String("store", "", "history store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	before := st.Stats()
+	if err := st.Compact(); err != nil {
+		return err
+	}
+	after := st.Stats()
+	fmt.Printf("compacted %d tables into %d (%d segments, %d entries)\n",
+		before.Tables, after.Tables, after.Segments, after.Entries)
+	return nil
+}

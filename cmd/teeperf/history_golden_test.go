@@ -1,0 +1,139 @@
+package main
+
+// Golden-file tests for `teeperf history query` and `teeperf history diff`.
+// The fixture bundle is deterministic (virtual counter, fixed PID) and its
+// workload deliberately shifts halfway through — crypto_seal dominates the
+// first half of counter time, page_walk the second — so the differential
+// query has signal to pin. Regenerate with:
+//
+//	go test ./cmd/teeperf -run TestGoldenHistory -update
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"teeperf"
+	"teeperf/internal/counter"
+)
+
+const historyFixture = "testdata/history.teeperf"
+
+var historyOnce sync.Once
+
+func ensureHistoryFixture(t *testing.T) {
+	t.Helper()
+	if *update {
+		historyOnce.Do(func() { regenHistoryFixture(t) })
+		return
+	}
+	if _, err := os.Stat(historyFixture); err != nil {
+		t.Fatalf("fixture missing (regenerate with -update): %v", err)
+	}
+}
+
+// regenHistoryFixture writes one bundle whose hot function changes over
+// counter time: 20 seal-heavy iterations, then 20 walk-heavy ones. Every
+// probe event advances the virtual counter by exactly one tick, so the
+// phase boundary sits at a fixed, reproducible counter value.
+func regenHistoryFixture(t *testing.T) {
+	t.Helper()
+	s, err := teeperf.New(
+		teeperf.WithCounterSource(counter.NewVirtual(1)),
+		teeperf.WithPID(4242),
+		teeperf.WithCapacity(4096),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct{ main, dispatch, seal, walk uint64 }
+	for _, f := range []struct {
+		dst  *uint64
+		name string
+		line int
+	}{
+		{&reg.main, "tee_main", 10},
+		{&reg.dispatch, "ecall_dispatch", 20},
+		{&reg.seal, "crypto_seal", 30},
+		{&reg.walk, "page_walk", 50},
+	} {
+		addr, err := s.RegisterFunc(f.name, "enclave.c", f.line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*f.dst = addr
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th, err := s.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		hot := reg.seal
+		if i >= 20 {
+			hot = reg.walk
+		}
+		th.Enter(reg.main)
+		th.Enter(reg.dispatch)
+		th.Enter(hot)
+		th.Exit(hot)
+		th.Exit(reg.dispatch)
+		th.Exit(reg.main)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Persist(historyFixture); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// historyStore ingests the fixture into a fresh store and returns its
+// directory. Ingest output is itself pinned: fresh store, so the segment
+// lands in table 1 every time.
+func historyStore(t *testing.T) string {
+	t.Helper()
+	ensureHistoryFixture(t)
+	dir := t.TempDir()
+	stdout, stderr, code := runCLI(t, nil, "history", "ingest", "-store", dir, historyFixture)
+	if code != 0 {
+		t.Fatalf("history ingest exited %d\nstderr: %s", code, stderr)
+	}
+	checkGolden(t, "testdata/history_ingest.golden", []byte(stdout))
+	return dir
+}
+
+func TestGoldenHistoryQuery(t *testing.T) {
+	dir := historyStore(t)
+	stdout, stderr, code := runCLI(t, nil, "history", "query", "-store", dir, "-top", "5")
+	if code != 0 {
+		t.Fatalf("history query exited %d\nstderr: %s", code, stderr)
+	}
+	checkGolden(t, "testdata/history_query.golden", []byte(stdout))
+
+	// The folded view of the same window is pinned too: it is the byte
+	// surface the conformance suite compares, so format drift should be a
+	// deliberate act.
+	stdout, stderr, code = runCLI(t, nil, "history", "query", "-store", dir, "-folded")
+	if code != 0 {
+		t.Fatalf("history query -folded exited %d\nstderr: %s", code, stderr)
+	}
+	checkGolden(t, "testdata/history_folded.golden", []byte(stdout))
+}
+
+func TestGoldenHistoryDiff(t *testing.T) {
+	dir := historyStore(t)
+	// 40 iterations x 6 probe events, one tick each: the seal->walk phase
+	// boundary is at tick 120.
+	stdout, stderr, code := runCLI(t, nil, "history", "diff", "-store", dir,
+		"-a", "0:120", "-b", "121:", "-top", "6")
+	if code != 0 {
+		t.Fatalf("history diff exited %d\nstderr: %s", code, stderr)
+	}
+	checkGolden(t, "testdata/history_diff.golden", []byte(stdout))
+}

@@ -22,6 +22,7 @@
 //	teeperf callgraph -i run.teeperf [-top 10]
 //	teeperf paths    -i run.teeperf [-leaf fn]
 //	teeperf diff     -a before.teeperf -b after.teeperf
+//	teeperf history  ingest|query|diff|compact -store DIR [options]
 //	teeperf whatif   -i run.teeperf -remove getpid,rdtsc
 //	teeperf report   -i run.teeperf -o report.html
 //
@@ -71,6 +72,7 @@ var commands = []command{
 	{"callgraph", "analyze", "gprof-style caller/callee report", cmdCallGraph},
 	{"paths", "analyze", "per-call-path statistics", cmdPaths},
 	{"diff", "analyze", "compare two bundles function by function", cmdDiff},
+	{"history", "analyze", "ingest, time-travel query, diff and compact the profile history store", cmdHistory},
 	{"whatif", "analyze", "project removing functions from the critical path", cmdWhatIf},
 	{"flame", "visualize", "render an SVG flame graph", cmdFlame},
 	{"folded", "visualize", "emit folded stacks for external flame-graph tooling", cmdFolded},

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"teeperf/internal/monitor"
+	"teeperf/internal/profilestore"
 	"teeperf/internal/shmlog"
 )
 
@@ -38,6 +39,10 @@ type Config struct {
 	// ThrottlePeriod is the sampling period pushed by AutoThrottle
 	// (default 8 — one call pair in eight recorded).
 	ThrottlePeriod uint64
+	// HistoryStore, when set, receives every dead session's drained log as
+	// a durable segment at salvage time (segment ID <name>@<attach-gen>, so
+	// re-registered mappings ingest separately and replays deduplicate).
+	HistoryStore *profilestore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -349,6 +354,9 @@ func (a *Agent) Metrics() []monitor.Metric {
 		monitor.Metric{Name: "teeperf_fleet_degraded_sessions", Help: "Sessions currently degraded by back-pressure.", Kind: "gauge", Value: float64(fleet.degraded)},
 		monitor.Metric{Name: "teeperf_agent_scrape_cycles_total", Help: "Completed fleet scrape cycles.", Kind: "counter", Value: float64(cycle)},
 	)
+	if a.cfg.HistoryStore != nil {
+		out = append(out, monitor.StoreMetrics(a.cfg.HistoryStore.Stats())...)
+	}
 	for _, st := range States {
 		out = append(out, monitor.Metric{
 			Name: "teeperf_fleet_sessions_by_state", Help: "Sessions per lifecycle state.", Kind: "gauge",

@@ -1,0 +1,112 @@
+package agent
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"teeperf/internal/profilestore"
+	"teeperf/internal/shmlog"
+)
+
+// TestSalvageIngestsIntoHistoryStore drives the dead → salvaged transition
+// with a history store configured and asserts the session's drained entries
+// became a durable, queryable segment — and that a replay of the same
+// mapping deduplicates instead of double-counting.
+func TestSalvageIngestsIntoHistoryStore(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+
+	st, err := profilestore.Open(t.TempDir(), profilestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	child := exec.Command("sleep", "60")
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = child.Process.Kill(); _, _ = child.Process.Wait() }()
+	makeSessionFile(t, dir, "app", 15, uint64(child.Process.Pid))
+
+	a := New(Config{Spool: dir, HistoryStore: st})
+	defer a.Close()
+	a.ScrapeOnce()
+	s := a.Session("app")
+	if got := s.State(); got != StateLive {
+		t.Fatalf("state = %v, want live", got)
+	}
+
+	_ = child.Process.Kill()
+	_, _ = child.Process.Wait()
+	a.ScrapeOnce()
+	if got := s.State(); got != StateSalvaged {
+		t.Fatalf("state after kill = %v, want salvaged", got)
+	}
+
+	info := s.Snapshot()
+	if info.HistorySegment == "" {
+		t.Fatalf("salvaged session has no history segment: %+v", info)
+	}
+	segs := st.Segments()
+	if _, ok := segs[info.HistorySegment]; !ok {
+		t.Fatalf("segment %q not in store: %v", info.HistorySegment, segs)
+	}
+
+	// The stored entries answer a time-travel query.
+	p, err := st.Profile(profilestore.AllThreads, 0, profilestore.FullWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Records()) == 0 {
+		t.Fatal("history profile has no completed calls")
+	}
+
+	// Replay: ingesting the same (name, attach gen) again is a no-op.
+	before := len(st.Segments())
+	res, err := st.IngestLog(mustObserve(t, s), nil, info.HistorySegment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Duplicate {
+		t.Fatalf("replayed segment not deduplicated: %+v", res)
+	}
+	if got := len(st.Segments()); got != before {
+		t.Fatalf("segments grew on replay: %d -> %d", before, got)
+	}
+
+	// The trace records the ingest.
+	var joined []string
+	for _, ev := range s.Trace() {
+		joined = append(joined, ev.Event)
+	}
+	if trace := strings.Join(joined, "\n"); !strings.Contains(trace, "history: stored segment") {
+		t.Errorf("trace missing history ingest:\n%s", trace)
+	}
+
+	// Fleet metrics include the store gauges when a store is configured.
+	var sawStore bool
+	for _, m := range a.Metrics() {
+		if m.Name == "teeperf_store_segments" {
+			sawStore = true
+			if m.Value < 1 {
+				t.Errorf("teeperf_store_segments = %v, want >= 1", m.Value)
+			}
+		}
+	}
+	if !sawStore {
+		t.Error("agent metrics missing teeperf_store_* gauges")
+	}
+}
+
+// mustObserve returns the session's mapped log for replay in tests.
+func mustObserve(t *testing.T, s *Session) *shmlog.Log {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		t.Fatal("session has no mapping")
+	}
+	return s.log
+}

@@ -104,7 +104,8 @@ type Session struct {
 	attachGen uint64
 	scrapes   uint64 // scrapes actually performed (not skipped)
 
-	salvage *shmlog.RecoveryReport // set once salvaged
+	salvage    *shmlog.RecoveryReport // set once salvaged
+	historySeg string                 // history-store segment ID, once ingested
 
 	// Back-pressure: a session that floods the agent (drains more than
 	// budget entries per scrape, twice in a row) is degraded to sampled
@@ -165,6 +166,9 @@ type Info struct {
 	Salvaged  uint64  `json:"salvaged_entries"`
 	Rate      float64 `json:"entries_per_second"`
 	Functions int     `json:"functions"`
+	// HistorySegment is the history-store segment ID this session's entries
+	// were persisted under at salvage (empty before, or without a store).
+	HistorySegment string `json:"history_segment,omitempty"`
 }
 
 // Snapshot returns the session's current accounting.
@@ -200,6 +204,7 @@ func (s *Session) snapshotLocked() Info {
 	if s.salvage != nil {
 		info.Salvaged = uint64(s.salvage.EntriesSalvaged)
 	}
+	info.HistorySegment = s.historySeg
 	return info
 }
 
@@ -285,7 +290,7 @@ func (s *Session) scrape(cycle uint64, cfg Config, now time.Time) int {
 				s.setStateLocked(cycle, StateLive, fmt.Sprintf("pid %d alive", pid))
 			} else {
 				s.setStateLocked(cycle, StateDead, fmt.Sprintf("pid %d gone", pid))
-				s.salvageLocked(cycle)
+				s.salvageLocked(cycle, cfg)
 				return 0
 			}
 		}
@@ -420,12 +425,15 @@ func (s *Session) drainLocked() int {
 // salvageLocked is the dead → salvaged transition: one final cursor drain
 // (committed entries are in the mapping regardless of how the app died),
 // then a lenient raw-file read whose recovery report becomes the session's
-// salvage record.
-func (s *Session) salvageLocked(cycle uint64) {
+// salvage record. With a history store configured, the drained log is also
+// ingested as a durable segment, so dead sessions survive into time-travel
+// queries.
+func (s *Session) salvageLocked(cycle uint64, cfg Config) {
 	drained := s.drainLocked()
 	if tab, ok := s.syms.Load(); ok {
 		s.adoptTableLocked(cycle, tab)
 	}
+	s.ingestHistoryLocked(cycle, cfg)
 	f, err := os.Open(s.path)
 	if err != nil {
 		s.traceLocked(cycle, "salvage: open: %v", err)
@@ -443,6 +451,28 @@ func (s *Session) salvageLocked(cycle uint64) {
 	s.traceLocked(cycle, "salvage: final drain %d, file holds %d committed entries (%d dropped in flight)",
 		drained, rep.EntriesSalvaged, rep.DroppedInFlight)
 	s.setStateLocked(cycle, StateSalvaged, "recovery complete")
+}
+
+// ingestHistoryLocked persists the dead session's committed entries into
+// the configured history store. The segment ID pins (name, attach gen), so
+// a re-registered mapping under the same name ingests as a new segment
+// while an agent restart replaying the same mapping deduplicates. Failure
+// is traced, never fatal: salvage must complete regardless.
+func (s *Session) ingestHistoryLocked(cycle uint64, cfg Config) {
+	if cfg.HistoryStore == nil || s.log == nil {
+		return
+	}
+	seg := fmt.Sprintf("%s@%d", s.name, s.attachGen)
+	res, err := cfg.HistoryStore.IngestLog(s.log, s.tab, seg)
+	switch {
+	case err != nil:
+		s.traceLocked(cycle, "history: ingest %s: %v", seg, err)
+	case res.Duplicate:
+		s.traceLocked(cycle, "history: segment %s already stored (table %d)", seg, res.TableSeq)
+	default:
+		s.historySeg = seg
+		s.traceLocked(cycle, "history: stored segment %s (%d entries, table %d)", seg, res.Entries, res.TableSeq)
+	}
 }
 
 // adoptTableLocked installs a freshly published symbol table. The

@@ -53,12 +53,31 @@ const (
 	// arming it with Sleep models a stalled/descheduled counter thread.
 	CounterStall
 
+	// StoreTableWrite fires once per Write while a history-store table
+	// file streams into its .tmp (the injectable writer wrapper).
+	StoreTableWrite
+	// StoreTableSync fires after a table body is written, before fsync.
+	StoreTableSync
+	// StoreTableRename fires after the table fsync, before the atomic
+	// .tmp→final rename.
+	StoreTableRename
+	// StoreManifestWrite fires once per Write while a MANIFEST-<seq>
+	// file streams into its .tmp.
+	StoreManifestWrite
+	// StoreManifestSync fires after the manifest body is written, before
+	// its fsync (and before the .tmp→MANIFEST-<seq> rename).
+	StoreManifestSync
+	// StoreCurrentRename fires after the manifest landed, before the
+	// CURRENT pointer's atomic rename — the store's commit point.
+	StoreCurrentRename
+	// StoreGC fires after a commit, before obsolete files (compaction
+	// inputs, superseded manifests) are deleted.
+	StoreGC
+
 	numPoints
 )
 
-// All lists every registered fault point, in pipeline order. The
-// kill-at-every-fault-point recorder test iterates over it, so adding a
-// point here automatically extends that harness.
+// All lists every registered fault point, in pipeline order.
 var All = []Point{
 	CheckpointBegin,
 	CheckpointWrite,
@@ -66,6 +85,37 @@ var All = []Point{
 	CheckpointBeforeRename,
 	CheckpointAfterRename,
 	CounterStall,
+	StoreTableWrite,
+	StoreTableSync,
+	StoreTableRename,
+	StoreManifestWrite,
+	StoreManifestSync,
+	StoreCurrentRename,
+	StoreGC,
+}
+
+// CheckpointPoints lists the recorder-pipeline fault points; the
+// recorder's kill-at-every-fault-point test iterates over it, so adding
+// a checkpoint point here automatically extends that harness.
+var CheckpointPoints = []Point{
+	CheckpointBegin,
+	CheckpointWrite,
+	CheckpointBeforeSync,
+	CheckpointBeforeRename,
+	CheckpointAfterRename,
+	CounterStall,
+}
+
+// StorePoints lists the history-store fault points in commit order; the
+// store's kill-at-every-fault-point matrix iterates over it.
+var StorePoints = []Point{
+	StoreTableWrite,
+	StoreTableSync,
+	StoreTableRename,
+	StoreManifestWrite,
+	StoreManifestSync,
+	StoreCurrentRename,
+	StoreGC,
 }
 
 // String returns the stable name of the point.
@@ -85,6 +135,20 @@ func (p Point) String() string {
 		return "checkpoint-after-rename"
 	case CounterStall:
 		return "counter-stall"
+	case StoreTableWrite:
+		return "store-table-write"
+	case StoreTableSync:
+		return "store-table-sync"
+	case StoreTableRename:
+		return "store-table-rename"
+	case StoreManifestWrite:
+		return "store-manifest-write"
+	case StoreManifestSync:
+		return "store-manifest-sync"
+	case StoreCurrentRename:
+		return "store-current-rename"
+	case StoreGC:
+		return "store-gc"
 	default:
 		return fmt.Sprintf("point(%d)", uint8(p))
 	}

@@ -1,0 +1,95 @@
+package flamegraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuildDiff(t *testing.T) {
+	before := map[string]uint64{
+		"main;alpha": 60,
+		"main;beta":  40,
+	}
+	after := map[string]uint64{
+		"main;alpha": 20,
+		"main;gamma": 80,
+	}
+	root := BuildDiff(before, after)
+	if root.Before != 100 || root.After != 100 {
+		t.Fatalf("root totals = %d/%d, want 100/100", root.Before, root.After)
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "main" {
+		t.Fatalf("root children: %+v", root.Children)
+	}
+	main := root.Children[0]
+	names := make(map[string]*DiffNode)
+	for _, c := range main.Children {
+		names[c.Name] = c
+	}
+	// beta only exists before, gamma only after — both must be present.
+	if b := names["beta"]; b == nil || b.Before != 40 || b.After != 0 {
+		t.Fatalf("beta = %+v", names["beta"])
+	}
+	if g := names["gamma"]; g == nil || g.Before != 0 || g.After != 80 {
+		t.Fatalf("gamma = %+v", names["gamma"])
+	}
+	if a := names["alpha"]; a == nil || a.SelfBefore != 60 || a.SelfAfter != 20 {
+		t.Fatalf("alpha = %+v", names["alpha"])
+	}
+	// Children sorted by name for deterministic layout.
+	for i := 1; i < len(main.Children); i++ {
+		if main.Children[i-1].Name >= main.Children[i].Name {
+			t.Fatalf("children unsorted: %s >= %s", main.Children[i-1].Name, main.Children[i].Name)
+		}
+	}
+}
+
+func TestRenderDiffSVG(t *testing.T) {
+	before := map[string]uint64{"main;alpha": 60, "main;beta": 40}
+	after := map[string]uint64{"main;alpha": 20, "main;beta": 40, "main;gamma": 40}
+	var buf bytes.Buffer
+	if err := RenderDiffSVG(&buf, before, after, SVGOptions{Title: "delta"}); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "delta", "red = grew", "blue = shrank", "alpha", "gamma"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := RenderDiffSVG(&buf2, before, after, SVGOptions{Title: "delta"}); err != nil {
+		t.Fatal(err)
+	}
+	if svg != buf2.String() {
+		t.Error("differential SVG not deterministic")
+	}
+
+	// Empty input renders the placeholder, not a division by zero.
+	var empty bytes.Buffer
+	if err := RenderDiffSVG(&empty, nil, nil, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no samples") {
+		t.Error("empty diff SVG missing placeholder")
+	}
+}
+
+func TestDiffColor(t *testing.T) {
+	if c := diffColor(0); c != "rgb(224,224,224)" {
+		t.Errorf("zero delta color = %s", c)
+	}
+	grew, shrank := diffColor(0.05), diffColor(-0.05)
+	if !strings.HasPrefix(grew, "rgb(240,") {
+		t.Errorf("positive delta not red-side: %s", grew)
+	}
+	if !strings.HasSuffix(shrank, ",240)") {
+		t.Errorf("negative delta not blue-side: %s", shrank)
+	}
+	// Saturates rather than overflowing.
+	if diffColor(5) != diffColor(0.2) {
+		t.Error("saturation not applied")
+	}
+}

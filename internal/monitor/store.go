@@ -1,0 +1,29 @@
+package monitor
+
+import (
+	"teeperf/internal/profilestore"
+)
+
+// StoreMetrics exports the profile history store's gauges in the same
+// schema the monitor and agent use, so a store-backed agent surfaces its
+// persistence health next to the session metrics.
+func StoreMetrics(st profilestore.Stats) []Metric {
+	return []Metric{
+		{Name: "teeperf_store_tables", Help: "Live tables in the profile history store.",
+			Kind: "gauge", Value: float64(st.Tables)},
+		{Name: "teeperf_store_levels", Help: "Occupied compaction levels in the history store.",
+			Kind: "gauge", Value: float64(st.Levels)},
+		{Name: "teeperf_store_entries", Help: "Total entries persisted across live tables.",
+			Kind: "gauge", Value: float64(st.Entries)},
+		{Name: "teeperf_store_segments", Help: "Acknowledged segments in the history store.",
+			Kind: "gauge", Value: float64(st.Segments)},
+		{Name: "teeperf_store_compaction_backlog", Help: "Tables currently eligible as compaction inputs.",
+			Kind: "gauge", Value: float64(st.Backlog)},
+		{Name: "teeperf_store_compactions_total", Help: "Compaction steps completed since open.",
+			Kind: "counter", Value: float64(st.Compactions)},
+		{Name: "teeperf_store_cache_blocks", Help: "Decoded blocks held in the store's LRU cache.",
+			Kind: "gauge", Value: float64(st.CacheLen)},
+		{Name: "teeperf_store_cache_hit_rate", Help: "Block cache hit fraction since open.",
+			Kind: "gauge", Value: st.HitRate()},
+	}
+}

@@ -1,0 +1,53 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"teeperf/internal/profilestore"
+)
+
+func TestStoreMetrics(t *testing.T) {
+	st := profilestore.Stats{
+		Tables: 3, Levels: 2, Entries: 1200, Segments: 5,
+		Backlog: 2, Compactions: 7,
+		CacheLen: 16, CacheHits: 30, CacheMisses: 10,
+	}
+	ms := StoreMetrics(st)
+	byName := make(map[string]Metric, len(ms))
+	for _, m := range ms {
+		if !strings.HasPrefix(m.Name, "teeperf_store_") {
+			t.Errorf("metric %q outside the store namespace", m.Name)
+		}
+		if m.Help == "" || m.Kind == "" {
+			t.Errorf("metric %q missing help or kind", m.Name)
+		}
+		byName[m.Name] = m
+	}
+	want := map[string]float64{
+		"teeperf_store_tables":             3,
+		"teeperf_store_levels":             2,
+		"teeperf_store_entries":            1200,
+		"teeperf_store_segments":           5,
+		"teeperf_store_compaction_backlog": 2,
+		"teeperf_store_compactions_total":  7,
+		"teeperf_store_cache_blocks":       16,
+		"teeperf_store_cache_hit_rate":     0.75,
+	}
+	if len(ms) != len(want) {
+		t.Fatalf("got %d metrics, want %d", len(ms), len(want))
+	}
+	for name, v := range want {
+		m, ok := byName[name]
+		if !ok {
+			t.Errorf("missing metric %s", name)
+			continue
+		}
+		if m.Value != v {
+			t.Errorf("%s = %v, want %v", name, m.Value, v)
+		}
+	}
+	if byName["teeperf_store_compactions_total"].Kind != "counter" {
+		t.Error("compactions_total must be a counter")
+	}
+}

@@ -1,0 +1,102 @@
+package profilestore
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"teeperf/internal/shmlog"
+)
+
+// blockCache is a bounded LRU over decoded blocks, keyed by (table seq,
+// block index). Table seqs are never reused, so an entry can go stale only
+// by its table being compacted away — it then simply ages out. Capacity is
+// counted in blocks, not bytes: blocks are fixed-size by construction, so
+// the two are proportional.
+type blockCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List
+	m   map[cacheKey]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheKey struct {
+	table uint64
+	block int
+}
+
+type cacheItem struct {
+	key     cacheKey
+	entries []shmlog.Entry
+}
+
+func newBlockCache(capBlocks int) *blockCache {
+	return &blockCache{
+		cap: capBlocks,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element, capBlocks),
+	}
+}
+
+// get returns the cached block and records a hit/miss.
+func (c *blockCache) get(table uint64, block int) ([]shmlog.Entry, bool) {
+	key := cacheKey{table, block}
+	c.mu.Lock()
+	el, ok := c.m[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheItem).entries, true
+}
+
+// put inserts a decoded block, evicting from the cold end past capacity.
+func (c *blockCache) put(table uint64, block int, entries []shmlog.Entry) {
+	if c.cap <= 0 {
+		return
+	}
+	key := cacheKey{table, block}
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheItem).entries = entries
+	} else {
+		c.m[key] = c.ll.PushFront(&cacheItem{key: key, entries: entries})
+		for c.ll.Len() > c.cap {
+			cold := c.ll.Back()
+			c.ll.Remove(cold)
+			delete(c.m, cold.Value.(*cacheItem).key)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// drop evicts every block of one table (called when compaction retires it).
+func (c *blockCache) drop(table uint64) {
+	c.mu.Lock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if it := el.Value.(*cacheItem); it.key.table == table {
+			c.ll.Remove(el)
+			delete(c.m, it.key)
+		}
+		el = next
+	}
+	c.mu.Unlock()
+}
+
+// stats returns (len, cap, hits, misses).
+func (c *blockCache) stats() (int, int, uint64, uint64) {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return n, c.cap, c.hits.Load(), c.misses.Load()
+}

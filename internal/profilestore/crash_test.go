@@ -1,0 +1,311 @@
+package profilestore
+
+// Kill-at-every-fault-point matrix for the store's two mutation paths
+// (ingest, compaction). The child re-execs this test binary, arms a process
+// SIGKILL at one persistence fault point, and runs the mutation; the parent
+// asserts the store reopens, reports its repairs, never loses an
+// acknowledged segment, and never double-counts one.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+
+	"teeperf/internal/faultinject"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+const (
+	crashEnvChild = "TEEPERF_STORE_CRASH_CHILD" // "ingest" | "compact"
+	crashEnvPoint = "TEEPERF_STORE_CRASH_POINT"
+	crashEnvNth   = "TEEPERF_STORE_CRASH_NTH"
+	crashEnvDir   = "TEEPERF_STORE_CRASH_DIR"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crashEnvChild) != "" {
+		runCrashChild()
+		// Only reached when the armed fault point never fired — the parent
+		// treats a clean exit as the failure it is.
+		fmt.Fprintln(os.Stderr, "store crash child: fault point never reached")
+		os.Exit(3)
+	}
+	os.Exit(m.Run())
+}
+
+// crashOptions must match between the child and the parent's reopen (minus
+// the injector) so table geometry agrees with the manifest.
+func crashOptions(inj *faultinject.Injector) Options {
+	return Options{BlockEntries: 8, Fanout: 2, Injector: inj}
+}
+
+// crashSyms/crashSegments build the deterministic workload both sides agree
+// on: three single-thread balanced segments sharing one virtual counter.
+func crashSyms() (*symtab.Table, []uint64) {
+	tab := symtab.New()
+	addrs := make([]uint64, 3)
+	for i, name := range []string{"pp_a", "pp_b", "pp_c"} {
+		addrs[i] = tab.MustRegister(name, 16, "crash_test.go", 10+i)
+	}
+	return tab, addrs
+}
+
+func crashSegments() (*symtab.Table, []string, []*shmlog.Log) {
+	tab, addrs := crashSyms()
+	tick := uint64(0)
+	ids := []string{"seg-0", "seg-1", "seg-2"}
+	logs := make([]*shmlog.Log, len(ids))
+	for i := range ids {
+		var entries []shmlog.Entry
+		for r := 0; r < 4; r++ {
+			for _, a := range addrs {
+				tick++
+				entries = append(entries, shmlog.Entry{Kind: shmlog.KindCall, Counter: tick, Addr: a, ThreadID: 7})
+				tick += 2
+				entries = append(entries, shmlog.Entry{Kind: shmlog.KindReturn, Counter: tick, Addr: a, ThreadID: 7})
+			}
+		}
+		logs[i] = shmlog.FromEntries(entries, 4242, 0, 1)
+	}
+	return tab, ids, logs
+}
+
+func runCrashChild() {
+	point, ok := faultinject.PointByName(os.Getenv(crashEnvPoint))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "store crash child: unknown point %q\n", os.Getenv(crashEnvPoint))
+		os.Exit(4)
+	}
+	nth, _ := strconv.Atoi(os.Getenv(crashEnvNth))
+	if nth < 1 {
+		nth = 1
+	}
+	dir := os.Getenv(crashEnvDir)
+
+	inj := faultinject.New(1)
+	st, err := Open(dir, crashOptions(inj))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "store crash child: open: %v\n", err)
+		os.Exit(4)
+	}
+	tab, ids, logs := crashSegments()
+	inj.Arm(point, nth, faultinject.Kill())
+
+	switch os.Getenv(crashEnvChild) {
+	case "ingest":
+		for i, id := range ids {
+			if _, err := st.IngestLog(logs[i], tab, id); err != nil {
+				fmt.Fprintf(os.Stderr, "store crash child: ingest %s: %v\n", id, err)
+				os.Exit(4)
+			}
+			// The acknowledgment line the parent's loss check keys on: only
+			// printed after IngestLog's durable commit returned.
+			fmt.Printf("ACK %s\n", id)
+		}
+	case "compact":
+		// Parent pre-ingested the segments; the kill lands inside the merge.
+		if err := st.Compact(); err != nil {
+			fmt.Fprintf(os.Stderr, "store crash child: compact: %v\n", err)
+			os.Exit(4)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "store crash child: unknown mode %q\n", os.Getenv(crashEnvChild))
+		os.Exit(4)
+	}
+}
+
+// runStoreKillChild re-executes the test binary as a crash victim, asserts
+// SIGKILL took it, and returns the segment IDs it acknowledged.
+func runStoreKillChild(t *testing.T, mode, dir, point string, nth int) []string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		crashEnvChild+"="+mode,
+		crashEnvPoint+"="+point,
+		crashEnvNth+"="+strconv.Itoa(nth),
+		crashEnvDir+"="+dir,
+	)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("child exited cleanly (err=%v) — the fault point never killed it\nstderr: %s", err, stderr.String())
+	}
+	ws, ok := exitErr.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child died wrong: %v (status %+v)\nstderr: %s", err, exitErr.Sys(), stderr.String())
+	}
+	var acked []string
+	sc := bufio.NewScanner(&stdout)
+	for sc.Scan() {
+		if id, ok := strings.CutPrefix(sc.Text(), "ACK "); ok {
+			acked = append(acked, id)
+		}
+	}
+	return acked
+}
+
+// crashOracle folds the full deterministic workload offline.
+func crashOracle(t *testing.T) string {
+	t.Helper()
+	tab, ids, logs := crashSegments()
+	dir := t.TempDir()
+	st := mustOpen(t, dir, crashOptions(nil))
+	for i, id := range ids {
+		if _, err := st.IngestLog(logs[i], tab, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return foldedBytes(t, st, AllThreads, 0, FullWindow)
+}
+
+// verifyCrashRecovery reopens the store after a kill and runs the whole
+// contract: reopen succeeds, acknowledged segments survive, replaying the
+// spool is exactly-once, and the final profile matches the offline oracle.
+func verifyCrashRecovery(t *testing.T, dir string, acked []string, oracle string) {
+	st, err := Open(dir, crashOptions(nil))
+	if err != nil {
+		t.Fatalf("store did not reopen after kill: %v", err)
+	}
+	defer st.Close()
+
+	// Loss check: everything the child saw acknowledged must be present.
+	segs := st.Segments()
+	for _, id := range acked {
+		if _, ok := segs[id]; !ok {
+			t.Errorf("acknowledged segment %q lost (present: %v, report: %+v)", id, segs, st.Report())
+		}
+	}
+
+	// Exactly-once check: replay the whole spool. Acknowledged segments must
+	// come back Duplicate; unacknowledged ones may be either (the kill can
+	// land between commit and acknowledgment), but never double-count.
+	ackedSet := make(map[string]bool, len(acked))
+	for _, id := range acked {
+		ackedSet[id] = true
+	}
+	tab, ids, logs := crashSegments()
+	for i, id := range ids {
+		res, err := st.IngestLog(logs[i], tab, id)
+		if err != nil {
+			t.Fatalf("replay %s: %v", id, err)
+		}
+		if ackedSet[id] && !res.Duplicate {
+			t.Errorf("acknowledged segment %q replayed as new — it was lost", id)
+		}
+	}
+	if got := len(st.Segments()); got != len(ids) {
+		t.Errorf("store holds %d segments after replay, want %d: %v", got, len(ids), st.Segments())
+	}
+	if got := foldedBytes(t, st, AllThreads, 0, FullWindow); got != oracle {
+		t.Errorf("profile after recovery+replay diverged from oracle\n got: %q\nwant: %q", got, oracle)
+	}
+}
+
+// TestStoreKillAtEveryFaultPoint is the crash-consistency acceptance test:
+// SIGKILL the store at every persistence fault point, in both the ingest
+// and the compaction path, and the recovery contract must hold.
+func TestStoreKillAtEveryFaultPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill matrix skipped in -short")
+	}
+	oracle := crashOracle(t)
+
+	type trial struct {
+		point faultinject.Point
+		nth   int
+	}
+	trialsFor := func(mode string) []trial {
+		var trials []trial
+		for _, p := range faultinject.StorePoints {
+			trials = append(trials, trial{p, 1})
+			// Streamed table writers hit the point once per write: nth 2
+			// lands the kill mid-file rather than before the first byte. The
+			// manifest commits in one write, so its nth 2 only fires when a
+			// second commit happens — the multi-segment ingest path.
+			if p == faultinject.StoreTableWrite ||
+				(mode == "ingest" && p == faultinject.StoreManifestWrite) {
+				trials = append(trials, trial{p, 2})
+			}
+		}
+		return trials
+	}
+
+	t.Run("ingest", func(t *testing.T) {
+		for _, tr := range trialsFor("ingest") {
+			tr := tr
+			t.Run(fmt.Sprintf("%s/nth=%d", tr.point, tr.nth), func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				acked := runStoreKillChild(t, "ingest", dir, tr.point.String(), tr.nth)
+				verifyCrashRecovery(t, dir, acked, oracle)
+			})
+		}
+	})
+
+	t.Run("compact", func(t *testing.T) {
+		for _, tr := range trialsFor("compact") {
+			tr := tr
+			t.Run(fmt.Sprintf("%s/nth=%d", tr.point, tr.nth), func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				// Pre-build a clean store: all three segments ingested, so
+				// every segment is "acknowledged" before the kill.
+				tab, ids, logs := crashSegments()
+				pre, err := Open(dir, crashOptions(nil))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, id := range ids {
+					if _, err := pre.IngestLog(logs[i], tab, id); err != nil {
+						t.Fatal(err)
+					}
+				}
+				pre.Close()
+				runStoreKillChild(t, "compact", dir, tr.point.String(), tr.nth)
+				// Compaction must never lose a segment: all three were
+				// acknowledged before the child started.
+				verifyCrashRecovery(t, dir, ids, oracle)
+			})
+		}
+	})
+}
+
+// TestStoreRecoveryReportAfterKill pins the structured-report half of the
+// contract: a kill that tears the CURRENT commit must surface as a
+// non-clean OpenReport, not as silence.
+func TestStoreRecoveryReportAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill test skipped in -short")
+	}
+	dir := t.TempDir()
+	runStoreKillChild(t, "ingest", dir, faultinject.StoreCurrentRename.String(), 1)
+	st, err := Open(dir, crashOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rep := st.Report()
+	if rep.Clean() {
+		t.Fatalf("kill at current-rename left leftovers, but the report is clean: %+v", rep)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, currentName))
+	if err == nil {
+		// When CURRENT survived, it must point at a manifest that exists.
+		name := strings.TrimSpace(string(data))
+		if _, statErr := os.Stat(filepath.Join(dir, name)); statErr != nil {
+			t.Fatalf("CURRENT points at %q which does not exist", name)
+		}
+	}
+}

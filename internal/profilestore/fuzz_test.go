@@ -1,0 +1,99 @@
+package profilestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"teeperf/internal/faultinject"
+	"teeperf/internal/shmlog"
+)
+
+// fuzzTableBytes writes one small valid table and returns its bytes, the
+// interesting seed for the table-reader fuzzer.
+func fuzzTableBytes(tb testing.TB) []byte {
+	path := filepath.Join(tb.(interface{ TempDir() string }).TempDir(), "seed.tpt")
+	entries := []shmlog.Entry{
+		{Kind: shmlog.KindCall, Counter: 1, Addr: 0x400010, ThreadID: 7},
+		{Kind: shmlog.KindReturn, Counter: 4, Addr: 0x400010, ThreadID: 7},
+		{Kind: shmlog.KindCall, Counter: 5, Addr: 0x400020, ThreadID: 8},
+		{Kind: shmlog.KindReturn, Counter: 9, Addr: 0x400020, ThreadID: 8},
+	}
+	if _, err := writeTable(path, entries, 4242, 0x400000, 1, 2, faultinject.New(0)); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzTableRead hammers the table reader with arbitrary bytes: it must
+// either reject the input or serve blocks without panics or unbounded
+// allocation (every offset is validated against the input size before use).
+func FuzzTableRead(f *testing.F) {
+	seed := fuzzTableBytes(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte(tableMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := OpenTableReaderAt(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		// A table that validates must serve (or cleanly reject) every block.
+		for i := 0; i < tbl.Blocks(); i++ {
+			blk, err := tbl.ReadBlock(i)
+			if err != nil {
+				continue
+			}
+			for _, e := range blk {
+				_ = tbl.HasTID(e.ThreadID)
+			}
+		}
+	})
+}
+
+// FuzzManifestRead hammers the manifest decoder: arbitrary bytes either
+// fail, or decode into a manifest whose re-encoding round-trips.
+func FuzzManifestRead(f *testing.F) {
+	valid, err := encodeManifest(&manifest{
+		Format:    manifestFormat,
+		Seq:       3,
+		NextTable: 2,
+		Tables: []TableMeta{{
+			File: tableName(1), Seq: 1, Level: 0, Entries: 4,
+			MinCounter: 1, MaxCounter: 9, PID: 4242, SamplePeriod: 1,
+			Segments: []string{"seg-0"},
+		}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(manifestMagic))
+	f.Add([]byte("TEEPSTM1 00000000\n{}"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		re, err := encodeManifest(m)
+		if err != nil {
+			t.Fatalf("decoded manifest failed to re-encode: %v", err)
+		}
+		m2, err := decodeManifest(re)
+		if err != nil {
+			t.Fatalf("re-encoded manifest failed to decode: %v", err)
+		}
+		if m2.Seq != m.Seq || m2.NextTable != m.NextTable || len(m2.Tables) != len(m.Tables) {
+			t.Fatalf("manifest round trip diverged: %+v vs %+v", m, m2)
+		}
+	})
+}

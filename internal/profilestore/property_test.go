@@ -1,0 +1,187 @@
+package profilestore
+
+// The conformance property the whole store design hangs on: for any
+// recording — any batch size, shard count and rotation schedule — the
+// store's full-window folded output is byte-identical to an offline Analyze
+// of the concatenated segments, and stays identical across every compaction
+// state (pre, mid, post). Random balanced call streams are pushed through
+// the real probe runtime (not synthetic entries), so the property covers
+// the exact byte paths production recordings take.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"teeperf/internal/analyzer"
+	"teeperf/internal/counter"
+	"teeperf/internal/flamegraph"
+	"teeperf/internal/probe"
+	"teeperf/internal/shmlog"
+	"teeperf/internal/symtab"
+)
+
+func foldedString(t *testing.T, p *analyzer.Profile) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := flamegraph.WriteFolded(&buf, p.Folded()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestStoreConformance(t *testing.T) {
+	for _, batch := range []int{1, 16} {
+		for _, shards := range []int{1, 8} {
+			for _, rotations := range []int{1, 5} {
+				name := fmt.Sprintf("batch=%d/shards=%d/rotations=%d", batch, shards, rotations)
+				t.Run(name, func(t *testing.T) {
+					runConformance(t, batch, shards, rotations, int64(batch*100+shards*10+rotations))
+				})
+			}
+		}
+	}
+}
+
+func runConformance(t *testing.T, batch, shards, rotations int, seed int64) {
+	tab := symtab.New()
+	var addrs []uint64
+	for _, name := range []string{"pp_a", "pp_b", "pp_c", "pp_d", "pp_e", "pp_f"} {
+		addrs = append(addrs, tab.MustRegister(name, 16, "property_test.go", 1))
+	}
+
+	// One virtual counter shared across rotations: the software counter
+	// carries across segment boundaries in production, and the merge
+	// tie-break relies on it.
+	src := counter.NewVirtual(1)
+	st := mustOpen(t, t.TempDir(), Options{BlockEntries: 16, Fanout: 4, CacheBlocks: 32})
+
+	var oracle []shmlog.Entry
+	for r := 0; r < rotations; r++ {
+		log, err := shmlog.New(1<<13, shmlog.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []probe.Option{}
+		if batch > 1 {
+			opts = append(opts, probe.WithBatch(batch))
+		}
+		rt, err := probe.New(log, src, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(r*31+w)))
+				th := rt.Thread()
+				var stack []uint64
+				for i := 0; i < 120; i++ {
+					if len(stack) > 0 && (len(stack) >= 12 || rng.Intn(2) == 0) {
+						top := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						th.Exit(top)
+					} else {
+						a := addrs[rng.Intn(len(addrs))]
+						stack = append(stack, a)
+						th.Enter(a)
+					}
+				}
+				for len(stack) > 0 {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					th.Exit(top)
+				}
+			}(w)
+		}
+		wg.Wait()
+		rt.Flush()
+		if d := rt.Dropped(); d != 0 {
+			t.Fatalf("rotation %d dropped %d events (log too small for the test)", r, d)
+		}
+
+		if _, err := st.IngestLog(log, tab, fmt.Sprintf("seg-%d", r)); err != nil {
+			t.Fatalf("ingest rotation %d: %v", r, err)
+		}
+		oracle = append(oracle, log.CommittedEntries()...)
+	}
+
+	// Offline oracle: concatenate the segments' committed entries in
+	// rotation order and analyze them directly.
+	oracleLog := shmlog.FromEntries(oracle, 0, 0, 1)
+	op, err := analyzer.Analyze(oracleLog, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := foldedString(t, op)
+	if rotations > 1 && want == "" {
+		t.Fatal("oracle folded output empty — test generated no samples")
+	}
+
+	check := func(stage string) {
+		p, err := st.Profile(AllThreads, 0, FullWindow)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if got := foldedString(t, p); got != want {
+			t.Errorf("%s: folded output diverged from offline analyze\n got: %q\nwant: %q", stage, got, want)
+		}
+	}
+
+	check("pre-compaction")
+
+	// Query concurrently with compaction: readers snapshot, writers swap —
+	// the race detector validates the locking discipline here.
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := st.Profile(AllThreads, 0, FullWindow); err != nil {
+				t.Errorf("concurrent query: %v", err)
+				return
+			}
+		}
+	}()
+
+	if _, err := st.MaybeCompact(); err != nil {
+		t.Fatal(err)
+	}
+	check("mid-compaction")
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	qwg.Wait()
+
+	if got := st.Stats().Tables; got != 1 {
+		t.Fatalf("full compaction left %d tables", got)
+	}
+	check("post-compaction")
+
+	// Reopen and check once more: the property must hold across restarts.
+	dir := st.Dir()
+	st.Close()
+	re := mustOpen(t, dir, Options{BlockEntries: 16})
+	if !re.Report().Clean() {
+		t.Fatalf("reopen after compaction not clean: %+v", re.Report())
+	}
+	p, err := re.Profile(AllThreads, 0, FullWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := foldedString(t, p); got != want {
+		t.Errorf("post-reopen folded output diverged\n got: %q\nwant: %q", got, want)
+	}
+}

@@ -1,0 +1,458 @@
+// Package profilestore is the profile history store: finished segments
+// (rotated, checkpointed, or agent-salvaged recordings) are ingested as
+// immutable, block-indexed table files behind a manifest with atomic-rename
+// updates, a leveled compactor merges adjacent time windows into coarser
+// tables, and a bounded LRU block cache serves reads. On top of the stored
+// entries it answers time-travel queries ("profile of thread X between t1
+// and t2") and differential queries (A-vs-B folded diffs) through the
+// analyzer, so the paper's one-shot Fig 5/6 flame graphs become a queryable
+// history (TEEMon's continuous-monitoring stance).
+//
+// The conformance contract is exact, not approximate: the store persists
+// raw committed entries (not pre-folded aggregates), ingestion stable-sorts
+// them by the global counter, and compaction merges tables with an
+// earlier-table tie-break — all order transformations that preserve each
+// thread's entry sequence, which is the only thing the analyzer's stack
+// reconstruction depends on. Store.Profile over the full window therefore
+// folds byte-identically to an offline Analyze of the concatenated source
+// segments, at every compaction state. The property and crash tests in
+// this package enforce that contract.
+package profilestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"teeperf/internal/faultinject"
+	"teeperf/internal/shmlog"
+)
+
+// Table file layout (all integers little-endian):
+//
+//	header   8 bytes  magic "TEEPSTB1"
+//	blocks   repeated: count*24 bytes of entries (w0|addr|tid), 4-byte CRC32
+//	index    blockCount * 24 bytes: offset u64, count u32, pad u32 (reserved,
+//	         zero), minCounter u64 — maxCounter is the next block's min (or
+//	         the footer's) so the index stays one cache line per two blocks
+//	tids     u32 count (0xFFFFFFFF = unknown, check every block), then
+//	         count * 8 bytes of sorted distinct thread IDs
+//	footer   fixed 84 bytes: indexOff u64, tidsOff u64, blockCount u32,
+//	         blockEntries u32, entryCount u64, minCounter u64, maxCounter
+//	         u64, pid u64, profilerAddr u64, samplePeriod u64, CRC32 of the
+//	         preceding 72 footer bytes, tail magic "TEEPSTB1"
+//
+// A reader trusts nothing before the footer parses: tail magic, then footer
+// CRC, then bounds-checked offsets, then per-block CRCs on access. A torn
+// or bit-flipped table is detected at open or at block read, never folded.
+
+const (
+	tableMagic = "TEEPSTB1"
+
+	entryBytes  = 24
+	footerBytes = 84
+	indexSlot   = 24
+
+	// tidListCap bounds the persisted distinct-TID list; tables observing
+	// more threads record "unknown" and queries check every block.
+	tidListCap = 64
+	tidUnknown = 0xFFFFFFFF
+
+	// maxBlockCount bounds how many index slots a reader will allocate from
+	// a footer before the file size backs them up.
+	maxBlockCount = 1 << 28
+)
+
+// ErrBadTable is returned when a table file fails validation.
+var ErrBadTable = errors.New("profilestore: bad table")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// blockRef is one block's index entry, as held in memory.
+type blockRef struct {
+	off        int64
+	count      uint32
+	minCounter uint64
+	maxCounter uint64
+}
+
+// tableInfo is the footer-derived identity of a table file. The manifest
+// repeats these fields; open cross-checks them so a manifest pointing at
+// the wrong (e.g. partially recycled) file is caught.
+type tableInfo struct {
+	Entries      uint64
+	MinCounter   uint64
+	MaxCounter   uint64
+	PID          uint64
+	ProfilerAddr uint64
+	SamplePeriod uint64
+}
+
+// Table is an open reader over one immutable table file.
+type Table struct {
+	r      io.ReaderAt
+	closer io.Closer
+	size   int64
+
+	info   tableInfo
+	blocks []blockRef
+	// tids is the sorted distinct thread-ID list, nil when unknown.
+	tids []uint64
+}
+
+// writeTable streams counter-ordered entries into path via an atomic
+// .tmp→rename, with the store's fault points on the write, sync and rename
+// steps. Entries must already be sorted by counter (ingest and compaction
+// both guarantee it); the block index is derived as they stream.
+func writeTable(path string, entries []shmlog.Entry, pid, profilerAddr, samplePeriod uint64, blockEntries int, inj *faultinject.Injector) (tableInfo, error) {
+	info := tableInfo{
+		PID:          pid,
+		ProfilerAddr: profilerAddr,
+		SamplePeriod: samplePeriod,
+		Entries:      uint64(len(entries)),
+	}
+	if len(entries) > 0 {
+		info.MinCounter = entries[0].Counter
+		info.MaxCounter = entries[len(entries)-1].Counter
+	}
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return info, err
+	}
+	defer func() {
+		if f != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	w := &countingWriter{w: inj.Writer(f, faultinject.StoreTableWrite)}
+	if _, err := w.Write([]byte(tableMagic)); err != nil {
+		return info, err
+	}
+
+	// Stream blocks, collecting the index.
+	var blocks []blockRef
+	tids := collectTIDs(entries)
+	buf := make([]byte, 0, blockEntries*entryBytes+4)
+	for i := 0; i < len(entries); i += blockEntries {
+		j := i + blockEntries
+		if j > len(entries) {
+			j = len(entries)
+		}
+		blk := entries[i:j]
+		buf = buf[:0]
+		for _, e := range blk {
+			buf = appendEntry(buf, e)
+		}
+		sum := crc32.Checksum(buf, crcTable)
+		buf = binary.LittleEndian.AppendUint32(buf, sum)
+		ref := blockRef{
+			off:        w.n,
+			count:      uint32(len(blk)),
+			minCounter: blk[0].Counter,
+			maxCounter: blk[len(blk)-1].Counter,
+		}
+		if _, err := w.Write(buf); err != nil {
+			return info, err
+		}
+		blocks = append(blocks, ref)
+	}
+
+	indexOff := w.n
+	buf = buf[:0]
+	for _, b := range blocks {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(b.off))
+		buf = binary.LittleEndian.AppendUint32(buf, b.count)
+		buf = binary.LittleEndian.AppendUint32(buf, 0)
+		buf = binary.LittleEndian.AppendUint64(buf, b.minCounter)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return info, err
+	}
+
+	tidsOff := w.n
+	buf = buf[:0]
+	if tids == nil {
+		buf = binary.LittleEndian.AppendUint32(buf, tidUnknown)
+	} else {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tids)))
+		for _, t := range tids {
+			buf = binary.LittleEndian.AppendUint64(buf, t)
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return info, err
+	}
+
+	buf = buf[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(indexOff))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(tidsOff))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blocks)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(blockEntries))
+	buf = binary.LittleEndian.AppendUint64(buf, info.Entries)
+	buf = binary.LittleEndian.AppendUint64(buf, info.MinCounter)
+	buf = binary.LittleEndian.AppendUint64(buf, info.MaxCounter)
+	buf = binary.LittleEndian.AppendUint64(buf, info.PID)
+	buf = binary.LittleEndian.AppendUint64(buf, info.ProfilerAddr)
+	buf = binary.LittleEndian.AppendUint64(buf, info.SamplePeriod)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	buf = append(buf, tableMagic...)
+	if _, err := w.Write(buf); err != nil {
+		return info, err
+	}
+
+	if err := inj.Hit(faultinject.StoreTableSync); err != nil {
+		return info, err
+	}
+	if err := f.Sync(); err != nil {
+		return info, err
+	}
+	if err := f.Close(); err != nil {
+		f = nil
+		os.Remove(tmp)
+		return info, err
+	}
+	f = nil
+	if err := inj.Hit(faultinject.StoreTableRename); err != nil {
+		os.Remove(tmp)
+		return info, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return info, err
+	}
+	return info, nil
+}
+
+// collectTIDs returns the sorted distinct thread IDs, or nil once the list
+// exceeds tidListCap (queries then check every block).
+func collectTIDs(entries []shmlog.Entry) []uint64 {
+	seen := make(map[uint64]struct{}, tidListCap)
+	for _, e := range entries {
+		seen[e.ThreadID] = struct{}{}
+		if len(seen) > tidListCap {
+			return nil
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func appendEntry(buf []byte, e shmlog.Entry) []byte {
+	w0 := e.Counter
+	if e.Kind == shmlog.KindReturn {
+		w0 |= 1 << 63
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, w0)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Addr)
+	buf = binary.LittleEndian.AppendUint64(buf, e.ThreadID)
+	return buf
+}
+
+func decodeEntry(b []byte) shmlog.Entry {
+	w0 := binary.LittleEndian.Uint64(b)
+	e := shmlog.Entry{
+		Kind:     shmlog.KindCall,
+		Counter:  w0 &^ (1 << 63),
+		Addr:     binary.LittleEndian.Uint64(b[8:]),
+		ThreadID: binary.LittleEndian.Uint64(b[16:]),
+	}
+	if w0&(1<<63) != 0 {
+		e.Kind = shmlog.KindReturn
+	}
+	return e
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	n, err := cw.w.Write(b)
+	cw.n += int64(n)
+	if err == nil && n < len(b) {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
+
+// OpenTable opens and validates a table file.
+func OpenTable(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	t, err := OpenTableReaderAt(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	t.closer = f
+	return t, nil
+}
+
+// OpenTableReaderAt validates a table held in any random-access source
+// (the fuzz target feeds bytes.Reader through here). Nothing in the body
+// is trusted until the footer's tail magic and CRC check out, and every
+// offset is bounds-checked against size before use.
+func OpenTableReaderAt(r io.ReaderAt, size int64) (*Table, error) {
+	if size < int64(len(tableMagic))+footerBytes {
+		return nil, fmt.Errorf("%w: %d bytes is too small", ErrBadTable, size)
+	}
+	head := make([]byte, len(tableMagic))
+	if _, err := r.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadTable, err)
+	}
+	if string(head) != tableMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTable)
+	}
+	foot := make([]byte, footerBytes)
+	if _, err := r.ReadAt(foot, size-footerBytes); err != nil {
+		return nil, fmt.Errorf("%w: footer: %v", ErrBadTable, err)
+	}
+	if string(foot[footerBytes-8:]) != tableMagic {
+		return nil, fmt.Errorf("%w: bad tail magic (torn file)", ErrBadTable)
+	}
+	wantCRC := binary.LittleEndian.Uint32(foot[72:])
+	if crc32.Checksum(foot[:72], crcTable) != wantCRC {
+		return nil, fmt.Errorf("%w: footer CRC mismatch", ErrBadTable)
+	}
+
+	t := &Table{r: r, size: size}
+	indexOff := int64(binary.LittleEndian.Uint64(foot[0:]))
+	tidsOff := int64(binary.LittleEndian.Uint64(foot[8:]))
+	blockCount := binary.LittleEndian.Uint32(foot[16:])
+	t.info = tableInfo{
+		Entries:      binary.LittleEndian.Uint64(foot[24:]),
+		MinCounter:   binary.LittleEndian.Uint64(foot[32:]),
+		MaxCounter:   binary.LittleEndian.Uint64(foot[40:]),
+		PID:          binary.LittleEndian.Uint64(foot[48:]),
+		ProfilerAddr: binary.LittleEndian.Uint64(foot[56:]),
+		SamplePeriod: binary.LittleEndian.Uint64(foot[64:]),
+	}
+	if blockCount > maxBlockCount {
+		return nil, fmt.Errorf("%w: implausible block count %d", ErrBadTable, blockCount)
+	}
+	indexLen := int64(blockCount) * indexSlot
+	if indexOff < int64(len(tableMagic)) || indexOff+indexLen > size-footerBytes ||
+		tidsOff < indexOff+indexLen || tidsOff+4 > size-footerBytes {
+		return nil, fmt.Errorf("%w: index/tid offsets out of bounds", ErrBadTable)
+	}
+
+	idx := make([]byte, indexLen)
+	if _, err := r.ReadAt(idx, indexOff); err != nil {
+		return nil, fmt.Errorf("%w: index: %v", ErrBadTable, err)
+	}
+	t.blocks = make([]blockRef, blockCount)
+	var total uint64
+	for i := range t.blocks {
+		b := idx[i*indexSlot:]
+		ref := blockRef{
+			off:        int64(binary.LittleEndian.Uint64(b)),
+			count:      binary.LittleEndian.Uint32(b[8:]),
+			minCounter: binary.LittleEndian.Uint64(b[16:]),
+		}
+		if ref.count == 0 {
+			return nil, fmt.Errorf("%w: empty block %d", ErrBadTable, i)
+		}
+		end := ref.off + int64(ref.count)*entryBytes + 4
+		if ref.off < int64(len(tableMagic)) || end > indexOff {
+			return nil, fmt.Errorf("%w: block %d out of bounds", ErrBadTable, i)
+		}
+		// maxCounter is implied: the next block's min, or the table max.
+		if i+1 < len(t.blocks) {
+			ref.maxCounter = binary.LittleEndian.Uint64(idx[(i+1)*indexSlot+16:])
+		} else {
+			ref.maxCounter = t.info.MaxCounter
+		}
+		if ref.maxCounter < ref.minCounter {
+			return nil, fmt.Errorf("%w: block %d counter bounds inverted", ErrBadTable, i)
+		}
+		t.blocks[i] = ref
+		total += uint64(ref.count)
+	}
+	if total != t.info.Entries {
+		return nil, fmt.Errorf("%w: index holds %d entries, footer says %d", ErrBadTable, total, t.info.Entries)
+	}
+
+	tidHead := make([]byte, 4)
+	if _, err := r.ReadAt(tidHead, tidsOff); err != nil {
+		return nil, fmt.Errorf("%w: tid list: %v", ErrBadTable, err)
+	}
+	if n := binary.LittleEndian.Uint32(tidHead); n != tidUnknown {
+		if n > tidListCap || tidsOff+4+int64(n)*8 > size-footerBytes {
+			return nil, fmt.Errorf("%w: tid list out of bounds", ErrBadTable)
+		}
+		raw := make([]byte, int(n)*8)
+		if _, err := r.ReadAt(raw, tidsOff+4); err != nil {
+			return nil, fmt.Errorf("%w: tid list: %v", ErrBadTable, err)
+		}
+		t.tids = make([]uint64, n)
+		for i := range t.tids {
+			t.tids[i] = binary.LittleEndian.Uint64(raw[i*8:])
+		}
+	}
+	return t, nil
+}
+
+// Close releases the underlying file (no-op for in-memory readers).
+func (t *Table) Close() error {
+	if t.closer != nil {
+		return t.closer.Close()
+	}
+	return nil
+}
+
+// Blocks returns the number of blocks.
+func (t *Table) Blocks() int { return len(t.blocks) }
+
+// Info returns the footer identity.
+func (t *Table) Info() tableInfo { return t.info }
+
+// HasTID reports whether the table may contain entries of tid (true when
+// the distinct-TID list overflowed at write time).
+func (t *Table) HasTID(tid uint64) bool {
+	if t.tids == nil {
+		return true
+	}
+	i := sort.Search(len(t.tids), func(i int) bool { return t.tids[i] >= tid })
+	return i < len(t.tids) && t.tids[i] == tid
+}
+
+// ReadBlock decodes block i, verifying its CRC.
+func (t *Table) ReadBlock(i int) ([]shmlog.Entry, error) {
+	if i < 0 || i >= len(t.blocks) {
+		return nil, fmt.Errorf("%w: block %d of %d", ErrBadTable, i, len(t.blocks))
+	}
+	ref := t.blocks[i]
+	raw := make([]byte, int(ref.count)*entryBytes+4)
+	if _, err := t.r.ReadAt(raw, ref.off); err != nil {
+		return nil, fmt.Errorf("%w: block %d: %v", ErrBadTable, i, err)
+	}
+	body := raw[:len(raw)-4]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(raw[len(raw)-4:]) {
+		return nil, fmt.Errorf("%w: block %d CRC mismatch", ErrBadTable, i)
+	}
+	out := make([]shmlog.Entry, ref.count)
+	for j := range out {
+		out[j] = decodeEntry(body[j*entryBytes:])
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package profilestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"teeperf/internal/faultinject"
+	"teeperf/internal/shmlog"
+)
+
+// tableEntries builds a deterministic counter-ordered stream: tid 1 and 2
+// alternating balanced call/return pairs.
+func tableEntries(n int) []shmlog.Entry {
+	out := make([]shmlog.Entry, 0, 2*n)
+	tick := uint64(0)
+	for i := 0; i < n; i++ {
+		tid := uint64(1 + i%2)
+		addr := uint64(0x400010 + 16*(i%3))
+		tick += 3
+		out = append(out, shmlog.Entry{Kind: shmlog.KindCall, Counter: tick, Addr: addr, ThreadID: tid})
+		tick += 5
+		out = append(out, shmlog.Entry{Kind: shmlog.KindReturn, Counter: tick, Addr: addr, ThreadID: tid})
+	}
+	return out
+}
+
+func writeTestTable(t *testing.T, path string, entries []shmlog.Entry, blockEntries int) tableInfo {
+	t.Helper()
+	info, err := writeTable(path, entries, 4242, 0x400000, 1, blockEntries, faultinject.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	entries := tableEntries(100)
+	path := filepath.Join(t.TempDir(), "t.tpt")
+	info := writeTestTable(t, path, entries, 16)
+
+	if info.Entries != uint64(len(entries)) {
+		t.Fatalf("info.Entries = %d, want %d", info.Entries, len(entries))
+	}
+	if info.MinCounter != entries[0].Counter || info.MaxCounter != entries[len(entries)-1].Counter {
+		t.Fatalf("counter bounds [%d,%d] disagree with stream", info.MinCounter, info.MaxCounter)
+	}
+
+	tbl, err := OpenTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	if tbl.Info() != info {
+		t.Fatalf("reader info %+v, writer info %+v", tbl.Info(), info)
+	}
+	if want := (len(entries) + 15) / 16; tbl.Blocks() != want {
+		t.Fatalf("Blocks() = %d, want %d", tbl.Blocks(), want)
+	}
+	var got []shmlog.Entry
+	for i := 0; i < tbl.Blocks(); i++ {
+		blk, err := tbl.ReadBlock(i)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		got = append(got, blk...)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+	if !tbl.HasTID(1) || !tbl.HasTID(2) || tbl.HasTID(3) {
+		t.Fatalf("tid list wrong: has1=%v has2=%v has3=%v", tbl.HasTID(1), tbl.HasTID(2), tbl.HasTID(3))
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.tpt")
+	writeTestTable(t, path, nil, 16)
+	tbl, err := OpenTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	if tbl.Blocks() != 0 || tbl.Info().Entries != 0 {
+		t.Fatalf("empty table decoded as %d blocks / %d entries", tbl.Blocks(), tbl.Info().Entries)
+	}
+	if tbl.HasTID(1) {
+		t.Fatal("empty table claims to hold tid 1")
+	}
+}
+
+func TestTableTIDOverflowMeansUnknown(t *testing.T) {
+	var entries []shmlog.Entry
+	for i := 0; i < tidListCap+10; i++ {
+		entries = append(entries, shmlog.Entry{
+			Kind: shmlog.KindCall, Counter: uint64(i + 1), Addr: 0x400010, ThreadID: uint64(i + 1),
+		})
+	}
+	path := filepath.Join(t.TempDir(), "wide.tpt")
+	writeTestTable(t, path, entries, 32)
+	tbl, err := OpenTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	// Unknown list: every tid may be present, including ones that are not.
+	if !tbl.HasTID(1) || !tbl.HasTID(999999) {
+		t.Fatal("overflowed tid list must answer true for any tid")
+	}
+}
+
+// TestTableTornAndCorrupt: every torn prefix fails open (tail magic or
+// footer CRC), and a bit flip in a block body is caught by the block CRC at
+// read time even though open succeeds.
+func TestTableTornAndCorrupt(t *testing.T) {
+	entries := tableEntries(64)
+	path := filepath.Join(t.TempDir(), "t.tpt")
+	writeTestTable(t, path, entries, 8)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range []int{1, len(clean) / 2, len(clean) - 1} {
+		if _, err := OpenTableReaderAt(bytes.NewReader(clean[:cut]), int64(cut)); err == nil {
+			t.Errorf("torn table (%d of %d bytes) opened", cut, len(clean))
+		}
+	}
+
+	// Flip one byte inside the first block's body: open must still succeed
+	// (footer and index are intact) and the damaged block must fail its CRC.
+	corrupt := append([]byte(nil), clean...)
+	corrupt[len(tableMagic)+4] ^= 0x40
+	tbl, err := OpenTableReaderAt(bytes.NewReader(corrupt), int64(len(corrupt)))
+	if err != nil {
+		t.Fatalf("bit-flipped block body failed open (should fail at read): %v", err)
+	}
+	if _, err := tbl.ReadBlock(0); err == nil {
+		t.Fatal("corrupted block passed its CRC")
+	}
+
+	// Flip a footer byte: open must fail.
+	corrupt = append([]byte(nil), clean...)
+	corrupt[len(corrupt)-20] ^= 0x01
+	if _, err := OpenTableReaderAt(bytes.NewReader(corrupt), int64(len(corrupt))); err == nil {
+		t.Fatal("corrupted footer opened")
+	}
+}
+
+func TestManifestRoundTripAndTorn(t *testing.T) {
+	m := &manifest{
+		Format:    manifestFormat,
+		Seq:       7,
+		NextTable: 3,
+		Tables: []TableMeta{{
+			File: tableName(2), Seq: 2, Level: 1, Entries: 10,
+			MinCounter: 5, MaxCounter: 99, PID: 4242, SamplePeriod: 1,
+			Segments: []string{"seg-a", "seg-b"},
+		}},
+	}
+	data, err := encodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != m.Seq || got.NextTable != m.NextTable || len(got.Tables) != 1 {
+		t.Fatalf("round trip mangled the manifest: %+v", got)
+	}
+	if segs := got.segments(); segs["seg-a"] != 2 || segs["seg-b"] != 2 {
+		t.Fatalf("segments() = %v", segs)
+	}
+
+	for _, cut := range []int{0, 5, len(data) / 2, len(data) - 1} {
+		if _, err := decodeManifest(data[:cut]); err == nil {
+			t.Errorf("torn manifest (%d bytes) decoded", cut)
+		}
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(flip)/2] ^= 0x10
+	if _, err := decodeManifest(flip); err == nil {
+		t.Error("bit-flipped manifest decoded")
+	}
+}
+
+func TestBlockCacheLRU(t *testing.T) {
+	c := newBlockCache(2)
+	e := []shmlog.Entry{{Kind: shmlog.KindCall, Counter: 1, Addr: 2, ThreadID: 3}}
+	c.put(1, 0, e)
+	c.put(1, 1, e)
+	if _, ok := c.get(1, 0); !ok {
+		t.Fatal("block (1,0) missing before eviction")
+	}
+	c.put(2, 0, e) // evicts (1,1): (1,0) was just touched
+	if _, ok := c.get(1, 1); ok {
+		t.Fatal("cold block (1,1) survived past capacity")
+	}
+	if _, ok := c.get(1, 0); !ok {
+		t.Fatal("hot block (1,0) evicted")
+	}
+	c.drop(1)
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("dropped table still cached")
+	}
+	n, capBlocks, hits, misses := c.stats()
+	if n != 1 || capBlocks != 2 {
+		t.Fatalf("stats len=%d cap=%d", n, capBlocks)
+	}
+	if hits == 0 || misses == 0 {
+		t.Fatalf("hit/miss accounting dead: hits=%d misses=%d", hits, misses)
+	}
+}

@@ -1,0 +1,28 @@
+package query
+
+import (
+	"teeperf/internal/analyzer"
+)
+
+// DiffFrame lifts a differential-query result (per-function share deltas
+// between two history windows) into a frame, so history diffs compose with
+// the same sort/head/CSV/JSON machinery as profile queries.
+func DiffFrame(rows []analyzer.DiffRow) *Frame {
+	f, err := NewFrame("name", "before_pct", "after_pct", "delta_pct", "before_calls", "after_calls")
+	if err != nil {
+		panic("query: DiffFrame columns invalid: " + err.Error())
+	}
+	for _, r := range rows {
+		if err := f.AppendRow(
+			Str(r.Name),
+			Float(100*r.BeforeShare),
+			Float(100*r.AfterShare),
+			Float(100*r.DeltaShare),
+			Int(int64(r.BeforeCalls)),
+			Int(int64(r.AfterCalls)),
+		); err != nil {
+			panic("query: DiffFrame row invalid: " + err.Error())
+		}
+	}
+	return f
+}

@@ -135,14 +135,14 @@ func runKillChild(t *testing.T, point, path string, nth int, skipClean bool) {
 
 // TestCheckpointKillAtEveryFaultPoint is the acceptance test for the
 // crash-consistency design: SIGKILL the recorder between ANY two
-// persistence steps (every registered fault point) and the last completed
+// persistence steps (every checkpoint fault point) and the last completed
 // checkpoint must still load strictly into a non-empty profile, while any
 // torn .part left behind must at least be salvageable leniently.
 func TestCheckpointKillAtEveryFaultPoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess kill matrix skipped in -short")
 	}
-	for _, p := range faultinject.All {
+	for _, p := range faultinject.CheckpointPoints {
 		p := p
 		t.Run(p.String(), func(t *testing.T) {
 			t.Parallel()

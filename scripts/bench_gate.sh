@@ -31,7 +31,7 @@ fail() {
 }
 
 gate_suite() {
-    local required=("${SHMLOG_BENCHES[@]}" "${AGENT_BENCHES[@]}")
+    local required=("${SHMLOG_BENCHES[@]}" "${AGENT_BENCHES[@]}" "${STORE_BENCHES[@]}")
     local out missing=0
     out="$(mktemp)"
     # shellcheck disable=SC2064 # expand $out now
@@ -69,6 +69,9 @@ gate_suite() {
     go run ./scripts/benchjson -check BENCH_agent.json "${AGENT_BENCHES[@]}" ||
         fail "BENCH_agent.json: stale or unparseable (regenerate with scripts/bench_record.sh)"
     pass "BENCH_agent.json names all ${#AGENT_BENCHES[@]} suite benchmarks"
+    go run ./scripts/benchjson -check BENCH_store.json "${STORE_BENCHES[@]}" ||
+        fail "BENCH_store.json: stale or unparseable (regenerate with scripts/bench_record.sh)"
+    pass "BENCH_store.json names all ${#STORE_BENCHES[@]} suite benchmarks"
 
     # Sampling-overhead THRESHOLD gate. Absolute ns/op is machine noise,
     # but the p64/p1 ratio within a single run is not: both halves execute

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Record the perf trajectory: run the recorded benchmark suite (defined
 # once in bench_suite.sh) and write the results as BENCH_shmlog.json (log
-# hot paths), BENCH_agent.json (analyzer + fleet agent) and
-# BENCH_overhead.json (the stress-personality overhead gauntlet). Numbers
-# are machine-dependent — regenerate on quiet hardware and commit the
-# files; scripts/bench_gate.sh checks the first two only for existence and
-# gates BENCH_overhead.json's ratio trajectory.
+# hot paths), BENCH_agent.json (analyzer + fleet agent), BENCH_store.json
+# (profile history store ingest/query) and BENCH_overhead.json (the
+# stress-personality overhead gauntlet). Numbers are machine-dependent —
+# regenerate on quiet hardware and commit the files; scripts/bench_gate.sh
+# checks all but the last only for existence and gates BENCH_overhead.json's
+# ratio trajectory.
 #
 #   BENCHTIME=1s ./scripts/bench_record.sh    # default 300ms per benchmark
-#   ONLY=overhead ./scripts/bench_record.sh   # refresh one file (shmlog|agent|overhead)
+#   ONLY=overhead ./scripts/bench_record.sh   # refresh one file (shmlog|agent|store|overhead)
 #   FORCE=1 ./scripts/bench_record.sh         # allow fewer CPUs than the committed file
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,6 +58,15 @@ if wants agent; then
         tee /dev/stderr |
         go run ./scripts/benchjson "${meta[@]}" >BENCH_agent.json
     echo "wrote BENCH_agent.json (${ncpu} CPUs)" >&2
+fi
+
+if wants store; then
+    guard_cpus BENCH_store.json
+    go test -run='^$' -bench="$(bench_pattern "${STORE_BENCHES[@]}")" \
+        -benchtime="$benchtime" -count=1 ./internal/profilestore |
+        tee /dev/stderr |
+        go run ./scripts/benchjson "${meta[@]}" >BENCH_store.json
+    echo "wrote BENCH_store.json (${ncpu} CPUs)" >&2
 fi
 
 if wants overhead; then

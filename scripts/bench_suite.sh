@@ -30,6 +30,14 @@ AGENT_BENCHES=(
     BenchmarkAgentScrape
 )
 
+# STORE_BENCHES cover the profile history store (recorded to
+# BENCH_store.json): segment ingest (sort + block encode + manifest
+# commit) and windowed time-travel queries over a leveled store.
+STORE_BENCHES=(
+    BenchmarkStoreIngest
+    BenchmarkStoreQuery
+)
+
 # bench_pattern NAME... -> anchored go-test -bench regex for the names.
 bench_pattern() {
     local IFS='|'
